@@ -1,0 +1,59 @@
+"""Shared fixtures for the figure benches.
+
+Scales are deliberately tiny (DESIGN.md §2): all TPC-BiH scalings are
+linear, so the paper's *shapes* — orderings, ratios, crossovers — survive
+scaling down, while the full bench suite stays in the minutes range.
+
+Every bench writes its paper-style report to ``results/<figure>.txt`` so
+``pytest benchmarks/ --benchmark-only`` leaves the rendered figures behind.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.experiments import generate_workload, prepare_systems
+from repro.bench.service import BenchmarkService
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: default bench scale: ~9k initial rows, 300 scenario transactions
+BENCH_H = 0.001
+BENCH_M = 0.0003
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return generate_workload(h=BENCH_H, m=BENCH_M)
+
+
+@pytest.fixture(scope="session")
+def systems(workload):
+    """All four archetypes loaded with the same workload (replay path)."""
+    return prepare_systems(workload, "ABCD")
+
+
+@pytest.fixture(scope="session")
+def service():
+    return BenchmarkService(repetitions=3, discard=1)
+
+
+@pytest.fixture(scope="session")
+def quick_service():
+    """For long-running cells (TPC-H sweeps): fewer repetitions, like the
+    paper's handling of multi-hour measurements."""
+    return BenchmarkService(repetitions=2, discard=1, timeout_s=30.0)
+
+
+def save_result(result):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{result.name}.txt"
+    path.write_text(result.text + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def save():
+    return save_result

@@ -1,0 +1,31 @@
+"""Fig 2: basic point time travel, out-of-the-box settings."""
+
+import statistics
+
+from repro.bench.experiments import fig02_basic_time_travel
+
+
+def test_fig02(benchmark, systems, workload, service, save):
+    result = benchmark.pedantic(
+        lambda: fig02_basic_time_travel(systems, workload, service),
+        rounds=1, iterations=1,
+    )
+    save(result)
+    by_cell = {(m.qid, m.system): m.median for m in result.measurements}
+
+    # ALL is the upper bound for single-table time travel (§3.3, §5.3.1)
+    for name in systems:
+        assert by_cell[("T5.all", name)] >= 0.5 * by_cell[("T1.app", name)]
+
+    # history access costs more than current-only access (per system,
+    # comparing the same query across dimensions)
+    for name in ("A", "B"):
+        assert by_cell[("T2.sys", name)] >= 0.8 * by_cell[("T2.app", name)]
+
+    # System B sees the most prominent increase when system time varies
+    # (vertical-partition reconstruction, §5.3.1)
+    growth = {
+        name: by_cell[("T2.sys", name)] / by_cell[("T2.app", name)]
+        for name in systems
+    }
+    assert growth["B"] == max(growth.values())

@@ -1,0 +1,28 @@
+"""Fig 3: adding the Time Index setting to basic time travel."""
+
+from repro.bench.experiments import fig03_index_impact
+
+
+def test_fig03(benchmark, systems, workload, service, save):
+    result = benchmark.pedantic(
+        lambda: fig03_index_impact(systems, workload, service),
+        rounds=1, iterations=1,
+    )
+    save(result)
+    cells = {(m.qid, m.system, m.setting): m.median for m in result.measurements}
+
+    # System C does not benefit from a B-Tree index at all (§5.3.2): its
+    # planner ignores indexes, so timings stay within noise of each other
+    c_no = cells[("T2.sys", "C", "no index")]
+    c_bt = cells[("T2.sys", "C", "B-Tree")]
+    assert 0.3 <= c_bt / c_no <= 3.0
+
+    # indexed point time travel never degrades catastrophically on A
+    assert cells[("T2.sys", "A", "B-Tree")] <= 3.0 * cells[("T2.sys", "A", "no index")]
+
+    # GiST measurements exist for System D.  NOTE: the paper found GiST
+    # consistently worse than the B-Tree; at our scales the 1-D R-Tree's
+    # containment search can win instead (recorded as a deviation in
+    # EXPERIMENTS.md), so we only assert the cell is measured and finite.
+    assert ("T2.sys", "D", "GiST") in cells
+    assert cells[("T2.sys", "D", "GiST")] < float("inf")

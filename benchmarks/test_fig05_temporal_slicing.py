@@ -1,0 +1,19 @@
+"""Fig 5: temporal slicing (one dimension fixed, the other complete)."""
+
+from repro.bench.experiments import fig05_temporal_slicing
+
+
+def test_fig05(benchmark, systems, workload, service, save):
+    result = benchmark.pedantic(
+        lambda: fig05_temporal_slicing(systems, workload, service),
+        rounds=1, iterations=1,
+    )
+    save(result)
+    cells = {(m.qid, m.system): m.median for m in result.measurements}
+    for name in systems:
+        # slicing stays below a generous multiple of the ALL yardstick
+        assert cells[("T6.appslice", name)] <= 3.0 * cells[("T5.all", name)]
+        assert cells[("T6.sysslice", name)] <= 3.0 * cells[("T5.all", name)]
+        # simulated app-time slicing (T9) behaves like native slicing:
+        # "mostly a usability restriction ... does not affect performance"
+        assert 0.2 <= cells[("T9", name)] / cells[("T6.appslice", name)] <= 5.0

@@ -1,0 +1,28 @@
+"""Fig 8: audit queries over the full history of one key."""
+
+from repro.bench.experiments import fig08_key_in_time
+
+
+def test_fig08(benchmark, systems, workload, service, save):
+    result = benchmark.pedantic(
+        lambda: fig08_key_in_time(systems, workload, service),
+        rounds=1, iterations=1,
+    )
+    save(result)
+    cells = {(m.qid, m.system, m.setting): m.median for m in result.measurements}
+
+    # current-system-time app history benefits from the system-created
+    # current index; past system time triggers history access and costs
+    # more without tuning (§5.5.1)
+    for name in ("A", "B"):
+        assert cells[("K1.app_past", name, "no index")] >= cells[("K1.app", name, "no index")] * 0.5
+
+    # System A clearly benefits from the Key+Time index on history access
+    assert (
+        cells[("K1.app_past", "A", "B-Tree")]
+        <= cells[("K1.app_past", "A", "no index")] * 1.2
+    )
+
+    # System C performs table scans in all settings: the index changes little
+    c_ratio = cells[("K1.both", "C", "B-Tree")] / cells[("K1.both", "C", "no index")]
+    assert 0.3 <= c_ratio <= 3.0

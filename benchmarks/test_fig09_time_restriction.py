@@ -1,0 +1,18 @@
+"""Fig 9: restricting the traced time range (K2) and columns (K3)."""
+
+from repro.bench.experiments import fig09_time_restriction
+
+
+def test_fig09(benchmark, systems, workload, service, save):
+    result = benchmark.pedantic(
+        lambda: fig09_time_restriction(systems, workload, service),
+        rounds=1, iterations=1,
+    )
+    save(result)
+    cells = {(m.qid, m.system, m.setting): m.median for m in result.measurements}
+    # "time range restrictions have little impact" (§5.5.2): K2/K3 stay in
+    # the same cost class as each other
+    for name in systems:
+        k2 = cells[("K2.sys", name, "no index")]
+        k3 = cells[("K3.sys", name, "no index")]
+        assert 0.1 <= k3 / max(k2, 1e-9) <= 10.0

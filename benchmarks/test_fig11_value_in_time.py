@@ -1,0 +1,21 @@
+"""Fig 11: tracing tuples selected by value, with a value index."""
+
+from repro.bench.experiments import fig11_value_in_time
+
+
+def test_fig11(benchmark, systems, workload, service, save):
+    result = benchmark.pedantic(
+        lambda: fig11_value_in_time(systems, workload, service),
+        rounds=1, iterations=1,
+    )
+    save(result)
+    cells = {(m.qid, m.system, m.setting): m.median for m in result.measurements}
+    # a selective value index speeds up the index-using systems (§5.5.3)
+    for name in ("A", "D"):
+        assert (
+            cells[("K6.app", name, "Value idx")]
+            <= cells[("K6.app", name, "no index")] * 1.5
+        )
+    # System C relies on scans either way
+    ratio = cells[("K6.app", "C", "Value idx")] / cells[("K6.app", "C", "no index")]
+    assert 0.3 <= ratio <= 3.0

@@ -1,0 +1,23 @@
+"""Fig 12: key-range audit query across growing history sizes."""
+
+from repro.bench.experiments import fig12_keyrange_history_scaling
+
+
+def test_fig12(benchmark, service, save):
+    result = benchmark.pedantic(
+        lambda: fig12_keyrange_history_scaling(
+            service, h=0.0005, m_values=(0.0002, 0.0004, 0.0008)
+        ),
+        rounds=1, iterations=1,
+    )
+    save(result)
+    series = result.series
+    # A, C and D keep roughly constant performance with Key+Time indexes;
+    # B carries the vertical-partition reconstruction cost, which grows
+    # with the current table (§5.5.4)
+    for name in ("A", "D"):
+        first, last = series[name][0][1], series[name][-1][1]
+        assert last <= first * 8 + 0.002, (name, first, last)
+    b_first, b_last = series["B"][0][1], series["B"][-1][1]
+    a_last = series["A"][-1][1]
+    assert b_last >= a_last * 0.8, "B should not beat A on history key access"

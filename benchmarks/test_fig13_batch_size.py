@@ -1,0 +1,16 @@
+"""Fig 13: combining scenarios into larger transactions before loading."""
+
+from repro.bench.experiments import fig13_batch_size
+
+
+def test_fig13(benchmark, service, save):
+    result = benchmark.pedantic(
+        lambda: fig13_batch_size(service, batch_sizes=(1, 10, 100)),
+        rounds=1, iterations=1,
+    )
+    save(result)
+    series = result.series
+    # batching collapses distinct system-time versions; the key-range query
+    # never gets *more* expensive with fewer transactions (§5.5.4)
+    for name, points in series.items():
+        assert points[-1][1] <= points[0][1] * 3.0, (name, points)

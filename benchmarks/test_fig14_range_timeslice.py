@@ -1,0 +1,20 @@
+"""Fig 14: range-timeslice queries (temporal aggregation et al.)."""
+
+from repro.bench.experiments import fig14_range_timeslice
+
+
+def test_fig14(benchmark, systems, workload, service, save):
+    result = benchmark.pedantic(
+        lambda: fig14_range_timeslice(systems, workload, service),
+        rounds=1, iterations=1,
+    )
+    save(result)
+    cells = {(m.qid, m.system): m.median for m in result.measurements}
+    # the paper's central R-class finding: temporal aggregation (R3) costs
+    # orders of magnitude more than reading the complete history (ALL),
+    # because SQL provides no native operator (§5.6)
+    for name in ("A", "D"):
+        assert cells[("R3a", name)] >= 10 * cells[("T5.all", name)], name
+    # simpler state queries stay in the same class as ALL
+    for name in systems:
+        assert cells[("R2", name)] <= 20 * cells[("T5.all", name)]

@@ -1,0 +1,24 @@
+"""Fig 15: the bitemporal dimension matrix B3.1-B3.11."""
+
+from repro.bench.experiments import fig15_bitemporal
+
+
+def test_fig15(benchmark, systems, workload, service, save):
+    result = benchmark.pedantic(
+        lambda: fig15_bitemporal(systems, workload, service),
+        rounds=1, iterations=1,
+    )
+    save(result)
+    cells = {(m.qid, m.system, m.setting): m.median for m in result.measurements}
+    for name in systems:
+        # correlation over all versions (B3.5) is the most demanding cell;
+        # without temporal join operators it degenerates to big joins (§5.7)
+        assert (
+            cells[("B3.5", name, "no index")]
+            >= 0.5 * cells[("B3.1", name, "no index")]
+        )
+        # the agnostic/agnostic case joins the full version space
+        assert (
+            cells[("B3.11", name, "no index")]
+            >= 0.5 * cells[("B3", name, "no index")]
+        )

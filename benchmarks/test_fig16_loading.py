@@ -1,0 +1,22 @@
+"""Fig 16 / §5.8: loading times, per-scenario latency distribution."""
+
+from repro.bench.experiments import fig16_loading, generate_workload
+
+
+def test_fig16(benchmark, save):
+    workload = generate_workload(h=0.0005, m=0.0005)
+    result = benchmark.pedantic(
+        lambda: fig16_loading(workload), rounds=1, iterations=1
+    )
+    save(result)
+    cells = result.extra["cells"]
+    totals = result.extra["totals"]
+    # System B's undo-log drain produces a heavy 97th-percentile tail
+    # relative to its median (the paper saw two orders of magnitude)
+    assert cells["B"]["p97"] >= cells["B"]["median"] * 1.2
+    b_tail = cells["B"]["p97"] / max(cells["B"]["median"], 1e-9)
+    a_tail = cells["A"]["p97"] / max(cells["A"]["median"], 1e-9)
+    assert b_tail >= a_tail * 0.8
+    # §5.8: the bulk path is cheaper than replaying the same history into
+    # the same architecture through per-scenario transactions
+    assert totals["D(bulk)"] <= totals["D"]

@@ -1,0 +1,40 @@
+"""Tables 1 and 2: the update-scenario mix and per-table operation counts."""
+
+from repro.bench.experiments import table1_scenario_mix, table2_operations
+from repro.core.stats import insert_update_shares
+
+
+def test_table1_scenario_mix(benchmark, workload, save):
+    result = benchmark.pedantic(
+        lambda: table1_scenario_mix(workload), rounds=1, iterations=1
+    )
+    save(result)
+    mix = result.extra["mix"]
+    # New Order dominates, Deliver and Receive Payment follow (Table 1)
+    assert mix["new_order"] == max(mix.values())
+    assert mix["deliver_order"] > mix["cancel_order"]
+
+
+def test_table2_operations(benchmark, workload, save):
+    result = benchmark.pedantic(
+        lambda: table2_operations(workload), rounds=1, iterations=1
+    )
+    save(result)
+    shares = insert_update_shares(workload)
+    # the paper's qualitative claims about the operation mix (§3.2)
+    assert shares["lineitem"]["insert"] > 0.60, "LINEITEM is insert-dominated"
+    assert shares["customer"]["update"] > 0.70, "CUSTOMER is update-dominated"
+    assert shares["part"]["update"] == 1.0, "PART receives only updates"
+    assert shares["partsupp"]["update"] == 1.0, "PARTSUPP receives only updates"
+    assert shares["supplier"]["update"] == 1.0, "SUPPLIER degenerate: updates only"
+    rows = {r["table"]: r for r in result.extra["rows"]}
+    assert rows["nation"]["history_growth_ratio"] == 0
+    assert rows["region"]["history_growth_ratio"] == 0
+    # CUSTOMER and SUPPLIER get proportionally more history than ORDERS/LINEITEM
+    assert rows["customer"]["history_growth_ratio"] > rows["orders"]["history_growth_ratio"]
+    assert rows["supplier"]["history_growth_ratio"] > rows["lineitem"]["history_growth_ratio"]
+    # app-time overwrites happen exactly where Table 2 says they do
+    for table, expected in (("customer", True), ("part", True),
+                            ("partsupp", True), ("orders", True),
+                            ("lineitem", False), ("supplier", False)):
+        assert rows[table]["overwrite_app_time"] is expected, table

@@ -1,0 +1,72 @@
+"""Quickstart: a bitemporal table through the PEP 249 driver.
+
+Creates a bitemporal ``policy`` table, runs the classic insurance-style
+corrections, and answers "what did we believe, when?" questions — the two
+time dimensions of the paper's §2.1 in twenty lines of SQL.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.engine import dbapi
+from repro.engine.types import END_OF_TIME, date_to_day, day_to_date
+
+
+def main():
+    conn = dbapi.connect(system="A")  # any of A, B, C, D
+    cur = conn.cursor()
+
+    cur.execute(
+        "CREATE TABLE policy ("
+        "  policy_id integer NOT NULL,"
+        "  premium   decimal,"
+        "  valid_from date, valid_to date,"           # application time
+        "  sys_begin timestamp, sys_end timestamp,"   # system time
+        "  PRIMARY KEY (policy_id),"
+        "  PERIOD FOR business_time (valid_from, valid_to),"
+        "  PERIOD FOR system_time (sys_begin, sys_end))"
+    )
+
+    jan, jul, dec = (date_to_day(d) for d in ("1995-01-01", "1995-07-01", "1995-12-31"))
+
+    # the policy costs 100 for all of 1995 (recorded at system tick 1)
+    cur.execute(
+        "INSERT INTO policy (policy_id, premium, valid_from, valid_to)"
+        " VALUES (1, 100.0, ?, ?)", [jan, dec])
+
+    # mid-year correction: from July onwards the premium is 120
+    cur.execute(
+        "UPDATE policy FOR PORTION OF business_time FROM ? TO ?"
+        " SET premium = 120.0 WHERE policy_id = 1", [jul, dec])
+
+    print("Current belief about 1995 (application-time axis):")
+    cur.execute(
+        "SELECT premium, valid_from, valid_to FROM policy"
+        " WHERE policy_id = 1 ORDER BY valid_from")
+    for premium, valid_from, valid_to in cur:
+        print(f"  {day_to_date(valid_from)} .. {day_to_date(valid_to)}: {premium}")
+
+    print("\nWhat did the database say BEFORE the correction (system time 1)?")
+    cur.execute(
+        "SELECT premium, valid_from, valid_to FROM policy"
+        " FOR SYSTEM_TIME AS OF 1 WHERE policy_id = 1")
+    for premium, valid_from, valid_to in cur:
+        print(f"  {day_to_date(valid_from)} .. {day_to_date(valid_to)}: {premium}")
+
+    print("\nBitemporal point query: premium valid on 1995-08-01, as known now:")
+    cur.execute(
+        "SELECT premium FROM policy"
+        " FOR BUSINESS_TIME AS OF ? WHERE policy_id = 1",
+        [date_to_day("1995-08-01")])
+    print(f"  {cur.fetchone()[0]}")
+
+    print("\nFull audit trail (every version ever stored):")
+    cur.execute(
+        "SELECT premium, valid_from, valid_to, sys_begin, sys_end"
+        " FROM policy FOR SYSTEM_TIME ALL ORDER BY sys_begin, valid_from")
+    for premium, vf, vt, sb, se in cur:
+        se_text = "now" if se >= END_OF_TIME else se
+        print(f"  [sys {sb}..{se_text}] {day_to_date(vf)}..{day_to_date(vt)} -> {premium}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Full reproduction driver: every table and figure, end to end.
+
+Regenerates Tables 1-2 and Figures 2-16 at a configurable scale and writes
+the paper-style reports to ``results/``.  This is the one-command version
+of ``pytest benchmarks/ --benchmark-only``.
+
+Run:  python examples/reproduce_paper.py [--h 0.001] [--m 0.0003] [--fast]
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench import experiments as x
+from repro.bench.service import BenchmarkService
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--h", type=float, default=0.001, help="TPC-H scale factor")
+    parser.add_argument("--m", type=float, default=0.0003,
+                        help="history scale (1.0 = 1M update scenarios)")
+    parser.add_argument("--fast", action="store_true",
+                        help="skip the slowest sweeps (Fig 4/12/13 and TPC-H)")
+    parser.add_argument("--out", default="results", help="output directory")
+    args = parser.parse_args(argv)
+
+    out = Path(args.out)
+    out.mkdir(exist_ok=True)
+    service = BenchmarkService(repetitions=3, discard=1)
+    quick = BenchmarkService(repetitions=2, discard=1, timeout_s=60)
+
+    started = time.perf_counter()
+    print(f"Generating workload h={args.h} m={args.m} ...")
+    workload = x.generate_workload(h=args.h, m=args.m)
+    print("Loading all four systems ...")
+    systems = x.prepare_systems(workload, "ABCD")
+
+    def emit(result):
+        path = out / f"{result.name}.txt"
+        path.write_text(result.text + "\n", encoding="utf-8")
+        print(f"\n{result.text}\n[written to {path}]")
+
+    emit(x.table1_scenario_mix(workload))
+    emit(x.table2_operations(workload))
+    emit(x.fig02_basic_time_travel(systems, workload, service))
+    emit(x.fig03_index_impact(systems, workload, service))
+    if not args.fast:
+        emit(x.fig04_history_scaling(service))
+    emit(x.fig05_temporal_slicing(systems, workload, service))
+    emit(x.fig06_implicit_explicit(systems, workload, service))
+    if not args.fast:
+        emit(x.fig07_tpch(systems, workload, quick, mode="app"))
+        emit(x.fig07_tpch(systems, workload, quick, mode="sys"))
+    emit(x.fig08_key_in_time(systems, workload, service))
+    emit(x.fig09_time_restriction(systems, workload, service))
+    emit(x.fig10_version_restriction(systems, workload, service))
+    emit(x.fig11_value_in_time(systems, workload, service))
+    if not args.fast:
+        emit(x.fig12_keyrange_history_scaling(service))
+        emit(x.fig13_batch_size(service))
+    emit(x.fig14_range_timeslice(systems, workload, service))
+    emit(x.fig15_bitemporal(systems, workload, service))
+    emit(x.fig16_loading(workload))
+
+    print(f"\nAll done in {time.perf_counter() - started:.1f}s. "
+          f"Reports in {out}/.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

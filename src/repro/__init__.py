@@ -1,0 +1,27 @@
+"""repro — reproduction of "Benchmarking Bitemporal Database Systems"
+(EDBT 2014): the TPC-BiH benchmark, an embedded bitemporal SQL engine,
+and the paper's four commercial-system archetypes (plus the Timeline-Index
+research archetype from its future-work discussion).
+
+Public API::
+
+    from repro import connect, make_system, BitemporalDataGenerator, Loader
+"""
+
+from .core.generator import BitemporalDataGenerator, GeneratorConfig
+from .core.loader import Loader
+from .core.queries import Workload
+from .engine.dbapi import connect
+from .systems import make_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "connect",
+    "make_system",
+    "BitemporalDataGenerator",
+    "GeneratorConfig",
+    "Loader",
+    "Workload",
+    "__version__",
+]

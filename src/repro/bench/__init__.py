@@ -1,0 +1,17 @@
+"""Benchmark harness: measurement service, experiments, reporting.
+
+Modelled on the Benchmarking Service the paper used (§4, [10]): repeated
+measurement with warm-up discards, parameter binding from generator
+metadata, per-experiment orchestration and paper-style reports.
+"""
+
+from .service import BenchmarkService, Measurement
+from .report import format_figure, format_ratio_table, geometric_mean
+
+__all__ = [
+    "BenchmarkService",
+    "Measurement",
+    "format_figure",
+    "format_ratio_table",
+    "geometric_mean",
+]

@@ -1,0 +1,154 @@
+"""Measurement service (paper §5.1 methodology).
+
+*"If not noted otherwise, we repeated each measurement ten times and
+discarded the first three measurements."*  The service does the same
+(configurable), adapts the repetition count when measurements fluctuate,
+and supports the paper's timeout handling for very long-running queries.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class Measurement:
+    """Timing result of one (system, query, setting) cell."""
+
+    qid: str
+    system: str
+    setting: str = "no index"
+    times: List[float] = field(default_factory=list)  # kept (post-discard) runs
+    discarded: List[float] = field(default_factory=list)
+    rows: int = 0
+    timed_out: bool = False
+    timeout_s: Optional[float] = None
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.times) if self.times else float("inf")
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.times) if self.times else float("inf")
+
+    @property
+    def best(self) -> float:
+        return min(self.times) if self.times else float("inf")
+
+    def percentile(self, pct: float) -> float:
+        if not self.times:
+            return float("inf")
+        ordered = sorted(self.times)
+        rank = (pct / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    def label(self) -> str:
+        if self.timed_out:
+            return f"{self.qid}/{self.system}: TIMEOUT (> {self.timeout_s}s)"
+        return f"{self.qid}/{self.system}: {self.median * 1000:.2f} ms median"
+
+
+class BenchmarkService:
+    """Runs queries with repetition, discards and fluctuation adaptation."""
+
+    def __init__(
+        self,
+        repetitions: int = 5,
+        discard: int = 1,
+        timeout_s: Optional[float] = None,
+        max_repetitions: int = 12,
+        fluctuation_threshold: float = 0.5,
+    ):
+        if discard >= repetitions:
+            raise ValueError("discard must be smaller than repetitions")
+        self.repetitions = repetitions
+        self.discard = discard
+        self.timeout_s = timeout_s
+        self.max_repetitions = max_repetitions
+        #: re-measure when stdev/median exceeds this (paper: *"if the
+        #: measurements showed a large amount of fluctuation, we increased
+        #: the number of repetitions"*)
+        self.fluctuation_threshold = fluctuation_threshold
+
+    # -- core ------------------------------------------------------------
+
+    def measure_callable(
+        self, fn: Callable[[], object], qid="?", system="?", setting="no index"
+    ) -> Measurement:
+        result = Measurement(
+            qid=qid, system=system, setting=setting, timeout_s=self.timeout_s
+        )
+        runs = self.repetitions
+        performed = 0
+        while True:
+            for _ in range(runs - performed):
+                started = time.perf_counter()
+                out = fn()
+                elapsed = time.perf_counter() - started
+                performed += 1
+                bucket = (
+                    result.discarded
+                    if len(result.discarded) < self.discard
+                    else result.times
+                )
+                bucket.append(elapsed)
+                try:
+                    result.rows = len(out)  # Result objects and lists
+                except TypeError:
+                    pass
+                if self.timeout_s is not None and elapsed > self.timeout_s:
+                    # very long runs: keep what we have (paper: fewer
+                    # repetitions for multi-hour measurements)
+                    if not result.times:
+                        result.times.append(elapsed)
+                    result.timed_out = elapsed > self.timeout_s
+                    return result
+            if (
+                len(result.times) >= 2
+                and performed < self.max_repetitions
+                and statistics.pstdev(result.times) / max(result.median, 1e-9)
+                > self.fluctuation_threshold
+            ):
+                runs = min(self.max_repetitions, runs + 3)
+                continue
+            return result
+
+    def measure_sql(self, system, sql: str, params=None, qid="?", setting="no index") -> Measurement:
+        """Measure one SQL statement on one system archetype."""
+        name = getattr(system, "name", getattr(system, "db", None) and system.db.name or "?")
+        return self.measure_callable(
+            lambda: system.execute(sql, params),
+            qid=qid,
+            system=name,
+            setting=setting,
+        )
+
+    def measure_query(self, system, query, meta, setting="no index") -> Measurement:
+        """Measure a BenchmarkQuery with parameters bound from *meta*."""
+        params = query.params(meta)
+        measurement = self.measure_sql(
+            system, query.sql, params, qid=query.qid, setting=setting
+        )
+        return measurement
+
+
+def run_matrix(
+    service: BenchmarkService,
+    systems: Dict[str, object],
+    queries,
+    meta,
+    setting: str = "no index",
+) -> List[Measurement]:
+    """Measure every query on every system (one experiment cell grid)."""
+    out = []
+    for query in queries:
+        for name, system in systems.items():
+            out.append(service.measure_query(system, query, meta, setting=setting))
+    return out

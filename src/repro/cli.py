@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the benchmark pipeline of the paper's §4:
+
+* ``generate`` — run the bitemporal data generator and write an archive;
+* ``inspect``  — summarise an archive (header, Table 2 statistics);
+* ``query``    — load a workload into one system and run SQL against it;
+* ``bench``    — regenerate one experiment (table/figure) or all of them;
+* ``verify``   — load a workload into a system and run the §4 temporal
+  consistency checks;
+* ``systems``  — print the §5.2 architecture cards.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .bench import experiments as x
+from .bench.service import BenchmarkService
+from .core.archive import ArchiveReader, write_archive
+from .core.consistency import check_system
+from .core.generator import BitemporalDataGenerator, GeneratorConfig
+from .core.loader import Loader
+from .core.stats import format_operations_table
+from .systems import make_system
+
+EXPERIMENTS = {
+    "table1": lambda ctx: x.table1_scenario_mix(ctx["workload"]),
+    "table2": lambda ctx: x.table2_operations(ctx["workload"]),
+    "fig02": lambda ctx: x.fig02_basic_time_travel(ctx["systems"], ctx["workload"], ctx["service"]),
+    "fig03": lambda ctx: x.fig03_index_impact(ctx["systems"], ctx["workload"], ctx["service"]),
+    "fig04": lambda ctx: x.fig04_history_scaling(ctx["service"]),
+    "fig05": lambda ctx: x.fig05_temporal_slicing(ctx["systems"], ctx["workload"], ctx["service"]),
+    "fig06": lambda ctx: x.fig06_implicit_explicit(ctx["systems"], ctx["workload"], ctx["service"]),
+    "fig07a": lambda ctx: x.fig07_tpch(ctx["systems"], ctx["workload"], ctx["service"], mode="app"),
+    "fig07b": lambda ctx: x.fig07_tpch(ctx["systems"], ctx["workload"], ctx["service"], mode="sys"),
+    "fig08": lambda ctx: x.fig08_key_in_time(ctx["systems"], ctx["workload"], ctx["service"]),
+    "fig09": lambda ctx: x.fig09_time_restriction(ctx["systems"], ctx["workload"], ctx["service"]),
+    "fig10": lambda ctx: x.fig10_version_restriction(ctx["systems"], ctx["workload"], ctx["service"]),
+    "fig11": lambda ctx: x.fig11_value_in_time(ctx["systems"], ctx["workload"], ctx["service"]),
+    "fig12": lambda ctx: x.fig12_keyrange_history_scaling(ctx["service"]),
+    "fig13": lambda ctx: x.fig13_batch_size(ctx["service"]),
+    "fig14": lambda ctx: x.fig14_range_timeslice(ctx["systems"], ctx["workload"], ctx["service"]),
+    "fig15": lambda ctx: x.fig15_bitemporal(ctx["systems"], ctx["workload"], ctx["service"]),
+    "fig16": lambda ctx: x.fig16_loading(ctx["workload"]),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TPC-BiH bitemporal benchmark (EDBT 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a workload archive")
+    generate.add_argument("--h", type=float, default=0.001)
+    generate.add_argument("--m", type=float, default=0.0003)
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("--out", default="tpcbih_archive.jsonl")
+
+    inspect = sub.add_parser("inspect", help="summarise an archive")
+    inspect.add_argument("archive")
+
+    query = sub.add_parser("query", help="load a workload and run SQL")
+    query.add_argument("--system", default="A", help="archetype A..E")
+    query.add_argument("--h", type=float, default=0.001)
+    query.add_argument("--m", type=float, default=0.0003)
+    query.add_argument("--explain", action="store_true")
+    query.add_argument("sql", help="SQL statement to execute")
+
+    bench = sub.add_parser("bench", help="run one experiment (or 'all')")
+    bench.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    bench.add_argument("--h", type=float, default=0.001)
+    bench.add_argument("--m", type=float, default=0.0003)
+    bench.add_argument("--out", default=None, help="also write report file(s) here")
+
+    verify = sub.add_parser("verify", help="run temporal consistency checks")
+    verify.add_argument("--system", default="A", help="archetype A..E")
+    verify.add_argument("--h", type=float, default=0.001)
+    verify.add_argument("--m", type=float, default=0.0003)
+    verify.add_argument("--bulk", action="store_true",
+                        help="use the bulk-load path (System D only)")
+
+    sub.add_parser("systems", help="print the architecture cards")
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    kwargs = {"h": args.h, "m": args.m}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    workload = BitemporalDataGenerator(GeneratorConfig(**kwargs)).generate()
+    lines = write_archive(workload, args.out)
+    print(f"wrote {args.out}: {lines} lines, "
+          f"{len(workload.transactions)} transactions")
+    print(format_operations_table(workload))
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    reader = ArchiveReader(args.archive)
+    header = reader.header
+    print(f"archive {args.archive}")
+    for key in ("h", "m", "seed", "scenario_count"):
+        print(f"  {key}: {header.get(key)}")
+    rows = sum(1 for _ in reader.initial_rows())
+    ops = sum(len(t) for t in reader.transactions())
+    print(f"  initial rows: {rows}")
+    print(f"  history operations: {ops}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    workload = BitemporalDataGenerator(
+        GeneratorConfig(h=args.h, m=args.m)
+    ).generate()
+    system = make_system(args.system)
+    Loader(system, workload).load()
+    if args.explain:
+        print(system.db.explain(args.sql))
+        return 0
+    result = system.execute(args.sql)
+    if result.columns:
+        print(" | ".join(result.columns))
+    for row in result.rows:
+        print(" | ".join(str(v) for v in row))
+    print(f"({len(result.rows)} rows; system time now = {system.now()})")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    service = BenchmarkService(repetitions=3, discard=1)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    context = {"service": service}
+    needs_data = any(name not in ("fig04", "fig12", "fig13") for name in names)
+    if needs_data:
+        context["workload"] = x.generate_workload(h=args.h, m=args.m)
+        context["systems"] = x.prepare_systems(context["workload"], "ABCD")
+    for name in names:
+        result = EXPERIMENTS[name](context)
+        print(result.text)
+        print()
+        if args.out:
+            out = Path(args.out)
+            out.mkdir(exist_ok=True)
+            (out / f"{result.name}.txt").write_text(result.text + "\n")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    workload = BitemporalDataGenerator(
+        GeneratorConfig(h=args.h, m=args.m)
+    ).generate()
+    system = make_system(args.system)
+    loader = Loader(system, workload)
+    if args.bulk:
+        loader.bulk_load()
+    else:
+        loader.load()
+    report = check_system(system, workload)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_systems(_args) -> int:
+    for name in ("A", "B", "C", "D", "E"):
+        print(make_system(name).describe())
+        print()
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "generate": _cmd_generate,
+        "inspect": _cmd_inspect,
+        "query": _cmd_query,
+        "bench": _cmd_bench,
+        "verify": _cmd_verify,
+        "systems": _cmd_systems,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""TPC-BiH: the bitemporal benchmark (paper §3–4).
+
+Sub-packages:
+
+* :mod:`repro.core.schema` — the Fig 1 schema (TPC-H + temporal columns)
+* :mod:`repro.core.dbgen` — seeded TPC-H-style initial population
+* :mod:`repro.core.scenarios` — the nine update scenarios of Table 1
+* :mod:`repro.core.generator` — the bitemporal data generator (§4.1)
+* :mod:`repro.core.archive` — system-independent generator archive
+* :mod:`repro.core.loader` — per-transaction replay / bulk load (§4.2)
+* :mod:`repro.core.queries` — the five query classes (§3.3)
+"""
+
+from .generator import BitemporalDataGenerator, GeneratorConfig
+from .loader import Loader, LoadReport
+from .schema import create_benchmark_tables, benchmark_schemas
+
+__all__ = [
+    "BitemporalDataGenerator",
+    "GeneratorConfig",
+    "Loader",
+    "LoadReport",
+    "create_benchmark_tables",
+    "benchmark_schemas",
+]

@@ -1,0 +1,174 @@
+"""Temporal consistency validation (paper §4).
+
+The paper stresses that the generated data set must be *"consistent with
+the TPC-H data for each time in system time history"* and calls temporal
+consistency one of the non-trivial implementation aspects.  This module
+checks a **loaded system** against those invariants:
+
+* **P1 — well-formed periods**: every stored version has
+  ``begin < end`` on both time dimensions;
+* **P2 — no overlapping application periods** among the versions of one
+  key that are visible at any single system time;
+* **P3 — system-time continuity**: the versions of one key, ordered by
+  ``sys_begin``, never overlap in system time per application slice;
+* **P4 — snapshot conservation**: the row count AS OF the initial tick
+  equals the version-0 data, and AS OF the final tick equals the
+  generator's live count;
+* **P5 — referential integrity at snapshots**: every order visible at a
+  probed tick references a customer visible at that tick.
+
+``check_system`` returns a :class:`ConsistencyReport`; the loader tests
+and the CLI use it, and it doubles as a debugging aid for new archetypes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..engine.types import END_OF_TIME
+from .schema import APP_PERIODS, VERSIONED_TABLES, benchmark_schemas
+
+
+@dataclass
+class Violation:
+    rule: str
+    table: str
+    detail: str
+
+    def __str__(self):
+        return f"[{self.rule}] {self.table}: {self.detail}"
+
+
+@dataclass
+class ConsistencyReport:
+    violations: List[Violation] = field(default_factory=list)
+    checked_tables: int = 0
+    checked_versions: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, rule, table, detail):
+        self.violations.append(Violation(rule, table, detail))
+
+    def summary(self) -> str:
+        status = "CONSISTENT" if self.ok else f"{len(self.violations)} violation(s)"
+        lines = [
+            f"consistency: {status} "
+            f"({self.checked_tables} tables, {self.checked_versions} versions)"
+        ]
+        lines.extend(f"  {v}" for v in self.violations[:20])
+        if len(self.violations) > 20:
+            lines.append(f"  ... and {len(self.violations) - 20} more")
+        return "\n".join(lines)
+
+
+def _versions_by_key(system, schema):
+    table = system.db.table(schema.name)
+    by_key: Dict[tuple, List[list]] = {}
+    for _part, _rid, row in table.scan_versions():
+        by_key.setdefault(schema.key_of(row), []).append(row)
+    return by_key
+
+
+def check_system(system, workload=None, probe_ticks=None) -> ConsistencyReport:
+    """Validate invariants P1–P5 on a loaded system (see module docstring)."""
+    report = ConsistencyReport()
+    schemas = {s.name: s for s in benchmark_schemas()}
+
+    for name in VERSIONED_TABLES:
+        schema = schemas[name]
+        if not system.db.catalog.has_table(name):
+            continue
+        report.checked_tables += 1
+        sys_period = schema.system_period
+        sb = schema.position(sys_period.begin_column)
+        se = schema.position(sys_period.end_column)
+        app_name = APP_PERIODS.get(name)
+        app = schema.period(app_name) if app_name else None
+        ab = schema.position(app.begin_column) if app else None
+        ae = schema.position(app.end_column) if app else None
+
+        by_key = _versions_by_key(system, schema)
+        for key, rows in by_key.items():
+            report.checked_versions += len(rows)
+            for row in rows:
+                # P1: well-formed periods
+                if row[sb] is None or row[se] is None or row[sb] >= row[se]:
+                    report.add("P1", name, f"key {key}: bad system period "
+                                           f"[{row[sb]}, {row[se]})")
+                if app is not None and (
+                    row[ab] is None or row[ae] is None or row[ab] >= row[ae]
+                ):
+                    report.add("P1", name, f"key {key}: bad application period "
+                                           f"[{row[ab]}, {row[ae]})")
+            # P2: at every system boundary, app periods of visible versions
+            # must not overlap
+            if app is not None:
+                boundaries = sorted({row[sb] for row in rows})
+                for tick in boundaries:
+                    visible = [
+                        row for row in rows if row[sb] <= tick < row[se]
+                    ]
+                    spans = sorted((row[ab], row[ae]) for row in visible)
+                    for (b1, e1), (b2, e2) in zip(spans, spans[1:]):
+                        if e1 > b2:
+                            report.add(
+                                "P2", name,
+                                f"key {key} @tick {tick}: app periods "
+                                f"[{b1},{e1}) and [{b2},{e2}) overlap",
+                            )
+                            break
+            else:
+                # P3 (degenerate tables): system periods of one key are
+                # totally ordered and non-overlapping
+                spans = sorted((row[sb], row[se]) for row in rows)
+                for (b1, e1), (b2, e2) in zip(spans, spans[1:]):
+                    if e1 > b2:
+                        report.add(
+                            "P3", name,
+                            f"key {key}: system periods [{b1},{e1}) and "
+                            f"[{b2},{e2}) overlap",
+                        )
+                        break
+
+    # P4: snapshot conservation against the generator's bookkeeping
+    if workload is not None:
+        meta = workload.meta
+        for name in VERSIONED_TABLES:
+            if not system.db.catalog.has_table(name):
+                continue
+            initial = system.execute(
+                f"SELECT count(*) FROM {name} FOR SYSTEM_TIME AS OF ?",
+                [meta.initial_tick],
+            ).scalar()
+            expected_initial = meta.initial_counts[name]
+            if initial != expected_initial:
+                report.add("P4", name,
+                           f"AS OF initial: {initial} != {expected_initial}")
+            final = system.execute(
+                f"SELECT count(*) FROM {name} FOR SYSTEM_TIME AS OF ?",
+                [meta.last_tick],
+            ).scalar()
+            expected_final = workload.version_counts(name)["live"]
+            if final != expected_final:
+                report.add("P4", name,
+                           f"AS OF final: {final} != {expected_final}")
+
+    # P5: referential integrity at probed snapshots
+    if probe_ticks is None and workload is not None:
+        probe_ticks = [workload.meta.initial_tick, workload.meta.mid_tick(),
+                       workload.meta.last_tick]
+    for tick in probe_ticks or []:
+        orphans = system.execute(
+            "SELECT count(*) FROM orders FOR SYSTEM_TIME AS OF :t o"
+            " WHERE NOT EXISTS (SELECT 1 FROM customer"
+            "   FOR SYSTEM_TIME AS OF :t c WHERE c.c_custkey = o.o_custkey)",
+            {"t": tick},
+        ).scalar()
+        if orphans:
+            report.add("P5", "orders",
+                       f"@tick {tick}: {orphans} orders without a customer")
+    return report

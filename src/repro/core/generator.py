@@ -1,0 +1,240 @@
+"""The Bitemporal Data Generator (paper §4.1).
+
+Two phases, exactly as the paper describes:
+
+1. *"loading the output of TPC-H dbgen as version 0"* — the initial data
+   set at scale factor ``h`` enters the in-memory store with system-time
+   tick 1 (the loader later replays it as a single bulk transaction);
+2. *"running the update scenarios to produce a history"* — ``m × 1e6``
+   scenario executions (``m = 1.0`` is one million updates), each becoming
+   one transaction with its own tick.
+
+The generator's output (:class:`GeneratedWorkload`) is system-independent:
+the same instance populates every system archetype.  It also retains the
+final state, closed-version archive and operation statistics needed for
+query parameter selection, the bulk-load path, and the Table 2 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..engine.types import END_OF_TIME
+from .dbgen import END_DAY, InitialData, generate_initial, scaled, SUPPLIER_BASE, PART_BASE
+from .history import GeneratorStore
+from .rng import DEFAULT_SEED, Rng
+from .scenarios import ScenarioContext, pick_scenario
+
+#: (table, key columns, application periods) — the generator-side schema
+TABLE_SPECS = [
+    ("region", ("r_regionkey",), None),
+    ("nation", ("n_nationkey",), None),
+    ("supplier", ("s_suppkey",), None),
+    ("part", ("p_partkey",), {"availability_time": ("p_avail_begin", "p_avail_end")}),
+    ("partsupp", ("ps_partkey", "ps_suppkey"),
+     {"validity_time": ("ps_valid_begin", "ps_valid_end")}),
+    ("customer", ("c_custkey",), {"visible_time": ("c_visible_begin", "c_visible_end")}),
+    ("orders", ("o_orderkey",),
+     {"active_time": ("o_active_begin", "o_active_end"),
+      "receivable_time": ("o_receivable_begin", "o_receivable_end")}),
+    ("lineitem", ("l_orderkey", "l_linenumber"),
+     {"active_time": ("l_active_begin", "l_active_end")}),
+]
+
+#: the system-time tick of the version-0 bulk load
+INITIAL_TICK = 1
+
+
+@dataclass
+class GeneratorConfig:
+    """Scaling knobs (§3.2): ``h`` like TPC-H (1.0 ≈ 1 GB), ``m`` scales the
+    history length (1.0 = one million update scenarios)."""
+
+    h: float = 0.001
+    m: float = 0.0001
+    seed: int = DEFAULT_SEED
+    #: how many scenarios happen per application-time day
+    scenarios_per_day: int = 20
+    #: keep only tuples valid at the end of generation (§4.1: useful for
+    #: comparing against a non-temporal database)
+    current_only: bool = False
+
+    @property
+    def scenario_count(self) -> int:
+        return max(0, round(self.m * 1_000_000))
+
+
+@dataclass
+class WorkloadMetadata:
+    """Everything the query-parameter binder needs (§4: the Benchmarking
+    Service selects, e.g., "the system time interval for generator
+    execution" from this)."""
+
+    h: float
+    m: float
+    seed: int
+    initial_tick: int
+    first_scenario_tick: int
+    last_tick: int
+    first_history_day: int
+    last_history_day: int
+    initial_counts: Dict[str, int] = field(default_factory=dict)
+    #: customer key with the most versions (K1 "selects the customer with
+    #: most updates")
+    hottest_customer: Optional[int] = None
+    hottest_order: Optional[int] = None
+    hottest_partsupp: Optional[Tuple[int, int]] = None
+    max_orderkey: int = 0
+    max_custkey: int = 0
+
+    def mid_tick(self) -> int:
+        return (self.initial_tick + self.last_tick) // 2
+
+    def mid_day(self) -> int:
+        return (self.first_history_day + self.last_history_day) // 2
+
+
+class GeneratedWorkload:
+    """The generator's complete output."""
+
+    def __init__(self, config, initial, store, transactions, meta, scenario_log):
+        self.config: GeneratorConfig = config
+        self.initial: InitialData = initial
+        self.store: GeneratorStore = store
+        #: one list of operations per scenario transaction, system-time order
+        self.transactions: List[List[tuple]] = transactions
+        self.meta: WorkloadMetadata = meta
+        #: (scenario_name, applied) per executed scenario
+        self.scenario_log: List[Tuple[str, bool]] = scenario_log
+
+    # -- version access ------------------------------------------------------
+
+    def final_versions(self, table: str) -> List[dict]:
+        """Rows visible at the end of the history (current snapshot)."""
+        return [values for values, _tick in self.store.table(table).current_versions()]
+
+    def all_versions(self, table: str) -> Iterator[Tuple[dict, int, int]]:
+        """(values, sys_begin, sys_end) for every version ever created.
+
+        This is the §5.8 bulk-load feed for System D, where timestamps can
+        be set manually.
+        """
+        for values, begin, end in self.store.closed.get(table, ()):
+            yield values, begin, end
+        for values, begin in self.store.table(table).current_versions():
+            yield values, begin, END_OF_TIME
+
+    def version_counts(self, table: str) -> Dict[str, int]:
+        live = self.store.table(table).live_version_count()
+        closed = len(self.store.closed.get(table, ()))
+        return {"live": live, "closed": closed, "total": live + closed}
+
+    def table_stats(self):
+        return {name: t.stats for name, t in self.store.tables.items()}
+
+
+class BitemporalDataGenerator:
+    """Phase 1 + 2 driver; see module docstring."""
+
+    def __init__(self, config: Optional[GeneratorConfig] = None, **kwargs):
+        if config is None:
+            config = GeneratorConfig(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either a config object or keyword arguments")
+        self.config = config
+
+    def generate(self) -> GeneratedWorkload:
+        config = self.config
+        initial = generate_initial(config.h, seed=config.seed)
+        store = GeneratorStore(TABLE_SPECS)
+
+        # phase 1: version 0
+        for name, _keys, _periods in TABLE_SPECS:
+            table = store.table(name)
+            for values in initial[name]:
+                table.insert(values, INITIAL_TICK)
+            table.initial_count = len(initial[name])
+            # version-0 rows are the baseline, not history operations
+            table.stats.app_time_inserts = 0
+            table.stats.nontemporal_inserts = 0
+
+        # phase 2: the history
+        rng = Rng(config.seed + 1)
+        ctx = ScenarioContext(
+            store=store,
+            rng=rng,
+            day=END_DAY + 1,
+            next_orderkey=len(initial["orders"]) + 1,
+            next_custkey=len(initial["customer"]) + 1,
+            part_count=max(1, len(initial["part"])),
+            supplier_count=max(1, len(initial["supplier"])),
+        )
+        ctx.open_orders = [
+            row["o_orderkey"] for row in initial["orders"] if row["o_orderstatus"] == "O"
+        ]
+        for row in initial["lineitem"]:
+            ctx.order_lines.setdefault(row["l_orderkey"], []).append(
+                row["l_linenumber"]
+            )
+
+        transactions: List[List[tuple]] = []
+        scenario_log: List[Tuple[str, bool]] = []
+        first_history_day = ctx.day
+        for step in range(config.scenario_count):
+            tick = INITIAL_TICK + 1 + step
+            ctx.ops = []
+            scenario = pick_scenario(rng)
+            applied = scenario.run(ctx, tick)
+            ctx.record(scenario.name, applied)
+            scenario_log.append((scenario.name, applied))
+            transactions.append(list(ctx.ops))
+            if (step + 1) % config.scenarios_per_day == 0:
+                ctx.day += 1
+
+        meta = self._build_metadata(config, initial, store, ctx, first_history_day)
+        workload = GeneratedWorkload(
+            config, initial, store, transactions, meta, scenario_log
+        )
+        if config.current_only:
+            for table in store.closed:
+                store.closed[table] = []
+        return workload
+
+    def _build_metadata(self, config, initial, store, ctx, first_history_day):
+        meta = WorkloadMetadata(
+            h=config.h,
+            m=config.m,
+            seed=config.seed,
+            initial_tick=INITIAL_TICK,
+            first_scenario_tick=INITIAL_TICK + 1,
+            last_tick=INITIAL_TICK + config.scenario_count,
+            first_history_day=first_history_day,
+            last_history_day=ctx.day,
+            initial_counts=initial.counts(),
+            max_orderkey=ctx.next_orderkey - 1,
+            max_custkey=ctx.next_custkey - 1,
+        )
+        meta.hottest_customer = self._hottest(store, "customer")
+        meta.hottest_order = self._hottest(store, "orders")
+        meta.hottest_partsupp = self._hottest(store, "partsupp", scalar=False)
+        return meta
+
+    def _hottest(self, store, table_name, scalar=True):
+        """The live key with the most archived (updated) versions."""
+        counts: Dict[tuple, int] = {}
+        for values, _b, _e in store.closed.get(table_name, ()):
+            key = store.table(table_name).key_of(values)
+            counts[key] = counts.get(key, 0) + 1
+        live = store.table(table_name).chains
+        best = None
+        for key, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+            if key in live:
+                best = key
+                break
+        if best is None:
+            keys = store.table(table_name).live_keys()
+            if not keys:
+                return None
+            best = keys[0]
+        return best[0] if scalar and len(best) == 1 else best

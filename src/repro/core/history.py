@@ -1,0 +1,317 @@
+"""The generator's lightweight in-memory versioned store (§4.1).
+
+The paper's generator keeps, per primary key, *"a double linked list of all
+application time versions which were visible for the current system time"*,
+spilling invalidated tuples to an on-disk archive because *"it is guaranteed
+that these tuples will never become visible again"*.  This module implements
+exactly that structure:
+
+* :class:`VersionChain` — the doubly linked list of live app-time versions
+  of one key, ordered by application-time begin;
+* :class:`GeneratorTable` — key → chain map plus the spill hook;
+* :class:`GeneratorStore` — all benchmark tables together, exposing the
+  bitemporal mutation operations the update scenarios need.
+
+Rows are dicts here (the generator's working format); sys_begin is stored on
+each version, sys_end is assigned at invalidation time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..engine.types import END_OF_TIME, Period
+
+
+class VersionNode:
+    """One live application-time version of a key."""
+
+    __slots__ = ("values", "sys_begin", "prev", "next")
+
+    def __init__(self, values: dict, sys_begin: int):
+        self.values = values
+        self.sys_begin = sys_begin
+        self.prev: Optional["VersionNode"] = None
+        self.next: Optional["VersionNode"] = None
+
+
+class VersionChain:
+    """Doubly linked list of live versions ordered by app-time begin."""
+
+    def __init__(self, app_begin_column: Optional[str]):
+        self._app_begin = app_begin_column
+        self.head: Optional[VersionNode] = None
+        self.tail: Optional[VersionNode] = None
+        self._count = 0
+
+    def __len__(self):
+        return self._count
+
+    def __iter__(self) -> Iterator[VersionNode]:
+        node = self.head
+        while node is not None:
+            next_node = node.next  # capture: callers may unlink mid-iteration
+            yield node
+            node = next_node
+
+    def _key_of(self, values):
+        if self._app_begin is None:
+            return 0
+        return values.get(self._app_begin, 0)
+
+    def insert(self, node: VersionNode):
+        """Insert keeping app-time-begin order (linear from the tail, which
+        is O(1) for the generator's mostly-appending workload)."""
+        key = self._key_of(node.values)
+        if self.tail is None:
+            self.head = self.tail = node
+        elif self._key_of(self.tail.values) <= key:
+            node.prev = self.tail
+            self.tail.next = node
+            self.tail = node
+        else:
+            cursor = self.tail
+            while cursor.prev is not None and self._key_of(cursor.prev.values) > key:
+                cursor = cursor.prev
+            node.next = cursor
+            node.prev = cursor.prev
+            if cursor.prev is not None:
+                cursor.prev.next = node
+            else:
+                self.head = node
+            cursor.prev = node
+        self._count += 1
+
+    def remove(self, node: VersionNode):
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self.head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self.tail = node.prev
+        node.prev = node.next = None
+        self._count -= 1
+
+    def versions(self) -> List[dict]:
+        return [node.values for node in self]
+
+
+class TableStats:
+    """Per-table operation counters — the raw material of Table 2."""
+
+    __slots__ = (
+        "app_time_inserts",
+        "app_time_updates",
+        "nontemporal_inserts",
+        "nontemporal_updates",
+        "deletes",
+        "app_time_overwrites",
+    )
+
+    def __init__(self):
+        self.app_time_inserts = 0
+        self.app_time_updates = 0
+        self.nontemporal_inserts = 0
+        self.nontemporal_updates = 0
+        self.deletes = 0
+        self.app_time_overwrites = 0
+
+    def total_updates(self):
+        return self.app_time_updates + self.nontemporal_updates
+
+    def total(self):
+        return (
+            self.app_time_inserts
+            + self.app_time_updates
+            + self.nontemporal_inserts
+            + self.nontemporal_updates
+            + self.deletes
+        )
+
+    def as_dict(self):
+        return {
+            "app_time_insert": self.app_time_inserts,
+            "app_time_update": self.app_time_updates,
+            "nontemporal_insert": self.nontemporal_inserts,
+            "nontemporal_update": self.nontemporal_updates,
+            "delete": self.deletes,
+            "app_time_overwrite": self.app_time_overwrites,
+        }
+
+
+class GeneratorTable:
+    """Current-version state of one table inside the generator."""
+
+    def __init__(
+        self,
+        name: str,
+        key_columns: Tuple[str, ...],
+        app_periods: Optional[Dict[str, Tuple[str, str]]],  # name -> (begin, end)
+        spill: Callable[[str, dict, int, int], None],
+    ):
+        self.name = name
+        self.key_columns = key_columns
+        self.app_periods = dict(app_periods or {})
+        #: the period that orders the version chain (the first declared one)
+        self.primary_period = next(iter(self.app_periods), None)
+        self._spill = spill
+        self.chains: Dict[tuple, VersionChain] = {}
+        self.stats = TableStats()
+        self.initial_count = 0
+
+    def _period_columns(self, period_name: Optional[str]) -> Tuple[str, str]:
+        name = period_name or self.primary_period
+        if name is None or name not in self.app_periods:
+            raise ValueError(f"table {self.name} has no application period {period_name!r}")
+        return self.app_periods[name]
+
+    def key_of(self, values: dict) -> tuple:
+        return tuple(values[c] for c in self.key_columns)
+
+    def chain(self, key) -> Optional[VersionChain]:
+        return self.chains.get(tuple(key))
+
+    def live_keys(self):
+        return list(self.chains.keys())
+
+    def live_version_count(self):
+        return sum(len(chain) for chain in self.chains.values())
+
+    # -- mutations (mirroring repro.engine.temporal on dicts) ----------------
+
+    def insert(self, values: dict, tick: int, temporal_kind="app"):
+        key = self.key_of(values)
+        chain = self.chains.get(key)
+        if chain is None:
+            begin_col = (
+                self.app_periods[self.primary_period][0]
+                if self.primary_period
+                else None
+            )
+            chain = VersionChain(begin_col)
+            self.chains[key] = chain
+        chain.insert(VersionNode(dict(values), tick))
+        if temporal_kind == "app":
+            self.stats.app_time_inserts += 1
+        else:
+            self.stats.nontemporal_inserts += 1
+
+    def nontemporal_update(self, key, changes: dict, tick: int) -> int:
+        chain = self.chains.get(tuple(key))
+        if chain is None:
+            return 0
+        affected = 0
+        for node in list(chain):
+            new_values = dict(node.values)
+            new_values.update(changes)
+            self._spill(self.name, node.values, node.sys_begin, tick)
+            chain.remove(node)
+            chain.insert(VersionNode(new_values, tick))
+            affected += 1
+        self.stats.nontemporal_updates += 1
+        return affected
+
+    def sequenced_update(
+        self, key, changes: dict, portion: Period, tick: int,
+        period_name: Optional[str] = None, overwrite=False,
+    ) -> int:
+        """SEQUENCED app-time update: split overlapping versions."""
+        begin_col, end_col = self._period_columns(period_name)
+        chain = self.chains.get(tuple(key))
+        if chain is None:
+            return 0
+        affected = 0
+        for node in list(chain):
+            existing = Period(node.values[begin_col], node.values[end_col])
+            overlap = existing.intersect(portion)
+            if overlap is None:
+                continue
+            affected += 1
+            self._spill(self.name, node.values, node.sys_begin, tick)
+            chain.remove(node)
+            for remainder in existing.subtract(portion):
+                keep = dict(node.values)
+                keep[begin_col], keep[end_col] = remainder.begin, remainder.end
+                chain.insert(VersionNode(keep, tick))
+            changed = dict(node.values)
+            changed.update(changes)
+            changed[begin_col], changed[end_col] = overlap.begin, overlap.end
+            chain.insert(VersionNode(changed, tick))
+        if affected:
+            self.stats.app_time_updates += 1
+            if overwrite:
+                self.stats.app_time_overwrites += 1
+        return affected
+
+    def sequenced_delete(
+        self, key, portion: Period, tick: int, period_name: Optional[str] = None
+    ) -> int:
+        """SEQUENCED app-time delete: the overlap dies, remainders survive.
+
+        Counted as an application-time update in the Table 2 statistics —
+        it rewrites the application-time shape of surviving versions.
+        """
+        begin_col, end_col = self._period_columns(period_name)
+        chain = self.chains.get(tuple(key))
+        if chain is None:
+            return 0
+        affected = 0
+        for node in list(chain):
+            existing = Period(node.values[begin_col], node.values[end_col])
+            if existing.intersect(portion) is None:
+                continue
+            affected += 1
+            self._spill(self.name, node.values, node.sys_begin, tick)
+            chain.remove(node)
+            for remainder in existing.subtract(portion):
+                keep = dict(node.values)
+                keep[begin_col], keep[end_col] = remainder.begin, remainder.end
+                chain.insert(VersionNode(keep, tick))
+        if affected:
+            self.stats.app_time_updates += 1
+            self.stats.app_time_overwrites += 1
+        if not chain:
+            self.chains.pop(tuple(key), None)
+        return affected
+
+    def delete(self, key, tick: int) -> int:
+        chain = self.chains.pop(tuple(key), None)
+        if chain is None:
+            return 0
+        count = 0
+        for node in chain:
+            self._spill(self.name, node.values, node.sys_begin, tick)
+            count += 1
+        self.stats.deletes += 1
+        return count
+
+    def current_versions(self) -> Iterator[Tuple[dict, int]]:
+        """(values, sys_begin) of every live version."""
+        for chain in self.chains.values():
+            for node in chain:
+                yield node.values, node.sys_begin
+
+
+class GeneratorStore:
+    """All benchmark tables plus the closed-version archive feed."""
+
+    def __init__(self, table_specs):
+        """*table_specs*: list of (name, key_columns, app_periods_dict)."""
+        self.closed: Dict[str, List[Tuple[dict, int, int]]] = {}
+        self.tables: Dict[str, GeneratorTable] = {}
+        for name, key_columns, app_periods in table_specs:
+            self.closed[name] = []
+            self.tables[name] = GeneratorTable(
+                name, key_columns, app_periods, self._spill
+            )
+
+    def _spill(self, table, values, sys_begin, sys_end):
+        self.closed[table].append((dict(values), sys_begin, sys_end))
+
+    def table(self, name) -> GeneratorTable:
+        return self.tables[name]
+
+    def closed_count(self):
+        return sum(len(rows) for rows in self.closed.values())

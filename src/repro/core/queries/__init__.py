@@ -1,0 +1,63 @@
+"""The five TPC-BiH query classes (paper §3.3).
+
+* ``T`` — synthetic time travel (:mod:`.time_travel`)
+* ``H`` — TPC-H under time travel (:mod:`.tpch`)
+* ``K`` — pure-key / audit queries (:mod:`.audit`)
+* ``R`` — range-timeslice queries (:mod:`.range_timeslice`)
+* ``B`` — bitemporal dimension queries (:mod:`.bitemporal`)
+
+Every query is a :class:`BenchmarkQuery`: SQL text in the engine dialect
+plus a parameter binder over the generator metadata.  ``Workload`` gathers
+them all for the benchmark service.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..generator import WorkloadMetadata
+
+
+@dataclass(frozen=True)
+class BenchmarkQuery:
+    """One benchmark query: an id like "T1.app", SQL, and a param binder."""
+
+    qid: str
+    description: str
+    sql: str
+    bind: Callable[[WorkloadMetadata], Dict] = lambda meta: {}
+    group: str = ""
+
+    def params(self, meta: WorkloadMetadata) -> Dict:
+        return self.bind(meta)
+
+
+class Workload:
+    """All benchmark queries, addressable by id."""
+
+    def __init__(self):
+        from . import audit, bitemporal, range_timeslice, time_travel
+
+        self._queries: Dict[str, BenchmarkQuery] = {}
+        for module in (time_travel, audit, range_timeslice, bitemporal):
+            for query in module.QUERIES:
+                if query.qid in self._queries:
+                    raise ValueError(f"duplicate query id {query.qid}")
+                self._queries[query.qid] = query
+
+    def query(self, qid: str) -> BenchmarkQuery:
+        return self._queries[qid]
+
+    def ids(self) -> List[str]:
+        return list(self._queries)
+
+    def by_group(self, group: str) -> List[BenchmarkQuery]:
+        return [q for q in self._queries.values() if q.group == group]
+
+    def __iter__(self):
+        return iter(self._queries.values())
+
+    def __len__(self):
+        return len(self._queries)
+
+
+__all__ = ["BenchmarkQuery", "Workload"]

@@ -1,0 +1,189 @@
+"""Class K: pure-key / audit queries (paper §3.3, §5.5).
+
+All K queries trace *one* customer (the one with the most updates — the
+binder uses ``meta.hottest_customer``) through time:
+
+* K1 — the full history, many columns, no temporal restriction;
+* K2 — K1 constrained to a time range;
+* K3 — K2 reduced to a single column;
+* K4 — last N versions via Top-N;
+* K5 — the latest previous version via timestamp correlation;
+* K6 — selection by *value* (balance threshold) rather than key.
+
+Dimension suffixes: ``.app`` traces application time at current system
+time, ``.app_past`` the same in past system time (forces the history
+table), ``.sys`` system time at a fixed application point, ``.both`` both
+dimensions as ranges.
+"""
+
+from __future__ import annotations
+
+from . import BenchmarkQuery
+
+_K_COLUMNS = "c_custkey, c_name, c_address, c_nationkey, c_phone, c_acctbal, sys_begin"
+
+
+def _bind_key(meta):
+    return {
+        "key": meta.hottest_customer or 1,
+        "app_point": meta.mid_day(),
+        "sys_point": meta.mid_tick(),
+        "sys_begin": meta.first_scenario_tick,
+        "sys_end": meta.last_tick,
+        "app_begin": meta.first_history_day,
+        "app_end": meta.last_history_day + 1,
+        "sys_past": meta.mid_tick(),
+    }
+
+
+def _bind_value(meta):
+    params = _bind_key(meta)
+    params["balance"] = 9900.0  # highly selective threshold (paper §5.5.3)
+    return params
+
+
+QUERIES = [
+    # ---- K1: full range --------------------------------------------------
+    BenchmarkQuery(
+        "K1.app",
+        "key history over application time at current system time",
+        f"SELECT {_K_COLUMNS} FROM customer"
+        " FOR BUSINESS_TIME FROM :app_begin TO :app_end"
+        " WHERE c_custkey = :key ORDER BY c_visible_begin",
+        _bind_key,
+        group="K",
+    ),
+    BenchmarkQuery(
+        "K1.app_past",
+        "key history over application time at a past system time",
+        f"SELECT {_K_COLUMNS} FROM customer"
+        " FOR SYSTEM_TIME AS OF :sys_past"
+        " FOR BUSINESS_TIME FROM :app_begin TO :app_end"
+        " WHERE c_custkey = :key ORDER BY c_visible_begin",
+        _bind_key,
+        group="K",
+    ),
+    BenchmarkQuery(
+        "K1.both",
+        "key history over both time dimensions",
+        f"SELECT {_K_COLUMNS} FROM customer"
+        " FOR SYSTEM_TIME FROM :sys_begin TO :sys_end"
+        " FOR BUSINESS_TIME FROM :app_begin TO :app_end"
+        " WHERE c_custkey = :key ORDER BY sys_begin",
+        _bind_key,
+        group="K",
+    ),
+    BenchmarkQuery(
+        "K1.sys",
+        "key history over system time at a fixed application point",
+        f"SELECT {_K_COLUMNS} FROM customer"
+        " FOR SYSTEM_TIME FROM :sys_begin TO :sys_end"
+        " FOR BUSINESS_TIME AS OF :app_point"
+        " WHERE c_custkey = :key ORDER BY sys_begin",
+        _bind_key,
+        group="K",
+    ),
+    # ---- K2: constrained time range ------------------------------------------
+    BenchmarkQuery(
+        "K2.app",
+        "K1 with a narrowed application-time window",
+        f"SELECT {_K_COLUMNS} FROM customer"
+        " FOR BUSINESS_TIME FROM :app_begin TO :app_mid"
+        " WHERE c_custkey = :key ORDER BY c_visible_begin",
+        lambda meta: dict(_bind_key(meta), app_mid=meta.mid_day()),
+        group="K",
+    ),
+    BenchmarkQuery(
+        "K2.sys",
+        "K1 with a narrowed system-time window",
+        f"SELECT {_K_COLUMNS} FROM customer"
+        " FOR SYSTEM_TIME FROM :sys_begin TO :sys_mid"
+        " FOR BUSINESS_TIME AS OF :app_point"
+        " WHERE c_custkey = :key ORDER BY sys_begin",
+        lambda meta: dict(_bind_key(meta), sys_mid=meta.mid_tick()),
+        group="K",
+    ),
+    # ---- K3: single column ---------------------------------------------------------
+    BenchmarkQuery(
+        "K3.app",
+        "K2 retrieving a single column (application time)",
+        "SELECT c_acctbal FROM customer"
+        " FOR BUSINESS_TIME FROM :app_begin TO :app_mid"
+        " WHERE c_custkey = :key",
+        lambda meta: dict(_bind_key(meta), app_mid=meta.mid_day()),
+        group="K",
+    ),
+    BenchmarkQuery(
+        "K3.sys",
+        "K2 retrieving a single column (system time)",
+        "SELECT c_acctbal FROM customer"
+        " FOR SYSTEM_TIME FROM :sys_begin TO :sys_mid"
+        " FOR BUSINESS_TIME AS OF :app_point"
+        " WHERE c_custkey = :key",
+        lambda meta: dict(_bind_key(meta), sys_mid=meta.mid_tick()),
+        group="K",
+    ),
+    # ---- K4: version count via Top-N --------------------------------------------------
+    BenchmarkQuery(
+        "K4.app",
+        "last 3 application-time versions via Top-N",
+        f"SELECT {_K_COLUMNS} FROM customer"
+        " WHERE c_custkey = :key"
+        " ORDER BY c_visible_begin DESC LIMIT 3",
+        _bind_key,
+        group="K",
+    ),
+    BenchmarkQuery(
+        "K4.sys",
+        "last 3 system-time versions via Top-N",
+        f"SELECT {_K_COLUMNS} FROM customer"
+        " FOR SYSTEM_TIME FROM :sys_begin TO :sys_end"
+        " FOR BUSINESS_TIME AS OF :app_point"
+        " WHERE c_custkey = :key"
+        " ORDER BY sys_begin DESC LIMIT 3",
+        _bind_key,
+        group="K",
+    ),
+    # ---- K5: latest previous version via timestamp correlation ---------------------------
+    BenchmarkQuery(
+        "K5.sys",
+        "the version directly before the current one (timestamp correlation)",
+        "SELECT c.c_custkey, c.c_acctbal, c.sys_begin"
+        " FROM customer FOR SYSTEM_TIME ALL c"
+        " WHERE c.c_custkey = :key"
+        " AND c.sys_begin = (SELECT max(x.sys_begin)"
+        "   FROM customer FOR SYSTEM_TIME ALL x"
+        "   WHERE x.c_custkey = :key AND x.sys_end < :sys_end)",
+        _bind_key,
+        group="K",
+    ),
+    # ---- K6: selection by value -----------------------------------------------------------
+    BenchmarkQuery(
+        "K6.app",
+        "history of customers above a balance threshold (value predicate)",
+        "SELECT c_custkey, c_acctbal FROM customer"
+        " FOR BUSINESS_TIME FROM :app_begin TO :app_end"
+        " WHERE c_acctbal > :balance",
+        _bind_value,
+        group="K",
+    ),
+    BenchmarkQuery(
+        "K6.app_past",
+        "K6 at a past system time (history access)",
+        "SELECT c_custkey, c_acctbal FROM customer"
+        " FOR SYSTEM_TIME AS OF :sys_past"
+        " FOR BUSINESS_TIME FROM :app_begin TO :app_end"
+        " WHERE c_acctbal > :balance",
+        _bind_value,
+        group="K",
+    ),
+    BenchmarkQuery(
+        "K6.sys",
+        "K6 over system time at the current application point",
+        "SELECT c_custkey, c_acctbal FROM customer"
+        " FOR SYSTEM_TIME FROM :sys_begin TO :sys_end"
+        " WHERE c_acctbal > :balance",
+        _bind_value,
+        group="K",
+    ),
+]

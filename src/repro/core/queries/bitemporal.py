@@ -1,0 +1,159 @@
+"""Class B: bitemporal dimension queries (paper §3.3, Table 3, §5.7).
+
+The non-temporal baseline B3 is a self-join — *"what (other) parts are
+supplied by the suppliers who supply part 55?"* — and B3.1–B3.11 vary how
+each time dimension participates:
+
+========  ================  =================  =================
+query     application time  system time        system-time value
+========  ================  =================  =================
+B3.1      point             point              current
+B3.2      point             point              past
+B3.3      correlation       point              current
+B3.4      point             correlation        —
+B3.5      correlation       correlation        —
+B3.6      agnostic          point              current
+B3.7      agnostic          point              past
+B3.8      agnostic          correlation        —
+B3.9      point             agnostic           —
+B3.10     correlation       agnostic           —
+B3.11     agnostic          agnostic           —
+========  ================  =================  =================
+
+*point* pins the dimension with AS OF; *correlation* demands overlapping
+periods between the two join sides; *agnostic* ignores the dimension
+entirely (FOR ... ALL).
+"""
+
+from __future__ import annotations
+
+from . import BenchmarkQuery
+
+_PART = 55
+
+_BODY = (
+    "SELECT count(DISTINCT a.ps_partkey)"
+    " FROM partsupp{a_clause} a,"
+    "      partsupp{b_clause} b"
+    " WHERE a.ps_suppkey = b.ps_suppkey"
+    "   AND b.ps_partkey = :part"
+    "   AND a.ps_partkey <> :part{correlations}"
+)
+
+
+def _query(a_clause="", b_clause="", correlations=""):
+    return _BODY.format(
+        a_clause=a_clause, b_clause=b_clause, correlations=correlations
+    )
+
+
+def _bind(meta):
+    return {
+        "part": _PART,
+        "app_point": meta.mid_day(),
+        "sys_point": meta.mid_tick(),
+        "sys_now": meta.last_tick,
+        "sys_past": meta.initial_tick,
+    }
+
+
+_APP_POINT = " FOR BUSINESS_TIME AS OF :app_point"
+_SYS_NOW = " FOR SYSTEM_TIME AS OF :sys_now"
+_SYS_PAST = " FOR SYSTEM_TIME AS OF :sys_past"
+_SYS_ALL = " FOR SYSTEM_TIME ALL"
+
+_APP_CORR = (
+    "   AND a.ps_valid_begin < b.ps_valid_end"
+    "   AND b.ps_valid_begin < a.ps_valid_end"
+)
+_SYS_CORR = (
+    "   AND a.sys_begin < b.sys_end"
+    "   AND b.sys_begin < a.sys_end"
+)
+
+QUERIES = [
+    BenchmarkQuery(
+        "B3",
+        "non-temporal baseline self-join (current state only)",
+        _query(),
+        _bind,
+        group="B",
+    ),
+    BenchmarkQuery(
+        "B3.1",
+        "app point / sys point (current)",
+        _query(_APP_POINT, _APP_POINT),
+        _bind,
+        group="B",
+    ),
+    BenchmarkQuery(
+        "B3.2",
+        "app point / sys point (past)",
+        _query(_SYS_PAST + _APP_POINT, _SYS_PAST + _APP_POINT),
+        _bind,
+        group="B",
+    ),
+    BenchmarkQuery(
+        "B3.3",
+        "app correlation / sys point (current)",
+        _query("", "", _APP_CORR),
+        _bind,
+        group="B",
+    ),
+    BenchmarkQuery(
+        "B3.4",
+        "app point / sys correlation",
+        _query(_SYS_ALL + _APP_POINT, _SYS_ALL + _APP_POINT, _SYS_CORR),
+        _bind,
+        group="B",
+    ),
+    BenchmarkQuery(
+        "B3.5",
+        "app correlation / sys correlation",
+        _query(_SYS_ALL, _SYS_ALL, _APP_CORR + _SYS_CORR),
+        _bind,
+        group="B",
+    ),
+    BenchmarkQuery(
+        "B3.6",
+        "app agnostic / sys point (current)",
+        _query(_SYS_NOW, _SYS_NOW),
+        _bind,
+        group="B",
+    ),
+    BenchmarkQuery(
+        "B3.7",
+        "app agnostic / sys point (past)",
+        _query(_SYS_PAST, _SYS_PAST),
+        _bind,
+        group="B",
+    ),
+    BenchmarkQuery(
+        "B3.8",
+        "app agnostic / sys correlation",
+        _query(_SYS_ALL, _SYS_ALL, _SYS_CORR),
+        _bind,
+        group="B",
+    ),
+    BenchmarkQuery(
+        "B3.9",
+        "app point / sys agnostic",
+        _query(_SYS_ALL + _APP_POINT, _SYS_ALL + _APP_POINT),
+        _bind,
+        group="B",
+    ),
+    BenchmarkQuery(
+        "B3.10",
+        "app correlation / sys agnostic",
+        _query(_SYS_ALL, _SYS_ALL, _APP_CORR),
+        _bind,
+        group="B",
+    ),
+    BenchmarkQuery(
+        "B3.11",
+        "app agnostic / sys agnostic (all versions joined)",
+        _query(_SYS_ALL, _SYS_ALL),
+        _bind,
+        group="B",
+    ),
+]

@@ -1,0 +1,171 @@
+"""Class T: synthetic time travel (paper §3.3 / §5.3).
+
+Dimension naming follows the experiments:
+
+* ``.app`` — vary application time at (implicit) current system time;
+* ``.sys`` — vary system time at the current application time point;
+* point queries aggregate a single value so the measured cost is the
+  temporal access itself, not result shipping.
+
+T1 runs on PARTSUPP (*"stable cardinality, many updates"* — the paper's T1
+uses CUSTOMER in the text and PARTSUPP in the example; both variants are
+provided), T2 on the growing ORDERS table, T5 is the ALL yardstick, T6 the
+slicing pair, T7 implicit-vs-explicit, T8/T9 the simulated-application-time
+twins of T2/T6.
+"""
+
+from __future__ import annotations
+
+from . import BenchmarkQuery
+
+# NOTE on parameters: :sys_point is a system-time tick, :app_point an
+# application-time day; binders pick representative values from the
+# generator metadata (mid-history by default).
+
+
+def _bind_mid(meta):
+    return {"sys_point": meta.mid_tick(), "app_point": meta.mid_day()}
+
+
+def _bind_past_sys(meta):
+    # "as recorded in the system yesterday": just after the initial load
+    return {"sys_point": meta.initial_tick, "app_point": meta.mid_day()}
+
+
+QUERIES = [
+    # ---- T1: point-point on a stable relation ---------------------------------
+    BenchmarkQuery(
+        "T1.app",
+        "point TT on PARTSUPP: vary application time, current system time",
+        "SELECT avg(ps_supplycost), count(*) FROM partsupp"
+        " FOR BUSINESS_TIME AS OF :app_point",
+        _bind_mid,
+        group="T",
+    ),
+    BenchmarkQuery(
+        "T1.sys",
+        "point TT on PARTSUPP: vary system time, current application time",
+        "SELECT avg(ps_supplycost), count(*) FROM partsupp"
+        " FOR SYSTEM_TIME AS OF :sys_point"
+        " FOR BUSINESS_TIME AS OF :app_point",
+        _bind_mid,
+        group="T",
+    ),
+    BenchmarkQuery(
+        "T1c.app",
+        "point TT on CUSTOMER (many updates, stable cardinality): vary app time",
+        "SELECT avg(c_acctbal), count(*) FROM customer"
+        " FOR BUSINESS_TIME AS OF :app_point",
+        _bind_mid,
+        group="T",
+    ),
+    BenchmarkQuery(
+        "T1c.sys",
+        "point TT on CUSTOMER: vary system time",
+        "SELECT avg(c_acctbal), count(*) FROM customer"
+        " FOR SYSTEM_TIME AS OF :sys_point"
+        " FOR BUSINESS_TIME AS OF :app_point",
+        _bind_mid,
+        group="T",
+    ),
+    # ---- T2: point-point on a growing relation ----------------------------------
+    BenchmarkQuery(
+        "T2.app",
+        "point TT on ORDERS (growing, insert-focused): vary application time",
+        "SELECT avg(o_totalprice), count(*) FROM orders"
+        " FOR BUSINESS_TIME AS OF :app_point",
+        _bind_mid,
+        group="T",
+    ),
+    BenchmarkQuery(
+        "T2.sys",
+        "point TT on ORDERS: vary system time",
+        "SELECT avg(o_totalprice), count(*) FROM orders"
+        " FOR SYSTEM_TIME AS OF :sys_point"
+        " FOR BUSINESS_TIME AS OF :app_point",
+        _bind_mid,
+        group="T",
+    ),
+    # ---- T3: two time travels on the same table (sharing opportunity) ------------
+    BenchmarkQuery(
+        "T3",
+        "two system-time snapshots of ORDERS combined (shared TT)",
+        "SELECT count(*) FROM ("
+        " SELECT o_orderkey FROM orders FOR SYSTEM_TIME AS OF :sys_a"
+        " UNION ALL"
+        " SELECT o_orderkey FROM orders FOR SYSTEM_TIME AS OF :sys_b"
+        ") both_snaps",
+        lambda meta: {"sys_a": meta.initial_tick, "sys_b": meta.last_tick},
+        group="T",
+    ),
+    # ---- T4: early stop ------------------------------------------------------------
+    BenchmarkQuery(
+        "T4",
+        "time travel with early stop (LIMIT)",
+        "SELECT o_orderkey, o_totalprice FROM orders"
+        " FOR SYSTEM_TIME AS OF :sys_point"
+        " ORDER BY o_orderkey LIMIT 10",
+        _bind_mid,
+        group="T",
+    ),
+    # ---- T5 / ALL: the yardstick ------------------------------------------------------
+    BenchmarkQuery(
+        "T5.all",
+        "ALL: retrieve the complete history of ORDERS (upper bound)",
+        "SELECT count(*), avg(o_totalprice) FROM orders FOR SYSTEM_TIME ALL",
+        lambda meta: {},
+        group="T",
+    ),
+    # ---- T6: temporal slicing ----------------------------------------------------------
+    BenchmarkQuery(
+        "T6.appslice",
+        "slice: fix application time, all of system time",
+        "SELECT count(*), avg(o_totalprice) FROM orders"
+        " FOR SYSTEM_TIME ALL"
+        " FOR BUSINESS_TIME AS OF :app_point",
+        _bind_mid,
+        group="T",
+    ),
+    BenchmarkQuery(
+        "T6.sysslice",
+        "slice: fix system time, all of application time",
+        "SELECT count(*), avg(o_totalprice) FROM orders"
+        " FOR SYSTEM_TIME AS OF :sys_point",
+        _bind_mid,
+        group="T",
+    ),
+    # ---- T7: implicit vs explicit current time travel ------------------------------------
+    BenchmarkQuery(
+        "T7.implicit",
+        "current state without a system-time clause (implicit current)",
+        "SELECT count(*), avg(o_totalprice) FROM orders",
+        lambda meta: {},
+        group="T",
+    ),
+    BenchmarkQuery(
+        "T7.explicit",
+        "current state via an explicit AS OF <now> (Fig 6: history not pruned)",
+        "SELECT count(*), avg(o_totalprice) FROM orders"
+        " FOR SYSTEM_TIME AS OF :sys_now",
+        lambda meta: {"sys_now": meta.last_tick},
+        group="T",
+    ),
+    # ---- T8/T9: simulated application time (plain predicates) --------------------------------
+    BenchmarkQuery(
+        "T8",
+        "T2 with simulated application time (plain value predicates)",
+        "SELECT avg(o_totalprice), count(*) FROM orders"
+        " WHERE o_active_begin <= :app_point AND o_active_end > :app_point",
+        _bind_mid,
+        group="T",
+    ),
+    BenchmarkQuery(
+        "T9",
+        "T6 slicing with simulated application time",
+        "SELECT count(*), avg(o_totalprice) FROM orders"
+        " FOR SYSTEM_TIME ALL"
+        " WHERE o_active_begin <= :app_point AND o_active_end > :app_point",
+        _bind_mid,
+        group="T",
+    ),
+]

@@ -1,0 +1,482 @@
+"""Class H: the 22 TPC-H queries under time travel (paper §3.3, §5.4).
+
+Because the TPC-BiH schema is a superset of TPC-H, the original queries run
+unmodified on the *current* state; the benchmark then "lets them move
+through time" by attaching a time-travel clause to every temporal table
+reference.  Queries are stored as templates with ``{table}`` placeholders;
+:func:`tpch_query` renders them in one of three modes:
+
+* ``plain`` — bare table names (the non-temporal baseline of §5.4);
+* ``app``   — ``FOR BUSINESS_TIME AS OF :app_tt`` on every table with an
+  application period (current system time implicit);
+* ``sys``   — ``FOR SYSTEM_TIME AS OF :sys_tt`` on every versioned table.
+
+Query text follows the TPC-H specification with two mechanical adaptations
+for the engine dialect: ``LIMIT n`` instead of vendor Top-N syntax, and
+Q19's join predicate hoisted out of the OR (the standard rewrite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from . import BenchmarkQuery
+
+#: which tables carry which clause in each mode
+_APP_TABLES = ("part", "partsupp", "customer", "orders", "lineitem")
+_SYS_TABLES = ("supplier", "part", "partsupp", "customer", "orders", "lineitem")
+_ALL_TABLES = ("region", "nation") + _SYS_TABLES
+
+QUERY_TEMPLATES: Dict[int, str] = {}
+
+QUERY_TEMPLATES[1] = """
+SELECT l_returnflag, l_linestatus,
+       sum(l_quantity) AS sum_qty,
+       sum(l_extendedprice) AS sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       avg(l_quantity) AS avg_qty,
+       avg(l_extendedprice) AS avg_price,
+       avg(l_discount) AS avg_disc,
+       count(*) AS count_order
+FROM {lineitem}
+WHERE l_shipdate <= date '1998-12-01' - interval '90' day
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus
+"""
+
+QUERY_TEMPLATES[2] = """
+SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone
+FROM {part} p, {supplier} s, {partsupp} ps, {nation} n, {region} r
+WHERE p.p_partkey = ps.ps_partkey
+  AND s.s_suppkey = ps.ps_suppkey
+  AND p_size = 15
+  AND p_type LIKE '%BRASS'
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'EUROPE'
+  AND ps_supplycost = (
+      SELECT min(ps2.ps_supplycost)
+      FROM {partsupp} ps2, {supplier} s2, {nation} n2, {region} r2
+      WHERE ps2.ps_partkey = p.p_partkey
+        AND s2.s_suppkey = ps2.ps_suppkey
+        AND s2.s_nationkey = n2.n_nationkey
+        AND n2.n_regionkey = r2.r_regionkey
+        AND r2.r_name = 'EUROPE')
+ORDER BY s_acctbal DESC, n_name, s_name, p_partkey
+LIMIT 100
+"""
+
+QUERY_TEMPLATES[3] = """
+SELECT l_orderkey,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM {customer}, {orders}, {lineitem}
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < date '1995-03-15'
+  AND l_shipdate > date '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10
+"""
+
+QUERY_TEMPLATES[4] = """
+SELECT o_orderpriority, count(*) AS order_count
+FROM {orders} o
+WHERE o_orderdate >= date '1993-07-01'
+  AND o_orderdate < date '1993-07-01' + interval '3' month
+  AND EXISTS (
+      SELECT 1 FROM {lineitem} l
+      WHERE l.l_orderkey = o.o_orderkey
+        AND l.l_commitdate < l.l_receiptdate)
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority
+"""
+
+QUERY_TEMPLATES[5] = """
+SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM {customer}, {orders}, {lineitem}, {supplier}, {nation}, {region}
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= date '1994-01-01'
+  AND o_orderdate < date '1994-01-01' + interval '1' year
+GROUP BY n_name
+ORDER BY revenue DESC
+"""
+
+QUERY_TEMPLATES[6] = """
+SELECT sum(l_extendedprice * l_discount) AS revenue
+FROM {lineitem}
+WHERE l_shipdate >= date '1994-01-01'
+  AND l_shipdate < date '1994-01-01' + interval '1' year
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24
+"""
+
+QUERY_TEMPLATES[7] = """
+SELECT supp_nation, cust_nation, l_year, sum(volume) AS revenue
+FROM (
+  SELECT n1.n_name AS supp_nation,
+         n2.n_name AS cust_nation,
+         extract(year FROM l_shipdate) AS l_year,
+         l_extendedprice * (1 - l_discount) AS volume
+  FROM {supplier} s, {lineitem} l, {orders} o, {customer} c,
+       {nation} n1, {nation} n2
+  WHERE s.s_suppkey = l.l_suppkey
+    AND o.o_orderkey = l.l_orderkey
+    AND c.c_custkey = o.o_custkey
+    AND s.s_nationkey = n1.n_nationkey
+    AND c.c_nationkey = n2.n_nationkey
+    AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+      OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+    AND l_shipdate BETWEEN date '1995-01-01' AND date '1996-12-31'
+) shipping
+GROUP BY supp_nation, cust_nation, l_year
+ORDER BY supp_nation, cust_nation, l_year
+"""
+
+QUERY_TEMPLATES[8] = """
+SELECT o_year,
+       sum(CASE WHEN nationx = 'BRAZIL' THEN volume ELSE 0 END) / sum(volume)
+         AS mkt_share
+FROM (
+  SELECT extract(year FROM o_orderdate) AS o_year,
+         l_extendedprice * (1 - l_discount) AS volume,
+         n2.n_name AS nationx
+  FROM {part} p, {supplier} s, {lineitem} l, {orders} o, {customer} c,
+       {nation} n1, {nation} n2, {region} r
+  WHERE p.p_partkey = l.l_partkey
+    AND s.s_suppkey = l.l_suppkey
+    AND l.l_orderkey = o.o_orderkey
+    AND o.o_custkey = c.c_custkey
+    AND c.c_nationkey = n1.n_nationkey
+    AND n1.n_regionkey = r.r_regionkey
+    AND r.r_name = 'AMERICA'
+    AND s.s_nationkey = n2.n_nationkey
+    AND o_orderdate BETWEEN date '1995-01-01' AND date '1996-12-31'
+    AND p_type = 'ECONOMY ANODIZED STEEL'
+) all_nations
+GROUP BY o_year
+ORDER BY o_year
+"""
+
+QUERY_TEMPLATES[9] = """
+SELECT nationx, o_year, sum(amount) AS sum_profit
+FROM (
+  SELECT n_name AS nationx,
+         extract(year FROM o_orderdate) AS o_year,
+         l_extendedprice * (1 - l_discount)
+           - ps_supplycost * l_quantity AS amount
+  FROM {part} p, {supplier} s, {lineitem} l, {partsupp} ps, {orders} o,
+       {nation} n
+  WHERE s.s_suppkey = l.l_suppkey
+    AND ps.ps_suppkey = l.l_suppkey
+    AND ps.ps_partkey = l.l_partkey
+    AND p.p_partkey = l.l_partkey
+    AND o.o_orderkey = l.l_orderkey
+    AND s.s_nationkey = n.n_nationkey
+    AND p_name LIKE '%green%'
+) profit
+GROUP BY nationx, o_year
+ORDER BY nationx, o_year DESC
+"""
+
+QUERY_TEMPLATES[10] = """
+SELECT c_custkey, c_name,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name, c_address, c_phone
+FROM {customer}, {orders}, {lineitem}, {nation}
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate >= date '1993-10-01'
+  AND o_orderdate < date '1993-10-01' + interval '3' month
+  AND l_returnflag = 'R'
+  AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address
+ORDER BY revenue DESC
+LIMIT 20
+"""
+
+QUERY_TEMPLATES[11] = """
+SELECT ps_partkey, sum(ps_supplycost * ps_availqty) AS part_value
+FROM {partsupp}, {supplier}, {nation}
+WHERE ps_suppkey = s_suppkey
+  AND s_nationkey = n_nationkey
+  AND n_name = 'GERMANY'
+GROUP BY ps_partkey
+HAVING sum(ps_supplycost * ps_availqty) > (
+    SELECT sum(ps_supplycost * ps_availqty) * 0.0001
+    FROM {partsupp}, {supplier}, {nation}
+    WHERE ps_suppkey = s_suppkey
+      AND s_nationkey = n_nationkey
+      AND n_name = 'GERMANY')
+ORDER BY part_value DESC
+"""
+
+QUERY_TEMPLATES[12] = """
+SELECT l_shipmode,
+       sum(CASE WHEN o_orderpriority = '1-URGENT'
+                  OR o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END)
+         AS high_line_count,
+       sum(CASE WHEN o_orderpriority <> '1-URGENT'
+                 AND o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END)
+         AS low_line_count
+FROM {orders}, {lineitem}
+WHERE o_orderkey = l_orderkey
+  AND l_shipmode IN ('MAIL', 'SHIP')
+  AND l_commitdate < l_receiptdate
+  AND l_shipdate < l_commitdate
+  AND l_receiptdate >= date '1994-01-01'
+  AND l_receiptdate < date '1994-01-01' + interval '1' year
+GROUP BY l_shipmode
+ORDER BY l_shipmode
+"""
+
+QUERY_TEMPLATES[13] = """
+SELECT c_count, count(*) AS custdist
+FROM (
+  SELECT c.c_custkey AS c_custkey, count(o.o_orderkey) AS c_count
+  FROM {customer} c LEFT JOIN {orders} o
+    ON c.c_custkey = o.o_custkey
+   AND o.o_comment NOT LIKE '%special%requests%'
+  GROUP BY c.c_custkey
+) c_orders
+GROUP BY c_count
+ORDER BY custdist DESC, c_count DESC
+"""
+
+QUERY_TEMPLATES[14] = """
+SELECT 100.00 * sum(CASE WHEN p_type LIKE 'PROMO%'
+                         THEN l_extendedprice * (1 - l_discount)
+                         ELSE 0 END)
+       / sum(l_extendedprice * (1 - l_discount)) AS promo_revenue
+FROM {lineitem}, {part}
+WHERE l_partkey = p_partkey
+  AND l_shipdate >= date '1995-09-01'
+  AND l_shipdate < date '1995-09-01' + interval '1' month
+"""
+
+QUERY_TEMPLATES[15] = """
+SELECT s_suppkey, s_name, s_address, s_phone, total_revenue
+FROM {supplier}, (
+  SELECT l_suppkey AS supplier_no,
+         sum(l_extendedprice * (1 - l_discount)) AS total_revenue
+  FROM {lineitem}
+  WHERE l_shipdate >= date '1996-01-01'
+    AND l_shipdate < date '1996-01-01' + interval '3' month
+  GROUP BY l_suppkey
+) revenue0
+WHERE s_suppkey = supplier_no
+  AND total_revenue = (
+      SELECT max(total_revenue)
+      FROM (
+        SELECT l_suppkey AS supplier_no,
+               sum(l_extendedprice * (1 - l_discount)) AS total_revenue
+        FROM {lineitem}
+        WHERE l_shipdate >= date '1996-01-01'
+          AND l_shipdate < date '1996-01-01' + interval '3' month
+        GROUP BY l_suppkey
+      ) revenue1)
+ORDER BY s_suppkey
+"""
+
+QUERY_TEMPLATES[16] = """
+SELECT p_brand, p_type, p_size,
+       count(DISTINCT ps_suppkey) AS supplier_cnt
+FROM {partsupp}, {part}
+WHERE p_partkey = ps_partkey
+  AND p_brand <> 'Brand#45'
+  AND p_type NOT LIKE 'MEDIUM POLISHED%'
+  AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+  AND ps_suppkey NOT IN (
+      SELECT s_suppkey FROM {supplier}
+      WHERE s_comment LIKE '%Customer%Complaints%')
+GROUP BY p_brand, p_type, p_size
+ORDER BY supplier_cnt DESC, p_brand, p_type, p_size
+"""
+
+QUERY_TEMPLATES[17] = """
+SELECT sum(l_extendedprice) / 7.0 AS avg_yearly
+FROM {lineitem} l, {part} p
+WHERE p.p_partkey = l.l_partkey
+  AND p_brand = 'Brand#23'
+  AND p_container = 'MED BOX'
+  AND l.l_quantity < (
+      SELECT 0.2 * avg(l2.l_quantity)
+      FROM {lineitem} l2
+      WHERE l2.l_partkey = p.p_partkey)
+"""
+
+QUERY_TEMPLATES[18] = """
+SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+       sum(l_quantity) AS total_qty
+FROM {customer}, {orders}, {lineitem}
+WHERE o_orderkey IN (
+      SELECT l_orderkey FROM {lineitem}
+      GROUP BY l_orderkey
+      HAVING sum(l_quantity) > 200)
+  AND c_custkey = o_custkey
+  AND o_orderkey = l_orderkey
+GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+ORDER BY o_totalprice DESC, o_orderdate
+LIMIT 100
+"""
+
+QUERY_TEMPLATES[19] = """
+SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM {lineitem}, {part}
+WHERE p_partkey = l_partkey
+  AND l_shipmode IN ('AIR', 'REG AIR')
+  AND l_shipinstruct = 'DELIVER IN PERSON'
+  AND ((p_brand = 'Brand#12'
+        AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+        AND l_quantity >= 1 AND l_quantity <= 11
+        AND p_size BETWEEN 1 AND 5)
+    OR (p_brand = 'Brand#23'
+        AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+        AND l_quantity >= 10 AND l_quantity <= 20
+        AND p_size BETWEEN 1 AND 10)
+    OR (p_brand = 'Brand#34'
+        AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+        AND l_quantity >= 20 AND l_quantity <= 30
+        AND p_size BETWEEN 1 AND 15))
+"""
+
+QUERY_TEMPLATES[20] = """
+SELECT s_name, s_address
+FROM {supplier}, {nation}
+WHERE s_suppkey IN (
+      SELECT ps_suppkey FROM {partsupp} ps
+      WHERE ps.ps_partkey IN (
+            SELECT p_partkey FROM {part} WHERE p_name LIKE 'forest%')
+        AND ps.ps_availqty > (
+            SELECT 0.5 * sum(l_quantity)
+            FROM {lineitem} l
+            WHERE l.l_partkey = ps.ps_partkey
+              AND l.l_suppkey = ps.ps_suppkey
+              AND l.l_shipdate >= date '1994-01-01'
+              AND l.l_shipdate < date '1994-01-01' + interval '1' year))
+  AND s_nationkey = n_nationkey
+  AND n_name = 'CANADA'
+ORDER BY s_name
+"""
+
+QUERY_TEMPLATES[21] = """
+SELECT s_name, count(*) AS numwait
+FROM {supplier} s, {lineitem} l1, {orders} o, {nation} n
+WHERE s.s_suppkey = l1.l_suppkey
+  AND o.o_orderkey = l1.l_orderkey
+  AND o.o_orderstatus = 'F'
+  AND l1.l_receiptdate > l1.l_commitdate
+  AND EXISTS (
+      SELECT 1 FROM {lineitem} l2
+      WHERE l2.l_orderkey = l1.l_orderkey
+        AND l2.l_suppkey <> l1.l_suppkey)
+  AND NOT EXISTS (
+      SELECT 1 FROM {lineitem} l3
+      WHERE l3.l_orderkey = l1.l_orderkey
+        AND l3.l_suppkey <> l1.l_suppkey
+        AND l3.l_receiptdate > l3.l_commitdate)
+  AND s.s_nationkey = n.n_nationkey
+  AND n.n_name = 'SAUDI ARABIA'
+GROUP BY s_name
+ORDER BY numwait DESC, s_name
+LIMIT 100
+"""
+
+QUERY_TEMPLATES[22] = """
+SELECT cntrycode, count(*) AS numcust, sum(c_acctbal) AS totacctbal
+FROM (
+  SELECT substring(c_phone FROM 1 FOR 2) AS cntrycode, c_acctbal
+  FROM {customer} c
+  WHERE substring(c_phone FROM 1 FOR 2) IN
+        ('13', '31', '23', '29', '30', '18', '17')
+    AND c_acctbal > (
+        SELECT avg(c_acctbal) FROM {customer}
+        WHERE c_acctbal > 0.00
+          AND substring(c_phone FROM 1 FOR 2) IN
+              ('13', '31', '23', '29', '30', '18', '17'))
+    AND NOT EXISTS (
+        SELECT 1 FROM {orders} o WHERE o.o_custkey = c.c_custkey)
+) custsale
+GROUP BY cntrycode
+ORDER BY cntrycode
+"""
+
+
+def _substitutions(mode: str) -> Dict[str, str]:
+    subs = {}
+    for table in _ALL_TABLES:
+        if mode == "plain":
+            subs[table] = table
+        elif mode == "app":
+            if table in _APP_TABLES:
+                subs[table] = f"{table} FOR BUSINESS_TIME AS OF :app_tt"
+            else:
+                subs[table] = table
+        elif mode == "app_slice":
+            # the application-time *slice*: every current app version takes
+            # part, which exposes the version-volume cost of the bitemporal
+            # representation (EXPERIMENTS.md discusses point vs slice)
+            if table in _APP_TABLES:
+                subs[table] = (
+                    f"{table} FOR BUSINESS_TIME FROM :app_lo TO :app_hi"
+                )
+            else:
+                subs[table] = table
+        elif mode == "sys":
+            if table in _SYS_TABLES:
+                subs[table] = f"{table} FOR SYSTEM_TIME AS OF :sys_tt"
+            else:
+                subs[table] = table
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+    return subs
+
+
+def tpch_query(number: int, mode: str = "plain") -> str:
+    """Render TPC-H query *number* (1..22) in the given temporal mode."""
+    template = QUERY_TEMPLATES[number]
+    return template.format(**_substitutions(mode)).strip()
+
+
+def tpch_params(meta, mode: str) -> Dict:
+    """Parameter bindings for the rendered query."""
+    if mode == "app":
+        # a valid application-time point: the middle of the history window
+        return {"app_tt": meta.mid_day()}
+    if mode == "app_slice":
+        from ...engine.types import END_OF_TIME
+
+        return {"app_lo": 0, "app_hi": END_OF_TIME}
+    if mode == "sys":
+        # "directly before the history evolution" (§5.4.2)
+        return {"sys_tt": meta.initial_tick}
+    return {}
+
+
+def all_numbers() -> List[int]:
+    return sorted(QUERY_TEMPLATES)
+
+
+def as_benchmark_queries(mode: str) -> List[BenchmarkQuery]:
+    """The H class as BenchmarkQuery objects (H1.app, H1.sys, ...)."""
+    out = []
+    for number in all_numbers():
+        out.append(
+            BenchmarkQuery(
+                qid=f"H{number}.{mode}",
+                description=f"TPC-H Q{number} in {mode} mode",
+                sql=tpch_query(number, mode),
+                bind=lambda meta, _m=mode: tpch_params(meta, _m),
+                group="H",
+            )
+        )
+    return out

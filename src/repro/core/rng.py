@@ -1,0 +1,81 @@
+"""Deterministic randomness for the generator.
+
+All benchmark data derives from a single seed so that every (h, m, seed)
+combination is exactly reproducible across runs and across systems — the
+paper's requirement that *"the same input can be applied for the population
+of all database systems"* (§4.1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+DEFAULT_SEED = 19920101  # the TPC-H epoch date, because why not
+
+
+class Rng:
+    """Thin wrapper over random.Random with benchmark helpers."""
+
+    def __init__(self, seed=DEFAULT_SEED):
+        self._random = random.Random(seed)
+
+    def uniform_int(self, low, high):
+        """Inclusive integer range."""
+        return self._random.randint(low, high)
+
+    def uniform(self, low, high):
+        return self._random.uniform(low, high)
+
+    def random(self):
+        return self._random.random()
+
+    def choice(self, options: Sequence):
+        return options[self._random.randrange(len(options))]
+
+    def sample(self, options: Sequence, count):
+        return self._random.sample(options, count)
+
+    def shuffle(self, items: List):
+        self._random.shuffle(items)
+
+    def weighted_choice(self, options: Sequence, weights: Sequence[float]):
+        """Pick one option with the given (not necessarily normalised) weights."""
+        total = sum(weights)
+        roll = self._random.random() * total
+        acc = 0.0
+        for option, weight in zip(options, weights):
+            acc += weight
+            if roll < acc:
+                return option
+        return options[-1]
+
+    def skewed_index(self, count, exponent=1.2):
+        """A Zipf-ish index in [0, count): small indexes are favoured.
+
+        Used to make the application-time access pattern non-uniform, as
+        §3 requires ("non-uniform distributions along the application time
+        dimension").
+        """
+        if count <= 1:
+            return 0
+        u = self._random.random()
+        index = int(count * (u ** exponent))
+        return min(index, count - 1)
+
+    def text(self, min_len=8, max_len=24):
+        """Pseudo-comment text (deterministic, low entropy)."""
+        words = _WORDS
+        out = []
+        length = self.uniform_int(min_len, max_len)
+        while sum(len(w) + 1 for w in out) < length:
+            out.append(self.choice(words))
+        return " ".join(out)
+
+
+_WORDS = (
+    "furiously", "quickly", "carefully", "slyly", "blithely", "ironic",
+    "final", "pending", "express", "regular", "special", "bold", "even",
+    "silent", "requests", "deposits", "accounts", "packages", "ideas",
+    "theodolites", "instructions", "platelets", "foxes",
+)

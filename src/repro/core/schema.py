@@ -1,0 +1,259 @@
+"""The TPC-BiH schema (paper Fig 1).
+
+TPC-H extended with temporal columns so that *"any query defined on the
+TPC-H schema can run on our benchmark"* (§3.1).  Temporal specialisation per
+table:
+
+* REGION, NATION — unversioned (*"this information rarely changes"*);
+* SUPPLIER — degenerate: only a system time, which doubles as its
+  application time;
+* PART (availability_time), PARTSUPP (validity_time), CUSTOMER
+  (visible_time), LINEITEM (active_time) — fully bitemporal with one
+  application period;
+* ORDERS — bitemporal with **two** application periods: active_time (order
+  placed but not delivered) and receivable_time (invoiced but not paid).
+
+Every period maps to a (begin, end) column pair; system-time columns are
+uniformly named ``sys_begin`` / ``sys_end``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..engine.catalog import Column, PeriodDef, TableSchema
+from ..engine.types import SqlType
+
+_I = SqlType.INTEGER
+_D = SqlType.DECIMAL
+_S = SqlType.VARCHAR
+_DATE = SqlType.DATE
+_TS = SqlType.TIMESTAMP
+
+
+def _sys_cols():
+    return [Column("sys_begin", _TS), Column("sys_end", _TS)]
+
+
+def _sys_period():
+    return PeriodDef("system_time", "sys_begin", "sys_end", is_system=True)
+
+
+def region_schema() -> TableSchema:
+    return TableSchema(
+        "region",
+        [
+            Column("r_regionkey", _I, nullable=False),
+            Column("r_name", _S),
+            Column("r_comment", _S),
+        ],
+        primary_key=("r_regionkey",),
+    )
+
+
+def nation_schema() -> TableSchema:
+    return TableSchema(
+        "nation",
+        [
+            Column("n_nationkey", _I, nullable=False),
+            Column("n_name", _S),
+            Column("n_regionkey", _I),
+            Column("n_comment", _S),
+        ],
+        primary_key=("n_nationkey",),
+    )
+
+
+def supplier_schema() -> TableSchema:
+    """Degenerate temporal table: system time only (§3.1)."""
+    return TableSchema(
+        "supplier",
+        [
+            Column("s_suppkey", _I, nullable=False),
+            Column("s_name", _S),
+            Column("s_address", _S),
+            Column("s_nationkey", _I),
+            Column("s_phone", _S),
+            Column("s_acctbal", _D),
+            Column("s_comment", _S),
+        ]
+        + _sys_cols(),
+        primary_key=("s_suppkey",),
+        periods=[_sys_period()],
+    )
+
+
+def part_schema() -> TableSchema:
+    return TableSchema(
+        "part",
+        [
+            Column("p_partkey", _I, nullable=False),
+            Column("p_name", _S),
+            Column("p_mfgr", _S),
+            Column("p_brand", _S),
+            Column("p_type", _S),
+            Column("p_size", _I),
+            Column("p_container", _S),
+            Column("p_retailprice", _D),
+            Column("p_comment", _S),
+            Column("p_avail_begin", _DATE),
+            Column("p_avail_end", _DATE),
+        ]
+        + _sys_cols(),
+        primary_key=("p_partkey",),
+        periods=[
+            PeriodDef("availability_time", "p_avail_begin", "p_avail_end"),
+            _sys_period(),
+        ],
+    )
+
+
+def partsupp_schema() -> TableSchema:
+    return TableSchema(
+        "partsupp",
+        [
+            Column("ps_partkey", _I, nullable=False),
+            Column("ps_suppkey", _I, nullable=False),
+            Column("ps_availqty", _I),
+            Column("ps_supplycost", _D),
+            Column("ps_comment", _S),
+            Column("ps_valid_begin", _DATE),
+            Column("ps_valid_end", _DATE),
+        ]
+        + _sys_cols(),
+        primary_key=("ps_partkey", "ps_suppkey"),
+        periods=[
+            PeriodDef("validity_time", "ps_valid_begin", "ps_valid_end"),
+            _sys_period(),
+        ],
+    )
+
+
+def customer_schema() -> TableSchema:
+    return TableSchema(
+        "customer",
+        [
+            Column("c_custkey", _I, nullable=False),
+            Column("c_name", _S),
+            Column("c_address", _S),
+            Column("c_nationkey", _I),
+            Column("c_phone", _S),
+            Column("c_acctbal", _D),
+            Column("c_mktsegment", _S),
+            Column("c_comment", _S),
+            Column("c_visible_begin", _DATE),
+            Column("c_visible_end", _DATE),
+        ]
+        + _sys_cols(),
+        primary_key=("c_custkey",),
+        periods=[
+            PeriodDef("visible_time", "c_visible_begin", "c_visible_end"),
+            _sys_period(),
+        ],
+    )
+
+
+def orders_schema() -> TableSchema:
+    """The multi-application-time case of §3.1."""
+    return TableSchema(
+        "orders",
+        [
+            Column("o_orderkey", _I, nullable=False),
+            Column("o_custkey", _I),
+            Column("o_orderstatus", _S),
+            Column("o_totalprice", _D),
+            Column("o_orderdate", _DATE),
+            Column("o_orderpriority", _S),
+            Column("o_clerk", _S),
+            Column("o_shippriority", _I),
+            Column("o_comment", _S),
+            Column("o_active_begin", _DATE),
+            Column("o_active_end", _DATE),
+            Column("o_receivable_begin", _DATE),
+            Column("o_receivable_end", _DATE),
+        ]
+        + _sys_cols(),
+        primary_key=("o_orderkey",),
+        periods=[
+            PeriodDef("active_time", "o_active_begin", "o_active_end"),
+            PeriodDef("receivable_time", "o_receivable_begin", "o_receivable_end"),
+            _sys_period(),
+        ],
+    )
+
+
+def lineitem_schema() -> TableSchema:
+    return TableSchema(
+        "lineitem",
+        [
+            Column("l_orderkey", _I, nullable=False),
+            Column("l_partkey", _I),
+            Column("l_suppkey", _I),
+            Column("l_linenumber", _I, nullable=False),
+            Column("l_quantity", _D),
+            Column("l_extendedprice", _D),
+            Column("l_discount", _D),
+            Column("l_tax", _D),
+            Column("l_returnflag", _S),
+            Column("l_linestatus", _S),
+            Column("l_shipdate", _DATE),
+            Column("l_commitdate", _DATE),
+            Column("l_receiptdate", _DATE),
+            Column("l_shipinstruct", _S),
+            Column("l_shipmode", _S),
+            Column("l_comment", _S),
+            Column("l_active_begin", _DATE),
+            Column("l_active_end", _DATE),
+        ]
+        + _sys_cols(),
+        primary_key=("l_orderkey", "l_linenumber"),
+        periods=[
+            PeriodDef("active_time", "l_active_begin", "l_active_end"),
+            _sys_period(),
+        ],
+    )
+
+
+def benchmark_schemas() -> List[TableSchema]:
+    """All eight TPC-BiH table schemas in load order."""
+    return [
+        region_schema(),
+        nation_schema(),
+        supplier_schema(),
+        part_schema(),
+        partsupp_schema(),
+        customer_schema(),
+        orders_schema(),
+        lineitem_schema(),
+    ]
+
+
+#: tables that carry a system-time period
+VERSIONED_TABLES = ("supplier", "part", "partsupp", "customer", "orders", "lineitem")
+
+#: application-period name per table (first one for ORDERS)
+APP_PERIODS: Dict[str, Optional[str]] = {
+    "region": None,
+    "nation": None,
+    "supplier": None,  # degenerate: system time doubles as app time
+    "part": "availability_time",
+    "partsupp": "validity_time",
+    "customer": "visible_time",
+    "orders": "active_time",
+    "lineitem": "active_time",
+}
+
+
+def create_benchmark_tables(db, temporal=True) -> None:
+    """Create the benchmark tables in *db*.
+
+    With ``temporal=False`` the period columns are stripped — the
+    non-temporal baseline of §5.4, which *"contains the same data as the
+    selected version"*.
+    """
+    for schema in benchmark_schemas():
+        db.create_table(schema if temporal else schema.without_periods())
+
+
+def nontemporal_schemas() -> List[TableSchema]:
+    return [schema.without_periods() for schema in benchmark_schemas()]

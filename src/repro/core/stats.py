@@ -1,0 +1,99 @@
+"""Operation-mix accounting — reproduces the paper's Table 2.
+
+Table 2 reports, per table and per million scenarios: application-time
+inserts/updates, non-temporal inserts/updates, deletes, the history growth
+ratio (history operations per initial tuple at ``h = m``), and whether
+existing application-time periods get overwritten.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .generator import GeneratedWorkload
+
+TABLE_ORDER = [
+    "nation",
+    "region",
+    "supplier",
+    "customer",
+    "part",
+    "partsupp",
+    "lineitem",
+    "orders",
+]
+
+
+def operations_table(workload: GeneratedWorkload) -> List[dict]:
+    """One row per table with the Table 2 columns."""
+    rows = []
+    for name in TABLE_ORDER:
+        table = workload.store.table(name)
+        stats = table.stats
+        initial = table.initial_count
+        history_ops = stats.total()
+        growth = history_ops / initial if initial else 0.0
+        rows.append(
+            {
+                "table": name,
+                "app_time_insert": stats.app_time_inserts,
+                "app_time_update": stats.app_time_updates,
+                "nontemporal_insert": stats.nontemporal_inserts,
+                "nontemporal_update": stats.nontemporal_updates,
+                "delete": stats.deletes,
+                "history_growth_ratio": round(growth, 3),
+                "overwrite_app_time": stats.app_time_overwrites > 0,
+            }
+        )
+    return rows
+
+
+def insert_update_shares(workload: GeneratedWorkload) -> Dict[str, Dict[str, float]]:
+    """Fraction of inserts / updates / deletes per table (the §3.2 claims:
+    LINEITEM insert-dominated, CUSTOMER update-dominated, ...)."""
+    shares = {}
+    for row in operations_table(workload):
+        total = (
+            row["app_time_insert"]
+            + row["app_time_update"]
+            + row["nontemporal_insert"]
+            + row["nontemporal_update"]
+            + row["delete"]
+        )
+        if total == 0:
+            shares[row["table"]] = {"insert": 0.0, "update": 0.0, "delete": 0.0}
+            continue
+        shares[row["table"]] = {
+            "insert": (row["app_time_insert"] + row["nontemporal_insert"]) / total,
+            "update": (row["app_time_update"] + row["nontemporal_update"]) / total,
+            "delete": row["delete"] / total,
+        }
+    return shares
+
+
+def format_operations_table(workload: GeneratedWorkload) -> str:
+    """ASCII rendering in the paper's Table 2 layout."""
+    rows = operations_table(workload)
+    header = (
+        f"{'Table':<10} {'AppIns':>8} {'AppUpd':>8} {'NTIns':>8} "
+        f"{'NTUpd':>8} {'Delete':>8} {'Growth':>8} {'Overwr':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['table']:<10} {row['app_time_insert']:>8} "
+            f"{row['app_time_update']:>8} {row['nontemporal_insert']:>8} "
+            f"{row['nontemporal_update']:>8} {row['delete']:>8} "
+            f"{row['history_growth_ratio']:>8.3f} "
+            f"{'yes' if row['overwrite_app_time'] else 'no':>7}"
+        )
+    return "\n".join(lines)
+
+
+def scenario_mix(workload: GeneratedWorkload) -> Dict[str, float]:
+    """Observed scenario frequencies (validates Table 1 probabilities)."""
+    counts: Dict[str, int] = {}
+    for name, _applied in workload.scenario_log:
+        counts[name] = counts.get(name, 0) + 1
+    total = max(1, len(workload.scenario_log))
+    return {name: count / total for name, count in sorted(counts.items())}

@@ -1,0 +1,31 @@
+"""The embedded bitemporal relational engine.
+
+Public surface:
+
+* :class:`Database` — create tables, run SQL, manage transactions
+* :func:`repro.engine.dbapi.connect` — PEP 249 driver
+* :mod:`repro.engine.types` — Period, END_OF_TIME, date conversions
+"""
+
+from .catalog import Catalog, Column, IndexDef, PeriodDef, TableSchema
+from .database import ArchitectureProfile, Database
+from .storage.versioned import StorageOptions, VersionedTable
+from .types import ALL_TIME, END_OF_TIME, Period, SqlType, date_to_day, day_to_date
+
+__all__ = [
+    "Database",
+    "ArchitectureProfile",
+    "StorageOptions",
+    "VersionedTable",
+    "Catalog",
+    "Column",
+    "IndexDef",
+    "PeriodDef",
+    "TableSchema",
+    "SqlType",
+    "Period",
+    "ALL_TIME",
+    "END_OF_TIME",
+    "date_to_day",
+    "day_to_date",
+]

@@ -1,0 +1,257 @@
+"""The embedded database: catalog + tables + transactions + SQL entry point.
+
+A :class:`Database` is parameterised with a default :class:`StorageOptions`
+(supplied by the system archetype in :mod:`repro.systems`) and an
+:class:`ArchitectureProfile` describing optimizer-visible behaviour.  The
+SQL layer (`execute_sql`) is attached lazily to avoid an import cycle with
+the planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from . import temporal
+from .catalog import Catalog, IndexDef, TableSchema
+from .errors import CatalogError, IntegrityError, ProgrammingError
+from .storage.versioned import StorageOptions, VersionedTable
+from .txn import TransactionManager
+from .types import END_OF_TIME, Period
+
+
+@dataclass
+class ArchitectureProfile:
+    """Optimizer- and semantics-level traits of a system archetype.
+
+    These complement the storage-level knobs in :class:`StorageOptions`:
+
+    * ``supports_application_time`` — System C has *"no specific support for
+      application time"* (§2.6); its loader stores app-time columns as plain
+      data and the planner refuses native BUSINESS_TIME clauses.
+    * ``uses_indexes`` — System C *"does not benefit at all from the
+      additional B-Tree index"*; its planner always scans.
+    * ``prunes_explicit_current`` — none of A/B/C recognise that AS OF
+      <current time> could skip the history partition (Fig 6); left
+      switchable for the ablation benchmark.
+    * ``index_selectivity_threshold`` — fraction of a partition a range
+      predicate must select *below* for the planner to prefer an index scan
+      (the paper: indexes "only work on very selective workloads").
+    """
+
+    name: str = "generic"
+    supports_application_time: bool = True
+    supports_system_time: bool = True
+    uses_indexes: bool = True
+    prunes_explicit_current: bool = False
+    manual_system_time: bool = False  # System D: client sets SYS_TIME itself
+    index_selectivity_threshold: float = 0.15
+
+
+class Database:
+    """One database instance with a fixed architecture."""
+
+    def __init__(
+        self,
+        options: Optional[StorageOptions] = None,
+        profile: Optional[ArchitectureProfile] = None,
+        name: str = "db",
+    ):
+        self.name = name
+        self.catalog = Catalog()
+        self.default_options = options or StorageOptions()
+        self.profile = profile or ArchitectureProfile()
+        self.txns = TransactionManager()
+        self._tables: Dict[str, VersionedTable] = {}
+        self._views: Dict[str, object] = {}  # name -> Select AST
+        self._sql_engine = None  # created on first execute()
+
+    # -- DDL -------------------------------------------------------------
+
+    def create_table(
+        self, schema: TableSchema, options: Optional[StorageOptions] = None
+    ) -> VersionedTable:
+        self.catalog.add_table(schema)
+        table = VersionedTable(schema, options or self.default_options)
+        self._tables[schema.name] = table
+        return table
+
+    def drop_table(self, name):
+        self.catalog.drop_table(name)
+        del self._tables[name.lower()]
+
+    def create_index(self, index: IndexDef):
+        self.catalog.add_index(index)
+        return self.table(index.table).create_index(index)
+
+    def drop_index(self, name):
+        index = None
+        for candidate in self.catalog.indexes():
+            if candidate.name == name:
+                index = candidate
+                break
+        if index is None:
+            raise CatalogError(f"no index {name!r}")
+        self.catalog.drop_index(name)
+        self.table(index.table).drop_index(name)
+
+    def create_view(self, name, select_ast):
+        name = name.lower()
+        if self.catalog.has_table(name) or name in self._views:
+            raise CatalogError(f"name {name!r} already in use")
+        self._views[name] = select_ast
+
+    def drop_view(self, name):
+        try:
+            del self._views[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no view {name!r}") from None
+
+    def view(self, name):
+        return self._views.get(name.lower())
+
+    def table(self, name) -> VersionedTable:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no table {name!r}") from None
+
+    def tables(self) -> List[VersionedTable]:
+        return list(self._tables.values())
+
+    # -- transactions -------------------------------------------------------
+
+    def begin(self, meta=None):
+        return self.txns.begin(meta=meta)
+
+    def _tick(self) -> int:
+        """System-time tick for the current operation.
+
+        Inside an explicit transaction every operation shares the txn's
+        tick; otherwise each operation autocommits with its own tick.
+        """
+        txn = self.txns.current()
+        if txn is not None:
+            return txn.tick
+        with self.txns.begin() as auto:
+            return auto.tick
+
+    def now(self) -> int:
+        """The current (last committed) system time."""
+        return self.txns.last_committed
+
+    # -- row-level DML (used by the loader and the SQL executor) ------------------
+
+    def insert_row(self, table_name, values_by_column: Dict[str, object]) -> int:
+        table = self.table(table_name)
+        schema = table.schema
+        row: List[object] = [None] * len(schema.columns)
+        for column, value in values_by_column.items():
+            row[schema.position(column)] = schema.column(column).type.validate(value)
+        if table.is_versioned:
+            return temporal.temporal_insert(table, row, self._tick())
+        return table.insert_version(row, sys_begin=None)
+
+    def insert_row_explicit(
+        self, table_name, values_by_column: Dict[str, object], sys_begin, sys_end
+    ) -> int:
+        """Bulk-load path: the client sets the system time itself.
+
+        Only legal on archetypes with ``manual_system_time`` (System D,
+        §5.8: *"its cost is much lower since we can set the timestamps
+        manually and perform a bulk load"*).
+        """
+        if not self.profile.manual_system_time:
+            raise IntegrityError(
+                f"{self.profile.name}: system time is immutable and set at commit"
+            )
+        table = self.table(table_name)
+        schema = table.schema
+        row: List[object] = [None] * len(schema.columns)
+        for column, value in values_by_column.items():
+            row[schema.position(column)] = value
+        if table.is_versioned and not table.has_split:
+            rid = table.insert_version_explicit(row, sys_begin, sys_end)
+        else:
+            rid = table.insert_version(row, sys_begin=sys_begin)
+            if schema.system_period is not None and sys_end != END_OF_TIME:
+                table.invalidate(rid, sys_end)
+        if sys_begin is not None:
+            self.txns.set_clock(max(self.txns.clock, sys_begin + 1))
+        return rid
+
+    def update_by_key(self, table_name, key, changes: Dict[str, object]) -> int:
+        table = self.table(table_name)
+        if table.is_versioned:
+            return temporal.nontemporal_update(table, tuple(key), changes, self._tick())
+        count = 0
+        schema = table.schema
+        for rid, row in temporal.current_versions_for_key(table, tuple(key)):
+            new_row = list(row)
+            for column, value in changes.items():
+                new_row[schema.position(column)] = value
+            table.plain_update(rid, new_row)
+            count += 1
+        return count
+
+    def sequenced_update_by_key(
+        self, table_name, key, changes, period_name, begin, end
+    ) -> int:
+        table = self.table(table_name)
+        return temporal.sequenced_update(
+            table, tuple(key), changes, period_name, Period(begin, end), self._tick()
+        )
+
+    def sequenced_delete_by_key(self, table_name, key, period_name, begin, end) -> int:
+        table = self.table(table_name)
+        return temporal.sequenced_delete(
+            table, tuple(key), period_name, Period(begin, end), self._tick()
+        )
+
+    def delete_by_key(self, table_name, key) -> int:
+        table = self.table(table_name)
+        if table.is_versioned:
+            return temporal.temporal_delete(table, tuple(key), self._tick())
+        count = 0
+        for rid, _row in temporal.current_versions_for_key(table, tuple(key)):
+            table.plain_delete(rid)
+            count += 1
+        return count
+
+    # -- SQL ------------------------------------------------------------------
+
+    def execute(self, sql, params=None):
+        """Parse, plan and run one SQL statement; returns a Result."""
+        if self._sql_engine is None:
+            from .session import SqlEngine  # deferred: avoids import cycle
+
+            self._sql_engine = SqlEngine(self)
+        return self._sql_engine.execute(sql, params)
+
+    def explain(self, sql, params=None) -> str:
+        if self._sql_engine is None:
+            from .session import SqlEngine
+
+            self._sql_engine = SqlEngine(self)
+        return self._sql_engine.explain(sql, params)
+
+    # -- maintenance -----------------------------------------------------------
+
+    def drain_all_undo(self):
+        for table in self._tables.values():
+            table.drain_undo() if table.options.undo_log else None
+
+    def merge_all(self):
+        for table in self._tables.values():
+            table.merge_column_store()
+
+    def storage_report(self) -> Dict[str, Dict[str, int]]:
+        """Per-table partition sizes (the §5.2 architecture analysis)."""
+        report = {}
+        for name, table in self._tables.items():
+            report[name] = {
+                "current": table.current_count(),
+                "history": table.history_count(),
+                "total": len(table),
+            }
+        return report

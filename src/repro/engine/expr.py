@@ -1,0 +1,558 @@
+"""Expression compilation and evaluation with SQL semantics.
+
+Expressions are compiled once per query into Python closures over a *scope*
+(which maps qualified column names to row slots).  Evaluation follows SQL's
+three-valued logic: comparisons involving NULL yield NULL, AND/OR use
+Kleene logic, and WHERE treats NULL as false.
+
+Dates are integer day numbers (see :mod:`repro.engine.types`); ``INTERVAL``
+arithmetic therefore converts through the proleptic calendar so that
+``DATE '1994-01-01' + INTERVAL '3' MONTH`` is exact, as TPC-H requires.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .errors import ProgrammingError
+from .sql import ast
+from .types import date_to_day, day_to_date
+
+# ---------------------------------------------------------------------------
+# scopes: name -> row slot
+# ---------------------------------------------------------------------------
+
+
+class Scope:
+    """Resolves column references against the executor's row layout.
+
+    The layout is a list of (binding, column_name) pairs; *binding* is the
+    table alias (or name) the column came from.  An optional *outer* scope
+    makes correlated subqueries work: unresolved names are looked up there
+    and read from ``env.outer_row``.
+    """
+
+    def __init__(self, layout: List[Tuple[str, str]], outer: Optional["Scope"] = None):
+        self.layout = list(layout)
+        self.outer = outer
+        self._by_qualified: Dict[Tuple[str, str], int] = {}
+        self._by_name: Dict[str, List[int]] = {}
+        for slot, (binding, column) in enumerate(self.layout):
+            self._by_qualified[(binding, column)] = slot
+            self._by_name.setdefault(column, []).append(slot)
+
+    def resolve(self, ref: ast.ColumnRef) -> Tuple[int, int]:
+        """Return (depth, slot); depth 0 = local row, 1.. = outer rows."""
+        if ref.table is not None:
+            slot = self._by_qualified.get((ref.table, ref.name))
+            if slot is not None:
+                return (0, slot)
+        else:
+            slots = self._by_name.get(ref.name, [])
+            if len(slots) == 1:
+                return (0, slots[0])
+            if len(slots) > 1:
+                raise ProgrammingError(f"ambiguous column {ref.name!r}")
+        if self.outer is not None:
+            depth, slot = self.outer.resolve(ref)
+            return (depth + 1, slot)
+        raise ProgrammingError(f"unknown column {ref}")
+
+    def slots_for_binding(self, binding) -> List[Tuple[int, str]]:
+        return [
+            (slot, column)
+            for slot, (b, column) in enumerate(self.layout)
+            if b == binding
+        ]
+
+    def __len__(self):
+        return len(self.layout)
+
+
+class Env:
+    """Runtime evaluation environment for one query execution.
+
+    ``cache`` is shared across nesting levels; uncorrelated subqueries use
+    it to run once per statement execution instead of once per outer row.
+    """
+
+    __slots__ = ("params", "outer_rows", "cache")
+
+    def __init__(self, params=None, outer_rows=None, cache=None):
+        self.params = params if params is not None else {}
+        self.outer_rows: List[tuple] = outer_rows or []
+        self.cache: Dict[int, object] = cache if cache is not None else {}
+
+    def nested(self, outer_row) -> "Env":
+        return Env(self.params, [outer_row] + self.outer_rows, self.cache)
+
+    def param(self, index=None, name=None):
+        if name is not None:
+            try:
+                return self.params[name]
+            except (KeyError, TypeError):
+                raise ProgrammingError(f"missing named parameter :{name}") from None
+        try:
+            return self.params[index]
+        except (KeyError, IndexError, TypeError):
+            raise ProgrammingError(f"missing positional parameter {index}") from None
+
+
+# ---------------------------------------------------------------------------
+# interval arithmetic
+# ---------------------------------------------------------------------------
+
+
+class Interval:
+    """A calendar interval (result of compiling an IntervalLiteral)."""
+
+    __slots__ = ("days", "months")
+
+    def __init__(self, days=0, months=0):
+        self.days = days
+        self.months = months
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Interval)
+            and self.days == other.days
+            and self.months == other.months
+        )
+
+    def __repr__(self):
+        return f"Interval(days={self.days}, months={self.months})"
+
+
+def _shift_months(day_number: int, months: int) -> int:
+    date = day_to_date(day_number)
+    total = date.year * 12 + (date.month - 1) + months
+    year, month0 = divmod(total, 12)
+    month = month0 + 1
+    day = date.day
+    # clamp to the target month's length
+    while True:
+        try:
+            return date_to_day(date.replace(year=year, month=month, day=day))
+        except ValueError:
+            day -= 1
+
+
+def add_interval(day_number, interval: Interval, sign=1):
+    if day_number is None:
+        return None
+    result = day_number
+    if interval.months:
+        result = _shift_months(result, sign * interval.months)
+    return result + sign * interval.days
+
+
+# ---------------------------------------------------------------------------
+# scalar function registry
+# ---------------------------------------------------------------------------
+
+
+def _fn_extract(field, value):
+    if value is None:
+        return None
+    date = day_to_date(value)
+    return {"year": date.year, "month": date.month, "day": date.day}[field]
+
+
+def _fn_substring(value, start, length=None):
+    if value is None:
+        return None
+    begin = max(int(start) - 1, 0)
+    if length is None:
+        return value[begin:]
+    return value[begin:begin + int(length)]
+
+
+FUNCTIONS: Dict[str, Callable] = {
+    "date": lambda s: date_to_day(s) if s is not None else None,
+    "timestamp": lambda s: int(s) if not isinstance(s, str) else date_to_day(s),
+    "extract": _fn_extract,
+    "substring": _fn_substring,
+    "substr": _fn_substring,
+    "abs": lambda v: None if v is None else abs(v),
+    "round": lambda v, n=0: None if v is None else round(v, int(n)),
+    "floor": lambda v: None if v is None else int(v // 1),
+    "ceil": lambda v: None if v is None else -int((-v) // 1),
+    "mod": lambda a, b: None if a is None or b is None else a % b,
+    "coalesce": lambda *args: next((a for a in args if a is not None), None),
+    "nullif": lambda a, b: None if a == b else a,
+    "upper": lambda s: None if s is None else s.upper(),
+    "lower": lambda s: None if s is None else s.lower(),
+    "length": lambda s: None if s is None else len(s),
+    "greatest": lambda *args: None if any(a is None for a in args) else max(args),
+    "least": lambda *args: None if any(a is None for a in args) else min(args),
+}
+
+
+def _like_to_regex(pattern: str):
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+_LIKE_CACHE: Dict[str, "re.Pattern"] = {}
+
+
+def like_match(value, pattern):
+    if value is None or pattern is None:
+        return None
+    regex = _LIKE_CACHE.get(pattern)
+    if regex is None:
+        regex = _like_to_regex(pattern)
+        _LIKE_CACHE[pattern] = regex
+    return regex.match(value) is not None
+
+
+# ---------------------------------------------------------------------------
+# arithmetic / comparison with NULL propagation
+# ---------------------------------------------------------------------------
+
+
+def _arith(op, left, right):
+    if left is None or right is None:
+        return None
+    if isinstance(right, Interval):
+        if op == "+":
+            return add_interval(left, right)
+        if op == "-":
+            return add_interval(left, right, sign=-1)
+        raise ProgrammingError(f"bad interval operator {op!r}")
+    if isinstance(left, Interval):
+        if op == "+":
+            return add_interval(right, left)
+        raise ProgrammingError(f"bad interval operator {op!r}")
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            return None
+        if isinstance(left, int) and isinstance(right, int):
+            return left / right
+        return left / right
+    if op == "%":
+        if right == 0:
+            return None
+        return left % right
+    if op == "||":
+        return str(left) + str(right)
+    raise ProgrammingError(f"unknown operator {op!r}")  # pragma: no cover
+
+
+def _compare(op, left, right):
+    if left is None or right is None:
+        return None
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ProgrammingError(f"unknown comparison {op!r}")  # pragma: no cover
+
+
+def _and(left, right):
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def _or(left, right):
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+# ---------------------------------------------------------------------------
+# the compiler
+# ---------------------------------------------------------------------------
+
+#: Signature of the callback the planner supplies to run nested SELECTs:
+#: (select_ast, outer_scope) -> fn(env) -> list of row tuples.
+SubqueryCompiler = Callable[[ast.Select, Scope], Callable[[Env], List[tuple]]]
+
+
+def compile_expr(
+    expr: ast.Expr,
+    scope: Scope,
+    subquery_compiler: Optional[SubqueryCompiler] = None,
+) -> Callable[[tuple, Env], object]:
+    """Compile an AST expression into ``fn(row, env) -> value``."""
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda row, env: value
+    if isinstance(expr, ast.ColumnRef):
+        depth, slot = scope.resolve(expr)
+        if depth == 0:
+            return lambda row, env: row[slot]
+
+        def outer_ref(row, env, depth=depth - 1, slot=slot):
+            return env.outer_rows[depth][slot]
+
+        return outer_ref
+    if isinstance(expr, ast.Param):
+        index, name = expr.index, expr.name
+        return lambda row, env: env.param(index=index, name=name)
+    if isinstance(expr, ast.IntervalLiteral):
+        if expr.unit == "day":
+            value = Interval(days=expr.value)
+        elif expr.unit == "month":
+            value = Interval(months=expr.value)
+        else:
+            value = Interval(months=12 * expr.value)
+        return lambda row, env: value
+    if isinstance(expr, ast.Unary):
+        inner = compile_expr(expr.operand, scope, subquery_compiler)
+        if expr.op == "-":
+            return lambda row, env: _negate(inner(row, env))
+        if expr.op == "+":
+            return inner
+        if expr.op == "not":
+            return lambda row, env: _not(inner(row, env))
+        raise ProgrammingError(f"unknown unary {expr.op!r}")
+    if isinstance(expr, ast.Binary):
+        left = compile_expr(expr.left, scope, subquery_compiler)
+        right = compile_expr(expr.right, scope, subquery_compiler)
+        op = expr.op
+        if op == "and":
+            return lambda row, env: _and(
+                _truth(left(row, env)), _truth(right(row, env))
+            )
+        if op == "or":
+            return lambda row, env: _or(
+                _truth(left(row, env)), _truth(right(row, env))
+            )
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return lambda row, env: _compare(op, left(row, env), right(row, env))
+        return lambda row, env: _arith(op, left(row, env), right(row, env))
+    if isinstance(expr, ast.FuncCall):
+        fn = FUNCTIONS.get(expr.name)
+        if fn is None:
+            raise ProgrammingError(f"unknown function {expr.name!r}")
+        args = [compile_expr(a, scope, subquery_compiler) for a in expr.args]
+        return lambda row, env: fn(*[a(row, env) for a in args])
+    if isinstance(expr, ast.Case):
+        branches = [
+            (
+                compile_expr(cond, scope, subquery_compiler),
+                compile_expr(result, scope, subquery_compiler),
+            )
+            for cond, result in expr.branches
+        ]
+        default = (
+            compile_expr(expr.default, scope, subquery_compiler)
+            if expr.default is not None
+            else None
+        )
+
+        def run_case(row, env):
+            for cond, result in branches:
+                if _truth(cond(row, env)) is True:
+                    return result(row, env)
+            return default(row, env) if default is not None else None
+
+        return run_case
+    if isinstance(expr, ast.Between):
+        operand = compile_expr(expr.operand, scope, subquery_compiler)
+        low = compile_expr(expr.low, scope, subquery_compiler)
+        high = compile_expr(expr.high, scope, subquery_compiler)
+        negated = expr.negated
+
+        def run_between(row, env):
+            value = operand(row, env)
+            lo = _and(
+                _compare("<=", low(row, env), value),
+                _compare("<=", value, high(row, env)),
+            )
+            return _not(lo) if negated else lo
+
+        return run_between
+    if isinstance(expr, ast.Like):
+        operand = compile_expr(expr.operand, scope, subquery_compiler)
+        pattern = compile_expr(expr.pattern, scope, subquery_compiler)
+        negated = expr.negated
+
+        def run_like(row, env):
+            result = like_match(operand(row, env), pattern(row, env))
+            return _not(result) if negated else result
+
+        return run_like
+    if isinstance(expr, ast.IsNull):
+        operand = compile_expr(expr.operand, scope, subquery_compiler)
+        negated = expr.negated
+        return lambda row, env: (operand(row, env) is not None) == negated
+    if isinstance(expr, ast.InList):
+        operand = compile_expr(expr.operand, scope, subquery_compiler)
+        items = [compile_expr(i, scope, subquery_compiler) for i in expr.items]
+        negated = expr.negated
+
+        def run_in(row, env):
+            value = operand(row, env)
+            if value is None:
+                return None
+            found = False
+            saw_null = False
+            for item in items:
+                candidate = item(row, env)
+                if candidate is None:
+                    saw_null = True
+                elif candidate == value:
+                    found = True
+                    break
+            if found:
+                return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return run_in
+    if isinstance(expr, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)):
+        if subquery_compiler is None:
+            raise ProgrammingError("subqueries are not allowed in this context")
+        return _compile_subquery_expr(expr, scope, subquery_compiler)
+    if isinstance(expr, ast.Aggregate):
+        raise ProgrammingError(
+            "aggregate used outside SELECT list / HAVING"
+        )
+    if isinstance(expr, ast.Star):
+        raise ProgrammingError("'*' is only valid in a select list or COUNT(*)")
+    raise ProgrammingError(f"cannot compile expression {expr!r}")
+
+
+def _compile_subquery_expr(expr, scope, subquery_compiler):
+    if isinstance(expr, ast.Exists):
+        run = subquery_compiler(expr.subquery, scope)
+        negated = expr.negated
+
+        def run_exists(row, env):
+            rows = run(env.nested(row))
+            found = bool(rows)
+            return found != negated
+
+        return run_exists
+    if isinstance(expr, ast.InSubquery):
+        operand = compile_expr(expr.operand, scope, subquery_compiler)
+        run = subquery_compiler(expr.subquery, scope)
+        negated = expr.negated
+
+        def run_in_subquery(row, env):
+            value = operand(row, env)
+            if value is None:
+                return None
+            saw_null = False
+            for sub_row in run(env.nested(row)):
+                candidate = sub_row[0]
+                if candidate is None:
+                    saw_null = True
+                elif candidate == value:
+                    return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return run_in_subquery
+    # scalar subquery
+    run = subquery_compiler(expr.subquery, scope)
+
+    def run_scalar(row, env):
+        rows = run(env.nested(row))
+        if not rows:
+            return None
+        if len(rows) > 1:
+            raise ProgrammingError("scalar subquery returned more than one row")
+        return rows[0][0]
+
+    return run_scalar
+
+
+def _truth(value):
+    """Coerce an evaluation result into SQL boolean (True/False/None)."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return value
+    return bool(value)
+
+
+def _not(value):
+    truth = _truth(value)
+    if truth is None:
+        return None
+    return not truth
+
+
+def _negate(value):
+    if value is None:
+        return None
+    return -value
+
+
+def expr_to_string(expr: ast.Expr) -> str:
+    """Readable rendering for EXPLAIN output and error messages."""
+    if isinstance(expr, ast.Literal):
+        return repr(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        return str(expr)
+    if isinstance(expr, ast.Param):
+        return f":{expr.name}" if expr.name else f"?{expr.index}"
+    if isinstance(expr, ast.Unary):
+        return f"({expr.op} {expr_to_string(expr.operand)})"
+    if isinstance(expr, ast.Binary):
+        return f"({expr_to_string(expr.left)} {expr.op} {expr_to_string(expr.right)})"
+    if isinstance(expr, ast.FuncCall):
+        args = ", ".join(expr_to_string(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.Aggregate):
+        arg = "*" if expr.arg is None else expr_to_string(expr.arg)
+        prefix = "distinct " if expr.distinct else ""
+        return f"{expr.func}({prefix}{arg})"
+    if isinstance(expr, ast.Between):
+        return (
+            f"({expr_to_string(expr.operand)} between "
+            f"{expr_to_string(expr.low)} and {expr_to_string(expr.high)})"
+        )
+    if isinstance(expr, ast.Like):
+        return f"({expr_to_string(expr.operand)} like {expr_to_string(expr.pattern)})"
+    if isinstance(expr, ast.IsNull):
+        suffix = "is not null" if expr.negated else "is null"
+        return f"({expr_to_string(expr.operand)} {suffix})"
+    if isinstance(expr, ast.InList):
+        items = ", ".join(expr_to_string(i) for i in expr.items)
+        return f"({expr_to_string(expr.operand)} in ({items}))"
+    if isinstance(expr, ast.InSubquery):
+        return f"({expr_to_string(expr.operand)} in (<subquery>))"
+    if isinstance(expr, ast.Exists):
+        return "exists(<subquery>)"
+    if isinstance(expr, ast.ScalarSubquery):
+        return "(<scalar subquery>)"
+    if isinstance(expr, ast.Case):
+        return "case ... end"
+    if isinstance(expr, ast.IntervalLiteral):
+        return f"interval '{expr.value}' {expr.unit}"
+    if isinstance(expr, ast.Star):
+        return "*"
+    return repr(expr)

@@ -1,0 +1,18 @@
+"""Secondary index implementations: B+-Tree, R-Tree (GiST stand-in), hash."""
+
+from .btree import BPlusTree
+from .hashindex import HashIndex
+from .rtree import RTree
+
+__all__ = ["BPlusTree", "HashIndex", "RTree", "create_index_structure"]
+
+
+def create_index_structure(kind, order=64):
+    """Factory used by the storage layer to materialise an IndexDef."""
+    if kind == "btree":
+        return BPlusTree(order=order)
+    if kind == "hash":
+        return HashIndex()
+    if kind == "rtree":
+        return RTree()
+    raise ValueError(f"unknown index kind {kind!r}")

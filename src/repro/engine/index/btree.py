@@ -1,0 +1,224 @@
+"""A B+-Tree supporting duplicate keys and range scans.
+
+This is the "standard index" of the paper: every system archetype that uses
+indexes at all maps its *Time*, *Key+Time* and *Value* index settings onto
+this structure (§5.1).  Keys may be scalars or tuples of scalars (composite
+indexes); values are opaque row identifiers.
+
+Leaves are linked left-to-right so range scans stream without re-descending.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf):
+        self.is_leaf = is_leaf
+        self.keys: List[Any] = []
+        # internal nodes
+        self.children: List["_Node"] = []
+        # leaves: one bucket (list of row ids) per key
+        self.values: List[List[Any]] = []
+        self.next_leaf: Optional["_Node"] = None
+
+
+class BPlusTree:
+    """Ordered multimap from key to row ids."""
+
+    def __init__(self, order=64):
+        if order < 4:
+            raise ValueError("order must be >= 4")
+        self.order = order
+        self._root = _Node(is_leaf=True)
+        self._size = 0  # number of (key, value) pairs
+
+    def __len__(self):
+        return self._size
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, key, value):
+        """Add *value* under *key* (duplicates allowed)."""
+        root = self._root
+        result = self._insert(root, key, value)
+        if result is not None:
+            sep, right = result
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [root, right]
+            self._root = new_root
+        self._size += 1
+
+    def _insert(self, node, key, value):
+        if node.is_leaf:
+            idx = bisect.bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx].append(value)
+            else:
+                node.keys.insert(idx, key)
+                node.values.insert(idx, [value])
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        idx = bisect.bisect_right(node.keys, key)
+        result = self._insert(node.children[idx], key, value)
+        if result is not None:
+            sep, right = result
+            node.keys.insert(idx, sep)
+            node.children.insert(idx + 1, right)
+            if len(node.keys) > self.order:
+                return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node):
+        mid = len(node.keys) // 2
+        right = _Node(is_leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node):
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(is_leaf=False)
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        return sep, right
+
+    def remove(self, key, value):
+        """Remove one (key, value) pair; returns True if it existed.
+
+        The tree uses lazy deletion (no rebalancing): the paper's workloads
+        are append-dominated, and empty buckets are pruned from scans.
+        """
+        leaf, idx = self._find_leaf(key)
+        if idx is None:
+            return False
+        bucket = leaf.values[idx]
+        try:
+            bucket.remove(value)
+        except ValueError:
+            return False
+        if not bucket:
+            leaf.keys.pop(idx)
+            leaf.values.pop(idx)
+        self._size -= 1
+        return True
+
+    # -- lookup -----------------------------------------------------------
+
+    def _find_leaf(self, key):
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        idx = bisect.bisect_left(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            return node, idx
+        return node, None
+
+    def search(self, key) -> List[Any]:
+        """All row ids stored under *key* (empty list when absent)."""
+        leaf, idx = self._find_leaf(key)
+        if idx is None:
+            return []
+        return list(leaf.values[idx])
+
+    def __contains__(self, key):
+        return bool(self.search(key))
+
+    def range_scan(
+        self,
+        low=None,
+        high=None,
+        low_inclusive=True,
+        high_inclusive=True,
+    ) -> Iterator[Tuple[Any, Any]]:
+        """Yield (key, row_id) pairs with low <= key <= high, in key order.
+
+        Either bound may be None (unbounded).  Inclusivity flags give the
+        four SQL comparison shapes (<, <=, >, >=).
+        """
+        node = self._root
+        probe = low if low is not None else _MINUS_INF
+        while not node.is_leaf:
+            if low is None:
+                node = node.children[0]
+            else:
+                node = node.children[bisect.bisect_right(node.keys, probe)]
+        if low is None:
+            idx = 0
+        elif low_inclusive:
+            idx = bisect.bisect_left(node.keys, low)
+        else:
+            idx = bisect.bisect_right(node.keys, low)
+        while node is not None:
+            while idx < len(node.keys):
+                key = node.keys[idx]
+                if high is not None:
+                    if high_inclusive and key > high:
+                        return
+                    if not high_inclusive and key >= high:
+                        return
+                for value in node.values[idx]:
+                    yield key, value
+                idx += 1
+            node = node.next_leaf
+            idx = 0
+
+    def items(self):
+        """All (key, row_id) pairs in key order."""
+        return self.range_scan()
+
+    def keys(self):
+        """Distinct keys in order."""
+        last = _MINUS_INF
+        for key, _ in self.range_scan():
+            if key != last:
+                yield key
+                last = key
+
+    def min_key(self):
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0] if node.keys else None
+
+    def max_key(self):
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1] if node.keys else None
+
+    def height(self):
+        """Tree height (1 for a lone leaf); exposed for tests/EXPLAIN."""
+        h = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+
+class _MinusInf:
+    """Sentinel ordered before every key (only used for descent probes)."""
+
+    def __lt__(self, other):
+        return True
+
+    def __gt__(self, other):
+        return False
+
+
+_MINUS_INF = _MinusInf()

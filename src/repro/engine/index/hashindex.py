@@ -1,0 +1,53 @@
+"""Hash index: equality-only multimap used for primary-key lookups."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+
+class HashIndex:
+    """Unordered multimap from key to row ids.
+
+    Cheaper than a B+-Tree for pure equality probes (the "system-created
+    index on the current table" every archetype keeps for its primary key),
+    but unable to serve range predicates — the optimizer only considers it
+    for ``=`` and ``IN``.
+    """
+
+    def __init__(self):
+        self._buckets: Dict[Any, List[Any]] = {}
+        self._size = 0
+
+    def __len__(self):
+        return self._size
+
+    def insert(self, key, value):
+        self._buckets.setdefault(key, []).append(value)
+        self._size += 1
+
+    def remove(self, key, value):
+        bucket = self._buckets.get(key)
+        if not bucket:
+            return False
+        try:
+            bucket.remove(value)
+        except ValueError:
+            return False
+        if not bucket:
+            del self._buckets[key]
+        self._size -= 1
+        return True
+
+    def search(self, key) -> List[Any]:
+        return list(self._buckets.get(key, ()))
+
+    def __contains__(self, key):
+        return key in self._buckets
+
+    def keys(self):
+        return self._buckets.keys()
+
+    def items(self):
+        for key, bucket in self._buckets.items():
+            for value in bucket:
+                yield key, value

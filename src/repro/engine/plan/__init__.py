@@ -1,0 +1,5 @@
+"""Query planning and execution: operators, access paths, planner."""
+
+from .planner import Planner, PlannedQuery
+
+__all__ = ["Planner", "PlannedQuery"]

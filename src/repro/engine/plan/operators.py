@@ -1,0 +1,413 @@
+"""Physical operators.
+
+Every operator is a node with ``rows(env) -> list[tuple]`` and an
+``explain(indent)`` rendering.  Operators materialise their outputs — the
+engine is an analytics engine over in-memory partitions, and materialising
+keeps hash joins and sorts simple while preserving the *relative* costs the
+benchmark needs (scans linear in partition size, index probes logarithmic,
+extra joins visibly expensive).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..expr import Env
+from ..types import compare_values
+
+
+class Operator:
+    """Base class: a physical plan node."""
+
+    #: child operators, for explain trees
+    children: Sequence["Operator"] = ()
+
+    def rows(self, env: Env) -> List[tuple]:
+        raise NotImplementedError
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def explain(self, indent=0) -> str:
+        lines = ["  " * indent + self.label()]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+
+class TableAccess(Operator):
+    """Scan or index access over one table (built by plan.access)."""
+
+    def __init__(self, producer: Callable[[Env], List[tuple]], description: str):
+        self._producer = producer
+        self._description = description
+
+    def rows(self, env):
+        return self._producer(env)
+
+    def label(self):
+        return self._description
+
+
+class Materialized(Operator):
+    """Wrap an already-computed row list (derived tables, CTE-style reuse)."""
+
+    def __init__(self, rows_value: List[tuple], description="Materialized"):
+        self._rows = rows_value
+        self._description = description
+
+    def rows(self, env):
+        return self._rows
+
+    def label(self):
+        return f"{self._description} ({len(self._rows)} rows)"
+
+
+class Subplan(Operator):
+    """Defer to a planner-produced callable (derived tables, subqueries)."""
+
+    def __init__(self, producer: Callable[[Env], List[tuple]], description: str):
+        self._producer = producer
+        self._description = description
+
+    def rows(self, env):
+        return self._producer(env)
+
+    def label(self):
+        return self._description
+
+
+class Filter(Operator):
+    def __init__(self, child: Operator, predicate, description="Filter"):
+        self.children = (child,)
+        self._predicate = predicate
+        self._description = description
+
+    def rows(self, env):
+        predicate = self._predicate
+        return [row for row in self.children[0].rows(env) if predicate(row, env) is True]
+
+    def label(self):
+        return self._description
+
+
+class Project(Operator):
+    def __init__(self, child: Operator, exprs, description="Project"):
+        self.children = (child,)
+        self._exprs = exprs
+        self._description = description
+
+    def rows(self, env):
+        exprs = self._exprs
+        return [tuple(e(row, env) for e in exprs) for row in self.children[0].rows(env)]
+
+    def label(self):
+        return self._description
+
+
+class CrossJoin(Operator):
+    def __init__(self, left: Operator, right: Operator):
+        self.children = (left, right)
+
+    def rows(self, env):
+        left_rows = self.children[0].rows(env)
+        right_rows = self.children[1].rows(env)
+        return [lrow + rrow for lrow in left_rows for rrow in right_rows]
+
+    def label(self):
+        return "CrossJoin"
+
+
+class NestedLoopJoin(Operator):
+    """Inner/left join with an arbitrary predicate."""
+
+    def __init__(self, left, right, predicate, kind="inner", right_width=0):
+        self.children = (left, right)
+        self._predicate = predicate
+        self._kind = kind
+        self._right_width = right_width
+
+    def rows(self, env):
+        left_rows = self.children[0].rows(env)
+        right_rows = self.children[1].rows(env)
+        predicate = self._predicate
+        out = []
+        pad = (None,) * self._right_width
+        for lrow in left_rows:
+            matched = False
+            for rrow in right_rows:
+                combined = lrow + rrow
+                if predicate is None or predicate(combined, env) is True:
+                    out.append(combined)
+                    matched = True
+            if self._kind == "left" and not matched:
+                out.append(lrow + pad)
+        return out
+
+    def label(self):
+        return f"NestedLoopJoin({self._kind})"
+
+
+class HashJoin(Operator):
+    """Equi-join; builds on the right input."""
+
+    def __init__(
+        self,
+        left,
+        right,
+        left_keys,   # compiled exprs over the LEFT row layout
+        right_keys,  # compiled exprs over the RIGHT row layout
+        residual=None,  # compiled over the combined layout
+        kind="inner",
+        right_width=0,
+    ):
+        self.children = (left, right)
+        self._left_keys = left_keys
+        self._right_keys = right_keys
+        self._residual = residual
+        self._kind = kind
+        self._right_width = right_width
+
+    def rows(self, env):
+        left_rows = self.children[0].rows(env)
+        right_rows = self.children[1].rows(env)
+        table = {}
+        for rrow in right_rows:
+            key = tuple(k(rrow, env) for k in self._right_keys)
+            if any(part is None for part in key):
+                continue
+            table.setdefault(key, []).append(rrow)
+        out = []
+        residual = self._residual
+        pad = (None,) * self._right_width
+        for lrow in left_rows:
+            key = tuple(k(lrow, env) for k in self._left_keys)
+            matched = False
+            if not any(part is None for part in key):
+                for rrow in table.get(key, ()):
+                    combined = lrow + rrow
+                    if residual is None or residual(combined, env) is True:
+                        out.append(combined)
+                        matched = True
+            if self._kind == "left" and not matched:
+                out.append(lrow + pad)
+        return out
+
+    def label(self):
+        return f"HashJoin({self._kind}, keys={len(self._left_keys)})"
+
+
+class MergeJoin(Operator):
+    """Sort-merge equi-join on a single key pair (System B's vertical
+    partition reconstruction uses the storage-level variant; this one backs
+    SQL joins when both inputs are pre-sorted or small)."""
+
+    def __init__(self, left, right, left_key, right_key, residual=None):
+        self.children = (left, right)
+        self._left_key = left_key
+        self._right_key = right_key
+        self._residual = residual
+
+    def rows(self, env):
+        left_rows = sorted(
+            self.children[0].rows(env),
+            key=lambda r: _sort_token(self._left_key(r, env)),
+        )
+        right_rows = sorted(
+            self.children[1].rows(env),
+            key=lambda r: _sort_token(self._right_key(r, env)),
+        )
+        out = []
+        residual = self._residual
+        i = j = 0
+        while i < len(left_rows) and j < len(right_rows):
+            lkey = self._left_key(left_rows[i], env)
+            rkey = self._right_key(right_rows[j], env)
+            cmp = compare_values(lkey, rkey)
+            if cmp < 0:
+                i += 1
+            elif cmp > 0:
+                j += 1
+            else:
+                if lkey is None:
+                    i += 1
+                    continue
+                # gather the equal runs
+                i_end = i
+                while i_end < len(left_rows) and self._left_key(left_rows[i_end], env) == lkey:
+                    i_end += 1
+                j_end = j
+                while j_end < len(right_rows) and self._right_key(right_rows[j_end], env) == rkey:
+                    j_end += 1
+                for li in range(i, i_end):
+                    for rj in range(j, j_end):
+                        combined = left_rows[li] + right_rows[rj]
+                        if residual is None or residual(combined, env) is True:
+                            out.append(combined)
+                i, j = i_end, j_end
+        return out
+
+    def label(self):
+        return "MergeJoin"
+
+
+class Aggregate(Operator):
+    """Hash aggregation.
+
+    ``key_exprs`` run on input rows; ``accumulators`` is a list of
+    (function_name, argument_expr, distinct).  Output rows are
+    ``group_key_values + aggregate_values``.
+    """
+
+    def __init__(self, child, key_exprs, accumulators, global_agg=False):
+        self.children = (child,)
+        self._key_exprs = key_exprs
+        self._accumulators = accumulators
+        self._global_agg = global_agg
+
+    def rows(self, env):
+        groups = {}
+        key_exprs = self._key_exprs
+        specs = self._accumulators
+        for row in self.children[0].rows(env):
+            key = tuple(k(row, env) for k in key_exprs)
+            state = groups.get(key)
+            if state is None:
+                state = [_AggState(func, distinct) for func, _arg, distinct in specs]
+                groups[key] = state
+            for acc, (func, arg, _distinct) in zip(state, specs):
+                acc.add(arg(row, env) if arg is not None else 1)
+        if not groups and self._global_agg:
+            state = [_AggState(func, distinct) for func, _arg, distinct in specs]
+            groups[()] = state
+        out = []
+        for key, state in groups.items():
+            out.append(key + tuple(acc.result() for acc in state))
+        return out
+
+    def label(self):
+        funcs = ",".join(func for func, _a, _d in self._accumulators)
+        return f"Aggregate(keys={len(self._key_exprs)}, [{funcs}])"
+
+
+class _AggState:
+    __slots__ = ("func", "distinct", "count", "total", "extreme", "seen")
+
+    def __init__(self, func, distinct):
+        self.func = func
+        self.distinct = distinct
+        self.count = 0
+        self.total = None
+        self.extreme = None
+        self.seen = set() if distinct else None
+
+    def add(self, value):
+        if value is None:
+            return
+        if self.distinct:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        if self.func in ("sum", "avg"):
+            self.total = value if self.total is None else self.total + value
+        elif self.func == "min":
+            self.extreme = value if self.extreme is None else min(self.extreme, value)
+        elif self.func == "max":
+            self.extreme = value if self.extreme is None else max(self.extreme, value)
+
+    def result(self):
+        if self.func == "count":
+            return self.count
+        if self.func == "sum":
+            return self.total
+        if self.func == "avg":
+            return None if self.count == 0 else self.total / self.count
+        return self.extreme
+
+
+class Sort(Operator):
+    def __init__(self, child, key_fns, descending_flags):
+        self.children = (child,)
+        self._key_fns = key_fns
+        self._descending = descending_flags
+
+    def rows(self, env):
+        out = list(self.children[0].rows(env))
+        # stable multi-key sort: apply keys right-to-left
+        for key_fn, descending in reversed(list(zip(self._key_fns, self._descending))):
+            out.sort(key=lambda r: _sort_token(key_fn(r, env)), reverse=descending)
+        return out
+
+    def label(self):
+        return f"Sort(keys={len(self._key_fns)})"
+
+
+class Limit(Operator):
+    def __init__(self, child, limit_fn, offset_fn=None):
+        self.children = (child,)
+        self._limit_fn = limit_fn
+        self._offset_fn = offset_fn
+
+    def rows(self, env):
+        out = self.children[0].rows(env)
+        start = int(self._offset_fn((), env)) if self._offset_fn else 0
+        count = int(self._limit_fn((), env))
+        return out[start:start + count]
+
+    def label(self):
+        return "Limit"
+
+
+class Distinct(Operator):
+    def __init__(self, child):
+        self.children = (child,)
+
+    def rows(self, env):
+        seen = set()
+        out = []
+        for row in self.children[0].rows(env):
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        return out
+
+
+class Union(Operator):
+    def __init__(self, left, right, all_rows=False):
+        self.children = (left, right)
+        self._all = all_rows
+
+    def rows(self, env):
+        out = list(self.children[0].rows(env)) + list(self.children[1].rows(env))
+        if self._all:
+            return out
+        seen = set()
+        deduped = []
+        for row in out:
+            if row not in seen:
+                seen.add(row)
+                deduped.append(row)
+        return deduped
+
+    def label(self):
+        return "UnionAll" if self._all else "Union"
+
+
+class _SortToken:
+    """Wrap values so None sorts last and mixed runs don't TypeError."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other):
+        return compare_values(self.value, other.value) < 0
+
+    def __eq__(self, other):
+        return compare_values(self.value, other.value) == 0
+
+
+def _sort_token(value):
+    return _SortToken(value)

@@ -1,0 +1,934 @@
+"""The query planner: AST → physical operator tree.
+
+Planning follows the rewrite-based approach the paper found in every
+commercial system (§5.9: *"all of these systems utilize only standard
+storage and query processing techniques"*):
+
+1. temporal table clauses are rewritten into partition choices plus
+   ordinary predicates on the period columns (:mod:`.access`);
+2. WHERE conjuncts are pushed down to single-table filters and equi-join
+   edges; a greedy size-ordered heuristic picks the join order and uses
+   hash joins for equi-edges, nested loops otherwise;
+3. aggregation, having, distinct, order and limit are stacked on top.
+
+A :class:`PlannedQuery` is reusable across executions with different
+parameters — access paths re-decide scan-vs-index at run time from the
+parameter values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..catalog import TableSchema
+from ..errors import NotSupportedError, PlanError, ProgrammingError
+from ..expr import Env, Scope, compile_expr, expr_to_string
+from ..sql import ast
+from ..types import END_OF_TIME
+from . import operators as ops
+from .access import ColumnConstraint, TableAccessPlan, TemporalBounds
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def split_conjuncts(expr: Optional[ast.Expr]) -> List[ast.Expr]:
+    """Flatten a predicate into its AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.Binary) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: Sequence[ast.Expr]) -> Optional[ast.Expr]:
+    result = None
+    for conjunct in conjuncts:
+        result = conjunct if result is None else ast.Binary("and", result, conjunct)
+    return result
+
+
+def _collect_column_refs(node) -> List[ast.ColumnRef]:
+    refs = []
+    _walk_with_subqueries(node, refs)
+    return refs
+
+
+def _walk_with_subqueries(node, refs):
+    if node is None:
+        return
+    for sub in ast.walk_expr(node):
+        if isinstance(sub, ast.ColumnRef):
+            refs.append(sub)
+        elif isinstance(sub, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)):
+            _walk_select(sub.subquery, refs)
+
+
+def _walk_select(select: ast.Select, refs):
+    for item in select.items:
+        _walk_with_subqueries(item.expr, refs)
+    _walk_with_subqueries(select.where, refs)
+    for expr in select.group_by:
+        _walk_with_subqueries(expr, refs)
+    _walk_with_subqueries(select.having, refs)
+    for item in select.order_by:
+        _walk_with_subqueries(item.expr, refs)
+    for from_item in select.from_items:
+        _walk_from(from_item, refs)
+    if select.set_op is not None:
+        _walk_select(select.set_op[1], refs)
+
+
+def _walk_from(item, refs):
+    if isinstance(item, ast.Join):
+        _walk_from(item.left, refs)
+        _walk_from(item.right, refs)
+        _walk_with_subqueries(item.on, refs)
+    elif isinstance(item, ast.DerivedTable):
+        _walk_select(item.select, refs)
+    elif isinstance(item, ast.TableRef):
+        for clause in item.temporal:
+            _walk_with_subqueries(clause.low, refs)
+            _walk_with_subqueries(clause.high, refs)
+
+
+def _item_bindings(item) -> set:
+    """All bindings introduced by one FROM item (joins included)."""
+    if isinstance(item, ast.Join):
+        return _item_bindings(item.left) | _item_bindings(item.right)
+    return {item.binding}
+
+
+def _expr_key(expr, scope: Scope) -> str:
+    """Structural key for matching group-by expressions (scope-resolved)."""
+    if isinstance(expr, ast.ColumnRef):
+        try:
+            depth, slot = scope.resolve(expr)
+            return f"@{depth}.{slot}"
+        except ProgrammingError:
+            return f"?{expr}"
+    if isinstance(expr, ast.Binary):
+        return f"({_expr_key(expr.left, scope)}{expr.op}{_expr_key(expr.right, scope)})"
+    if isinstance(expr, ast.Unary):
+        return f"({expr.op}{_expr_key(expr.operand, scope)})"
+    if isinstance(expr, ast.FuncCall):
+        inner = ",".join(_expr_key(a, scope) for a in expr.args)
+        return f"{expr.name}({inner})"
+    if isinstance(expr, ast.Aggregate):
+        inner = "*" if expr.arg is None else _expr_key(expr.arg, scope)
+        return f"{expr.func}{'~d' if expr.distinct else ''}({inner})"
+    return expr_to_string(expr)
+
+
+# ---------------------------------------------------------------------------
+# planned relations
+# ---------------------------------------------------------------------------
+
+
+class _Relation:
+    """A planned FROM unit: an operator plus its row layout."""
+
+    def __init__(self, op: ops.Operator, layout, bindings: Set[str], est_rows: int):
+        self.op = op
+        self.layout = layout            # list of (binding, column)
+        self.bindings = bindings
+        self.est_rows = est_rows
+
+
+class PlannedQuery:
+    """Executable plan: call :meth:`rows` with an Env."""
+
+    def __init__(self, op: ops.Operator, column_names: List[str]):
+        self.op = op
+        self.column_names = column_names
+
+    def rows(self, env: Env) -> List[tuple]:
+        return self.op.rows(env)
+
+    def explain(self) -> str:
+        return self.op.explain()
+
+
+# ---------------------------------------------------------------------------
+# the planner
+# ---------------------------------------------------------------------------
+
+
+class Planner:
+    def __init__(self, db):
+        self.db = db
+        self.profile = db.profile
+
+    # -- entry points ---------------------------------------------------------
+
+    def plan_select(self, select: ast.Select, outer_scope: Optional[Scope] = None) -> PlannedQuery:
+        op, layout, names = self._plan_select(select, outer_scope)
+        return PlannedQuery(op, names)
+
+    # -- select planning ---------------------------------------------------------
+
+    def _plan_select(self, select: ast.Select, outer_scope):
+        if select.set_op is not None:
+            return self._plan_union(select, outer_scope)
+        return self._plan_core(select, outer_scope)
+
+    def _plan_union(self, select, outer_scope):
+        op_name, rhs, all_flag = select.set_op
+        left_core = ast.Select(
+            items=select.items,
+            from_items=select.from_items,
+            where=select.where,
+            group_by=select.group_by,
+            having=select.having,
+            distinct=select.distinct,
+        )
+        left_op, left_layout, left_names = self._plan_core(left_core, outer_scope)
+        right_op, _right_layout, _right_names = self._plan_select(rhs, outer_scope)
+        union = ops.Union(left_op, right_op, all_rows=all_flag)
+        out_layout = [("", name) for name in left_names]
+        op = union
+        if select.order_by:
+            op = self._order_on_output(op, select.order_by, left_names, outer_scope)
+        op = self._apply_limit(op, select, outer_scope)
+        return op, out_layout, left_names
+
+    def _plan_core(self, select: ast.Select, outer_scope):
+        # 1. FROM -------------------------------------------------------------
+        where_conjuncts = split_conjuncts(select.where)
+        consumed: Set[int] = set()
+        referenced = self._referenced_columns(select)
+        if select.from_items:
+            relation, scope = self._plan_from(
+                select.from_items, where_conjuncts, outer_scope, referenced, consumed
+            )
+            source_op = relation.op
+            source_layout = relation.layout
+        else:
+            source_op = ops.Materialized([()], "SingleRow")
+            source_layout = []
+            scope = Scope([], outer=outer_scope)
+            if where_conjuncts:
+                predicate = self._compile(conjoin(where_conjuncts), scope)
+                source_op = ops.Filter(source_op, predicate, "Filter(no-from)")
+            where_conjuncts = []
+
+        # 2. residual WHERE (multi-table / non-pushable conjuncts) ---------------
+        residual = [c for c in where_conjuncts if id(c) not in consumed]
+        if residual:
+            predicate = self._compile(conjoin(residual), scope)
+            source_op = ops.Filter(source_op, predicate, "Filter(where)")
+
+        # 3. expand stars in the select list --------------------------------------
+        items = self._expand_stars(select.items, source_layout)
+        original_items = list(items)  # output names come from the un-rewritten list
+
+        # 4. aggregation --------------------------------------------------------
+        has_aggregates = (
+            bool(select.group_by)
+            or any(ast.contains_aggregate(item.expr) for item in items)
+            or (select.having is not None and ast.contains_aggregate(select.having))
+        )
+        if has_aggregates:
+            pre_op, pre_scope, rewritten_items, rewritten_having, rewrite = (
+                self._plan_aggregation(select, items, source_op, scope, outer_scope)
+            )
+            if rewritten_having is not None:
+                predicate = self._compile(rewritten_having, pre_scope)
+                pre_op = ops.Filter(pre_op, predicate, "Filter(having)")
+            items = rewritten_items
+            order_rewrite = rewrite
+        else:
+            pre_op, pre_scope = source_op, scope
+            order_rewrite = None
+            if select.having is not None:
+                predicate = self._compile(select.having, pre_scope)
+                pre_op = ops.Filter(pre_op, predicate, "Filter(having)")
+
+        # 5. projection / distinct / order / limit ---------------------------------
+        out_names = self._output_names(original_items)
+        item_fns = [self._compile(item.expr, pre_scope) for item in items]
+        final = _Finalize(
+            pre_op,
+            item_fns,
+            distinct=select.distinct,
+            sort_specs=self._sort_specs(
+                select.order_by, items, out_names, pre_scope, order_rewrite
+            ),
+            limit_fn=self._compile(select.limit, Scope([], outer=outer_scope))
+            if select.limit is not None
+            else None,
+            offset_fn=self._compile(select.offset, Scope([], outer=outer_scope))
+            if select.offset is not None
+            else None,
+        )
+        out_layout = [("", name) for name in out_names]
+        return final, out_layout, out_names
+
+    # -- FROM planning -------------------------------------------------------------
+
+    def _plan_from(self, from_items, where_conjuncts, outer_scope, referenced, consumed):
+        all_bindings = set()
+        for item in from_items:
+            all_bindings |= _item_bindings(item)
+        units = [
+            self._plan_from_item(
+                item, outer_scope, referenced, where_conjuncts, consumed, all_bindings
+            )
+            for item in from_items
+        ]
+        if len(units) == 1:
+            unit = units[0]
+            return unit, Scope(unit.layout, outer=outer_scope)
+
+        # classify remaining where conjuncts into join edges
+        edges = []  # (bindings_set, conjunct)
+        for conjunct in where_conjuncts:
+            if id(conjunct) in consumed:
+                continue
+            bindings = self._conjunct_bindings(conjunct, units)
+            if bindings is not None and len(bindings) >= 2:
+                edges.append((bindings, conjunct))
+                consumed.add(id(conjunct))
+
+        joined = self._greedy_join(units, edges, outer_scope)
+        return joined, Scope(joined.layout, outer=outer_scope)
+
+    def _conjunct_bindings(self, conjunct, units) -> Optional[Set[str]]:
+        """Bindings (among *units*) referenced by a conjunct, or None if it
+        also references something none of the units can resolve."""
+        all_bindings = set()
+        for unit in units:
+            all_bindings |= unit.bindings
+        found = set()
+        for ref in _collect_column_refs(conjunct):
+            if ref.table is not None:
+                if ref.table in all_bindings:
+                    found.add(ref.table)
+            else:
+                owner = self._binding_of_unqualified(ref.name, units)
+                if owner is not None:
+                    found.add(owner)
+        return found
+
+    def _binding_of_unqualified(self, name, units) -> Optional[str]:
+        owners = []
+        for unit in units:
+            for binding, column in unit.layout:
+                if column == name:
+                    owners.append(binding)
+        if len(owners) == 1:
+            return owners[0]
+        return None
+
+    def _greedy_join(self, units: List[_Relation], edges, outer_scope) -> _Relation:
+        remaining = sorted(units, key=lambda u: u.est_rows)
+        current = remaining.pop(0)
+        pending_edges = list(edges)
+        while remaining:
+            # find a unit connected to `current` through at least one edge
+            chosen = None
+            for candidate in remaining:
+                combined = current.bindings | candidate.bindings
+                if any(b <= combined and (b & candidate.bindings) and (b & current.bindings) for b, _c in pending_edges):
+                    chosen = candidate
+                    break
+            if chosen is None:
+                chosen = remaining[0]
+            remaining.remove(chosen)
+            applicable = []
+            combined = current.bindings | chosen.bindings
+            for b, conjunct in pending_edges:
+                if b <= combined:
+                    applicable.append(conjunct)
+            pending_edges = [
+                (b, c) for b, c in pending_edges if c not in applicable
+            ]
+            current = self._build_join(current, chosen, applicable, "inner", outer_scope)
+        if pending_edges:
+            # edges that never became applicable (shouldn't happen) – filter
+            scope = Scope(current.layout, outer=outer_scope)
+            predicate = self._compile(conjoin([c for _b, c in pending_edges]), scope)
+            current = _Relation(
+                ops.Filter(current.op, predicate, "Filter(join-residual)"),
+                current.layout,
+                current.bindings,
+                current.est_rows,
+            )
+        return current
+
+    def _build_join(self, left: _Relation, right: _Relation, conjuncts, kind, outer_scope) -> _Relation:
+        combined_layout = left.layout + right.layout
+        combined_bindings = left.bindings | right.bindings
+        left_scope = Scope(left.layout, outer=outer_scope)
+        right_scope = Scope(right.layout, outer=outer_scope)
+        combined_scope = Scope(combined_layout, outer=outer_scope)
+
+        left_keys, right_keys, residual = [], [], []
+        for conjunct in conjuncts:
+            pair = self._equi_key(conjunct, left_scope, right_scope)
+            if pair is not None:
+                left_keys.append(pair[0])
+                right_keys.append(pair[1])
+            else:
+                residual.append(conjunct)
+        residual_fn = (
+            self._compile(conjoin(residual), combined_scope) if residual else None
+        )
+        est = max(1, (left.est_rows * right.est_rows) // max(left.est_rows, right.est_rows, 1))
+        if left_keys:
+            op = ops.HashJoin(
+                left.op,
+                right.op,
+                left_keys,
+                right_keys,
+                residual=residual_fn,
+                kind=kind,
+                right_width=len(right.layout),
+            )
+        elif residual_fn is not None or kind == "left":
+            op = ops.NestedLoopJoin(
+                left.op, right.op, residual_fn, kind=kind, right_width=len(right.layout)
+            )
+            est = max(left.est_rows, right.est_rows)
+        else:
+            op = ops.CrossJoin(left.op, right.op)
+            est = left.est_rows * max(right.est_rows, 1)
+        return _Relation(op, combined_layout, combined_bindings, est)
+
+    def _equi_key(self, conjunct, left_scope, right_scope):
+        """If *conjunct* is ``left_col = right_col`` across the two sides,
+        return compiled key extractors (left_fn, right_fn)."""
+        if not (isinstance(conjunct, ast.Binary) and conjunct.op == "="):
+            return None
+        for first, second in ((conjunct.left, conjunct.right), (conjunct.right, conjunct.left)):
+            try:
+                left_fn = compile_expr(first, Scope(left_scope.layout))
+            except ProgrammingError:
+                continue
+            try:
+                right_fn = compile_expr(second, Scope(right_scope.layout))
+            except ProgrammingError:
+                continue
+            return (left_fn, right_fn)
+        return None
+
+    def _plan_from_item(self, item, outer_scope, referenced, where_conjuncts, consumed, all_bindings=frozenset()) -> _Relation:
+        if isinstance(item, ast.TableRef):
+            return self._plan_table_ref(
+                item, outer_scope, referenced, where_conjuncts, consumed, all_bindings
+            )
+        if isinstance(item, ast.DerivedTable):
+            sub_op, _layout, names = self._plan_select(item.select, None)
+            layout = [(item.alias, name) for name in names]
+            cache_key = id(item)
+
+            def produce(env, _op=sub_op, _key=cache_key):
+                cached = env.cache.get(_key)
+                if cached is None:
+                    cached = _op.rows(env)
+                    env.cache[_key] = cached
+                return cached
+
+            op = ops.Subplan(produce, f"Derived({item.alias})")
+            op.children = (sub_op,)
+            return _Relation(op, layout, {item.alias}, 1000)
+        if isinstance(item, ast.Join):
+            left = self._plan_from_item(item.left, outer_scope, referenced, where_conjuncts, consumed, all_bindings)
+            right = self._plan_from_item(item.right, outer_scope, referenced, where_conjuncts, consumed, all_bindings)
+            conjuncts = split_conjuncts(item.on)
+            return self._build_join(left, right, conjuncts, item.kind if item.kind != "cross" else "inner", outer_scope)
+        raise PlanError(f"cannot plan FROM item {item!r}")
+
+    def _plan_table_ref(self, ref: ast.TableRef, outer_scope, referenced, where_conjuncts, consumed, all_bindings=frozenset()) -> _Relation:
+        view = getattr(self.db, "view", lambda _n: None)(ref.name)
+        if view is not None:
+            if ref.temporal:
+                raise ProgrammingError(
+                    f"temporal clauses are not supported on view {ref.name!r}"
+                )
+            derived = ast.DerivedTable(view, ref.binding)
+            return self._plan_from_item(
+                derived, outer_scope, referenced, where_conjuncts, consumed,
+                all_bindings,
+            )
+        table = self.db.table(ref.name)
+        schema = table.schema
+        binding = ref.binding
+        layout = [(binding, column) for column in schema.column_names()]
+        scope = Scope(layout, outer=outer_scope)
+
+        temporal_filters, has_system_clause = self._resolve_temporal(
+            ref, schema, outer_scope
+        )
+
+        # which partitions must be read?
+        if not table.is_versioned:
+            partitions = [table.current_partition_name()]
+        elif not table.has_split:
+            partitions = [table.current_partition_name()]
+            if not has_system_clause:
+                # System D "current" semantics: filter open versions by value
+                period = schema.system_period
+                temporal_filters.append(
+                    TemporalBounds(
+                        period.begin_column,
+                        period.end_column,
+                        "overlap",
+                        low=lambda env: END_OF_TIME - 1,
+                        high=lambda env: END_OF_TIME,
+                    )
+                )
+        elif has_system_clause:
+            # Fig 6: explicit system time always unions in the history
+            # partition (no optimizer prunes it), unless the profile opts in.
+            partitions = [table.current_partition_name(), "history"]
+        else:
+            partitions = [table.current_partition_name()]
+
+        # sargable single-table conjuncts -> access constraints + pushed filter
+        constraints: List[ColumnConstraint] = []
+        pushed: List[ast.Expr] = []
+        for conjunct in where_conjuncts:
+            if id(conjunct) in consumed:
+                continue
+            if not self._only_references(
+                conjunct, binding, schema, all_bindings, outer_scope
+            ):
+                continue
+            consumed.add(id(conjunct))
+            pushed.append(conjunct)
+            constraint = self._to_constraint(conjunct, binding, schema, scope, outer_scope)
+            if constraint is not None:
+                constraints.append(constraint)
+
+        need_temporal = self._needs_temporal(
+            schema, binding, referenced, has_system_clause, table
+        )
+
+        access = TableAccessPlan(
+            table,
+            self.profile,
+            partitions,
+            temporal_filters,
+            constraints,
+            need_temporal,
+        )
+        description = (
+            f"Access({schema.name} as {binding}, partitions={partitions}, "
+            f"temporal={len(temporal_filters)})"
+        )
+        op: ops.Operator = ops.TableAccess(access.rows, description)
+        if pushed:
+            predicate = self._compile(conjoin(pushed), scope)
+            op = ops.Filter(op, predicate, f"Filter({binding})")
+        est = table.current_count() + (
+            table.history_count() if (has_system_clause and table.has_split) else 0
+        )
+        return _Relation(op, layout, {binding}, max(1, est))
+
+    def _resolve_temporal(self, ref, schema: TableSchema, outer_scope):
+        filters: List[TemporalBounds] = []
+        has_system = False
+        for clause in ref.temporal:
+            period = self._resolve_period(schema, clause.period)
+            if period.is_system:
+                has_system = True
+                if not self.profile.supports_system_time:
+                    raise NotSupportedError(
+                        f"{self.profile.name} has no system-time support"
+                    )
+            low_fn = self._const_fn(clause.low, outer_scope)
+            high_fn = self._const_fn(clause.high, outer_scope)
+            if clause.mode == "all":
+                bounds = TemporalBounds(
+                    period.begin_column, period.end_column, "all"
+                )
+            elif clause.mode == "as_of":
+                bounds = TemporalBounds(
+                    period.begin_column, period.end_column, "as_of", low=low_fn
+                )
+            elif clause.mode == "from_to":
+                bounds = TemporalBounds(
+                    period.begin_column, period.end_column, "overlap",
+                    low=low_fn, high=high_fn,
+                )
+            else:  # between: inclusive upper bound
+                bounds = TemporalBounds(
+                    period.begin_column, period.end_column, "overlap",
+                    low=low_fn,
+                    high=(lambda env, fn=high_fn: fn(env) + 1),
+                )
+            filters.append(bounds)
+        return filters, has_system
+
+    def _resolve_period(self, schema: TableSchema, name: str):
+        if name == "system_time":
+            period = schema.system_period
+            if period is None:
+                raise ProgrammingError(
+                    f"table {schema.name} has no system-time period"
+                )
+            return period
+        if name == "business_time":
+            app = schema.application_periods
+            if not app:
+                raise ProgrammingError(
+                    f"table {schema.name} has no application-time period"
+                )
+            return app[0]
+        return schema.period(name)
+
+    def _const_fn(self, expr, outer_scope):
+        """Compile an expression with no local columns into fn(env)."""
+        if expr is None:
+            return None
+        fn = compile_expr(expr, Scope([], outer=outer_scope))
+        return lambda env: fn((), env)
+
+    def _only_references(
+        self, conjunct, binding, schema, all_bindings=frozenset(), outer_scope=None
+    ) -> bool:
+        """True if every column in *conjunct* belongs to *binding*; references
+        that resolve only in an enclosing query behave like constants, while
+        references to sibling FROM units disqualify the conjunct."""
+        has_local = False
+        for ref in _collect_column_refs(conjunct):
+            if ref.table == binding:
+                has_local = True
+            elif ref.table is None and schema.has_column(ref.name):
+                has_local = True
+            elif ref.table is not None and ref.table not in all_bindings:
+                # qualified with something that is not a sibling: a
+                # correlation column from an enclosing query, if it resolves
+                if outer_scope is None:
+                    return False
+                try:
+                    outer_scope.resolve(ref)
+                except ProgrammingError:
+                    return False
+            else:
+                return False
+        # subquery-bearing predicates are never pushed into access paths
+        for node in ast.walk_expr(conjunct):
+            if isinstance(node, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)):
+                return False
+        return has_local
+
+    def _to_constraint(self, conjunct, binding, schema, scope, outer_scope):
+        """Turn a pushed conjunct into a ColumnConstraint when sargable."""
+        if isinstance(conjunct, ast.Between):
+            column = self._local_column(conjunct.operand, binding, schema)
+            if column is None:
+                return None
+            low_fn = self._value_fn(conjunct.low, outer_scope)
+            high_fn = self._value_fn(conjunct.high, outer_scope)
+            if low_fn is None or high_fn is None or conjunct.negated:
+                return None
+            return ColumnConstraint(column, "between", low=low_fn, high=high_fn)
+        if not isinstance(conjunct, ast.Binary):
+            return None
+        op = conjunct.op
+        if op not in ("=", "<", "<=", ">", ">="):
+            return None
+        column = self._local_column(conjunct.left, binding, schema)
+        value_expr = conjunct.right
+        if column is None:
+            column = self._local_column(conjunct.right, binding, schema)
+            value_expr = conjunct.left
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        if column is None:
+            return None
+        value_fn = self._value_fn(value_expr, outer_scope)
+        if value_fn is None:
+            return None
+        if op == "=":
+            return ColumnConstraint(column, "=", low=value_fn, high=value_fn)
+        if op in ("<", "<="):
+            return ColumnConstraint(column, op, high=value_fn)
+        return ColumnConstraint(column, op, low=value_fn)
+
+    def _local_column(self, expr, binding, schema) -> Optional[str]:
+        if isinstance(expr, ast.ColumnRef):
+            if expr.table == binding and schema.has_column(expr.name):
+                return expr.name
+            if expr.table is None and schema.has_column(expr.name):
+                return expr.name
+        return None
+
+    def _value_fn(self, expr, outer_scope):
+        """Compile a value-side expression (constants, params, outer refs)."""
+        try:
+            fn = compile_expr(expr, Scope([], outer=outer_scope))
+        except ProgrammingError:
+            return None
+        return lambda env: fn((), env)
+
+    def _needs_temporal(self, schema, binding, referenced, has_system_clause, table):
+        if not table.is_versioned:
+            return False
+        if has_system_clause:
+            return True
+        if not table.has_split:
+            return True  # the implicit-current filter reads sys_end
+        period = schema.system_period
+        sys_cols = {period.begin_column, period.end_column}
+        for ref_binding, name in referenced:
+            if name in sys_cols and ref_binding in (binding, None):
+                return True
+        return False
+
+    def _referenced_columns(self, select) -> List[Tuple[Optional[str], str]]:
+        refs = []
+        _walk_select(select, refs)
+        out = []
+        for ref in refs:
+            out.append((ref.table, ref.name))
+        # stars reference everything
+        for item in select.items:
+            if isinstance(item.expr, ast.Star):
+                out.append((item.expr.table, "*"))
+        return out
+
+    # -- aggregation -----------------------------------------------------------
+
+    def _plan_aggregation(self, select, items, source_op, scope, outer_scope):
+        group_keys = list(select.group_by)
+        key_fns = [self._compile(expr, scope) for expr in group_keys]
+        key_ids = [_expr_key(expr, scope) for expr in group_keys]
+
+        aggregates: List[ast.Aggregate] = []
+        agg_ids: List[str] = []
+
+        def register(agg: ast.Aggregate) -> int:
+            agg_id = _expr_key(agg, scope)
+            if agg_id in agg_ids:
+                return agg_ids.index(agg_id)
+            agg_ids.append(agg_id)
+            aggregates.append(agg)
+            return len(aggregates) - 1
+
+        def rewrite(expr):
+            if expr is None:
+                return None
+            expr_id = _expr_key(expr, scope)
+            for i, key_id in enumerate(key_ids):
+                if expr_id == key_id:
+                    return ast.ColumnRef(f"__g{i}", table="__agg")
+            if isinstance(expr, ast.Aggregate):
+                idx = register(expr)
+                return ast.ColumnRef(f"__a{idx}", table="__agg")
+            return _rebuild(expr, rewrite)
+
+        rewritten_items = [
+            ast.SelectItem(rewrite(item.expr), item.alias) for item in items
+        ]
+        rewritten_having = rewrite(select.having) if select.having is not None else None
+
+        accumulators = []
+        for agg in aggregates:
+            arg_fn = (
+                self._compile(agg.arg, scope) if agg.arg is not None else None
+            )
+            accumulators.append((agg.func, arg_fn, agg.distinct))
+
+        agg_op = ops.Aggregate(
+            source_op, key_fns, accumulators, global_agg=not group_keys
+        )
+        post_layout = [("__agg", f"__g{i}") for i in range(len(group_keys))] + [
+            ("__agg", f"__a{i}") for i in range(len(aggregates))
+        ]
+        post_scope = Scope(post_layout, outer=outer_scope)
+        return agg_op, post_scope, rewritten_items, rewritten_having, rewrite
+
+    # -- projection / ordering ------------------------------------------------------
+
+    def _expand_stars(self, items, source_layout):
+        out = []
+        for item in items:
+            if isinstance(item.expr, ast.Star):
+                for binding, column in source_layout:
+                    if item.expr.table is None or item.expr.table == binding:
+                        out.append(
+                            ast.SelectItem(ast.ColumnRef(column, table=binding), None)
+                        )
+            else:
+                out.append(item)
+        if not out:
+            raise ProgrammingError("empty select list after star expansion")
+        return out
+
+    def _output_names(self, items) -> List[str]:
+        names = []
+        for index, item in enumerate(items):
+            if item.alias:
+                names.append(item.alias)
+            elif isinstance(item.expr, ast.ColumnRef):
+                names.append(item.expr.name)
+            else:
+                names.append(f"col{index}")
+        return names
+
+    def _sort_specs(self, order_by, items, out_names, pre_scope, order_rewrite):
+        """Each spec is ('out', slot, desc) or ('pre', fn, desc)."""
+        specs = []
+        for order_item in order_by:
+            expr = order_item.expr
+            desc = not order_item.ascending
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                slot = expr.value - 1
+                if not (0 <= slot < len(out_names)):
+                    raise ProgrammingError(f"ORDER BY position {expr.value} out of range")
+                specs.append(("out", slot, desc))
+                continue
+            if isinstance(expr, ast.ColumnRef) and expr.table is None and expr.name in out_names:
+                specs.append(("out", out_names.index(expr.name), desc))
+                continue
+            target = order_rewrite(expr) if order_rewrite is not None else expr
+            fn = self._compile(target, pre_scope)
+            specs.append(("pre", fn, desc))
+        return specs
+
+    def _order_on_output(self, op, order_by, out_names, outer_scope):
+        key_fns = []
+        descending = []
+        for order_item in order_by:
+            expr = order_item.expr
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                slot = expr.value - 1
+            elif isinstance(expr, ast.ColumnRef) and expr.name in out_names:
+                slot = out_names.index(expr.name)
+            else:
+                raise ProgrammingError(
+                    "ORDER BY after UNION must reference output columns"
+                )
+            key_fns.append(lambda row, env, s=slot: row[s])
+            descending.append(not order_item.ascending)
+        return ops.Sort(op, key_fns, descending)
+
+    def _apply_limit(self, op, select, outer_scope):
+        if select.limit is None:
+            return op
+        limit_fn = self._compile(select.limit, Scope([], outer=outer_scope))
+        offset_fn = (
+            self._compile(select.offset, Scope([], outer=outer_scope))
+            if select.offset is not None
+            else None
+        )
+        return ops.Limit(op, limit_fn, offset_fn)
+
+    # -- expression compilation with subquery support ------------------------------
+
+    def _compile(self, expr, scope):
+        if expr is None:
+            return None
+        return compile_expr(expr, scope, self._subquery_compiler)
+
+    def _subquery_compiler(self, select: ast.Select, scope: Scope):
+        planned = self.plan_select(select, outer_scope=scope)
+        # uncorrelated subqueries (those that also plan with no outer scope)
+        # are cached per statement execution
+        correlated = True
+        try:
+            self.plan_select(select, outer_scope=None)
+            correlated = False
+        except (ProgrammingError, PlanError):
+            correlated = True
+        cache_key = id(planned)
+
+        def run(env: Env):
+            if not correlated:
+                cached = env.cache.get(cache_key)
+                if cached is None:
+                    cached = planned.rows(env)
+                    env.cache[cache_key] = cached
+                return cached
+            return planned.rows(env)
+
+        return run
+
+
+class _Finalize(ops.Operator):
+    """Projection + distinct + order + limit in one node.
+
+    Keeps (pre_row, out_row) pairs so ORDER BY can reference either the
+    projected output (aliases, positions) or the pre-projection row
+    (arbitrary expressions), as SQL requires.
+    """
+
+    def __init__(self, child, item_fns, distinct, sort_specs, limit_fn, offset_fn):
+        self.children = (child,)
+        self._item_fns = item_fns
+        self._distinct = distinct
+        self._sort_specs = sort_specs
+        self._limit_fn = limit_fn
+        self._offset_fn = offset_fn
+
+    def rows(self, env):
+        item_fns = self._item_fns
+        pairs = []
+        for pre_row in self.children[0].rows(env):
+            out_row = tuple(fn(pre_row, env) for fn in item_fns)
+            pairs.append((pre_row, out_row))
+        if self._distinct:
+            seen = set()
+            deduped = []
+            for pair in pairs:
+                if pair[1] not in seen:
+                    seen.add(pair[1])
+                    deduped.append(pair)
+            pairs = deduped
+        for spec in reversed(self._sort_specs):
+            kind, key, desc = spec
+            if kind == "out":
+                pairs.sort(
+                    key=lambda pair: ops._sort_token(pair[1][key]), reverse=desc
+                )
+            else:
+                pairs.sort(
+                    key=lambda pair: ops._sort_token(key(pair[0], env)), reverse=desc
+                )
+        out = [pair[1] for pair in pairs]
+        if self._limit_fn is not None:
+            start = int(self._offset_fn((), env)) if self._offset_fn else 0
+            out = out[start:start + int(self._limit_fn((), env))]
+        return out
+
+    def label(self):
+        bits = [f"Project({len(self._item_fns)})"]
+        if self._distinct:
+            bits.append("distinct")
+        if self._sort_specs:
+            bits.append(f"sort={len(self._sort_specs)}")
+        if self._limit_fn is not None:
+            bits.append("limit")
+        return "Finalize[" + ", ".join(bits) + "]"
+
+
+def _rebuild(expr, rewrite):
+    """Rebuild an expression node with rewritten children."""
+    if isinstance(expr, ast.Binary):
+        return ast.Binary(expr.op, rewrite(expr.left), rewrite(expr.right))
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(expr.op, rewrite(expr.operand))
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(expr.name, tuple(rewrite(a) for a in expr.args))
+    if isinstance(expr, ast.Case):
+        return ast.Case(
+            tuple((rewrite(c), rewrite(r)) for c, r in expr.branches),
+            rewrite(expr.default) if expr.default is not None else None,
+        )
+    if isinstance(expr, ast.Between):
+        return ast.Between(
+            rewrite(expr.operand), rewrite(expr.low), rewrite(expr.high), expr.negated
+        )
+    if isinstance(expr, ast.Like):
+        return ast.Like(rewrite(expr.operand), rewrite(expr.pattern), expr.negated)
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(rewrite(expr.operand), expr.negated)
+    if isinstance(expr, ast.InList):
+        return ast.InList(
+            rewrite(expr.operand), tuple(rewrite(i) for i in expr.items), expr.negated
+        )
+    # literals, params, column refs, subqueries: returned unchanged
+    return expr

@@ -1,0 +1,267 @@
+"""Statement dispatch: parse → plan → execute, for all statement kinds.
+
+DML statements follow the rewrite strategy the paper documents: an UPDATE
+or DELETE first *finds* the affected current versions with an ordinary
+query over the current partition, then applies the temporal row operations
+(invalidate / re-insert / split) through :mod:`repro.engine.temporal`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from . import temporal
+from .catalog import Column, IndexDef, TableSchema, PeriodDef
+from .errors import NotSupportedError, ProgrammingError
+from .expr import Env, Scope, compile_expr
+from .plan.planner import Planner, PlannedQuery
+from .sql import ast, parse_statement
+from .types import Period, SqlType
+
+
+@dataclass
+class Result:
+    """Outcome of one statement execution."""
+
+    rows: List[tuple] = field(default_factory=list)
+    columns: List[str] = field(default_factory=list)
+    rowcount: int = -1
+
+    def scalar(self):
+        """First column of the first row (None when empty)."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self):
+        return len(self.rows)
+
+
+def _normalize_params(params) -> Dict:
+    if params is None:
+        return {}
+    if isinstance(params, dict):
+        return {str(k).lower(): v for k, v in params.items()}
+    return dict(enumerate(params))
+
+
+class SqlEngine:
+    """Per-database SQL façade with a small plan cache."""
+
+    def __init__(self, db):
+        self.db = db
+        self.planner = Planner(db)
+        self._plan_cache: Dict[str, PlannedQuery] = {}
+        self.plan_cache_limit = 256
+
+    # -- public API ----------------------------------------------------------
+
+    def execute(self, sql, params=None) -> Result:
+        stmt = None
+        if isinstance(sql, str):
+            cached = self._plan_cache.get(sql)
+            if cached is not None:
+                env = Env(_normalize_params(params))
+                rows = cached.rows(env)
+                return Result(rows, cached.column_names, len(rows))
+            stmt = parse_statement(sql)
+        else:
+            stmt = sql  # pre-parsed AST
+        if isinstance(stmt, ast.Select):
+            planned = self.planner.plan_select(stmt)
+            if isinstance(sql, str):
+                if len(self._plan_cache) >= self.plan_cache_limit:
+                    self._plan_cache.clear()
+                self._plan_cache[sql] = planned
+            env = Env(_normalize_params(params))
+            rows = planned.rows(env)
+            return Result(rows, planned.column_names, len(rows))
+        if isinstance(stmt, ast.Insert):
+            return self._execute_insert(stmt, params)
+        if isinstance(stmt, ast.Update):
+            return self._execute_update(stmt, params)
+        if isinstance(stmt, ast.Delete):
+            return self._execute_delete(stmt, params)
+        if isinstance(stmt, ast.CreateTable):
+            self._plan_cache.clear()
+            return self._execute_create_table(stmt)
+        if isinstance(stmt, ast.CreateIndex):
+            self._plan_cache.clear()
+            return self._execute_create_index(stmt)
+        if isinstance(stmt, ast.CreateView):
+            self.db.create_view(stmt.name, stmt.select)
+            self._plan_cache.clear()
+            return Result(rowcount=0)
+        if isinstance(stmt, ast.DropView):
+            self.db.drop_view(stmt.name)
+            self._plan_cache.clear()
+            return Result(rowcount=0)
+        if isinstance(stmt, ast.DropTable):
+            self.db.drop_table(stmt.name)
+            self._plan_cache.clear()
+            return Result(rowcount=0)
+        if isinstance(stmt, ast.DropIndex):
+            self.db.drop_index(stmt.name)
+            self._plan_cache.clear()
+            return Result(rowcount=0)
+        raise ProgrammingError(f"cannot execute statement {stmt!r}")
+
+    def explain(self, sql, params=None) -> str:
+        stmt = parse_statement(sql) if isinstance(sql, str) else sql
+        if not isinstance(stmt, ast.Select):
+            raise ProgrammingError("EXPLAIN is only supported for SELECT")
+        planned = self.planner.plan_select(stmt)
+        return planned.explain()
+
+    # -- DML ---------------------------------------------------------------------
+
+    def _execute_insert(self, stmt: ast.Insert, params) -> Result:
+        table = self.db.table(stmt.table)
+        schema = table.schema
+        env = Env(_normalize_params(params))
+        scope = Scope([])
+        if stmt.select is not None:
+            planned = self.planner.plan_select(stmt.select)
+            source_rows = planned.rows(env)
+        else:
+            source_rows = [
+                tuple(compile_expr(e, scope)((), env) for e in row)
+                for row in stmt.rows
+            ]
+        columns = stmt.columns or schema.column_names()
+        count = 0
+        for values in source_rows:
+            if len(values) != len(columns):
+                raise ProgrammingError(
+                    f"INSERT arity mismatch: {len(columns)} columns, "
+                    f"{len(values)} values"
+                )
+            self.db.insert_row(stmt.table, dict(zip(columns, values)))
+            count += 1
+        return Result(rowcount=count)
+
+    def _find_affected_keys(self, table, where, env):
+        """Distinct primary keys of current versions matching *where*."""
+        schema = table.schema
+        if not schema.primary_key:
+            raise NotSupportedError(
+                f"DML on table {schema.name} requires a primary key"
+            )
+        layout = [(schema.name, column) for column in schema.column_names()]
+        scope = Scope(layout)
+        predicate = (
+            compile_expr(where, scope, self.planner._subquery_compiler)
+            if where is not None
+            else None
+        )
+        keys = []
+        seen = set()
+        # implicit-current semantics: on single-table layouts (System D)
+        # closed versions are interleaved and must not count as affected
+        for row in temporal.snapshot_rows(table, None):
+            if predicate is not None and predicate(tuple(row), env) is not True:
+                continue
+            key = schema.key_of(row)
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+        return keys
+
+    def _execute_update(self, stmt: ast.Update, params) -> Result:
+        table = self.db.table(stmt.table)
+        schema = table.schema
+        env = Env(_normalize_params(params))
+        keys = self._find_affected_keys(table, stmt.where, env)
+        layout = [(schema.name, column) for column in schema.column_names()]
+        scope = Scope(layout)
+        assignment_fns = [
+            (column, compile_expr(expr, scope)) for column, expr in stmt.assignments
+        ]
+        count = 0
+        for key in keys:
+            # evaluate SET expressions against the (first) current version
+            versions = temporal.current_versions_for_key(table, key)
+            if not versions:
+                continue
+            base_row = tuple(versions[0][1])
+            changes = {
+                column: fn(base_row, env) for column, fn in assignment_fns
+            }
+            if stmt.portion is not None:
+                period_name = self._portion_period(schema, stmt.portion)
+                low = compile_expr(stmt.portion.low, Scope([]))((), env)
+                high = compile_expr(stmt.portion.high, Scope([]))((), env)
+                count += self.db.sequenced_update_by_key(
+                    stmt.table, key, changes, period_name, low, high
+                )
+            else:
+                count += self.db.update_by_key(stmt.table, key, changes)
+        return Result(rowcount=count)
+
+    def _execute_delete(self, stmt: ast.Delete, params) -> Result:
+        table = self.db.table(stmt.table)
+        schema = table.schema
+        env = Env(_normalize_params(params))
+        keys = self._find_affected_keys(table, stmt.where, env)
+        count = 0
+        for key in keys:
+            if stmt.portion is not None:
+                period_name = self._portion_period(schema, stmt.portion)
+                low = compile_expr(stmt.portion.low, Scope([]))((), env)
+                high = compile_expr(stmt.portion.high, Scope([]))((), env)
+                count += self.db.sequenced_delete_by_key(
+                    stmt.table, key, period_name, low, high
+                )
+            else:
+                count += self.db.delete_by_key(stmt.table, key)
+        return Result(rowcount=count)
+
+    def _portion_period(self, schema, portion: ast.Portion) -> str:
+        if portion.period == "business_time":
+            app = schema.application_periods
+            if not app:
+                raise ProgrammingError(
+                    f"table {schema.name} has no application period"
+                )
+            return app[0].name
+        return schema.period(portion.period).name
+
+    # -- DDL -------------------------------------------------------------------
+
+    def _execute_create_table(self, stmt: ast.CreateTable) -> Result:
+        columns = [
+            Column(c.name, SqlType(c.type_name), nullable=c.nullable)
+            for c in stmt.columns
+        ]
+        periods = [
+            PeriodDef(
+                p.name,
+                p.begin_column,
+                p.end_column,
+                is_system=(p.name == "system_time"),
+            )
+            for p in stmt.periods
+        ]
+        schema = TableSchema(
+            name=stmt.name,
+            columns=columns,
+            primary_key=tuple(stmt.primary_key),
+            periods=periods,
+        )
+        self.db.create_table(schema)
+        return Result(rowcount=0)
+
+    def _execute_create_index(self, stmt: ast.CreateIndex) -> Result:
+        index = IndexDef(
+            name=stmt.name,
+            table=stmt.table,
+            columns=tuple(stmt.columns),
+            kind=stmt.kind,
+            partition=stmt.partition,
+        )
+        self.db.create_index(index)
+        return Result(rowcount=0)

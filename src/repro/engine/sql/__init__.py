@@ -1,0 +1,6 @@
+"""SQL front end: lexer, AST and recursive-descent parser."""
+
+from .parser import parse_statement
+from . import ast
+
+__all__ = ["parse_statement", "ast"]

@@ -1,0 +1,355 @@
+"""Abstract syntax tree for the engine's SQL dialect.
+
+The dialect is SQL:2011-flavoured: plain relational SQL plus the temporal
+table clauses (``FOR SYSTEM_TIME AS OF`` and friends) and sequenced DML
+(``FOR PORTION OF``).  Every node is a small dataclass; the planner walks
+these directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of all expression nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object  # int, float, str, bool or None
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+    table: Optional[str] = None  # qualifier (table name or alias)
+
+    def __str__(self):
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A statement parameter: positional (index) or named (name)."""
+
+    index: Optional[int] = None
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``alias.*`` in a select list or COUNT(*)."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # "-", "+", "not"
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str  # arithmetic, comparison, "and", "or", "||"
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Aggregate(Expr):
+    func: str  # sum | avg | count | min | max
+    arg: Optional[Expr]  # None only for count(*)
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    branches: Tuple[Tuple[Expr, Expr], ...]  # (condition, result)
+    default: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: Tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    operand: Expr
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Exists(Expr):
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expr):
+    subquery: "Select"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IntervalLiteral(Expr):
+    """``INTERVAL '3' MONTH`` — value in the stated unit."""
+
+    value: int
+    unit: str  # "day" | "month" | "year"
+
+
+# ---------------------------------------------------------------------------
+# table references and temporal clauses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TemporalClause:
+    """One ``FOR <period> ...`` clause attached to a table reference.
+
+    ``period`` is ``"system_time"``, ``"business_time"`` or the name of a
+    declared application period.  ``mode`` is one of:
+
+    * ``as_of`` — snapshot at ``low``
+    * ``from_to`` — half-open range ``[low, high)``
+    * ``between`` — closed range ``[low, high]``
+    * ``all`` — the entire dimension (``FOR SYSTEM_TIME ALL``)
+    """
+
+    period: str
+    mode: str
+    low: Optional[Expr] = None
+    high: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+    temporal: Tuple[TemporalClause, ...] = ()
+
+    @property
+    def binding(self):
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class DerivedTable:
+    select: "Select"
+    alias: str
+
+    @property
+    def binding(self):
+        return self.alias
+
+
+@dataclass(frozen=True)
+class Join:
+    kind: str  # "inner" | "left" | "cross"
+    left: "FromItem"
+    right: "FromItem"
+    on: Optional[Expr] = None
+
+
+FromItem = Union[TableRef, DerivedTable, Join]
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class Select:
+    items: List[SelectItem]
+    from_items: List[FromItem] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: List[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[Expr] = None
+    offset: Optional[Expr] = None
+    distinct: bool = False
+    set_op: Optional[Tuple[str, "Select", bool]] = None  # (op, rhs, all)
+
+
+@dataclass
+class Insert:
+    table: str
+    columns: List[str]
+    rows: List[List[Expr]] = field(default_factory=list)
+    select: Optional[Select] = None
+
+
+@dataclass(frozen=True)
+class Portion:
+    """``FOR PORTION OF <period> FROM <low> TO <high>``."""
+
+    period: str
+    low: Expr
+    high: Expr
+
+
+@dataclass
+class Update:
+    table: str
+    assignments: List[Tuple[str, Expr]]
+    where: Optional[Expr] = None
+    portion: Optional[Portion] = None
+
+
+@dataclass
+class Delete:
+    table: str
+    where: Optional[Expr] = None
+    portion: Optional[Portion] = None
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+    nullable: bool = True
+
+
+@dataclass(frozen=True)
+class PeriodClause:
+    name: str  # "system_time" or an application period name
+    begin_column: str
+    end_column: str
+
+
+@dataclass
+class CreateTable:
+    name: str
+    columns: List[ColumnDef]
+    primary_key: List[str] = field(default_factory=list)
+    periods: List[PeriodClause] = field(default_factory=list)
+
+
+@dataclass
+class CreateIndex:
+    name: str
+    table: str
+    columns: List[str]
+    kind: str = "btree"
+    partition: str = "current"
+
+
+@dataclass
+class CreateView:
+    name: str
+    select: "Select"
+
+
+@dataclass
+class DropView:
+    name: str
+
+
+@dataclass
+class DropTable:
+    name: str
+
+
+@dataclass
+class DropIndex:
+    name: str
+
+
+Statement = Union[
+    Select, Insert, Update, Delete,
+    CreateTable, CreateIndex, CreateView,
+    DropTable, DropIndex, DropView,
+]
+
+
+def walk_expr(expr):
+    """Depth-first traversal over an expression tree (yields every node)."""
+    if expr is None:
+        return
+    yield expr
+    if isinstance(expr, Unary):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, Binary):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, FuncCall):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+    elif isinstance(expr, Aggregate):
+        yield from walk_expr(expr.arg)
+    elif isinstance(expr, Case):
+        for cond, result in expr.branches:
+            yield from walk_expr(cond)
+            yield from walk_expr(result)
+        yield from walk_expr(expr.default)
+    elif isinstance(expr, InList):
+        yield from walk_expr(expr.operand)
+        for item in expr.items:
+            yield from walk_expr(item)
+    elif isinstance(expr, (InSubquery,)):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, Between):
+        yield from walk_expr(expr.operand)
+        yield from walk_expr(expr.low)
+        yield from walk_expr(expr.high)
+    elif isinstance(expr, Like):
+        yield from walk_expr(expr.operand)
+        yield from walk_expr(expr.pattern)
+    elif isinstance(expr, IsNull):
+        yield from walk_expr(expr.operand)
+
+
+def contains_aggregate(expr) -> bool:
+    """True if any node in *expr* is an aggregate call."""
+    return any(isinstance(node, Aggregate) for node in walk_expr(expr))

@@ -1,0 +1,156 @@
+"""Hand-written SQL tokenizer.
+
+Produces a flat token list; the parser indexes into it.  Keywords are
+case-insensitive and normalised to lowercase; identifiers keep their
+lowercase form (the benchmark schema is all lowercase); string literals
+keep their exact contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import SqlSyntaxError
+
+KEYWORDS = frozenset(
+    """
+    select from where group by having order asc desc limit offset distinct
+    as and or not in exists between like is null case when then else end
+    inner left outer cross join on union all insert into values update set
+    delete create table index drop primary key period for system_time
+    business_time portion of as_of to date timestamp interval day month year
+    true false using btree hash rtree history current extract substring
+    count sum avg min max top view
+    """.split()
+)
+
+SIMPLE_OPS = {
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+    "%": "%",
+    "(": "(",
+    ")": ")",
+    ",": ",",
+    ".": ".",
+    ";": ";",
+    "=": "=",
+    "?": "?",
+}
+
+TWO_CHAR_OPS = {"<=", ">=", "<>", "!=", "||"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # keyword | ident | number | string | op | param | end
+    value: object
+    position: int
+
+
+def tokenize(sql: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # -- comments ---------------------------------------------------
+        if ch == "-" and sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "/" and sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end == -1:
+                raise SqlSyntaxError("unterminated comment", position=i)
+            i = end + 2
+            continue
+        # -- strings ----------------------------------------------------
+        if ch == "'":
+            j = i + 1
+            parts = []
+            while True:
+                if j >= n:
+                    raise SqlSyntaxError("unterminated string literal", position=i)
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":  # escaped quote
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(sql[j])
+                j += 1
+            tokens.append(Token("string", "".join(parts), i))
+            i = j + 1
+            continue
+        # -- numbers ----------------------------------------------------
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            has_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not has_dot)):
+                if sql[j] == ".":
+                    # a dot not followed by a digit is a separate token
+                    if j + 1 >= n or not sql[j + 1].isdigit():
+                        break
+                    has_dot = True
+                j += 1
+            text = sql[i:j]
+            value = float(text) if has_dot else int(text)
+            tokens.append(Token("number", value, i))
+            i = j
+            continue
+        # -- named parameters --------------------------------------------
+        if ch == ":":
+            j = i + 1
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise SqlSyntaxError("lone ':'", position=i)
+            tokens.append(Token("param", sql[i + 1:j].lower(), i))
+            i = j
+            continue
+        # -- identifiers / keywords ---------------------------------------
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j].lower()
+            if word in KEYWORDS:
+                tokens.append(Token("keyword", word, i))
+            else:
+                tokens.append(Token("ident", word, i))
+            i = j
+            continue
+        # -- quoted identifiers -------------------------------------------
+        if ch == '"':
+            j = sql.find('"', i + 1)
+            if j == -1:
+                raise SqlSyntaxError("unterminated quoted identifier", position=i)
+            tokens.append(Token("ident", sql[i + 1:j].lower(), i))
+            i = j + 1
+            continue
+        # -- operators ------------------------------------------------------
+        two = sql[i:i + 2]
+        if two in TWO_CHAR_OPS:
+            op = "<>" if two == "!=" else two
+            tokens.append(Token("op", op, i))
+            i += 2
+            continue
+        if ch in "<>":
+            tokens.append(Token("op", ch, i))
+            i += 1
+            continue
+        if ch in SIMPLE_OPS:
+            kind = "param" if ch == "?" else "op"
+            value = None if ch == "?" else ch
+            tokens.append(Token(kind, value, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", position=i)
+    tokens.append(Token("end", None, n))
+    return tokens

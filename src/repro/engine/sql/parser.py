@@ -1,0 +1,738 @@
+"""Recursive-descent parser for the engine's SQL dialect.
+
+Covers the full query surface of the TPC-BiH workload: SELECT with joins,
+grouping, correlated subqueries, EXISTS/IN, CASE, LIKE, BETWEEN, date and
+interval arithmetic — plus the SQL:2011 temporal additions (``FOR
+SYSTEM_TIME/BUSINESS_TIME`` table clauses, ``FOR PORTION OF`` DML) and DDL
+with ``PERIOD`` declarations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import SqlSyntaxError
+from . import ast
+from .lexer import Token, tokenize
+
+AGGREGATES = ("count", "sum", "avg", "min", "max")
+COMPARISONS = ("=", "<>", "<", "<=", ">", ">=")
+TYPE_NAMES = {
+    "int": "integer",
+    "integer": "integer",
+    "bigint": "integer",
+    "smallint": "integer",
+    "decimal": "decimal",
+    "numeric": "decimal",
+    "float": "decimal",
+    "double": "decimal",
+    "real": "decimal",
+    "varchar": "varchar",
+    "char": "varchar",
+    "text": "varchar",
+    "date": "date",
+    "timestamp": "timestamp",
+    "boolean": "boolean",
+}
+
+
+class Parser:
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.pos = 0
+        self._param_counter = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def peek(self, offset=0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "end":
+            self.pos += 1
+        return token
+
+    def check(self, kind, value=None) -> bool:
+        token = self.peek()
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def check_keyword(self, *words) -> bool:
+        return self.peek().kind == "keyword" and self.peek().value in words
+
+    def accept(self, kind, value=None) -> Optional[Token]:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def accept_keyword(self, *words) -> Optional[Token]:
+        if self.check_keyword(*words):
+            return self.advance()
+        return None
+
+    def expect(self, kind, value=None) -> Token:
+        if not self.check(kind, value):
+            token = self.peek()
+            want = value if value is not None else kind
+            raise SqlSyntaxError(
+                f"expected {want!r}, found {token.value!r}",
+                position=token.position,
+                fragment=self.sql[token.position:token.position + 24],
+            )
+        return self.advance()
+
+    def expect_keyword(self, word) -> Token:
+        return self.expect("keyword", word)
+
+    def expect_name(self) -> str:
+        """An identifier, allowing non-reserved keywords used as names."""
+        token = self.peek()
+        if token.kind == "ident":
+            return self.advance().value
+        if token.kind == "keyword" and token.value in (
+            "date", "timestamp", "year", "month", "day", "history", "current",
+            "key", "index", "count", "sum", "avg", "min", "max", "period",
+        ):
+            return self.advance().value
+        raise SqlSyntaxError(
+            f"expected identifier, found {token.value!r}",
+            position=token.position,
+        )
+
+    # -- statements ------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        if self.check_keyword("select"):
+            stmt = self.parse_select()
+        elif self.check_keyword("insert"):
+            stmt = self.parse_insert()
+        elif self.check_keyword("update"):
+            stmt = self.parse_update()
+        elif self.check_keyword("delete"):
+            stmt = self.parse_delete()
+        elif self.check_keyword("create"):
+            stmt = self.parse_create()
+        elif self.check_keyword("drop"):
+            stmt = self.parse_drop()
+        else:
+            token = self.peek()
+            raise SqlSyntaxError(
+                f"unexpected start of statement: {token.value!r}",
+                position=token.position,
+            )
+        self.accept("op", ";")
+        if not self.check("end"):
+            token = self.peek()
+            raise SqlSyntaxError(
+                f"trailing input after statement: {token.value!r}",
+                position=token.position,
+            )
+        return stmt
+
+    # -- SELECT -------------------------------------------------------------
+
+    def parse_select(self) -> ast.Select:
+        select = self._parse_select_core()
+        while self.accept_keyword("union"):
+            all_flag = bool(self.accept_keyword("all"))
+            rhs = self._parse_select_core()
+            # a trailing ORDER BY / LIMIT binds to the whole union
+            hoist_order, hoist_limit, hoist_offset = rhs.order_by, rhs.limit, rhs.offset
+            rhs.order_by, rhs.limit, rhs.offset = [], None, None
+            select = _fold_union(select, rhs, all_flag)
+            if hoist_order:
+                select.order_by = hoist_order
+            if hoist_limit is not None:
+                select.limit, select.offset = hoist_limit, hoist_offset
+        # ORDER BY / LIMIT may follow a union chain
+        if self.check_keyword("order"):
+            select.order_by = self._parse_order_by()
+        if self.accept_keyword("limit"):
+            select.limit = self.parse_expr()
+            if self.accept_keyword("offset"):
+                select.offset = self.parse_expr()
+        return select
+
+    def _parse_select_core(self) -> ast.Select:
+        self.expect_keyword("select")
+        distinct = bool(self.accept_keyword("distinct"))
+        self.accept_keyword("all")
+        items = [self._parse_select_item()]
+        while self.accept("op", ","):
+            items.append(self._parse_select_item())
+        select = ast.Select(items=items, distinct=distinct)
+        if self.accept_keyword("from"):
+            select.from_items = [self._parse_from_item()]
+            while self.accept("op", ","):
+                select.from_items.append(self._parse_from_item())
+        if self.accept_keyword("where"):
+            select.where = self.parse_expr()
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            select.group_by = [self.parse_expr()]
+            while self.accept("op", ","):
+                select.group_by.append(self.parse_expr())
+        if self.accept_keyword("having"):
+            select.having = self.parse_expr()
+        if self.check_keyword("order"):
+            select.order_by = self._parse_order_by()
+        if self.accept_keyword("limit"):
+            select.limit = self.parse_expr()
+            if self.accept_keyword("offset"):
+                select.offset = self.parse_expr()
+        return select
+
+    def _parse_order_by(self) -> List[ast.OrderItem]:
+        self.expect_keyword("order")
+        self.expect_keyword("by")
+        out = [self._parse_order_item()]
+        while self.accept("op", ","):
+            out.append(self._parse_order_item())
+        return out
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self.parse_expr()
+        ascending = True
+        if self.accept_keyword("desc"):
+            ascending = False
+        else:
+            self.accept_keyword("asc")
+        return ast.OrderItem(expr, ascending)
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        if self.check("op", "*"):
+            self.advance()
+            return ast.SelectItem(ast.Star())
+        # alias.*
+        if (
+            self.check("ident")
+            and self.peek(1).kind == "op"
+            and self.peek(1).value == "."
+            and self.peek(2).kind == "op"
+            and self.peek(2).value == "*"
+        ):
+            table = self.advance().value
+            self.advance()
+            self.advance()
+            return ast.SelectItem(ast.Star(table=table))
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_name()
+        elif self.check("ident"):
+            alias = self.advance().value
+        return ast.SelectItem(expr, alias)
+
+    # -- FROM ------------------------------------------------------------------
+
+    def _parse_from_item(self) -> ast.FromItem:
+        item = self._parse_table_primary()
+        while True:
+            if self.check_keyword("join") or self.check_keyword("inner"):
+                self.accept_keyword("inner")
+                self.expect_keyword("join")
+                right = self._parse_table_primary()
+                self.expect_keyword("on")
+                on = self.parse_expr()
+                item = ast.Join("inner", item, right, on)
+            elif self.check_keyword("left"):
+                self.advance()
+                self.accept_keyword("outer")
+                self.expect_keyword("join")
+                right = self._parse_table_primary()
+                self.expect_keyword("on")
+                on = self.parse_expr()
+                item = ast.Join("left", item, right, on)
+            elif self.check_keyword("cross"):
+                self.advance()
+                self.expect_keyword("join")
+                right = self._parse_table_primary()
+                item = ast.Join("cross", item, right, None)
+            else:
+                return item
+
+    def _parse_table_primary(self) -> ast.FromItem:
+        if self.accept("op", "("):
+            if self.check_keyword("select"):
+                select = self.parse_select()
+                self.expect("op", ")")
+                self.accept_keyword("as")
+                alias = self.expect_name()
+                return ast.DerivedTable(select, alias)
+            item = self._parse_from_item()
+            self.expect("op", ")")
+            return item
+        name = self.expect_name()
+        temporal = []
+        while self.check_keyword("for"):
+            clause = self._try_parse_temporal_clause()
+            if clause is None:
+                break
+            temporal.append(clause)
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_name()
+        elif self.check("ident"):
+            alias = self.advance().value
+        # temporal clauses may also follow the alias (Teradata style)
+        while self.check_keyword("for"):
+            clause = self._try_parse_temporal_clause()
+            if clause is None:
+                break
+            temporal.append(clause)
+        return ast.TableRef(name, alias, tuple(temporal))
+
+    def _try_parse_temporal_clause(self) -> Optional[ast.TemporalClause]:
+        start = self.pos
+        self.expect_keyword("for")
+        token = self.peek()
+        if token.kind == "keyword" and token.value in ("system_time", "business_time"):
+            period = self.advance().value
+        elif token.kind == "keyword" and token.value == "period":
+            self.advance()
+            period = self.expect_name()
+        elif token.kind == "ident":
+            period = self.advance().value
+        else:
+            self.pos = start  # not a temporal clause (e.g. FOR UPDATE)
+            return None
+        if self.accept_keyword("all"):
+            return ast.TemporalClause(period, "all")
+        if self.accept_keyword("as"):
+            self.expect_keyword("of")
+            low = self.parse_expr()
+            return ast.TemporalClause(period, "as_of", low)
+        if self.accept_keyword("from"):
+            low = self.parse_expr()
+            self.expect_keyword("to")
+            high = self.parse_expr()
+            return ast.TemporalClause(period, "from_to", low, high)
+        if self.accept_keyword("between"):
+            # additive level: a bare parse_expr would swallow the AND
+            low = self._parse_additive()
+            self.expect_keyword("and")
+            high = self._parse_additive()
+            return ast.TemporalClause(period, "between", low, high)
+        token = self.peek()
+        raise SqlSyntaxError(
+            f"bad temporal clause near {token.value!r}", position=token.position
+        )
+
+    # -- DML -----------------------------------------------------------------
+
+    def parse_insert(self) -> ast.Insert:
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        table = self.expect_name()
+        columns: List[str] = []
+        if self.accept("op", "("):
+            columns.append(self.expect_name())
+            while self.accept("op", ","):
+                columns.append(self.expect_name())
+            self.expect("op", ")")
+        if self.accept_keyword("values"):
+            rows = [self._parse_value_row()]
+            while self.accept("op", ","):
+                rows.append(self._parse_value_row())
+            return ast.Insert(table, columns, rows=rows)
+        select = self.parse_select()
+        return ast.Insert(table, columns, select=select)
+
+    def _parse_value_row(self) -> List[ast.Expr]:
+        self.expect("op", "(")
+        row = [self.parse_expr()]
+        while self.accept("op", ","):
+            row.append(self.parse_expr())
+        self.expect("op", ")")
+        return row
+
+    def _parse_portion(self) -> Optional[ast.Portion]:
+        if not self.check_keyword("for"):
+            return None
+        self.advance()
+        self.expect_keyword("portion")
+        self.expect_keyword("of")
+        if self.check_keyword("business_time"):
+            period = self.advance().value
+        else:
+            period = self.expect_name()
+        self.expect_keyword("from")
+        low = self.parse_expr()
+        self.expect_keyword("to")
+        high = self.parse_expr()
+        return ast.Portion(period, low, high)
+
+    def parse_update(self) -> ast.Update:
+        self.expect_keyword("update")
+        table = self.expect_name()
+        portion = self._parse_portion()
+        self.expect_keyword("set")
+        assignments = [self._parse_assignment()]
+        while self.accept("op", ","):
+            assignments.append(self._parse_assignment())
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_expr()
+        return ast.Update(table, assignments, where, portion)
+
+    def _parse_assignment(self):
+        column = self.expect_name()
+        self.expect("op", "=")
+        return (column, self.parse_expr())
+
+    def parse_delete(self) -> ast.Delete:
+        self.expect_keyword("delete")
+        self.expect_keyword("from")
+        table = self.expect_name()
+        portion = self._parse_portion()
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_expr()
+        return ast.Delete(table, where, portion)
+
+    # -- DDL -------------------------------------------------------------------
+
+    def parse_create(self):
+        self.expect_keyword("create")
+        if self.accept_keyword("table"):
+            return self._parse_create_table()
+        if self.accept_keyword("index"):
+            return self._parse_create_index()
+        if self.accept_keyword("view"):
+            name = self.expect_name()
+            self.expect_keyword("as")
+            return ast.CreateView(name, self.parse_select())
+        token = self.peek()
+        raise SqlSyntaxError(
+            f"expected TABLE, INDEX or VIEW after CREATE, found {token.value!r}",
+            position=token.position,
+        )
+
+    def _parse_create_table(self) -> ast.CreateTable:
+        name = self.expect_name()
+        self.expect("op", "(")
+        stmt = ast.CreateTable(name, [])
+        while True:
+            if self.check_keyword("primary"):
+                self.advance()
+                self.expect_keyword("key")
+                self.expect("op", "(")
+                stmt.primary_key.append(self.expect_name())
+                while self.accept("op", ","):
+                    stmt.primary_key.append(self.expect_name())
+                self.expect("op", ")")
+            elif self.check_keyword("period"):
+                self.advance()
+                self.accept_keyword("for")
+                if self.check_keyword("system_time") or self.check_keyword("business_time"):
+                    pname = self.advance().value
+                else:
+                    pname = self.expect_name()
+                self.expect("op", "(")
+                begin = self.expect_name()
+                self.expect("op", ",")
+                end = self.expect_name()
+                self.expect("op", ")")
+                stmt.periods.append(ast.PeriodClause(pname, begin, end))
+            else:
+                col_name = self.expect_name()
+                type_word = self.expect_name() if not self.check("keyword") else self.advance().value
+                type_name = TYPE_NAMES.get(type_word)
+                if type_name is None:
+                    raise SqlSyntaxError(f"unknown type {type_word!r}")
+                if self.accept("op", "("):
+                    self.expect("number")  # length/precision, ignored
+                    if self.accept("op", ","):
+                        self.expect("number")
+                    self.expect("op", ")")
+                nullable = True
+                if self.check_keyword("not"):
+                    self.advance()
+                    self.expect_keyword("null")
+                    nullable = False
+                stmt.columns.append(ast.ColumnDef(col_name, type_name, nullable))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ")")
+        return stmt
+
+    def _parse_create_index(self) -> ast.CreateIndex:
+        name = self.expect_name()
+        self.expect_keyword("on")
+        table = self.expect_name()
+        partition = "current"
+        if self.accept_keyword("history"):
+            partition = "history"
+        self.expect("op", "(")
+        columns = [self.expect_name()]
+        while self.accept("op", ","):
+            columns.append(self.expect_name())
+        self.expect("op", ")")
+        kind = "btree"
+        if self.accept_keyword("using"):
+            token = self.advance()
+            if token.value not in ("btree", "hash", "rtree"):
+                raise SqlSyntaxError(f"unknown index kind {token.value!r}")
+            kind = token.value
+        if self.accept_keyword("on"):
+            token = self.advance()
+            if token.value not in ("history", "current"):
+                raise SqlSyntaxError(f"unknown partition {token.value!r}")
+            partition = token.value
+        return ast.CreateIndex(name, table, columns, kind, partition)
+
+    def parse_drop(self):
+        self.expect_keyword("drop")
+        if self.accept_keyword("table"):
+            return ast.DropTable(self.expect_name())
+        if self.accept_keyword("index"):
+            return ast.DropIndex(self.expect_name())
+        if self.accept_keyword("view"):
+            return ast.DropView(self.expect_name())
+        token = self.peek()
+        raise SqlSyntaxError(
+            f"expected TABLE or INDEX after DROP, found {token.value!r}",
+            position=token.position,
+        )
+
+    # -- expressions (precedence climbing) -------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self.accept_keyword("or"):
+            left = ast.Binary("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self.accept_keyword("and"):
+            left = ast.Binary("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self.accept_keyword("not"):
+            return ast.Unary("not", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Expr:
+        left = self._parse_additive()
+        negated = bool(self.accept_keyword("not"))
+        if self.check("op") and self.peek().value in COMPARISONS:
+            if negated:
+                raise SqlSyntaxError("NOT before comparison operator")
+            op = self.advance().value
+            right = self._parse_additive()
+            return ast.Binary(op, left, right)
+        if self.accept_keyword("between"):
+            low = self._parse_additive()
+            self.expect_keyword("and")
+            high = self._parse_additive()
+            return ast.Between(left, low, high, negated)
+        if self.accept_keyword("like"):
+            pattern = self._parse_additive()
+            return ast.Like(left, pattern, negated)
+        if self.accept_keyword("in"):
+            self.expect("op", "(")
+            if self.check_keyword("select"):
+                subquery = self.parse_select()
+                self.expect("op", ")")
+                return ast.InSubquery(left, subquery, negated)
+            items = [self.parse_expr()]
+            while self.accept("op", ","):
+                items.append(self.parse_expr())
+            self.expect("op", ")")
+            return ast.InList(left, tuple(items), negated)
+        if self.accept_keyword("is"):
+            inner_neg = bool(self.accept_keyword("not"))
+            self.expect_keyword("null")
+            node = ast.IsNull(left, inner_neg)
+            return ast.Unary("not", node) if negated else node
+        if negated:
+            raise SqlSyntaxError("dangling NOT in expression")
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            if self.check("op") and self.peek().value in ("+", "-", "||"):
+                op = self.advance().value
+                left = ast.Binary(op, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            if self.check("op") and self.peek().value in ("*", "/", "%"):
+                op = self.advance().value
+                left = ast.Binary(op, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self.check("op") and self.peek().value in ("-", "+"):
+            op = self.advance().value
+            return ast.Unary(op, self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == "string":
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == "param":
+            self.advance()
+            if token.value is None:
+                param = ast.Param(index=self._param_counter)
+                self._param_counter += 1
+                return param
+            return ast.Param(name=token.value)
+        if token.kind == "keyword":
+            return self._parse_keyword_primary(token)
+        if token.kind == "ident":
+            return self._parse_ident_primary()
+        if self.accept("op", "("):
+            if self.check_keyword("select"):
+                subquery = self.parse_select()
+                self.expect("op", ")")
+                return ast.ScalarSubquery(subquery)
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise SqlSyntaxError(
+            f"unexpected token {token.value!r} in expression", position=token.position
+        )
+
+    def _parse_keyword_primary(self, token) -> ast.Expr:
+        word = token.value
+        if word in ("true", "false"):
+            self.advance()
+            return ast.Literal(word == "true")
+        if word == "null":
+            self.advance()
+            return ast.Literal(None)
+        if word == "case":
+            return self._parse_case()
+        if word == "exists":
+            self.advance()
+            self.expect("op", "(")
+            subquery = self.parse_select()
+            self.expect("op", ")")
+            return ast.Exists(subquery)
+        if word in ("date", "timestamp"):
+            # DATE '1994-01-01' literal, or a bare column named date/timestamp
+            if self.peek(1).kind == "string":
+                self.advance()
+                value = self.advance().value
+                return ast.FuncCall(word, (ast.Literal(value),))
+            return self._parse_ident_primary()
+        if word == "interval":
+            self.advance()
+            value_token = self.advance()
+            if value_token.kind not in ("string", "number"):
+                raise SqlSyntaxError("INTERVAL needs a quantity")
+            value = int(value_token.value)
+            unit_token = self.advance()
+            if unit_token.value not in ("day", "month", "year"):
+                raise SqlSyntaxError(f"bad interval unit {unit_token.value!r}")
+            return ast.IntervalLiteral(value, unit_token.value)
+        if word == "extract":
+            self.advance()
+            self.expect("op", "(")
+            field_token = self.advance()
+            if field_token.value not in ("year", "month", "day"):
+                raise SqlSyntaxError(f"bad EXTRACT field {field_token.value!r}")
+            self.expect_keyword("from")
+            arg = self.parse_expr()
+            self.expect("op", ")")
+            return ast.FuncCall("extract", (ast.Literal(field_token.value), arg))
+        if word == "substring":
+            self.advance()
+            self.expect("op", "(")
+            arg = self.parse_expr()
+            if self.accept_keyword("from"):
+                start = self.parse_expr()
+                length = None
+                if self.accept_keyword("for"):
+                    length = self.parse_expr()
+            else:
+                self.expect("op", ",")
+                start = self.parse_expr()
+                length = None
+                if self.accept("op", ","):
+                    length = self.parse_expr()
+            self.expect("op", ")")
+            args = (arg, start) + ((length,) if length is not None else ())
+            return ast.FuncCall("substring", args)
+        if word in AGGREGATES:
+            self.advance()
+            self.expect("op", "(")
+            distinct = bool(self.accept_keyword("distinct"))
+            if word == "count" and self.accept("op", "*"):
+                self.expect("op", ")")
+                return ast.Aggregate("count", None, distinct)
+            arg = self.parse_expr()
+            self.expect("op", ")")
+            return ast.Aggregate(word, arg, distinct)
+        if word in ("current",):
+            return self._parse_ident_primary()
+        raise SqlSyntaxError(
+            f"unexpected keyword {word!r} in expression", position=token.position
+        )
+
+    def _parse_case(self) -> ast.Case:
+        self.expect_keyword("case")
+        branches = []
+        while self.accept_keyword("when"):
+            cond = self.parse_expr()
+            self.expect_keyword("then")
+            result = self.parse_expr()
+            branches.append((cond, result))
+        if not branches:
+            raise SqlSyntaxError("CASE without WHEN branch")
+        default = None
+        if self.accept_keyword("else"):
+            default = self.parse_expr()
+        self.expect_keyword("end")
+        return ast.Case(tuple(branches), default)
+
+    def _parse_ident_primary(self) -> ast.Expr:
+        name = self.expect_name()
+        # function call?
+        if self.check("op", "("):
+            self.advance()
+            args = []
+            if not self.check("op", ")"):
+                args.append(self.parse_expr())
+                while self.accept("op", ","):
+                    args.append(self.parse_expr())
+            self.expect("op", ")")
+            return ast.FuncCall(name, tuple(args))
+        # qualified column?
+        if self.check("op", "."):
+            self.advance()
+            column = self.expect_name()
+            return ast.ColumnRef(column, table=name)
+        return ast.ColumnRef(name)
+
+
+def _fold_union(left: ast.Select, right: ast.Select, all_flag: bool) -> ast.Select:
+    node = left
+    while node.set_op is not None:
+        node = node.set_op[1]
+    node.set_op = ("union", right, all_flag)
+    return left
+
+
+def parse_statement(sql: str) -> ast.Statement:
+    """Parse one SQL statement into its AST."""
+    return Parser(sql).parse_statement()

@@ -1,0 +1,7 @@
+"""Storage layer: row store, delta/main column store, bitemporal tables."""
+
+from .column_store import ColumnStore
+from .row_store import RowStore
+from .versioned import StorageOptions, VersionedTable
+
+__all__ = ["RowStore", "ColumnStore", "VersionedTable", "StorageOptions"]

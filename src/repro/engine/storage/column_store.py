@@ -1,0 +1,163 @@
+"""A delta/main column store (the System C / SAP HANA archetype, §2.6).
+
+Writes land in an unsorted, row-wise *delta*; a *merge* operation folds the
+delta into dictionary-encoded *main* column vectors.  Scans stream the main
+vectors column-at-a-time and then replay the delta, which is why the paper's
+System C is fast at scans, insensitive to B-Tree indexes, and pays a small
+merge cost during loading.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+class _Dictionary:
+    """Per-column dictionary encoding (value <-> code)."""
+
+    def __init__(self):
+        self._codes: Dict[Any, int] = {}
+        self._values: List[Any] = []
+
+    def encode(self, value) -> int:
+        code = self._codes.get(value)
+        if code is None:
+            code = len(self._values)
+            self._codes[value] = code
+            self._values.append(value)
+        return code
+
+    def decode(self, code):
+        return self._values[code]
+
+    def __len__(self):
+        return len(self._values)
+
+
+class ColumnStore:
+    """Columnar storage with delta/main split and explicit merge."""
+
+    def __init__(self, column_count, merge_threshold=8192):
+        self._column_count = column_count
+        self._merge_threshold = merge_threshold
+        self._dictionaries = [_Dictionary() for _ in range(column_count)]
+        self._main: List[List[int]] = [[] for _ in range(column_count)]
+        self._main_deleted: List[bool] = []
+        self._delta: List[Optional[list]] = []
+        self._merge_count = 0
+
+    def __len__(self):
+        live_main = sum(1 for d in self._main_deleted if not d)
+        live_delta = sum(1 for row in self._delta if row is not None)
+        return live_main + live_delta
+
+    @property
+    def delta_size(self):
+        return len(self._delta)
+
+    @property
+    def main_size(self):
+        return len(self._main[0]) if self._main else 0
+
+    @property
+    def merge_count(self):
+        return self._merge_count
+
+    # -- writes ------------------------------------------------------------
+
+    def append(self, row) -> int:
+        """Append *row* to the delta; rid is main_size + delta offset."""
+        if len(row) != self._column_count:
+            raise ValueError("row arity mismatch")
+        rid = self.main_size + len(self._delta)
+        self._delta.append(list(row))
+        if len(self._delta) >= self._merge_threshold:
+            self.merge()
+        return rid
+
+    def update_in_place(self, rid, row):
+        main_size = self.main_size
+        if rid < main_size:
+            # rewrite the encoded cells
+            for col, value in enumerate(row):
+                self._main[col][rid] = self._dictionaries[col].encode(value)
+        else:
+            self._delta[rid - main_size] = list(row)
+
+    def delete(self, rid) -> bool:
+        main_size = self.main_size
+        if rid < main_size:
+            if self._main_deleted[rid]:
+                return False
+            self._main_deleted[rid] = True
+            return True
+        offset = rid - main_size
+        if offset >= len(self._delta) or self._delta[offset] is None:
+            return False
+        self._delta[offset] = None
+        return True
+
+    def merge(self):
+        """Fold the delta into main (preserving rids: delta follows main)."""
+        if not self._delta:
+            return
+        for row in self._delta:
+            if row is None:
+                # keep the slot to preserve rid arithmetic, mark deleted
+                for col in range(self._column_count):
+                    self._main[col].append(0)
+                self._main_deleted.append(True)
+            else:
+                for col, value in enumerate(row):
+                    self._main[col].append(self._dictionaries[col].encode(value))
+                self._main_deleted.append(False)
+        self._delta = []
+        self._merge_count += 1
+
+    # -- reads ---------------------------------------------------------------
+
+    def fetch(self, rid) -> Optional[list]:
+        main_size = self.main_size
+        if rid < main_size:
+            if self._main_deleted[rid]:
+                return None
+            return [
+                self._dictionaries[col].decode(self._main[col][rid])
+                for col in range(self._column_count)
+            ]
+        offset = rid - main_size
+        if 0 <= offset < len(self._delta):
+            row = self._delta[offset]
+            return list(row) if row is not None else None
+        return None
+
+    def scan(self) -> Iterator[Tuple[int, list]]:
+        """(rid, row) over main then delta, skipping deleted rows."""
+        decode = [d.decode for d in self._dictionaries]
+        cols = self._main
+        for rid in range(self.main_size):
+            if self._main_deleted[rid]:
+                continue
+            yield rid, [decode[c](cols[c][rid]) for c in range(self._column_count)]
+        base = self.main_size
+        for offset, row in enumerate(self._delta):
+            if row is not None:
+                yield base + offset, list(row)
+
+    def scan_column(self, col) -> Iterator[Tuple[int, Any]]:
+        """Single-column scan — the column store's natural access path."""
+        decode = self._dictionaries[col].decode
+        vector = self._main[col]
+        for rid in range(self.main_size):
+            if not self._main_deleted[rid]:
+                yield rid, decode(vector[rid])
+        base = self.main_size
+        for offset, row in enumerate(self._delta):
+            if row is not None:
+                yield base + offset, row[col]
+
+    def clear(self):
+        self._dictionaries = [_Dictionary() for _ in range(self._column_count)]
+        self._main = [[] for _ in range(self._column_count)]
+        self._main_deleted = []
+        self._delta = []

@@ -1,0 +1,104 @@
+"""A paged, append-mostly row store.
+
+Rows live in fixed-size pages; a row id (rid) encodes (page, slot).  The
+page structure matters for the benchmark because the disk-based archetypes
+(Systems A, B, D) pay a per-page overhead on sequential scans, which is how
+a table scan's cost grows linearly with history length (paper Fig 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+PAGE_SIZE = 256  # rows per page
+
+
+class RowStore:
+    """Slotted pages of row tuples, addressed by integer rid."""
+
+    def __init__(self, page_size=PAGE_SIZE):
+        self._page_size = page_size
+        self._pages: List[List[Optional[list]]] = []
+        self._count = 0          # live rows
+        self._next_rid = 0       # monotonically increasing
+
+    def __len__(self):
+        return self._count
+
+    @property
+    def page_count(self):
+        return len(self._pages)
+
+    def append(self, row) -> int:
+        """Store *row* (a list of values) and return its rid."""
+        rid = self._next_rid
+        page_no, slot = divmod(rid, self._page_size)
+        if page_no == len(self._pages):
+            self._pages.append([])
+        self._pages[page_no].append(row)
+        assert len(self._pages[page_no]) == slot + 1
+        self._next_rid += 1
+        self._count += 1
+        return rid
+
+    def fetch(self, rid) -> Optional[list]:
+        """The row stored under *rid*, or None if deleted/never existed."""
+        page_no, slot = divmod(rid, self._page_size)
+        if page_no >= len(self._pages) or slot >= len(self._pages[page_no]):
+            return None
+        return self._pages[page_no][slot]
+
+    def update_in_place(self, rid, row):
+        """Overwrite the row at *rid* (used for sys_end invalidation)."""
+        page_no, slot = divmod(rid, self._page_size)
+        self._pages[page_no][slot] = row
+
+    def delete(self, rid) -> bool:
+        """Tombstone the row at *rid*; returns True if a row was present."""
+        page_no, slot = divmod(rid, self._page_size)
+        if page_no >= len(self._pages) or slot >= len(self._pages[page_no]):
+            return False
+        if self._pages[page_no][slot] is None:
+            return False
+        self._pages[page_no][slot] = None
+        self._count -= 1
+        return True
+
+    def scan(self) -> Iterator[Tuple[int, list]]:
+        """Yield (rid, row) for every live row in rid order."""
+        rid_base = 0
+        for page in self._pages:
+            for slot, row in enumerate(page):
+                if row is not None:
+                    yield rid_base + slot, row
+            rid_base += self._page_size
+
+    def scan_rows(self) -> Iterator[list]:
+        for _, row in self.scan():
+            yield row
+
+    def clear(self):
+        self._pages.clear()
+        self._count = 0
+        self._next_rid = 0
+
+
+class AppendLog:
+    """An append-only log of arbitrary records (System B's undo log)."""
+
+    def __init__(self):
+        self._records: List[Any] = []
+
+    def __len__(self):
+        return len(self._records)
+
+    def append(self, record):
+        self._records.append(record)
+
+    def drain(self) -> List[Any]:
+        """Return and remove all buffered records in append order."""
+        records, self._records = self._records, []
+        return records
+
+    def peek(self):
+        return list(self._records)

@@ -1,0 +1,54 @@
+"""The four system archetypes evaluated in the paper (anonymised A–D).
+
+Each archetype bundles a storage layout (:class:`StorageOptions`), an
+optimizer profile (:class:`ArchitectureProfile`) and the tuning surface of
+§5.1 (index settings).  ``make_system("A")`` returns a ready
+:class:`TemporalSystem`.
+"""
+
+from .base import TemporalSystem
+from .system_a import SystemA
+from .system_b import SystemB
+from .system_c import SystemC
+from .system_d import SystemD
+from .system_e import SystemE
+from .tuning import IndexSetting, apply_index_setting, drop_tuning_indexes
+
+_REGISTRY = {
+    "a": SystemA,
+    "b": SystemB,
+    "c": SystemC,
+    "d": SystemD,
+    # the research archetype from the paper's future-work discussion;
+    # not part of the measured A-D set (all_system_names)
+    "e": SystemE,
+}
+
+
+def make_system(name: str, **kwargs) -> TemporalSystem:
+    """Instantiate a system archetype by name ("A".."D")."""
+    try:
+        cls = _REGISTRY[name.strip().lower()]
+    except KeyError:
+        raise ValueError(f"unknown system {name!r}; choose one of A, B, C, D") from None
+    return cls(**kwargs)
+
+
+def all_system_names():
+    """The paper's measured systems (System E is the extension)."""
+    return ["A", "B", "C", "D"]
+
+
+__all__ = [
+    "TemporalSystem",
+    "SystemA",
+    "SystemB",
+    "SystemC",
+    "SystemD",
+    "SystemE",
+    "IndexSetting",
+    "apply_index_setting",
+    "drop_tuning_indexes",
+    "make_system",
+    "all_system_names",
+]

@@ -1,0 +1,37 @@
+"""Shared fixtures for the unit/integration test suite."""
+
+import pytest
+
+from repro.core.generator import BitemporalDataGenerator, GeneratorConfig
+from repro.core.loader import Loader
+from repro.engine import Database
+
+
+@pytest.fixture
+def db():
+    """An empty generic database with a small bitemporal table."""
+    database = Database()
+    database.execute(
+        "CREATE TABLE item ("
+        " id integer NOT NULL, name varchar(32), price decimal,"
+        " ab date, ae date, sb timestamp, se timestamp,"
+        " PRIMARY KEY (id),"
+        " PERIOD FOR business_time (ab, ae),"
+        " PERIOD FOR system_time (sb, se))"
+    )
+    return database
+
+
+@pytest.fixture(scope="session")
+def tiny_workload():
+    """A small generated workload shared by integration tests."""
+    return BitemporalDataGenerator(GeneratorConfig(h=0.0005, m=0.0001)).generate()
+
+
+@pytest.fixture(scope="session")
+def loaded_system_a(tiny_workload):
+    from repro.systems import make_system
+
+    system = make_system("A")
+    Loader(system, tiny_workload).load()
+    return system

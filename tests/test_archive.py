@@ -1,0 +1,64 @@
+"""Generator archive round trips and archive-driven population."""
+
+import pytest
+
+from repro.core.archive import ArchiveReader, replay_archive, write_archive
+from repro.core.generator import BitemporalDataGenerator, GeneratorConfig
+from repro.core.loader import Loader
+from repro.core.schema import create_benchmark_tables
+from repro.systems import make_system
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return BitemporalDataGenerator(GeneratorConfig(h=0.0003, m=0.00005)).generate()
+
+
+def test_round_trip(tmp_path, workload):
+    path = tmp_path / "archive.jsonl"
+    lines = write_archive(workload, path)
+    assert lines > 1
+    reader = ArchiveReader(path)
+    assert reader.header["h"] == workload.config.h
+    assert reader.header["scenario_count"] == len(workload.transactions)
+    transactions = list(reader.transactions())
+    assert transactions == workload.transactions
+    initial = reader.initial_data()
+    assert initial.counts() == workload.initial.counts()
+
+
+def test_reject_non_archive(tmp_path):
+    path = tmp_path / "not_archive.jsonl"
+    path.write_text('{"kind": "other"}\n')
+    with pytest.raises(ValueError):
+        ArchiveReader(path)
+
+
+def test_replay_matches_direct_load(tmp_path, workload):
+    path = tmp_path / "archive.jsonl"
+    write_archive(workload, path)
+
+    direct = make_system("A")
+    Loader(direct, workload).load()
+
+    from_archive = make_system("A")
+    create_benchmark_tables(from_archive.db, temporal=True)
+    replay_archive(ArchiveReader(path), from_archive.db)
+
+    for table in ("orders", "customer", "lineitem"):
+        q = f"SELECT count(*) FROM {table} FOR SYSTEM_TIME ALL"
+        assert direct.execute(q).scalar() == from_archive.execute(q).scalar()
+    q = "SELECT sum(o_totalprice) FROM orders"
+    assert abs(direct.execute(q).scalar() - from_archive.execute(q).scalar()) < 0.01
+
+
+def test_batched_replay_fewer_ticks(tmp_path, workload):
+    path = tmp_path / "archive.jsonl"
+    write_archive(workload, path)
+    system = make_system("A")
+    create_benchmark_tables(system.db, temporal=True)
+    replay_archive(ArchiveReader(path), system.db, batch_size=10)
+    distinct = system.execute(
+        "SELECT count(DISTINCT sys_begin) FROM orders FOR SYSTEM_TIME ALL"
+    ).scalar()
+    assert distinct <= len(workload.transactions) // 10 + 2

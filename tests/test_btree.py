@@ -1,0 +1,162 @@
+"""B+-Tree unit and property tests (the workhorse index of every system)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.index.btree import BPlusTree
+
+
+class TestBasics:
+    def test_insert_and_search(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "a")
+        tree.insert(3, "b")
+        tree.insert(5, "c")
+        assert sorted(tree.search(5)) == ["a", "c"]
+        assert tree.search(3) == ["b"]
+        assert tree.search(99) == []
+
+    def test_len_counts_pairs(self):
+        tree = BPlusTree(order=4)
+        for i in range(10):
+            tree.insert(i % 3, i)
+        assert len(tree) == 10
+
+    def test_contains(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "x")
+        assert 1 in tree
+        assert 2 not in tree
+
+    def test_remove(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "x")
+        tree.insert(1, "y")
+        assert tree.remove(1, "x")
+        assert tree.search(1) == ["y"]
+        assert not tree.remove(1, "x")
+        assert tree.remove(1, "y")
+        assert 1 not in tree
+
+    def test_min_order_enforced(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_splits_grow_height(self):
+        tree = BPlusTree(order=4)
+        for i in range(200):
+            tree.insert(i, i)
+        assert tree.height() >= 3
+        assert [k for k, _v in tree.items()] == sorted(range(200))
+
+    def test_min_max_key(self):
+        tree = BPlusTree(order=4)
+        assert tree.min_key() is None and tree.max_key() is None
+        for i in (5, 1, 9):
+            tree.insert(i, i)
+        assert tree.min_key() == 1
+        assert tree.max_key() == 9
+
+    def test_composite_tuple_keys(self):
+        tree = BPlusTree(order=4)
+        tree.insert((1, 10), "a")
+        tree.insert((1, 20), "b")
+        tree.insert((2, 5), "c")
+        keys = [k for k, _ in tree.range_scan((1, 0), (1, 99))]
+        assert keys == [(1, 10), (1, 20)]
+
+
+class TestRangeScan:
+    def _tree(self):
+        tree = BPlusTree(order=4)
+        for i in range(0, 100, 2):
+            tree.insert(i, i)
+        return tree
+
+    def test_inclusive_bounds(self):
+        tree = self._tree()
+        keys = [k for k, _ in tree.range_scan(10, 20)]
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_exclusive_bounds(self):
+        tree = self._tree()
+        keys = [k for k, _ in tree.range_scan(10, 20, False, False)]
+        assert keys == [12, 14, 16, 18]
+
+    def test_unbounded_low(self):
+        tree = self._tree()
+        keys = [k for k, _ in tree.range_scan(None, 6)]
+        assert keys == [0, 2, 4, 6]
+
+    def test_unbounded_high(self):
+        tree = self._tree()
+        keys = [k for k, _ in tree.range_scan(94, None)]
+        assert keys == [94, 96, 98]
+
+    def test_full_scan_sorted(self):
+        tree = self._tree()
+        keys = [k for k, _ in tree.range_scan()]
+        assert keys == sorted(keys)
+
+    def test_empty_range(self):
+        tree = self._tree()
+        assert list(tree.range_scan(11, 11)) == []
+
+    def test_keys_deduplicated(self):
+        tree = BPlusTree(order=4)
+        for i in (1, 1, 2, 2, 3):
+            tree.insert(i, i)
+        assert list(tree.keys()) == [1, 2, 3]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(-1000, 1000), st.integers(0, 50)), max_size=300))
+def test_property_matches_model_multimap(pairs):
+    """The tree behaves exactly like a sorted multimap."""
+    tree = BPlusTree(order=4)
+    model = {}
+    for key, value in pairs:
+        tree.insert(key, value)
+        model.setdefault(key, []).append(value)
+    assert len(tree) == sum(len(v) for v in model.values())
+    for key in list(model)[:20]:
+        assert sorted(tree.search(key)) == sorted(model[key])
+    scanned = [k for k, _v in tree.items()]
+    assert scanned == sorted(scanned)
+    expected = sorted(
+        (k, v) for k, values in model.items() for v in values
+    )
+    assert sorted(tree.items()) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(0, 200), min_size=1, max_size=200),
+    st.integers(0, 200),
+    st.integers(0, 200),
+)
+def test_property_range_scan_matches_filter(keys, low, high):
+    low, high = min(low, high), max(low, high)
+    tree = BPlusTree(order=4)
+    for key in keys:
+        tree.insert(key, key)
+    got = [k for k, _ in tree.range_scan(low, high)]
+    expected = sorted(k for k in keys if low <= k <= high)
+    assert got == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 5)), max_size=120))
+def test_property_remove_is_exact(pairs):
+    tree = BPlusTree(order=4)
+    for key, value in pairs:
+        tree.insert(key, value)
+    # remove every other inserted pair once
+    for index, (key, value) in enumerate(pairs):
+        if index % 2 == 0:
+            assert tree.remove(key, value)
+    remaining = sorted(
+        (k, v) for i, (k, v) in enumerate(pairs) if i % 2 == 1
+    )
+    assert sorted(tree.items()) == remaining

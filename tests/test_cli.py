@@ -1,0 +1,70 @@
+"""CLI tests (python -m repro)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_systems_command(capsys):
+    assert main(["systems"]) == 0
+    out = capsys.readouterr().out
+    for name in ("System A", "System B", "System C", "System D", "System E"):
+        assert name in out
+
+
+def test_generate_and_inspect(tmp_path, capsys):
+    archive = tmp_path / "a.jsonl"
+    assert main(["generate", "--h", "0.0003", "--m", "0.00002",
+                 "--out", str(archive)]) == 0
+    assert archive.exists()
+    assert main(["inspect", str(archive)]) == 0
+    out = capsys.readouterr().out
+    assert "scenario_count: 20" in out
+    assert "initial rows:" in out
+
+
+def test_query_command(capsys):
+    code = main([
+        "query", "--system", "D", "--h", "0.0003", "--m", "0.00002",
+        "SELECT count(*) FROM orders",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "1 rows" in out
+
+
+def test_query_explain(capsys):
+    code = main([
+        "query", "--explain", "--h", "0.0003", "--m", "0.00002",
+        "SELECT count(*) FROM orders FOR SYSTEM_TIME AS OF 1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Access(orders" in out
+
+
+def test_bench_single_experiment(tmp_path, capsys):
+    code = main([
+        "bench", "table2", "--h", "0.0003", "--m", "0.00005",
+        "--out", str(tmp_path),
+    ])
+    assert code == 0
+    assert (tmp_path / "table2.txt").exists()
+    assert "lineitem" in capsys.readouterr().out
+
+
+def test_verify_command(capsys):
+    code = main(["verify", "--system", "B", "--h", "0.0003", "--m", "0.00005"])
+    assert code == 0
+    assert "CONSISTENT" in capsys.readouterr().out
+
+
+def test_verify_bulk_path(capsys):
+    code = main(["verify", "--system", "D", "--bulk",
+                 "--h", "0.0003", "--m", "0.00005"])
+    assert code == 0

@@ -1,0 +1,113 @@
+"""PEP 249 driver conformance tests."""
+
+import pytest
+
+from repro.engine import dbapi
+
+
+@pytest.fixture
+def conn():
+    connection = dbapi.connect()
+    cur = connection.cursor()
+    cur.execute("CREATE TABLE t (a integer, b varchar(10))")
+    cur.executemany(
+        "INSERT INTO t (a, b) VALUES (?, ?)",
+        [(1, "one"), (2, "two"), (3, "three")],
+    )
+    return connection
+
+
+def test_module_globals():
+    assert dbapi.apilevel == "2.0"
+    assert dbapi.paramstyle == "qmark"
+    assert dbapi.threadsafety == 1
+    # exception ladder present and correctly rooted
+    assert issubclass(dbapi.ProgrammingError, dbapi.DatabaseError)
+    assert issubclass(dbapi.DatabaseError, dbapi.Error)
+
+
+def test_fetchone_iteration(conn):
+    cur = conn.cursor()
+    cur.execute("SELECT a, b FROM t ORDER BY a")
+    assert cur.fetchone() == (1, "one")
+    assert cur.fetchone() == (2, "two")
+    assert cur.fetchone() == (3, "three")
+    assert cur.fetchone() is None
+
+
+def test_fetchmany_and_fetchall(conn):
+    cur = conn.cursor()
+    cur.execute("SELECT a FROM t ORDER BY a")
+    assert cur.fetchmany(2) == [(1,), (2,)]
+    assert cur.fetchall() == [(3,)]
+
+
+def test_cursor_iterable(conn):
+    cur = conn.cursor()
+    cur.execute("SELECT a FROM t ORDER BY a")
+    assert [row[0] for row in cur] == [1, 2, 3]
+
+
+def test_description_and_rowcount(conn):
+    cur = conn.cursor()
+    cur.execute("SELECT a AS alpha, b FROM t")
+    assert [d[0] for d in cur.description] == ["alpha", "b"]
+    cur.execute("INSERT INTO t (a, b) VALUES (9, 'nine')")
+    assert cur.rowcount == 1
+    assert cur.description is None
+
+
+def test_parameters_positional_and_named(conn):
+    cur = conn.cursor()
+    cur.execute("SELECT b FROM t WHERE a = ?", [2])
+    assert cur.fetchone() == ("two",)
+    cur.execute("SELECT b FROM t WHERE a = :key", {"key": 3})
+    assert cur.fetchone() == ("three",)
+
+
+def test_fetch_before_execute_raises(conn):
+    cur = conn.cursor()
+    with pytest.raises(dbapi.ProgrammingError):
+        cur.fetchone()
+
+
+def test_closed_cursor_rejects_use(conn):
+    cur = conn.cursor()
+    cur.close()
+    with pytest.raises(dbapi.InterfaceError):
+        cur.execute("SELECT 1")
+
+
+def test_closed_connection_rejects_cursor(conn):
+    conn.close()
+    with pytest.raises(dbapi.InterfaceError):
+        conn.cursor()
+
+
+def test_connection_context_manager():
+    with dbapi.connect() as connection:
+        cur = connection.cursor()
+        cur.execute("CREATE TABLE x (a integer)")
+    with pytest.raises(dbapi.InterfaceError):
+        connection.cursor()
+
+
+def test_explicit_transaction_shares_tick(conn):
+    cur = conn.cursor()
+    cur.execute(
+        "CREATE TABLE v (id integer, sb timestamp, se timestamp,"
+        " PERIOD FOR system_time (sb, se))"
+    )
+    conn.begin()
+    cur.execute("INSERT INTO v (id) VALUES (1)")
+    cur.execute("INSERT INTO v (id) VALUES (2)")
+    conn.commit()
+    cur.execute("SELECT DISTINCT sb FROM v")
+    assert len(cur.fetchall()) == 1
+
+
+def test_connect_by_system_name():
+    connection = dbapi.connect(system="C")
+    assert connection.database.default_options.store_kind == "column"
+    with pytest.raises(dbapi.InterfaceError):
+        dbapi.connect(database=connection.database, system="A")

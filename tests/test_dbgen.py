@@ -1,0 +1,85 @@
+"""Initial population generator tests (dbgen equivalent)."""
+
+from repro.core.dbgen import (
+    END_DAY,
+    ORDER_MAX_DAY,
+    InitialData,
+    generate_initial,
+    retail_price,
+    scaled,
+)
+from repro.engine.types import END_OF_TIME
+
+
+def test_determinism():
+    a = generate_initial(0.0005, seed=7)
+    b = generate_initial(0.0005, seed=7)
+    assert a.tables == b.tables
+
+
+def test_different_seeds_differ():
+    a = generate_initial(0.0005, seed=7)
+    b = generate_initial(0.0005, seed=8)
+    assert a["customer"] != b["customer"]
+
+
+def test_cardinalities_scale_linearly():
+    small = generate_initial(0.0005).counts()
+    large = generate_initial(0.001).counts()
+    assert large["customer"] == 2 * small["customer"]
+    assert large["orders"] == 2 * small["orders"]
+    assert small["region"] == large["region"] == 5
+    assert small["nation"] == large["nation"] == 25
+
+
+def test_scaled_floors_at_one():
+    assert scaled(10_000, 0.0000001) == 1
+
+
+def test_retail_price_formula():
+    assert retail_price(1) == (90000 + 0 + 100) / 100.0
+
+
+def test_partsupp_four_suppliers_per_part():
+    data = generate_initial(0.001)
+    per_part = {}
+    for row in data["partsupp"]:
+        per_part.setdefault(row["ps_partkey"], set()).add(row["ps_suppkey"])
+    assert all(len(v) == 4 for v in per_part.values())
+
+
+def test_lineitem_dates_consistent():
+    data = generate_initial(0.0005)
+    orders = {o["o_orderkey"]: o for o in data["orders"]}
+    for row in data["lineitem"]:
+        order = orders[row["l_orderkey"]]
+        assert row["l_shipdate"] > order["o_orderdate"]
+        assert row["l_receiptdate"] > row["l_shipdate"]
+        assert order["o_orderdate"] <= ORDER_MAX_DAY
+
+
+def test_app_time_derived_from_value_columns():
+    """§4.1: application times derive from shipdate/receiptdate etc."""
+    data = generate_initial(0.0005)
+    for row in data["lineitem"]:
+        assert row["l_active_begin"] <= row["l_shipdate"]
+        assert row["l_active_end"] == row["l_receiptdate"]
+    for row in data["orders"]:
+        assert row["o_active_begin"] == row["o_orderdate"]
+        if row["o_orderstatus"] == "O":
+            assert row["o_active_end"] == END_OF_TIME
+
+
+def test_totalprice_matches_lineitems():
+    data = generate_initial(0.0002)
+    sums = {}
+    for row in data["lineitem"]:
+        amount = row["l_extendedprice"] * (1 + row["l_tax"]) * (1 - row["l_discount"])
+        sums[row["l_orderkey"]] = sums.get(row["l_orderkey"], 0.0) + amount
+    for order in data["orders"]:
+        assert abs(order["o_totalprice"] - sums[order["o_orderkey"]]) < 0.01
+
+
+def test_initial_data_counts_accessor():
+    data = InitialData()
+    assert data.counts()["orders"] == 0

@@ -1,0 +1,159 @@
+"""INSERT / UPDATE / DELETE through SQL, including FOR PORTION OF."""
+
+import pytest
+
+from repro.engine.errors import NotSupportedError, ProgrammingError
+from repro.engine.types import END_OF_TIME
+
+
+def _seed(db):
+    db.execute(
+        "INSERT INTO item (id, name, price, ab, ae) VALUES "
+        "(1, 'widget', 10.0, 0, 100), (2, 'gadget', 20.0, 0, 100)"
+    )
+
+
+class TestInsert:
+    def test_insert_sets_system_time(self, db):
+        _seed(db)
+        result = db.execute("SELECT sb, se FROM item WHERE id = 1")
+        sb, se = result.rows[0]
+        assert sb >= 1 and se == END_OF_TIME
+
+    def test_insert_arity_mismatch(self, db):
+        with pytest.raises(ProgrammingError):
+            db.execute("INSERT INTO item (id, name) VALUES (1)")
+
+    def test_insert_select(self, db):
+        _seed(db)
+        db.execute("CREATE TABLE names (n varchar(32))")
+        db.execute("INSERT INTO names (n) SELECT name FROM item")
+        assert db.execute("SELECT count(*) FROM names").scalar() == 2
+
+    def test_rowcount(self, db):
+        result = db.execute(
+            "INSERT INTO item (id, name, price, ab, ae) VALUES "
+            "(5, 'a', 1.0, 0, 10), (6, 'b', 2.0, 0, 10)"
+        )
+        assert result.rowcount == 2
+
+
+class TestUpdate:
+    def test_plain_update_versions(self, db):
+        _seed(db)
+        db.execute("UPDATE item SET price = price + 1 WHERE id = 1")
+        assert db.execute(
+            "SELECT price FROM item WHERE id = 1"
+        ).scalar() == 11.0
+        # the old version is in the history
+        versions = db.execute(
+            "SELECT count(*) FROM item FOR SYSTEM_TIME ALL WHERE id = 1"
+        ).scalar()
+        assert versions == 2
+
+    def test_update_all_rows(self, db):
+        _seed(db)
+        result = db.execute("UPDATE item SET price = 0")
+        assert result.rowcount == 2
+
+    def test_portion_update_splits(self, db):
+        _seed(db)
+        db.execute(
+            "UPDATE item FOR PORTION OF business_time FROM 20 TO 50 "
+            "SET price = 99.0 WHERE id = 1"
+        )
+        rows = db.execute(
+            "SELECT ab, ae, price FROM item WHERE id = 1 ORDER BY ab"
+        ).rows
+        assert rows == [(0, 20, 10.0), (20, 50, 99.0), (50, 100, 10.0)]
+
+    def test_update_references_old_row_values(self, db):
+        _seed(db)
+        db.execute("UPDATE item SET name = name || '!' WHERE id = 2")
+        assert db.execute("SELECT name FROM item WHERE id = 2").scalar() == "gadget!"
+
+    def test_update_by_subquery_where(self, db):
+        _seed(db)
+        db.execute(
+            "UPDATE item SET price = 0 WHERE price = (SELECT max(price) FROM item)"
+        )
+        assert db.execute("SELECT price FROM item WHERE id = 2").scalar() == 0
+
+
+class TestDelete:
+    def test_delete_archives(self, db):
+        _seed(db)
+        result = db.execute("DELETE FROM item WHERE id = 1")
+        assert result.rowcount == 1
+        assert db.execute("SELECT count(*) FROM item").scalar() == 1
+        assert db.execute(
+            "SELECT count(*) FROM item FOR SYSTEM_TIME ALL"
+        ).scalar() == 2
+
+    def test_portion_delete(self, db):
+        _seed(db)
+        db.execute(
+            "DELETE FROM item FOR PORTION OF business_time FROM 0 TO 30 WHERE id = 1"
+        )
+        rows = db.execute("SELECT ab, ae FROM item WHERE id = 1").rows
+        assert rows == [(30, 100)]
+
+    def test_delete_everything(self, db):
+        _seed(db)
+        assert db.execute("DELETE FROM item").rowcount == 2
+
+
+class TestDdlThroughSql:
+    def test_create_index_and_drop(self, db):
+        _seed(db)
+        db.execute("CREATE INDEX idx_price ON item (price)")
+        assert any(i.name == "idx_price" for i in db.catalog.indexes())
+        db.execute("DROP INDEX idx_price")
+        assert not any(i.name == "idx_price" for i in db.catalog.indexes())
+
+    def test_drop_table(self, db):
+        db.execute("CREATE TABLE tmp (x integer)")
+        db.execute("DROP TABLE tmp")
+        with pytest.raises(Exception):
+            db.execute("SELECT * FROM tmp")
+
+
+class TestTransactionsShareTicks:
+    def test_batched_statements_share_system_time(self, db):
+        with db.begin():
+            db.execute(
+                "INSERT INTO item (id, name, price, ab, ae) VALUES (1, 'a', 1.0, 0, 10)"
+            )
+            db.execute(
+                "INSERT INTO item (id, name, price, ab, ae) VALUES (2, 'b', 2.0, 0, 10)"
+            )
+        rows = db.execute("SELECT sb FROM item ORDER BY id").rows
+        assert rows[0] == rows[1]
+
+    def test_unbatched_statements_get_distinct_ticks(self, db):
+        db.execute("INSERT INTO item (id, name, price, ab, ae) VALUES (1, 'a', 1.0, 0, 10)")
+        db.execute("INSERT INTO item (id, name, price, ab, ae) VALUES (2, 'b', 2.0, 0, 10)")
+        rows = db.execute("SELECT sb FROM item ORDER BY id").rows
+        assert rows[0] != rows[1]
+
+
+class TestManualSystemTime:
+    def test_explicit_timestamps_only_on_system_d(self, db):
+        with pytest.raises(Exception):
+            db.insert_row_explicit("item", {"id": 9}, 5, 10)
+
+    def test_system_d_accepts_explicit_timestamps(self):
+        from repro.systems import make_system
+
+        system = make_system("D")
+        system.db.execute(
+            "CREATE TABLE item (id integer NOT NULL, v integer,"
+            " sb timestamp, se timestamp, PRIMARY KEY (id),"
+            " PERIOD FOR system_time (sb, se))"
+        )
+        system.db.insert_row_explicit("item", {"id": 1, "v": 5}, 3, 8)
+        rows = system.db.execute(
+            "SELECT v FROM item FOR SYSTEM_TIME AS OF 4"
+        ).rows
+        assert rows == [(5,)]
+        assert system.db.execute("SELECT count(*) FROM item").scalar() == 0

@@ -1,0 +1,42 @@
+"""Error hierarchy and Result object tests."""
+
+import pytest
+
+from repro.engine import errors
+from repro.engine.session import Result
+
+
+def test_pep249_ladder():
+    assert issubclass(errors.InterfaceError, errors.Error)
+    assert issubclass(errors.DatabaseError, errors.Error)
+    for cls in (
+        errors.DataError,
+        errors.OperationalError,
+        errors.IntegrityError,
+        errors.InternalError,
+        errors.ProgrammingError,
+        errors.NotSupportedError,
+    ):
+        assert issubclass(cls, errors.DatabaseError)
+
+
+def test_engine_specific_subclasses():
+    assert issubclass(errors.SqlSyntaxError, errors.ProgrammingError)
+    assert issubclass(errors.CatalogError, errors.ProgrammingError)
+    assert issubclass(errors.PlanError, errors.InternalError)
+    assert issubclass(errors.QueryTimeout, errors.OperationalError)
+
+
+def test_syntax_error_formatting():
+    err = errors.SqlSyntaxError("bad token", position=7, fragment="SELEC")
+    assert "offset 7" in str(err)
+    assert "SELEC" in str(err)
+    assert err.position == 7
+
+
+def test_result_helpers():
+    result = Result(rows=[(1, "a"), (2, "b")], columns=["x", "y"], rowcount=2)
+    assert result.scalar() == 1
+    assert len(result) == 2
+    assert list(result) == [(1, "a"), (2, "b")]
+    assert Result().scalar() is None

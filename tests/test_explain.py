@@ -1,0 +1,44 @@
+"""EXPLAIN output sanity."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.errors import ProgrammingError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (a integer NOT NULL, b integer, PRIMARY KEY (a))")
+    database.execute("CREATE TABLE u (a integer, c integer)")
+    return database
+
+
+def test_explain_scan_and_filter(db):
+    plan = db.explain("SELECT b FROM t WHERE b > 5")
+    assert "Access(t" in plan
+    assert "Filter" in plan
+
+
+def test_explain_join_operator(db):
+    plan = db.explain("SELECT 1 FROM t, u WHERE t.a = u.a")
+    assert "HashJoin" in plan
+
+
+def test_explain_aggregate(db):
+    plan = db.explain("SELECT b, count(*) FROM t GROUP BY b")
+    assert "Aggregate" in plan
+
+
+def test_explain_shows_partitions(db):
+    db.execute(
+        "CREATE TABLE v (id integer, sb timestamp, se timestamp,"
+        " PERIOD FOR system_time (sb, se))"
+    )
+    plan = db.explain("SELECT count(*) FROM v FOR SYSTEM_TIME AS OF 1")
+    assert "history" in plan
+
+
+def test_explain_rejects_dml(db):
+    with pytest.raises(ProgrammingError):
+        db.explain("DELETE FROM t")

@@ -1,0 +1,184 @@
+"""Expression evaluation: SQL three-valued logic, functions, intervals."""
+
+import pytest
+
+from repro.engine.errors import ProgrammingError
+from repro.engine.expr import (
+    Env,
+    Interval,
+    Scope,
+    add_interval,
+    compile_expr,
+    expr_to_string,
+    like_match,
+)
+from repro.engine.sql import parse_statement
+from repro.engine.types import date_to_day
+
+
+def evaluate(text, row=(), layout=(), params=None):
+    expr = parse_statement(f"SELECT {text}").items[0].expr
+    fn = compile_expr(expr, Scope(list(layout)))
+    return fn(tuple(row), Env(params or {}))
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert evaluate("1 + 2 * 3") == 7
+        assert evaluate("10 / 4") == 2.5
+        assert evaluate("10 % 3") == 1
+        assert evaluate("-5 + 2") == -3
+
+    def test_null_propagation(self):
+        assert evaluate("1 + NULL") is None
+        assert evaluate("NULL * 2") is None
+
+    def test_division_by_zero_is_null(self):
+        assert evaluate("1 / 0") is None
+
+    def test_concat(self):
+        assert evaluate("'a' || 'b' || 1") == "ab1"
+
+
+class TestComparisonsAndLogic:
+    def test_comparisons(self):
+        assert evaluate("1 < 2") is True
+        assert evaluate("2 <> 2") is False
+        assert evaluate("NULL = NULL") is None
+
+    def test_kleene_and_or(self):
+        assert evaluate("1 = 1 AND NULL = 1") is None
+        assert evaluate("1 = 2 AND NULL = 1") is False
+        assert evaluate("1 = 1 OR NULL = 1") is True
+        assert evaluate("1 = 2 OR NULL = 1") is None
+
+    def test_not(self):
+        assert evaluate("NOT 1 = 2") is True
+        assert evaluate("NOT NULL = 1") is None
+
+    def test_between(self):
+        assert evaluate("5 BETWEEN 1 AND 9") is True
+        assert evaluate("5 NOT BETWEEN 1 AND 9") is False
+        assert evaluate("NULL BETWEEN 1 AND 2") is None
+
+    def test_in_list(self):
+        assert evaluate("2 IN (1, 2, 3)") is True
+        assert evaluate("9 IN (1, 2, 3)") is False
+        assert evaluate("9 NOT IN (1, 2, 3)") is True
+        assert evaluate("9 IN (1, NULL)") is None
+
+    def test_is_null(self):
+        assert evaluate("NULL IS NULL") is True
+        assert evaluate("1 IS NOT NULL") is True
+
+
+class TestLike:
+    def test_percent_and_underscore(self):
+        assert evaluate("'hello' LIKE 'h%'") is True
+        assert evaluate("'hello' LIKE 'h_llo'") is True
+        assert evaluate("'hello' LIKE 'h_'") is False
+        assert evaluate("'hello' NOT LIKE 'x%'") is True
+
+    def test_special_chars_escaped(self):
+        assert like_match("a.b", "a.b") is True
+        assert like_match("axb", "a.b") is False
+
+    def test_null(self):
+        assert like_match(None, "x") is None
+
+
+class TestCase:
+    def test_branches(self):
+        assert evaluate("CASE WHEN 1 = 2 THEN 'a' WHEN 1 = 1 THEN 'b' END") == "b"
+        assert evaluate("CASE WHEN 1 = 2 THEN 'a' ELSE 'c' END") == "c"
+        assert evaluate("CASE WHEN 1 = 2 THEN 'a' END") is None
+
+
+class TestDatesAndIntervals:
+    def test_date_function(self):
+        assert evaluate("date '1992-01-02'") == 1
+
+    def test_add_days(self):
+        assert evaluate("date '1992-01-01' + interval '10' day") == 10
+
+    def test_add_months_clamps(self):
+        jan31 = date_to_day("1992-01-31")
+        result = add_interval(jan31, Interval(months=1))
+        assert result == date_to_day("1992-02-29")  # leap year clamp
+
+    def test_add_year(self):
+        assert evaluate(
+            "date '1994-01-01' + interval '1' year"
+        ) == date_to_day("1995-01-01")
+
+    def test_subtract_interval(self):
+        assert evaluate(
+            "date '1998-12-01' - interval '90' day"
+        ) == date_to_day("1998-09-02")
+
+    def test_extract(self):
+        assert evaluate("extract(year FROM date '1995-06-17')") == 1995
+        assert evaluate("extract(month FROM date '1995-06-17')") == 6
+        assert evaluate("extract(day FROM date '1995-06-17')") == 17
+
+
+class TestFunctions:
+    def test_substring(self):
+        assert evaluate("substring('hello' FROM 2 FOR 3)") == "ell"
+        assert evaluate("substring('hello', 2)") == "ello"
+
+    def test_coalesce_nullif(self):
+        assert evaluate("coalesce(NULL, NULL, 3)") == 3
+        assert evaluate("nullif(2, 2)") is None
+        assert evaluate("nullif(2, 3)") == 2
+
+    def test_misc(self):
+        assert evaluate("abs(-4)") == 4
+        assert evaluate("round(3.456, 1)") == 3.5
+        assert evaluate("upper('ab')") == "AB"
+        assert evaluate("length('abc')") == 3
+        assert evaluate("greatest(1, 9, 3)") == 9
+        assert evaluate("least(4, 2, 8)") == 2
+
+    def test_unknown_function(self):
+        with pytest.raises(ProgrammingError):
+            evaluate("frobnicate(1)")
+
+
+class TestScopes:
+    def test_column_resolution(self):
+        layout = [("t", "a"), ("t", "b")]
+        assert evaluate("a + b", row=(3, 4), layout=layout) == 7
+        assert evaluate("t.a * 2", row=(3, 4), layout=layout) == 6
+
+    def test_ambiguous_column(self):
+        layout = [("t", "a"), ("u", "a")]
+        with pytest.raises(ProgrammingError):
+            evaluate("a", row=(1, 2), layout=layout)
+
+    def test_unknown_column(self):
+        with pytest.raises(ProgrammingError):
+            evaluate("zzz")
+
+    def test_outer_scope_resolution(self):
+        outer = Scope([("o", "x")])
+        inner = Scope([("i", "y")], outer=outer)
+        expr = parse_statement("SELECT o.x + i.y").items[0].expr
+        fn = compile_expr(expr, inner)
+        env = Env({}, outer_rows=[(10,)])
+        assert fn((5,), env) == 15
+
+    def test_params(self):
+        assert evaluate("? + 1", params={0: 41}) == 42
+        assert evaluate(":p * 2", params={"p": 21}) == 42
+        with pytest.raises(ProgrammingError):
+            evaluate(":missing")
+
+
+def test_expr_to_string_smoke():
+    stmt = parse_statement(
+        "SELECT CASE WHEN a LIKE 'x%' THEN 1 ELSE 0 END, a IN (1,2),"
+        " a BETWEEN 1 AND 2, count(*), interval '3' day, b IS NULL"
+    )
+    for item in stmt.items:
+        assert isinstance(expr_to_string(item.expr), str)

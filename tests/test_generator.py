@@ -1,0 +1,105 @@
+"""End-to-end generator tests (§4.1) and Table 2 qualitative claims."""
+
+import pytest
+
+from repro.core.generator import (
+    BitemporalDataGenerator,
+    GeneratorConfig,
+    INITIAL_TICK,
+)
+from repro.core.stats import insert_update_shares, operations_table, scenario_mix
+from repro.engine.types import END_OF_TIME
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return BitemporalDataGenerator(GeneratorConfig(h=0.0005, m=0.0002, seed=11)).generate()
+
+
+def test_config_validation():
+    with pytest.raises(TypeError):
+        BitemporalDataGenerator(GeneratorConfig(), h=0.1)
+    assert GeneratorConfig(m=0.5).scenario_count == 500_000
+
+
+def test_determinism():
+    a = BitemporalDataGenerator(GeneratorConfig(h=0.0003, m=0.00005, seed=3)).generate()
+    b = BitemporalDataGenerator(GeneratorConfig(h=0.0003, m=0.00005, seed=3)).generate()
+    assert a.transactions == b.transactions
+    assert a.meta.last_tick == b.meta.last_tick
+
+
+def test_transaction_count_matches_m(workload):
+    assert len(workload.transactions) == workload.config.scenario_count
+    assert workload.meta.last_tick == INITIAL_TICK + len(workload.transactions)
+
+
+def test_metadata_keys_exist(workload):
+    meta = workload.meta
+    assert meta.hottest_customer is not None
+    assert meta.hottest_order is not None
+    assert meta.initial_counts["orders"] > 0
+    assert meta.first_scenario_tick == INITIAL_TICK + 1
+    assert meta.mid_tick() > meta.initial_tick
+
+
+def test_hottest_customer_is_live_and_hot(workload):
+    key = (workload.meta.hottest_customer,)
+    table = workload.store.table("customer")
+    assert table.chain(key) is not None
+    closed = sum(
+        1 for values, _b, _e in workload.store.closed["customer"]
+        if values["c_custkey"] == workload.meta.hottest_customer
+    )
+    assert closed >= 1
+
+
+def test_final_versions_consistent_with_counts(workload):
+    live = len(workload.final_versions("orders"))
+    counts = workload.version_counts("orders")
+    assert counts["live"] == live
+    assert counts["total"] == live + counts["closed"]
+
+
+def test_all_versions_cover_full_timeline(workload):
+    for values, begin, end in workload.all_versions("customer"):
+        assert INITIAL_TICK <= begin <= workload.meta.last_tick
+        assert end == END_OF_TIME or begin < end <= workload.meta.last_tick
+
+
+def test_current_only_mode_drops_archive():
+    wl = BitemporalDataGenerator(
+        GeneratorConfig(h=0.0003, m=0.00005, current_only=True)
+    ).generate()
+    assert wl.store.closed_count() == 0
+    assert len(wl.final_versions("orders")) > 0
+
+
+def test_scenario_mix_close_to_table1(workload):
+    mix = scenario_mix(workload)
+    assert abs(mix.get("new_order", 0) - 0.30) < 0.10
+    assert abs(mix.get("deliver_order", 0) - 0.25) < 0.10
+
+
+def test_table2_qualitative_shape(workload):
+    shares = insert_update_shares(workload)
+    assert shares["lineitem"]["insert"] > 0.5
+    assert shares["customer"]["update"] > 0.6
+    assert shares["part"]["update"] == 1.0
+    rows = {r["table"]: r for r in operations_table(workload)}
+    assert rows["nation"]["history_growth_ratio"] == 0
+
+
+def test_version_chains_never_overlap(workload):
+    """Store invariant: live app versions of one key never overlap."""
+    for table_name in ("customer", "part", "partsupp"):
+        table = workload.store.table(table_name)
+        period = table.app_periods[table.primary_period]
+        begin_col, end_col = period
+        for key in list(table.chains)[:50]:
+            spans = sorted(
+                (n.values[begin_col], n.values[end_col])
+                for n in table.chains[key]
+            )
+            for (b1, e1), (b2, e2) in zip(spans, spans[1:]):
+                assert e1 <= b2, (table_name, key, spans)

@@ -1,0 +1,39 @@
+"""Hash index unit tests."""
+
+from repro.engine.index.hashindex import HashIndex
+
+
+def test_insert_search():
+    index = HashIndex()
+    index.insert("k", 1)
+    index.insert("k", 2)
+    assert sorted(index.search("k")) == [1, 2]
+    assert index.search("missing") == []
+
+
+def test_len_and_contains():
+    index = HashIndex()
+    assert len(index) == 0
+    index.insert(1, "a")
+    assert len(index) == 1
+    assert 1 in index and 2 not in index
+
+
+def test_remove():
+    index = HashIndex()
+    index.insert(1, "a")
+    index.insert(1, "b")
+    assert index.remove(1, "a")
+    assert index.search(1) == ["b"]
+    assert not index.remove(1, "zzz")
+    assert index.remove(1, "b")
+    assert 1 not in index
+    assert not index.remove(1, "b")
+
+
+def test_items_and_keys():
+    index = HashIndex()
+    for i in range(5):
+        index.insert(i % 2, i)
+    assert sorted(index.keys()) == [0, 1]
+    assert sorted(index.items()) == [(0, 0), (0, 2), (0, 4), (1, 1), (1, 3)]

@@ -1,0 +1,82 @@
+"""Index advisor tests (the §5.4 appendix study)."""
+
+import pytest
+
+from repro.core.loader import Loader
+from repro.core.queries import tpch
+from repro.systems import make_system
+from repro.systems.advisor import IndexAdvisor
+
+
+@pytest.fixture(scope="module")
+def advised_system(tiny_workload):
+    system = make_system("A")
+    Loader(system, tiny_workload).load()
+    return system
+
+
+def _advise(system, mode):
+    advisor = IndexAdvisor(system.db)
+    queries = [tpch.tpch_query(n, mode) for n in tpch.all_numbers()]
+    return advisor, advisor.advise(queries, mode=mode)
+
+
+def test_plain_mode_proposes_predicate_columns(advised_system):
+    _advisor, advice = _advise(advised_system, "plain")
+    assert advice.count() > 10
+    tables = advice.per_table()
+    assert "lineitem" in tables and "orders" in tables
+    # single-column candidates on the current partition only
+    assert all(len(c.columns) == 1 for c in advice.candidates)
+    assert all(c.partition == "current" for c in advice.candidates)
+
+
+def test_app_mode_extends_with_time_columns(advised_system):
+    _advisor, advice = _advise(advised_system, "app")
+    lineitem = [c for c in advice.candidates if c.table == "lineitem"]
+    assert any("l_active_begin" in c.columns for c in lineitem)
+
+
+def test_sys_mode_doubles_across_partitions(advised_system):
+    """The paper's 54 → 309 inflation: system-time advice reflects the
+    history-table split (one candidate per partition)."""
+    _advisor, plain = _advise(advised_system, "plain")
+    _advisor, sys_advice = _advise(advised_system, "sys")
+    assert sys_advice.count() > plain.count()
+    partitions = {c.partition for c in sys_advice.candidates}
+    assert partitions == {"current", "history"}
+    # roughly doubled for the versioned tables
+    versioned = [c for c in sys_advice.candidates if c.table == "orders"]
+    currents = sum(1 for c in versioned if c.partition == "current")
+    histories = sum(1 for c in versioned if c.partition == "history")
+    assert currents == histories
+
+
+def test_ordering_matches_paper(advised_system):
+    """plain < app <= sys, like 54 < 301 <= 309."""
+    counts = {}
+    for mode in ("plain", "app", "sys"):
+        _advisor, advice = _advise(advised_system, mode)
+        counts[mode] = advice.count()
+    assert counts["plain"] < counts["app"]
+    assert counts["plain"] < counts["sys"]
+    assert counts["sys"] >= counts["app"] * 0.8
+
+
+def test_apply_and_drop(advised_system):
+    advisor, advice = _advise(advised_system, "plain")
+    created = advisor.apply(advice)
+    assert len(created) == advice.count()
+    names = {i.name for i in advised_system.db.catalog.indexes()}
+    assert set(created) <= names
+    # applying the advice must not change any query's answer
+    before = advised_system.execute(tpch.tpch_query(6, "plain")).rows
+    assert advised_system.execute(tpch.tpch_query(6, "plain")).rows == before
+    assert advisor.drop_applied() == len(created)
+
+
+def test_summary_render(advised_system):
+    _advisor, advice = _advise(advised_system, "plain")
+    text = advice.summary()
+    assert "index advisor (plain)" in text
+    assert "lineitem" in text

@@ -1,0 +1,83 @@
+"""SQL tokenizer tests."""
+
+import pytest
+
+from repro.engine.errors import SqlSyntaxError
+from repro.engine.sql.lexer import tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql)[:-1]]
+
+
+def test_keywords_and_identifiers():
+    assert kinds("SELECT foo FROM bar") == [
+        ("keyword", "select"), ("ident", "foo"),
+        ("keyword", "from"), ("ident", "bar"),
+    ]
+
+
+def test_case_insensitive_keywords():
+    assert kinds("SeLeCt")[0] == ("keyword", "select")
+
+
+def test_numbers():
+    assert kinds("42 3.14 0.5")[0] == ("number", 42)
+    assert kinds("3.14")[0] == ("number", 3.14)
+
+
+def test_number_then_dot_not_confused():
+    # "1." followed by an identifier: the dot is punctuation
+    tokens = kinds("a.b")
+    assert tokens == [("ident", "a"), ("op", "."), ("ident", "b")]
+
+
+def test_strings_with_escaped_quote():
+    tokens = kinds("'it''s'")
+    assert tokens == [("string", "it's")]
+
+
+def test_unterminated_string():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("'oops")
+
+
+def test_operators():
+    ops = [v for k, v in kinds("a <= b <> c >= d != e || f") if k == "op"]
+    assert ops == ["<=", "<>", ">=", "<>", "||"]
+
+
+def test_params():
+    tokens = kinds("c = ? AND d = :name")
+    assert ("param", None) in tokens
+    assert ("param", "name") in tokens
+
+
+def test_line_comment_skipped():
+    assert kinds("SELECT 1 -- hello\n+ 2") == [
+        ("keyword", "select"), ("number", 1), ("op", "+"), ("number", 2)
+    ]
+
+
+def test_block_comment_skipped():
+    assert kinds("1 /* anything\n at all */ 2") == [("number", 1), ("number", 2)]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("/* nope")
+
+
+def test_quoted_identifier():
+    assert kinds('"Weird Name"') == [("ident", "weird name")]
+
+
+def test_unexpected_character():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("SELECT @")
+
+
+def test_positions_recorded():
+    tokens = tokenize("SELECT x")
+    assert tokens[0].position == 0
+    assert tokens[1].position == 7

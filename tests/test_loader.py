@@ -1,0 +1,98 @@
+"""Loader tests: replay equivalence across systems, bulk load, batching."""
+
+import pytest
+
+from repro.core.loader import Loader, load_nontemporal_baseline
+from repro.engine import Database
+from repro.engine.errors import NotSupportedError
+from repro.systems import make_system
+
+
+def test_all_systems_agree_on_current_state(tiny_workload):
+    counts = {}
+    for name in "ABCD":
+        system = make_system(name)
+        Loader(system, tiny_workload).load()
+        counts[name] = {
+            "orders": system.execute("SELECT count(*) FROM orders").scalar(),
+            "total": system.execute(
+                "SELECT count(*) FROM orders FOR SYSTEM_TIME ALL"
+            ).scalar(),
+            "sum": round(system.execute(
+                "SELECT sum(o_totalprice) FROM orders"
+            ).scalar(), 2),
+        }
+    assert len({tuple(v.items()) for v in counts.values()}) == 1, counts
+
+
+def test_loader_matches_generator_bookkeeping(tiny_workload):
+    system = make_system("A")
+    Loader(system, tiny_workload).load()
+    for table in ("orders", "customer", "partsupp"):
+        expected = tiny_workload.version_counts(table)
+        got = system.execute(
+            f"SELECT count(*) FROM {table} FOR SYSTEM_TIME ALL"
+        ).scalar()
+        assert got == expected["total"], table
+        live = system.execute(f"SELECT count(*) FROM {table}").scalar()
+        assert live == expected["live"], table
+
+
+def test_initial_load_shares_one_tick(tiny_workload):
+    system = make_system("A")
+    Loader(system, tiny_workload).load()
+    # all version-0 rows share the single bulk-transaction tick
+    distinct = system.execute(
+        "SELECT count(DISTINCT sys_begin) FROM supplier FOR SYSTEM_TIME AS OF ?",
+        [tiny_workload.meta.initial_tick],
+    ).scalar()
+    assert distinct == 1
+
+
+def test_bulk_load_matches_replay(tiny_workload):
+    replayed = make_system("D")
+    Loader(replayed, tiny_workload).load()
+    bulk = make_system("D")
+    Loader(bulk, tiny_workload).bulk_load()
+    for tick in (tiny_workload.meta.initial_tick, tiny_workload.meta.mid_tick(),
+                 tiny_workload.meta.last_tick):
+        q = "SELECT count(*) FROM orders FOR SYSTEM_TIME AS OF ?"
+        assert replayed.execute(q, [tick]).scalar() == bulk.execute(q, [tick]).scalar(), tick
+
+
+def test_bulk_load_rejected_on_immutable_systems(tiny_workload):
+    system = make_system("A")
+    with pytest.raises(NotSupportedError):
+        Loader(system, tiny_workload).bulk_load()
+
+
+def test_batch_size_reduces_transactions(tiny_workload):
+    system = make_system("A")
+    report = Loader(system, tiny_workload).load(batch_size=10)
+    assert report.transactions == (len(tiny_workload.transactions) + 9) // 10
+    distinct = system.execute(
+        "SELECT count(DISTINCT sys_begin) FROM customer FOR SYSTEM_TIME ALL"
+    ).scalar()
+    assert distinct <= report.transactions + 1
+
+
+def test_latency_collection(tiny_workload):
+    system = make_system("B")
+    report = Loader(system, tiny_workload).load(collect_latencies=True)
+    assert len(report.scenario_latencies) == report.transactions
+    assert report.p97_latency() >= report.median_latency()
+
+
+def test_nontemporal_baseline_versions(tiny_workload):
+    initial = Database()
+    load_nontemporal_baseline(initial, tiny_workload, version="initial")
+    final = Database()
+    load_nontemporal_baseline(final, tiny_workload, version="final")
+    initial_orders = initial.execute("SELECT count(*) FROM orders").scalar()
+    final_orders = final.execute("SELECT count(*) FROM orders").scalar()
+    assert initial_orders == tiny_workload.meta.initial_counts["orders"]
+    assert final_orders != initial_orders
+    # baseline tables are plain: no temporal columns at all
+    assert not initial.table("orders").is_versioned
+    with pytest.raises(ValueError):
+        load_nontemporal_baseline(Database(), tiny_workload, version="bogus")

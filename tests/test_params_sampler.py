@@ -1,0 +1,62 @@
+"""Parameter sampler tests."""
+
+from repro.bench.service import BenchmarkService
+from repro.core.loader import Loader
+from repro.core.queries import Workload
+from repro.core.queries.params import ParameterSampler, spread_measure
+from repro.systems import make_system
+
+WORKLOAD = Workload()
+
+
+def test_sys_ticks_spread(tiny_workload):
+    sampler = ParameterSampler(tiny_workload.meta)
+    ticks = sampler.sys_ticks(5)
+    assert len(ticks) == 5
+    assert ticks[0] == tiny_workload.meta.initial_tick
+    assert ticks[-1] == tiny_workload.meta.last_tick
+    assert ticks == sorted(ticks)
+
+
+def test_single_point_is_mid(tiny_workload):
+    sampler = ParameterSampler(tiny_workload.meta)
+    assert sampler.sys_ticks(1) == [tiny_workload.meta.mid_tick()]
+    assert sampler.app_days(1) == [tiny_workload.meta.mid_day()]
+
+
+def test_deterministic_across_instances(tiny_workload):
+    a = ParameterSampler(tiny_workload.meta, seed=5)
+    b = ParameterSampler(tiny_workload.meta, seed=5)
+    assert [a.random_sys_tick() for _ in range(5)] == [
+        b.random_sys_tick() for _ in range(5)
+    ]
+
+
+def test_customer_keys_start_with_hottest(tiny_workload):
+    sampler = ParameterSampler(tiny_workload.meta)
+    keys = sampler.customer_keys(4)
+    assert keys[0] == tiny_workload.meta.hottest_customer
+    assert len(set(keys)) == 4
+
+
+def test_variations_sweep_time(tiny_workload):
+    sampler = ParameterSampler(tiny_workload.meta)
+    query = WORKLOAD.query("T2.sys")
+    variations = list(sampler.variations(query, 3))
+    assert len(variations) == 3
+    points = [v["sys_point"] for v in variations]
+    assert points[0] < points[-1]
+    # non-swept parameters keep their binding
+    for v in variations:
+        assert "app_point" in v
+
+
+def test_spread_measure_runs(tiny_workload, loaded_system_a):
+    service = BenchmarkService(repetitions=2, discard=1)
+    cells = spread_measure(
+        service, loaded_system_a, WORKLOAD.query("T2.sys"),
+        tiny_workload.meta, count=3,
+    )
+    assert len(cells) == 3
+    assert all(cell.median < float("inf") for cell in cells)
+    assert cells[0].qid.endswith("#0")

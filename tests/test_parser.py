@@ -1,0 +1,233 @@
+"""Parser tests: statements, temporal clauses, DDL, error reporting."""
+
+import pytest
+
+from repro.engine.errors import SqlSyntaxError
+from repro.engine.sql import ast, parse_statement
+
+
+class TestSelect:
+    def test_simple(self):
+        stmt = parse_statement("SELECT a, b FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert len(stmt.items) == 2
+        assert stmt.from_items[0].name == "t"
+
+    def test_star_and_qualified_star(self):
+        stmt = parse_statement("SELECT *, t.* FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+        assert stmt.items[1].expr.table == "t"
+
+    def test_aliases(self):
+        stmt = parse_statement("SELECT a AS x, b y FROM t u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_items[0].alias == "u"
+
+    def test_where_group_having_order_limit(self):
+        stmt = parse_statement(
+            "SELECT a, count(*) FROM t WHERE a > 1 GROUP BY a "
+            "HAVING count(*) > 2 ORDER BY a DESC LIMIT 5 OFFSET 2"
+        )
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert not stmt.order_by[0].ascending
+        assert stmt.limit.value == 5
+        assert stmt.offset.value == 2
+
+    def test_joins(self):
+        stmt = parse_statement(
+            "SELECT 1 FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y"
+        )
+        join = stmt.from_items[0]
+        assert isinstance(join, ast.Join)
+        assert join.kind == "left"
+        assert join.left.kind == "inner"
+
+    def test_derived_table(self):
+        stmt = parse_statement("SELECT z FROM (SELECT a AS z FROM t) sub")
+        derived = stmt.from_items[0]
+        assert isinstance(derived, ast.DerivedTable)
+        assert derived.alias == "sub"
+
+    def test_union_with_hoisted_order(self):
+        stmt = parse_statement(
+            "SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY 1 LIMIT 3"
+        )
+        assert stmt.set_op is not None
+        op, rhs, all_flag = stmt.set_op
+        assert all_flag
+        assert rhs.order_by == [] and rhs.limit is None
+        assert stmt.order_by and stmt.limit is not None
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+
+class TestTemporalClauses:
+    def test_system_time_as_of(self):
+        stmt = parse_statement("SELECT 1 FROM t FOR SYSTEM_TIME AS OF 42")
+        clause = stmt.from_items[0].temporal[0]
+        assert clause.period == "system_time"
+        assert clause.mode == "as_of"
+
+    def test_from_to_and_between(self):
+        stmt = parse_statement(
+            "SELECT 1 FROM t FOR SYSTEM_TIME FROM 1 TO 5 "
+            "FOR BUSINESS_TIME BETWEEN 2 AND 9"
+        )
+        modes = [c.mode for c in stmt.from_items[0].temporal]
+        assert modes == ["from_to", "between"]
+
+    def test_all(self):
+        stmt = parse_statement("SELECT 1 FROM t FOR SYSTEM_TIME ALL")
+        assert stmt.from_items[0].temporal[0].mode == "all"
+
+    def test_named_period(self):
+        stmt = parse_statement("SELECT 1 FROM orders FOR active_time AS OF 7")
+        assert stmt.from_items[0].temporal[0].period == "active_time"
+
+    def test_clause_after_alias(self):
+        stmt = parse_statement("SELECT 1 FROM t x FOR SYSTEM_TIME AS OF 42")
+        ref = stmt.from_items[0]
+        assert ref.alias == "x"
+        assert ref.temporal[0].mode == "as_of"
+
+
+class TestExpressions:
+    def _expr(self, text):
+        return parse_statement(f"SELECT {text}").items[0].expr
+
+    def test_precedence(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_and_or_not(self):
+        expr = self._expr("a = 1 OR NOT b = 2 AND c = 3")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_between_like_in(self):
+        assert isinstance(self._expr("a BETWEEN 1 AND 2"), ast.Between)
+        assert isinstance(self._expr("a NOT LIKE 'x%'"), ast.Like)
+        in_list = self._expr("a IN (1, 2, 3)")
+        assert isinstance(in_list, ast.InList) and len(in_list.items) == 3
+
+    def test_is_null(self):
+        expr = self._expr("a IS NOT NULL")
+        assert isinstance(expr, ast.IsNull) and expr.negated
+
+    def test_case(self):
+        expr = self._expr("CASE WHEN a = 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(expr, ast.Case)
+        assert expr.default is not None
+
+    def test_date_literal_and_interval(self):
+        expr = self._expr("date '1994-01-01' + interval '3' month")
+        assert expr.op == "+"
+        assert isinstance(expr.right, ast.IntervalLiteral)
+        assert expr.right.unit == "month"
+
+    def test_extract_and_substring(self):
+        expr = self._expr("extract(year FROM d)")
+        assert expr.name == "extract"
+        expr = self._expr("substring(p FROM 1 FOR 2)")
+        assert expr.name == "substring" and len(expr.args) == 3
+
+    def test_aggregates(self):
+        expr = self._expr("count(DISTINCT x)")
+        assert isinstance(expr, ast.Aggregate) and expr.distinct
+        star = self._expr("count(*)")
+        assert star.arg is None
+
+    def test_exists_and_subqueries(self):
+        expr = self._expr("EXISTS (SELECT 1 FROM t)")
+        assert isinstance(expr, ast.Exists)
+        expr = self._expr("a IN (SELECT b FROM t)")
+        assert isinstance(expr, ast.InSubquery)
+        expr = self._expr("(SELECT max(b) FROM t)")
+        assert isinstance(expr, ast.ScalarSubquery)
+
+    def test_params(self):
+        stmt = parse_statement("SELECT * FROM t WHERE a = ? AND b = :named")
+        refs = list(ast.walk_expr(stmt.where))
+        params = [r for r in refs if isinstance(r, ast.Param)]
+        assert params[0].index == 0
+        assert params[1].name == "named"
+
+    def test_concat(self):
+        expr = self._expr("'a' || 'b'")
+        assert expr.op == "||"
+
+
+class TestDml:
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t (a) SELECT b FROM u")
+        assert stmt.select is not None
+
+    def test_update_with_portion(self):
+        stmt = parse_statement(
+            "UPDATE t FOR PORTION OF business_time FROM 1 TO 9 "
+            "SET v = 5 WHERE id = 3"
+        )
+        assert stmt.portion.period == "business_time"
+        assert stmt.assignments[0][0] == "v"
+
+    def test_delete_with_portion(self):
+        stmt = parse_statement(
+            "DELETE FROM t FOR PORTION OF app FROM 1 TO 9 WHERE id = 3"
+        )
+        assert stmt.portion.period == "app"
+
+
+class TestDdl:
+    def test_create_table_full(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (id integer NOT NULL, v varchar(10),"
+            " ab date, ae date, sb timestamp, se timestamp,"
+            " PRIMARY KEY (id),"
+            " PERIOD FOR business_time (ab, ae),"
+            " PERIOD FOR system_time (sb, se))"
+        )
+        assert stmt.primary_key == ["id"]
+        assert [p.name for p in stmt.periods] == ["business_time", "system_time"]
+        assert stmt.columns[0].nullable is False
+
+    def test_create_index(self):
+        stmt = parse_statement("CREATE INDEX i ON t (a, b) USING hash")
+        assert stmt.kind == "hash"
+        stmt = parse_statement("CREATE INDEX i ON t (a) USING rtree ON history")
+        assert stmt.partition == "history"
+
+    def test_drop(self):
+        assert parse_statement("DROP TABLE t").name == "t"
+        assert parse_statement("DROP INDEX i").name == "i"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "SELECT",
+        "SELECT FROM t",
+        "SELECT 1 FROM",
+        "FROB x",
+        "SELECT 1 FROM t WHERE",
+        "SELECT 1 extra_tokens_after_alias 2",
+        "CREATE TABLE t (a zigzag)",
+        "SELECT 1 FROM t FOR SYSTEM_TIME NEAR 5",
+        "SELECT CASE END",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            parse_statement("SELECT 1 FROM t WHERE AND")
+        assert excinfo.value.position is not None

@@ -1,0 +1,208 @@
+"""SELECT execution: joins, aggregation, subqueries, ordering, set ops."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.errors import ProgrammingError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (a integer, b integer, c varchar(10))")
+    for a, b, c in [(1, 10, "x"), (2, 20, "y"), (3, 30, "x"), (4, None, "z")]:
+        database.execute("INSERT INTO t (a, b, c) VALUES (?, ?, ?)", [a, b, c])
+    database.execute("CREATE TABLE u (a integer, d varchar(10))")
+    for a, d in [(1, "one"), (2, "two"), (9, "nine")]:
+        database.execute("INSERT INTO u (a, d) VALUES (?, ?)", [a, d])
+    return database
+
+
+class TestBasics:
+    def test_projection_and_alias(self, db):
+        result = db.execute("SELECT a * 2 AS dbl FROM t ORDER BY a")
+        assert result.columns == ["dbl"]
+        assert [r[0] for r in result.rows] == [2, 4, 6, 8]
+
+    def test_star(self, db):
+        result = db.execute("SELECT * FROM t WHERE a = 1")
+        assert result.rows == [(1, 10, "x")]
+
+    def test_where_null_filtered(self, db):
+        result = db.execute("SELECT a FROM t WHERE b > 15")
+        assert sorted(r[0] for r in result.rows) == [2, 3]  # NULL row excluded
+
+    def test_order_by_column_position_and_desc(self, db):
+        by_name = db.execute("SELECT a, b FROM t ORDER BY b DESC")
+        by_pos = db.execute("SELECT a, b FROM t ORDER BY 2 DESC")
+        assert by_name.rows == by_pos.rows
+        # DESC puts NULLs first (PostgreSQL default: NULLS FIRST on DESC)
+        assert by_name.rows[0][1] is None
+
+    def test_order_by_expression_not_in_output(self, db):
+        result = db.execute("SELECT a FROM t ORDER BY b * -1")
+        # b DESC via expression; NULL (row 4) last
+        assert [r[0] for r in result.rows] == [3, 2, 1, 4]
+
+    def test_limit_offset(self, db):
+        result = db.execute("SELECT a FROM t ORDER BY a LIMIT 2 OFFSET 1")
+        assert [r[0] for r in result.rows] == [2, 3]
+
+    def test_distinct(self, db):
+        result = db.execute("SELECT DISTINCT c FROM t ORDER BY c")
+        assert [r[0] for r in result.rows] == ["x", "y", "z"]
+
+    def test_select_without_from(self, db):
+        assert db.execute("SELECT 1 + 1").scalar() == 2
+
+
+class TestJoins:
+    def test_comma_join_with_equi_predicate(self, db):
+        result = db.execute(
+            "SELECT t.a, u.d FROM t, u WHERE t.a = u.a ORDER BY t.a"
+        )
+        assert result.rows == [(1, "one"), (2, "two")]
+
+    def test_explicit_inner_join(self, db):
+        result = db.execute(
+            "SELECT t.a, u.d FROM t JOIN u ON t.a = u.a ORDER BY t.a"
+        )
+        assert len(result.rows) == 2
+
+    def test_left_join_pads_nulls(self, db):
+        result = db.execute(
+            "SELECT t.a, u.d FROM t LEFT JOIN u ON t.a = u.a ORDER BY t.a"
+        )
+        assert result.rows == [
+            (1, "one"), (2, "two"), (3, None), (4, None)
+        ]
+
+    def test_left_join_with_extra_on_condition(self, db):
+        result = db.execute(
+            "SELECT t.a, u.d FROM t LEFT JOIN u ON t.a = u.a AND u.d LIKE 'o%'"
+            " ORDER BY t.a"
+        )
+        assert result.rows[0] == (1, "one")
+        assert result.rows[1] == (2, None)
+
+    def test_cross_join(self, db):
+        result = db.execute("SELECT count(*) FROM t CROSS JOIN u")
+        assert result.scalar() == 12
+
+    def test_non_equi_join(self, db):
+        result = db.execute(
+            "SELECT count(*) FROM t, u WHERE t.a < u.a"
+        )
+        # t.a=1 pairs with u.a in {2,9}; t.a in {2,3,4} pair with u.a=9
+        assert result.scalar() == 5
+
+    def test_self_join_aliases(self, db):
+        result = db.execute(
+            "SELECT x.a, y.a FROM t x, t y WHERE x.a + 1 = y.a ORDER BY x.a"
+        )
+        assert result.rows == [(1, 2), (2, 3), (3, 4)]
+
+
+class TestAggregation:
+    def test_global_aggregates(self, db):
+        result = db.execute("SELECT count(*), count(b), sum(b), avg(b), min(b), max(b) FROM t")
+        assert result.rows == [(4, 3, 60, 20.0, 10, 30)]
+
+    def test_empty_input_global(self, db):
+        result = db.execute("SELECT count(*), sum(b) FROM t WHERE a > 99")
+        assert result.rows == [(0, None)]
+
+    def test_group_by(self, db):
+        result = db.execute(
+            "SELECT c, count(*), sum(b) FROM t GROUP BY c ORDER BY c"
+        )
+        assert result.rows == [("x", 2, 40), ("y", 1, 20), ("z", 1, None)]
+
+    def test_group_by_expression(self, db):
+        result = db.execute(
+            "SELECT a % 2, count(*) FROM t GROUP BY a % 2 ORDER BY 1"
+        )
+        assert result.rows == [(0, 2), (1, 2)]
+
+    def test_having(self, db):
+        result = db.execute(
+            "SELECT c, count(*) FROM t GROUP BY c HAVING count(*) > 1"
+        )
+        assert result.rows == [("x", 2)]
+
+    def test_having_references_unprojected_aggregate(self, db):
+        result = db.execute(
+            "SELECT c FROM t GROUP BY c HAVING sum(b) >= 40"
+        )
+        assert result.rows == [("x",)]
+
+    def test_count_distinct(self, db):
+        assert db.execute("SELECT count(DISTINCT c) FROM t").scalar() == 3
+
+    def test_order_by_aggregate_alias(self, db):
+        result = db.execute(
+            "SELECT c, count(*) AS n FROM t GROUP BY c ORDER BY n DESC, c"
+        )
+        assert result.rows[0] == ("x", 2)
+
+    def test_aggregate_of_expression(self, db):
+        assert db.execute("SELECT sum(b * 2) FROM t").scalar() == 120
+
+
+class TestSubqueries:
+    def test_scalar_subquery(self, db):
+        result = db.execute("SELECT a FROM t WHERE b = (SELECT max(b) FROM t)")
+        assert result.rows == [(3,)]
+
+    def test_in_subquery(self, db):
+        result = db.execute(
+            "SELECT a FROM t WHERE a IN (SELECT a FROM u) ORDER BY a"
+        )
+        assert [r[0] for r in result.rows] == [1, 2]
+
+    def test_not_in_subquery(self, db):
+        result = db.execute(
+            "SELECT a FROM t WHERE a NOT IN (SELECT a FROM u) ORDER BY a"
+        )
+        assert [r[0] for r in result.rows] == [3, 4]
+
+    def test_correlated_exists(self, db):
+        result = db.execute(
+            "SELECT a FROM t WHERE EXISTS "
+            "(SELECT 1 FROM u WHERE u.a = t.a AND u.d LIKE '%e') ORDER BY a"
+        )
+        assert [r[0] for r in result.rows] == [1]
+
+    def test_correlated_scalar(self, db):
+        result = db.execute(
+            "SELECT t.a, (SELECT u.d FROM u WHERE u.a = t.a) FROM t ORDER BY t.a"
+        )
+        assert result.rows == [(1, "one"), (2, "two"), (3, None), (4, None)]
+
+    def test_derived_table(self, db):
+        result = db.execute(
+            "SELECT big.c, big.n FROM "
+            "(SELECT c, count(*) AS n FROM t GROUP BY c) big "
+            "WHERE big.n > 1"
+        )
+        assert result.rows == [("x", 2)]
+
+    def test_scalar_subquery_multiple_rows_errors(self, db):
+        with pytest.raises(ProgrammingError):
+            db.execute("SELECT (SELECT a FROM t)")
+
+
+class TestSetOps:
+    def test_union_dedupes(self, db):
+        result = db.execute("SELECT c FROM t UNION SELECT d FROM u ORDER BY 1")
+        assert [r[0] for r in result.rows] == ["nine", "one", "two", "x", "y", "z"]
+
+    def test_union_all_keeps_duplicates(self, db):
+        result = db.execute("SELECT c FROM t UNION ALL SELECT c FROM t")
+        assert len(result.rows) == 8
+
+    def test_union_with_limit(self, db):
+        result = db.execute(
+            "SELECT a FROM t UNION ALL SELECT a FROM u ORDER BY 1 LIMIT 3"
+        )
+        assert [r[0] for r in result.rows] == [1, 1, 2]

@@ -1,0 +1,119 @@
+"""Property-based tests over the SQL execution pipeline."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Database
+
+
+def _db_with(rows):
+    db = Database()
+    db.execute("CREATE TABLE t (a integer, b integer)")
+    with db.begin():
+        for a, b in rows:
+            db.insert_row("t", {"a": a, "b": b})
+    return db
+
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(-50, 50), st.integers(-50, 50)), max_size=60
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows_strategy, st.integers(-60, 60))
+def test_property_filter_matches_python(rows, threshold):
+    db = _db_with(rows)
+    got = db.execute("SELECT count(*) FROM t WHERE a > ?", [threshold]).scalar()
+    assert got == sum(1 for a, _b in rows if a > threshold)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows_strategy)
+def test_property_aggregates_match_python(rows):
+    db = _db_with(rows)
+    result = db.execute("SELECT count(*), sum(a), min(b), max(b) FROM t").rows[0]
+    expected = (
+        len(rows),
+        sum(a for a, _ in rows) if rows else None,
+        min(b for _, b in rows) if rows else None,
+        max(b for _, b in rows) if rows else None,
+    )
+    assert result == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows_strategy)
+def test_property_order_by_is_sorted(rows):
+    db = _db_with(rows)
+    got = [r[0] for r in db.execute("SELECT a FROM t ORDER BY a").rows]
+    assert got == sorted(a for a, _b in rows)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows_strategy)
+def test_property_group_by_partitions_rows(rows):
+    db = _db_with(rows)
+    groups = db.execute("SELECT a, count(*) FROM t GROUP BY a").rows
+    assert sum(count for _a, count in groups) == len(rows)
+    expected = {}
+    for a, _b in rows:
+        expected[a] = expected.get(a, 0) + 1
+    assert dict(groups) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows_strategy)
+def test_property_self_join_count(rows):
+    db = _db_with(rows)
+    got = db.execute(
+        "SELECT count(*) FROM t x, t y WHERE x.a = y.a"
+    ).scalar()
+    counts = {}
+    for a, _b in rows:
+        counts[a] = counts.get(a, 0) + 1
+    assert got == sum(c * c for c in counts.values())
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows_strategy, st.integers(0, 20))
+def test_property_limit_prefix(rows, limit):
+    db = _db_with(rows)
+    full = db.execute("SELECT a, b FROM t ORDER BY a, b").rows
+    limited = db.execute(
+        "SELECT a, b FROM t ORDER BY a, b LIMIT ?", [limit]
+    ).rows
+    assert limited == full[:limit]
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows_strategy)
+def test_property_union_all_concatenates(rows):
+    db = _db_with(rows)
+    doubled = db.execute(
+        "SELECT a FROM t UNION ALL SELECT a FROM t"
+    ).rows
+    assert len(doubled) == 2 * len(rows)
+
+
+@settings(max_examples=20, deadline=None)
+@given(rows_strategy)
+def test_property_versioning_preserves_history_count(rows):
+    """Every UPDATE adds exactly one history version per affected key."""
+    db = Database()
+    db.execute(
+        "CREATE TABLE v (id integer NOT NULL, x integer,"
+        " sb timestamp, se timestamp, PRIMARY KEY (id),"
+        " PERIOD FOR system_time (sb, se))"
+    )
+    keys = set()
+    for a, _b in rows:
+        if a not in keys:
+            keys.add(a)
+            db.execute("INSERT INTO v (id, x) VALUES (?, 0)", [a])
+    updates = 0
+    for a, b in rows:
+        db.execute("UPDATE v SET x = ? WHERE id = ?", [b, a])
+        updates += 1
+    total = db.execute("SELECT count(*) FROM v FOR SYSTEM_TIME ALL").scalar()
+    assert total == len(keys) + updates

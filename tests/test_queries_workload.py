@@ -1,0 +1,67 @@
+"""Integration: every benchmark query parses, plans and runs; results are
+identical across all four system archetypes (the architectures differ
+physically, never logically)."""
+
+import pytest
+
+from repro.core.loader import Loader
+from repro.core.queries import Workload
+from repro.engine.sql import parse_statement
+from repro.systems import make_system
+
+WORKLOAD = Workload()
+
+
+def test_workload_contains_all_classes():
+    groups = {q.group for q in WORKLOAD}
+    assert groups == {"T", "K", "R", "B"}
+    assert len(WORKLOAD) >= 45
+    assert "T5.all" in WORKLOAD.ids()
+    assert len(WORKLOAD.by_group("B")) == 12  # baseline + 11 variants
+
+
+@pytest.mark.parametrize("qid", Workload().ids())
+def test_query_parses(qid):
+    parse_statement(WORKLOAD.query(qid).sql)
+
+
+@pytest.fixture(scope="module")
+def all_systems(tiny_workload):
+    systems = {}
+    for name in "ABCD":
+        system = make_system(name)
+        Loader(system, tiny_workload).load()
+        systems[name] = system
+    return systems
+
+
+@pytest.mark.parametrize("qid", Workload().ids())
+def test_query_results_identical_across_systems(qid, all_systems, tiny_workload):
+    query = WORKLOAD.query(qid)
+    params = query.params(tiny_workload.meta)
+    reference = None
+    for name, system in all_systems.items():
+        rows = sorted(map(_normalise, system.execute(query.sql, params).rows))
+        if reference is None:
+            reference = (name, rows)
+        else:
+            assert rows == reference[1], (
+                f"{qid}: system {name} disagrees with {reference[0]}"
+            )
+
+
+def _normalise(row):
+    return tuple(
+        round(value, 6) if isinstance(value, float) else value for value in row
+    )
+
+
+def test_binders_use_generator_metadata(tiny_workload):
+    params = WORKLOAD.query("K1.app").params(tiny_workload.meta)
+    assert params["key"] == tiny_workload.meta.hottest_customer
+    params = WORKLOAD.query("T1.sys").params(tiny_workload.meta)
+    assert (
+        tiny_workload.meta.initial_tick
+        <= params["sys_point"]
+        <= tiny_workload.meta.last_tick
+    )

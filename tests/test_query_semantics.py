@@ -1,0 +1,197 @@
+"""Behavioural tests of the query classes on *constructed* micro-scenarios
+(not generated workloads): each query class must detect exactly the events
+we plant."""
+
+import pytest
+
+from repro.engine.types import END_OF_TIME
+from repro.systems import make_system
+
+CUSTOMER_DDL = (
+    "CREATE TABLE customer ("
+    " c_custkey integer NOT NULL, c_name varchar(25), c_address varchar(40),"
+    " c_nationkey integer, c_phone varchar(15), c_acctbal decimal,"
+    " c_mktsegment varchar(10), c_comment varchar(60),"
+    " c_visible_begin date, c_visible_end date,"
+    " sys_begin timestamp, sys_end timestamp,"
+    " PRIMARY KEY (c_custkey),"
+    " PERIOD FOR visible_time (c_visible_begin, c_visible_end),"
+    " PERIOD FOR system_time (sys_begin, sys_end))"
+)
+
+PARTSUPP_DDL = (
+    "CREATE TABLE partsupp ("
+    " ps_partkey integer NOT NULL, ps_suppkey integer NOT NULL,"
+    " ps_availqty integer, ps_supplycost decimal, ps_comment varchar(30),"
+    " ps_valid_begin date, ps_valid_end date,"
+    " sys_begin timestamp, sys_end timestamp,"
+    " PRIMARY KEY (ps_partkey, ps_suppkey),"
+    " PERIOD FOR validity_time (ps_valid_begin, ps_valid_end),"
+    " PERIOD FOR system_time (sys_begin, sys_end))"
+)
+
+
+@pytest.fixture
+def scenario():
+    """One customer with a scripted balance history:
+
+    tick 1: balance 100, visible [0, inf)
+    tick 2: balance 200 from day 50 onwards (sequenced)
+    tick 3: balance 300 everywhere (non-temporal update of both segments)
+    """
+    system = make_system("A")
+    db = system.db
+    db.execute(CUSTOMER_DDL)
+    db.execute(
+        "INSERT INTO customer (c_custkey, c_name, c_acctbal,"
+        " c_visible_begin, c_visible_end) VALUES (1, 'planted', 100.0, 0, ?)",
+        [END_OF_TIME],
+    )
+    db.execute(
+        "UPDATE customer FOR PORTION OF visible_time FROM 50 TO ?"
+        " SET c_acctbal = 200.0 WHERE c_custkey = 1",
+        [END_OF_TIME],
+    )
+    db.execute("UPDATE customer SET c_acctbal = 300.0 WHERE c_custkey = 1")
+    return system
+
+
+class TestAuditClassSemantics:
+    def test_k1_app_returns_current_segments(self, scenario):
+        rows = scenario.execute(
+            "SELECT c_acctbal, c_visible_begin FROM customer"
+            " WHERE c_custkey = 1 ORDER BY c_visible_begin"
+        ).rows
+        assert rows == [(300.0, 0), (300.0, 50)]
+
+    def test_k1_sys_traces_balance_evolution(self, scenario):
+        rows = scenario.execute(
+            "SELECT c_acctbal FROM customer FOR SYSTEM_TIME ALL"
+            " FOR visible_time AS OF 10"      # the [0, 50) segment
+            " WHERE c_custkey = 1 ORDER BY sys_begin"
+        ).rows
+        assert [r[0] for r in rows] == [100.0, 100.0, 300.0]
+        # tick1 original; tick2 split remainder (still 100); tick3 update
+
+    def test_k4_topn_returns_latest_first(self, scenario):
+        rows = scenario.execute(
+            "SELECT c_acctbal, sys_begin FROM customer FOR SYSTEM_TIME ALL"
+            " WHERE c_custkey = 1 ORDER BY sys_begin DESC LIMIT 2"
+        ).rows
+        assert all(r[0] == 300.0 for r in rows)
+
+    def test_k5_previous_version(self, scenario):
+        rows = scenario.execute(
+            "SELECT c.c_acctbal FROM customer FOR SYSTEM_TIME ALL c"
+            " WHERE c.c_custkey = 1 AND c_visible_begin = 0"
+            " AND c.sys_begin = (SELECT max(x.sys_begin)"
+            "   FROM customer FOR SYSTEM_TIME ALL x"
+            "   WHERE x.c_custkey = 1 AND x.sys_end < ?)",
+            [END_OF_TIME],
+        ).rows
+        # the version directly before the live one (closed at tick 3)
+        assert rows and rows[0][0] in (100.0, 200.0)
+
+    def test_bitemporal_point_grid(self, scenario):
+        grid = {
+            (1, 10): 100.0,  # before anything else
+            (1, 70): 100.0,  # split not yet recorded
+            (2, 10): 100.0,  # split recorded; day 10 unchanged
+            (2, 70): 200.0,  # day 70 now 200
+            (3, 10): 300.0,
+            (3, 70): 300.0,
+        }
+        for (tick, day), expected in grid.items():
+            got = scenario.execute(
+                "SELECT c_acctbal FROM customer"
+                " FOR SYSTEM_TIME AS OF :t FOR visible_time AS OF :d"
+                " WHERE c_custkey = 1",
+                {"t": tick, "d": day},
+            ).scalar()
+            assert got == expected, (tick, day, got)
+
+
+class TestRangeClassSemantics:
+    @pytest.fixture
+    def price_history(self):
+        """partsupp (1,1) raises its price by >7.5% exactly once."""
+        system = make_system("A")
+        db = system.db
+        db.execute(PARTSUPP_DDL)
+        for partkey, cost in ((1, 100.0), (2, 100.0)):
+            db.execute(
+                "INSERT INTO partsupp (ps_partkey, ps_suppkey, ps_availqty,"
+                " ps_supplycost, ps_valid_begin, ps_valid_end)"
+                " VALUES (?, 1, 10, ?, 0, ?)",
+                [partkey, cost, END_OF_TIME],
+            )
+        # +20% on part 1 (should be flagged), +5% on part 2 (should not)
+        db.execute("UPDATE partsupp SET ps_supplycost = 120.0"
+                   " WHERE ps_partkey = 1")
+        db.execute("UPDATE partsupp SET ps_supplycost = 105.0"
+                   " WHERE ps_partkey = 2")
+        return system
+
+    R7 = (
+        "SELECT DISTINCT v2.ps_partkey"
+        " FROM partsupp FOR SYSTEM_TIME ALL v1,"
+        "      partsupp FOR SYSTEM_TIME ALL v2"
+        " WHERE v1.ps_partkey = v2.ps_partkey"
+        "   AND v1.ps_suppkey = v2.ps_suppkey"
+        "   AND v2.sys_begin = v1.sys_end"
+        "   AND v2.ps_supplycost > 1.075 * v1.ps_supplycost"
+    )
+
+    def test_r7_flags_exactly_the_planted_raise(self, price_history):
+        rows = price_history.execute(self.R7).rows
+        assert rows == [(1,)]
+
+    def test_r2_state_durations(self, price_history):
+        # each part has one closed version; its duration is se - sb
+        rows = price_history.execute(
+            "SELECT count(*), avg(sys_end - sys_begin)"
+            " FROM partsupp FOR SYSTEM_TIME ALL WHERE sys_end < ?",
+            [END_OF_TIME],
+        ).rows
+        count, avg_duration = rows[0]
+        assert count == 2
+        assert avg_duration > 0
+
+    def test_r3_temporal_aggregation_series(self, price_history):
+        rows = price_history.execute(
+            "SELECT b.t, count(*), sum(o.ps_supplycost)"
+            " FROM (SELECT DISTINCT sys_begin AS t"
+            "       FROM partsupp FOR SYSTEM_TIME ALL) b,"
+            "      partsupp FOR SYSTEM_TIME ALL o"
+            " WHERE o.sys_begin <= b.t AND o.sys_end > b.t"
+            " GROUP BY b.t ORDER BY b.t"
+        ).rows
+        # ticks: 1 (insert p1), 2 (insert p2), 3 (p1 raise), 4 (p2 raise)
+        assert rows[0][1] == 1 and rows[0][2] == 100.0
+        assert rows[1][1] == 2 and rows[1][2] == 200.0
+        assert rows[2][2] == 220.0
+        assert rows[3][2] == 225.0
+
+
+class TestTimeTravelSemantics:
+    def test_slicing_vs_point_consistency(self, scenario):
+        """A system-time slice must contain every point snapshot."""
+        slice_count = scenario.execute(
+            "SELECT count(*) FROM customer FOR SYSTEM_TIME FROM 1 TO 99"
+            " WHERE c_custkey = 1"
+        ).scalar()
+        for tick in (1, 2, 3):
+            point_count = scenario.execute(
+                "SELECT count(*) FROM customer FOR SYSTEM_TIME AS OF ?"
+                " WHERE c_custkey = 1", [tick],
+            ).scalar()
+            assert point_count <= slice_count
+
+    def test_between_is_inclusive(self, scenario):
+        from_to = scenario.execute(
+            "SELECT count(*) FROM customer FOR SYSTEM_TIME FROM 1 TO 2"
+        ).scalar()
+        between = scenario.execute(
+            "SELECT count(*) FROM customer FOR SYSTEM_TIME BETWEEN 1 AND 2"
+        ).scalar()
+        assert between >= from_to

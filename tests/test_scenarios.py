@@ -1,0 +1,157 @@
+"""Unit tests for the nine update scenarios."""
+
+import pytest
+
+from repro.core.dbgen import generate_initial
+from repro.core.generator import TABLE_SPECS
+from repro.core.history import GeneratorStore
+from repro.core.rng import Rng
+from repro.core.scenarios import (
+    SCENARIOS,
+    ScenarioContext,
+    cancel_order,
+    change_price,
+    delay_availability,
+    deliver_order,
+    manipulate_order,
+    new_order,
+    pick_scenario,
+    receive_payment,
+    scenario_table,
+    update_stock,
+    update_supplier,
+)
+from repro.engine.types import END_OF_TIME
+
+
+def _context(seed=1):
+    initial = generate_initial(0.0003, seed=seed)
+    store = GeneratorStore(TABLE_SPECS)
+    for name, _k, _p in TABLE_SPECS:
+        for values in initial[name]:
+            store.table(name).insert(values, 1)
+        store.table(name).initial_count = len(initial[name])
+    ctx = ScenarioContext(
+        store=store,
+        rng=Rng(seed),
+        day=3000,
+        next_orderkey=len(initial["orders"]) + 1,
+        next_custkey=len(initial["customer"]) + 1,
+        part_count=len(initial["part"]),
+        supplier_count=len(initial["supplier"]),
+    )
+    ctx.open_orders = [
+        o["o_orderkey"] for o in initial["orders"] if o["o_orderstatus"] == "O"
+    ]
+    for row in initial["lineitem"]:
+        ctx.order_lines.setdefault(row["l_orderkey"], []).append(row["l_linenumber"])
+    return ctx
+
+
+def test_table1_probabilities_sum_to_one():
+    assert abs(sum(p for _n, p in scenario_table()) - 1.0) < 1e-9
+    assert dict(scenario_table())["new_order"] == 0.30
+    assert len(SCENARIOS) == 9
+
+
+def test_pick_scenario_respects_weights():
+    rng = Rng(42)
+    counts = {}
+    for _ in range(4000):
+        name = pick_scenario(rng).name
+        counts[name] = counts.get(name, 0) + 1
+    assert counts["new_order"] > counts["cancel_order"]
+    assert abs(counts["new_order"] / 4000 - 0.30) < 0.05
+
+
+def test_new_order_inserts_order_and_lineitems():
+    ctx = _context()
+    orders_before = ctx.store.table("orders").live_version_count()
+    assert new_order(ctx, tick=2)
+    assert ctx.store.table("orders").live_version_count() == orders_before + 1
+    inserted = [op for op in ctx.ops if op[0] == "insert"]
+    tables = {op[1] for op in inserted}
+    assert "orders" in tables and "lineitem" in tables
+    assert ctx.open_orders[-1] == ctx.next_orderkey - 1
+    # lineitem index kept in sync
+    assert ctx.order_lines[ctx.next_orderkey - 1]
+
+
+def test_cancel_order_deletes_order_and_lines():
+    ctx = _context()
+    new_order(ctx, tick=2)  # guarantee at least one open order
+    ctx.ops = []
+    assert cancel_order(ctx, tick=3)
+    deletes = [op for op in ctx.ops if op[0] == "delete"]
+    assert deletes[0][1] == "orders"
+    orderkey = deletes[0][2][0]
+    assert orderkey not in ctx.open_orders
+    assert all(op[2][0] == orderkey for op in deletes if op[1] == "lineitem")
+
+
+def test_deliver_then_receive_payment():
+    ctx = _context()
+    new_order(ctx, tick=2)  # guarantee at least one open order
+    ctx.ops = []
+    assert deliver_order(ctx, tick=3)
+    update = next(op for op in ctx.ops if op[0] == "update" and op[1] == "orders")
+    assert update[3]["o_orderstatus"] == "F"
+    assert ctx.receivable_orders
+    ctx.ops = []
+    assert receive_payment(ctx, tick=4)
+    # payment books the amount on the customer (app-time update)
+    assert any(op[0] == "seq_update" and op[1] == "customer" for op in ctx.ops)
+
+
+def test_deliver_with_no_open_orders_skips():
+    ctx = _context()
+    ctx.open_orders = []
+    assert not deliver_order(ctx, tick=2)
+
+
+def test_update_stock_sequenced_from_today():
+    ctx = _context()
+    assert update_stock(ctx, tick=2)
+    op = ctx.ops[0]
+    assert op[0] == "seq_update" and op[1] == "partsupp"
+    assert op[4] == "validity_time"
+    assert op[5] == ctx.day and op[6] == END_OF_TIME
+
+
+def test_delay_availability_punches_gap():
+    ctx = _context()
+    assert delay_availability(ctx, tick=2)
+    op = ctx.ops[0]
+    assert op[0] == "seq_delete" and op[1] == "part"
+    key = op[2]
+    spans = sorted(
+        (v["p_avail_begin"], v["p_avail_end"])
+        for v, _t in ctx.store.table("part").current_versions()
+        if (v["p_partkey"],) == key
+    )
+    assert len(spans) == 2  # the gap split the availability window
+
+
+def test_change_price_alters_supplycost():
+    ctx = _context()
+    assert change_price(ctx, tick=2)
+    op = ctx.ops[0]
+    assert op[1] == "partsupp" and "ps_supplycost" in op[3]
+    assert op[3]["ps_supplycost"] > 0
+
+
+def test_update_supplier_nontemporal():
+    ctx = _context()
+    assert update_supplier(ctx, tick=2)
+    op = ctx.ops[0]
+    assert op[0] == "update" and op[1] == "supplier"
+    assert ctx.store.table("supplier").stats.nontemporal_updates == 1
+
+
+def test_manipulate_order_overwrites_past_app_time():
+    ctx = _context()
+    assert manipulate_order(ctx, tick=2)
+    op = ctx.ops[0]
+    assert op[0] == "seq_update" and op[1] == "orders"
+    assert op[4] == "active_time"
+    assert ctx.store.table("orders").stats.app_time_overwrites >= 1

@@ -1,0 +1,86 @@
+"""TPC-BiH schema structure (paper Fig 1)."""
+
+import pytest
+
+from repro.core.schema import (
+    APP_PERIODS,
+    VERSIONED_TABLES,
+    benchmark_schemas,
+    create_benchmark_tables,
+    nontemporal_schemas,
+)
+from repro.engine import Database
+
+
+def _by_name():
+    return {s.name: s for s in benchmark_schemas()}
+
+
+def test_eight_tables_in_load_order():
+    names = [s.name for s in benchmark_schemas()]
+    assert names == [
+        "region", "nation", "supplier", "part",
+        "partsupp", "customer", "orders", "lineitem",
+    ]
+
+
+def test_region_nation_unversioned():
+    schemas = _by_name()
+    assert not schemas["region"].is_temporal
+    assert not schemas["nation"].is_temporal
+
+
+def test_supplier_degenerate():
+    supplier = _by_name()["supplier"]
+    assert supplier.system_period is not None
+    assert supplier.application_periods == []
+
+
+def test_orders_has_two_application_periods():
+    orders = _by_name()["orders"]
+    names = [p.name for p in orders.application_periods]
+    assert names == ["active_time", "receivable_time"]
+    assert orders.system_period is not None
+
+
+def test_every_versioned_table_has_sys_columns():
+    schemas = _by_name()
+    for name in VERSIONED_TABLES:
+        schema = schemas[name]
+        assert schema.has_column("sys_begin") and schema.has_column("sys_end")
+
+
+def test_app_period_map_matches_schemas():
+    schemas = _by_name()
+    for table, period in APP_PERIODS.items():
+        app = schemas[table].application_periods
+        if period is None:
+            assert app == [] or table in ("region", "nation", "supplier")
+        else:
+            assert app[0].name == period
+
+
+def test_primary_keys():
+    schemas = _by_name()
+    assert schemas["lineitem"].primary_key == ("l_orderkey", "l_linenumber")
+    assert schemas["partsupp"].primary_key == ("ps_partkey", "ps_suppkey")
+    assert schemas["orders"].primary_key == ("o_orderkey",)
+
+
+def test_tpch_columns_survive_detemporalisation():
+    """§3.1: any TPC-H query can run — the plain columns are all present."""
+    for schema in nontemporal_schemas():
+        assert not schema.is_temporal
+        assert "sys_begin" not in schema.column_names()
+    lineitem = {s.name: s for s in nontemporal_schemas()}["lineitem"]
+    for column in ("l_shipdate", "l_commitdate", "l_receiptdate", "l_extendedprice"):
+        assert lineitem.has_column(column)
+
+
+def test_create_benchmark_tables_both_modes():
+    temporal = Database()
+    create_benchmark_tables(temporal, temporal=True)
+    assert temporal.table("orders").is_versioned
+    plain = Database()
+    create_benchmark_tables(plain, temporal=False)
+    assert not plain.table("orders").is_versioned

@@ -1,0 +1,98 @@
+"""TPC-H class H: template rendering and execution in all three modes."""
+
+import pytest
+
+from repro.core.loader import Loader, load_nontemporal_baseline
+from repro.core.queries import tpch
+from repro.engine import Database
+from repro.engine.sql import parse_statement
+from repro.systems import make_system
+
+
+def test_all_22_present():
+    assert tpch.all_numbers() == list(range(1, 23))
+
+
+@pytest.mark.parametrize("number", tpch.all_numbers())
+@pytest.mark.parametrize("mode", ["plain", "app", "sys"])
+def test_templates_parse(number, mode):
+    parse_statement(tpch.tpch_query(number, mode))
+
+
+def test_mode_substitution():
+    plain = tpch.tpch_query(1, "plain")
+    app = tpch.tpch_query(1, "app")
+    sys_q = tpch.tpch_query(1, "sys")
+    assert "FOR" not in plain.upper().replace("FORMAT", "")
+    assert "FOR BUSINESS_TIME AS OF :app_tt" in app
+    assert "FOR SYSTEM_TIME AS OF :sys_tt" in sys_q
+
+
+def test_unversioned_tables_never_clause():
+    q5 = tpch.tpch_query(5, "sys")
+    assert "region FOR" not in q5
+    assert "nation FOR" not in q5
+    # supplier has no application period: untouched in app mode
+    q5_app = tpch.tpch_query(5, "app")
+    assert "supplier FOR" not in q5_app
+
+
+def test_params_per_mode(tiny_workload):
+    assert tpch.tpch_params(tiny_workload.meta, "plain") == {}
+    assert "app_tt" in tpch.tpch_params(tiny_workload.meta, "app")
+    assert tpch.tpch_params(tiny_workload.meta, "sys")["sys_tt"] == (
+        tiny_workload.meta.initial_tick
+    )
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        tpch.tpch_query(1, "bogus")
+
+
+@pytest.fixture(scope="module")
+def baseline(tiny_workload):
+    db = Database()
+    load_nontemporal_baseline(db, tiny_workload, version="initial")
+    return db
+
+
+@pytest.fixture(scope="module")
+def system_a(tiny_workload):
+    system = make_system("A")
+    Loader(system, tiny_workload).load()
+    return system
+
+
+@pytest.mark.parametrize("number", tpch.all_numbers())
+def test_queries_run_on_baseline(number, baseline):
+    result = baseline.execute(tpch.tpch_query(number, "plain"))
+    assert result.rows is not None
+
+
+@pytest.mark.parametrize("number", tpch.all_numbers())
+def test_sys_mode_reproduces_initial_state(number, baseline, system_a, tiny_workload):
+    """AS OF the pre-history tick must equal the plain run on the initial
+    snapshot — the exact setup of Fig 7(b)."""
+    plain_rows = baseline.execute(tpch.tpch_query(number, "plain")).rows
+    sys_rows = system_a.execute(
+        tpch.tpch_query(number, "sys"),
+        tpch.tpch_params(tiny_workload.meta, "sys"),
+    ).rows
+    assert _normalise(plain_rows) == _normalise(sys_rows), f"Q{number}"
+
+
+def _normalise(rows):
+    out = []
+    for row in rows:
+        out.append(tuple(
+            round(v, 4) if isinstance(v, float) else v for v in row
+        ))
+    return out
+
+
+def test_as_benchmark_queries():
+    queries = tpch.as_benchmark_queries("sys")
+    assert len(queries) == 22
+    assert queries[0].qid == "H1.sys"
+    assert queries[0].group == "H"

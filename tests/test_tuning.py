@@ -1,0 +1,72 @@
+"""Index-setting tuning surface (§5.1)."""
+
+import pytest
+
+from repro.core.loader import Loader
+from repro.systems import (
+    IndexSetting,
+    apply_index_setting,
+    drop_tuning_indexes,
+    make_system,
+)
+
+
+@pytest.fixture
+def loaded_a(tiny_workload):
+    system = make_system("A")
+    Loader(system, tiny_workload).load()
+    return system
+
+
+def test_time_indexes_cover_all_dimensions(loaded_a):
+    created = apply_index_setting(loaded_a, IndexSetting.TIME)
+    assert created
+    names = {i.name for i in loaded_a.db.catalog.indexes()}
+    # app-time index on the current customer table + history indexes
+    assert any("customer_c_visible_begin_current" in n for n in names)
+    assert any("customer_c_visible_begin_history" in n for n in names)
+    assert any("customer_sys_begin_history" in n for n in names)
+    # no system-time index lands on the current partition of split systems
+    assert not any("sys_begin_current" in n for n in names)
+
+
+def test_key_time_adds_history_key_access(loaded_a):
+    apply_index_setting(loaded_a, IndexSetting.KEY_TIME)
+    names = {i.name for i in loaded_a.db.catalog.indexes()}
+    assert any("customer_c_custkey_history" in n for n in names)
+
+
+def test_value_index_requires_target(loaded_a):
+    with pytest.raises(ValueError):
+        apply_index_setting(loaded_a, IndexSetting.VALUE)
+    created = apply_index_setting(
+        loaded_a, IndexSetting.VALUE,
+        value_table="customer", value_column="c_acctbal",
+    )
+    assert len(created) == 2  # current + history
+
+
+def test_apply_is_idempotent(loaded_a):
+    first = apply_index_setting(loaded_a, IndexSetting.TIME)
+    second = apply_index_setting(loaded_a, IndexSetting.TIME)
+    assert first == second
+
+
+def test_drop_tuning_indexes(loaded_a):
+    apply_index_setting(loaded_a, IndexSetting.KEY_TIME)
+    dropped = drop_tuning_indexes(loaded_a)
+    assert dropped > 0
+    assert not [i for i in loaded_a.db.catalog.indexes() if i.name.startswith("tune_")]
+
+
+def test_none_setting_creates_nothing(loaded_a):
+    assert apply_index_setting(loaded_a, IndexSetting.NONE) == []
+
+
+def test_rtree_time_indexes_on_d(tiny_workload):
+    system = make_system("D")
+    Loader(system, tiny_workload).load()
+    created = apply_index_setting(system, IndexSetting.TIME, kind="rtree")
+    assert created
+    kinds = {i.kind for i in system.db.catalog.indexes() if i.name.startswith("tune_")}
+    assert kinds == {"rtree"}

@@ -1,0 +1,69 @@
+"""Transaction manager tests: commit-ordered ticks, batching semantics."""
+
+import pytest
+
+from repro.engine.errors import OperationalError
+from repro.engine.txn import TransactionManager
+
+
+def test_ticks_increase_per_commit():
+    manager = TransactionManager()
+    with manager.begin() as t1:
+        assert t1.tick == 1
+    with manager.begin() as t2:
+        assert t2.tick == 2
+    assert manager.last_committed == 2
+    assert manager.commit_count == 2
+
+
+def test_only_one_active_transaction():
+    manager = TransactionManager()
+    txn = manager.begin()
+    with pytest.raises(OperationalError):
+        manager.begin()
+    txn.commit()
+    manager.begin().commit()
+
+
+def test_rollback_does_not_advance_clock():
+    manager = TransactionManager()
+    txn = manager.begin()
+    txn.rollback()
+    assert manager.last_committed == 0
+    with manager.begin() as t2:
+        assert t2.tick == 1
+
+
+def test_double_commit_rejected():
+    manager = TransactionManager()
+    txn = manager.begin()
+    txn.commit()
+    with pytest.raises(OperationalError):
+        txn.commit()
+    with pytest.raises(OperationalError):
+        txn.rollback()
+
+
+def test_context_manager_rolls_back_on_error():
+    manager = TransactionManager()
+    with pytest.raises(RuntimeError):
+        with manager.begin():
+            raise RuntimeError("boom")
+    assert manager.last_committed == 0
+
+
+def test_set_clock_forward_only():
+    manager = TransactionManager()
+    manager.set_clock(10)
+    assert manager.clock == 10
+    with pytest.raises(OperationalError):
+        manager.set_clock(5)
+
+
+def test_current_transaction_visibility():
+    manager = TransactionManager()
+    assert manager.current() is None
+    txn = manager.begin()
+    assert manager.current() is txn
+    txn.commit()
+    assert manager.current() is None

@@ -1,0 +1,139 @@
+"""Unit tests for periods, time conversion and NULL-aware comparison."""
+
+import datetime
+
+import pytest
+
+from repro.engine.errors import DataError
+from repro.engine.types import (
+    ALL_TIME,
+    END_OF_TIME,
+    Period,
+    SqlType,
+    compare_values,
+    date_to_day,
+    day_to_date,
+)
+
+
+class TestPeriod:
+    def test_contains_half_open(self):
+        period = Period(10, 20)
+        assert period.contains(10)
+        assert period.contains(19)
+        assert not period.contains(20)
+        assert not period.contains(9)
+
+    def test_empty_period_rejected(self):
+        with pytest.raises(DataError):
+            Period(5, 5)
+        with pytest.raises(DataError):
+            Period(6, 5)
+
+    def test_overlaps_symmetric(self):
+        a, b = Period(0, 10), Period(9, 15)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_adjacent_periods_do_not_overlap(self):
+        assert not Period(0, 10).overlaps(Period(10, 20))
+
+    def test_meets(self):
+        assert Period(0, 10).meets(Period(10, 20))
+        assert not Period(0, 10).meets(Period(11, 20))
+
+    def test_intersect(self):
+        assert Period(0, 10).intersect(Period(5, 15)) == Period(5, 10)
+        assert Period(0, 5).intersect(Period(5, 10)) is None
+
+    def test_covers(self):
+        assert Period(0, 10).covers(Period(2, 8))
+        assert Period(0, 10).covers(Period(0, 10))
+        assert not Period(0, 10).covers(Period(2, 11))
+
+    def test_subtract_middle_splits_in_two(self):
+        parts = Period(0, 10).subtract(Period(3, 7))
+        assert parts == [Period(0, 3), Period(7, 10)]
+
+    def test_subtract_covering_removes_all(self):
+        assert Period(3, 7).subtract(Period(0, 10)) == []
+
+    def test_subtract_left_edge(self):
+        assert Period(0, 10).subtract(Period(0, 4)) == [Period(4, 10)]
+
+    def test_subtract_right_edge(self):
+        assert Period(0, 10).subtract(Period(6, 10)) == [Period(0, 6)]
+
+    def test_subtract_disjoint_is_identity(self):
+        assert Period(0, 10).subtract(Period(20, 30)) == [Period(0, 10)]
+
+    def test_open_period(self):
+        open_period = Period(5, END_OF_TIME)
+        assert open_period.is_open
+        assert open_period.duration() == END_OF_TIME
+        assert "inf" in str(open_period)
+
+    def test_all_time_covers_everything(self):
+        assert ALL_TIME.contains(0)
+        assert ALL_TIME.covers(Period(123, 456))
+
+
+class TestDates:
+    def test_epoch_is_day_zero(self):
+        assert date_to_day("1992-01-01") == 0
+
+    def test_round_trip(self):
+        for iso in ("1995-06-17", "1998-08-02", "1992-02-29"):
+            assert day_to_date(date_to_day(iso)).isoformat() == iso
+
+    def test_accepts_date_objects(self):
+        assert date_to_day(datetime.date(1992, 1, 2)) == 1
+
+    def test_rejects_non_dates(self):
+        with pytest.raises(DataError):
+            date_to_day(42)
+
+    def test_end_of_time_has_no_date(self):
+        with pytest.raises(DataError):
+            day_to_date(END_OF_TIME)
+
+
+class TestSqlType:
+    def test_integer_accepts_int_only(self):
+        assert SqlType.INTEGER.validate(5) == 5
+        with pytest.raises(DataError):
+            SqlType.INTEGER.validate("5")
+        with pytest.raises(DataError):
+            SqlType.INTEGER.validate(True)
+
+    def test_decimal_coerces_to_float(self):
+        assert SqlType.DECIMAL.validate(5) == 5.0
+        assert isinstance(SqlType.DECIMAL.validate(5), float)
+
+    def test_varchar(self):
+        assert SqlType.VARCHAR.validate("x") == "x"
+        with pytest.raises(DataError):
+            SqlType.VARCHAR.validate(5)
+
+    def test_null_passes_all_types(self):
+        for sql_type in SqlType:
+            assert sql_type.validate(None) is None
+
+    def test_boolean(self):
+        assert SqlType.BOOLEAN.validate(True) is True
+        with pytest.raises(DataError):
+            SqlType.BOOLEAN.validate(1)
+
+
+class TestCompareValues:
+    def test_ordinary_ordering(self):
+        assert compare_values(1, 2) == -1
+        assert compare_values(2, 1) == 1
+        assert compare_values(2, 2) == 0
+
+    def test_nulls_sort_last(self):
+        assert compare_values(None, 1) == 1
+        assert compare_values(1, None) == -1
+        assert compare_values(None, None) == 0
+
+    def test_strings(self):
+        assert compare_values("a", "b") == -1

@@ -1,0 +1,80 @@
+"""CREATE VIEW support tests."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.errors import CatalogError, ProgrammingError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (a integer, b integer)")
+    database.execute("INSERT INTO t (a, b) VALUES (1, 10), (2, 20), (3, 30)")
+    database.execute("CREATE VIEW big AS SELECT a, b FROM t WHERE b > 10")
+    return database
+
+
+def test_select_from_view(db):
+    assert db.execute("SELECT count(*) FROM big").scalar() == 2
+
+
+def test_view_with_alias_and_qualified_columns(db):
+    result = db.execute("SELECT v.a FROM big v WHERE v.b = 30")
+    assert result.rows == [(3,)]
+
+
+def test_view_joins_base_table(db):
+    result = db.execute(
+        "SELECT count(*) FROM big, t WHERE big.a = t.a"
+    )
+    assert result.scalar() == 2
+
+
+def test_view_reflects_new_data(db):
+    db.execute("INSERT INTO t (a, b) VALUES (4, 40)")
+    assert db.execute("SELECT count(*) FROM big").scalar() == 3
+
+
+def test_view_of_aggregate(db):
+    db.execute(
+        "CREATE VIEW totals AS SELECT a % 2 AS parity, sum(b) AS total"
+        " FROM t GROUP BY a % 2"
+    )
+    rows = sorted(db.execute("SELECT parity, total FROM totals").rows)
+    assert rows == [(0, 20), (1, 40)]
+
+
+def test_drop_view(db):
+    db.execute("DROP VIEW big")
+    with pytest.raises(CatalogError):
+        db.execute("SELECT * FROM big")
+    with pytest.raises(CatalogError):
+        db.execute("DROP VIEW big")
+
+
+def test_name_collision_rejected(db):
+    with pytest.raises(CatalogError):
+        db.execute("CREATE VIEW t AS SELECT 1")
+    with pytest.raises(CatalogError):
+        db.execute("CREATE VIEW big AS SELECT 1")
+
+
+def test_temporal_clause_on_view_rejected(db):
+    with pytest.raises(ProgrammingError):
+        db.execute("SELECT * FROM big FOR SYSTEM_TIME AS OF 1")
+
+
+def test_view_over_temporal_table():
+    db = Database()
+    db.execute(
+        "CREATE TABLE v (id integer NOT NULL, x integer,"
+        " sb timestamp, se timestamp, PRIMARY KEY (id),"
+        " PERIOD FOR system_time (sb, se))"
+    )
+    db.execute("INSERT INTO v (id, x) VALUES (1, 10)")
+    db.execute("UPDATE v SET x = 20 WHERE id = 1")
+    db.execute(
+        "CREATE VIEW history AS SELECT id, x FROM v FOR SYSTEM_TIME ALL"
+    )
+    assert db.execute("SELECT count(*) FROM history").scalar() == 2
