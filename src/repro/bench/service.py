@@ -13,6 +13,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..engine.errors import QueryCancelled, QueryTimeout
+
 
 @dataclass
 class Measurement:
@@ -90,7 +92,15 @@ class BenchmarkService:
         while True:
             for _ in range(runs - performed):
                 started = time.perf_counter()
-                out = fn()
+                try:
+                    out = fn()
+                except (QueryTimeout, QueryCancelled):
+                    # the engine aborted the query cooperatively mid-run:
+                    # record the cutoff instant and stop measuring this cell
+                    elapsed = time.perf_counter() - started
+                    result.times.append(elapsed)
+                    result.timed_out = True
+                    return result
                 elapsed = time.perf_counter() - started
                 performed += 1
                 bucket = (
@@ -121,10 +131,15 @@ class BenchmarkService:
             return result
 
     def measure_sql(self, system, sql: str, params=None, qid="?", setting="no index") -> Measurement:
-        """Measure one SQL statement on one system archetype."""
+        """Measure one SQL statement on one system archetype.
+
+        The service's timeout is passed down to the engine, which enforces it
+        cooperatively inside the executor: a timed-out query stops consuming
+        CPU at the deadline instead of running to completion first.
+        """
         name = getattr(system, "name", getattr(system, "db", None) and system.db.name or "?")
         return self.measure_callable(
-            lambda: system.execute(sql, params),
+            lambda: system.execute(sql, params, timeout_s=self.timeout_s),
             qid=qid,
             system=name,
             setting=setting,

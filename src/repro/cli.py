@@ -69,6 +69,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--h", type=float, default=0.001)
     query.add_argument("--m", type=float, default=0.0003)
     query.add_argument("--explain", action="store_true")
+    query.add_argument(
+        "--analyze",
+        action="store_true",
+        help="run the query and print per-operator row counts and timings",
+    )
     query.add_argument("sql", help="SQL statement to execute")
 
     bench = sub.add_parser("bench", help="run one experiment (or 'all')")
@@ -119,6 +124,9 @@ def _cmd_query(args) -> int:
     ).generate()
     system = make_system(args.system)
     Loader(system, workload).load()
+    if args.analyze:
+        print(system.db.explain_analyze(args.sql))
+        return 0
     if args.explain:
         print(system.db.explain(args.sql))
         return 0

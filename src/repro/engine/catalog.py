@@ -151,6 +151,22 @@ class Catalog:
     def __init__(self):
         self._tables: Dict[str, TableSchema] = {}
         self._indexes: Dict[str, IndexDef] = {}
+        #: per-object DDL version counters; plans record the versions of the
+        #: objects they reference, so the plan cache invalidates per name
+        #: instead of clearing wholesale on any DDL
+        self._versions: Dict[str, int] = {}
+        self.version: int = 0
+
+    # -- versioning ------------------------------------------------------
+
+    def bump(self, name: str):
+        """Record a DDL change to the named object."""
+        key = name.lower()
+        self._versions[key] = self._versions.get(key, 0) + 1
+        self.version += 1
+
+    def version_of(self, name: str) -> int:
+        return self._versions.get(name.lower(), 0)
 
     # -- tables ----------------------------------------------------------
 
@@ -158,6 +174,7 @@ class Catalog:
         if schema.name in self._tables:
             raise CatalogError(f"table {schema.name!r} already exists")
         self._tables[schema.name] = schema
+        self.bump(schema.name)
         return schema
 
     def drop_table(self, name):
@@ -167,6 +184,7 @@ class Catalog:
         del self._tables[name]
         for index_name in [n for n, d in self._indexes.items() if d.table == name]:
             del self._indexes[index_name]
+        self.bump(name)
 
     def table(self, name) -> TableSchema:
         try:
@@ -192,12 +210,16 @@ class Catalog:
                     f"index {index.name} references unknown column {col!r}"
                 )
         self._indexes[index.name] = index
+        # an index changes the table's access paths: invalidate its plans
+        self.bump(index.table)
         return index
 
     def drop_index(self, name):
         if name not in self._indexes:
             raise CatalogError(f"no index {name!r}")
+        table = self._indexes[name].table
         del self._indexes[name]
+        self.bump(table)
 
     def indexes_on(self, table_name) -> List[IndexDef]:
         table_name = table_name.lower()

@@ -10,7 +10,7 @@ the planner.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from . import temporal
 from .catalog import Catalog, IndexDef, TableSchema
@@ -46,6 +46,13 @@ class ArchitectureProfile:
     prunes_explicit_current: bool = False
     manual_system_time: bool = False  # System D: client sets SYS_TIME itself
     index_selectivity_threshold: float = 0.15
+    #: logical-plan rewrite rules the optimizer applies (see plan.rewrite);
+    #: individually switchable for ablation benchmarks
+    rewrite_rules: Tuple[str, ...] = (
+        "constant-folding",
+        "predicate-pushdown",
+        "join-reorder",
+    )
 
 
 class Database:
@@ -100,12 +107,14 @@ class Database:
         if self.catalog.has_table(name) or name in self._views:
             raise CatalogError(f"name {name!r} already in use")
         self._views[name] = select_ast
+        self.catalog.bump(name)
 
     def drop_view(self, name):
         try:
             del self._views[name.lower()]
         except KeyError:
             raise CatalogError(f"no view {name!r}") from None
+        self.catalog.bump(name)
 
     def view(self, name):
         return self._views.get(name.lower())
@@ -220,13 +229,13 @@ class Database:
 
     # -- SQL ------------------------------------------------------------------
 
-    def execute(self, sql, params=None):
+    def execute(self, sql, params=None, timeout_s=None):
         """Parse, plan and run one SQL statement; returns a Result."""
         if self._sql_engine is None:
             from .session import SqlEngine  # deferred: avoids import cycle
 
             self._sql_engine = SqlEngine(self)
-        return self._sql_engine.execute(sql, params)
+        return self._sql_engine.execute(sql, params, timeout_s=timeout_s)
 
     def explain(self, sql, params=None) -> str:
         if self._sql_engine is None:
@@ -234,6 +243,13 @@ class Database:
 
             self._sql_engine = SqlEngine(self)
         return self._sql_engine.explain(sql, params)
+
+    def explain_analyze(self, sql, params=None) -> str:
+        if self._sql_engine is None:
+            from .session import SqlEngine
+
+            self._sql_engine = SqlEngine(self)
+        return self._sql_engine.explain_analyze(sql, params)
 
     # -- maintenance -----------------------------------------------------------
 

@@ -65,7 +65,9 @@ class Cursor:
 
     def execute(self, operation, parameters=None):
         self._check_open()
-        result = self._connection._db.execute(operation, parameters)
+        result = self._connection._db.execute(
+            operation, parameters, timeout_s=self._connection.timeout_s
+        )
         self._result = result
         self._position = 0
         self.rowcount = result.rowcount
@@ -158,6 +160,9 @@ class Connection:
         self._db = db
         self._closed = False
         self._txn = None
+        #: per-connection statement timeout in seconds (None = no limit),
+        #: enforced cooperatively by the executor
+        self.timeout_s = None
 
     @property
     def database(self) -> Database:

@@ -69,3 +69,7 @@ class PlanError(InternalError):
 
 class QueryTimeout(OperationalError):
     """A query exceeded the benchmark harness timeout."""
+
+
+class QueryCancelled(OperationalError):
+    """A query was cancelled cooperatively through its ExecutionContext."""

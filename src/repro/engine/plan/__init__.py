@@ -1,5 +1,34 @@
-"""Query planning and execution: operators, access paths, planner."""
+"""Query planning and execution: logical IR, rewrites, operators, planner."""
 
+from .context import ExecutionContext, NodeMetrics
+from .logical import (
+    LogicalDerived,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalNode,
+    LogicalProduct,
+    LogicalQuery,
+    LogicalScan,
+    LogicalValues,
+    build_logical,
+)
 from .planner import Planner, PlannedQuery
+from .rewrite import ALL_RULES, rewrite_logical
 
-__all__ = ["Planner", "PlannedQuery"]
+__all__ = [
+    "ALL_RULES",
+    "ExecutionContext",
+    "LogicalDerived",
+    "LogicalFilter",
+    "LogicalJoin",
+    "LogicalNode",
+    "LogicalProduct",
+    "LogicalQuery",
+    "LogicalScan",
+    "LogicalValues",
+    "NodeMetrics",
+    "PlannedQuery",
+    "Planner",
+    "build_logical",
+    "rewrite_logical",
+]

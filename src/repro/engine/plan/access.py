@@ -240,12 +240,15 @@ class TableAccessPlan:
         return True
 
     def _scan(self, partition, env):
-        rows = [
-            tuple(row)
-            for _rid, row in self.table.scan_partition(
-                partition, need_temporal=self.need_temporal
-            )
-        ]
+        source = self.table.scan_partition(
+            partition, need_temporal=self.need_temporal
+        )
+        # an ExecutionContext with an active deadline polls it mid-scan so
+        # timed-out queries stop burning CPU; a plain Env skips this entirely
+        guard = getattr(env, "guard_iter", None)
+        if guard is not None:
+            source = guard(source)
+        rows = [tuple(row) for _rid, row in source]
         return self._apply_filters(rows, env)
 
     def _apply_filters(self, rows, env):

@@ -1,0 +1,159 @@
+"""Execution context: the runtime companion of a physical plan.
+
+An :class:`ExecutionContext` *is* an :class:`~repro.engine.expr.Env` — every
+compiled expression closure keeps its ``fn(row, env)`` shape — extended with
+the observability and control surface the benchmark harness needs:
+
+* **per-operator metrics** (rows produced, invocation count, inclusive wall
+  time, access-path choice) collected when ``metrics`` is a dict, powering
+  ``EXPLAIN ANALYZE``;
+* **cooperative timeout/cancellation**: operators check the deadline before
+  running, and long scans check it periodically through :meth:`guard_iter`,
+  so :mod:`repro.bench.service` can abort a query mid-run instead of only
+  stamping it timed-out after it completed.
+
+Plain :class:`Env` objects still work everywhere — instrumentation only
+engages when the session hands the plan an ExecutionContext.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from ..errors import QueryCancelled, QueryTimeout
+from ..expr import Env
+
+
+class NodeMetrics:
+    """Counters for one physical operator within one execution."""
+
+    __slots__ = ("calls", "rows", "time_s", "detail")
+
+    def __init__(self):
+        self.calls = 0
+        self.rows = 0
+        self.time_s = 0.0
+        self.detail = ""
+
+
+class ExecutionContext(Env):
+    """Env + per-operator counters + cooperative timeout/cancellation.
+
+    ``metrics`` maps ``id(operator)`` to :class:`NodeMetrics`; it is shared
+    across nesting levels (correlated subqueries accumulate into the same
+    counters, reported as extra ``loops``).  ``deadline`` is an absolute
+    ``time.perf_counter()`` instant; ``cancel_check`` is an optional
+    zero-argument callable polled alongside the deadline.
+    """
+
+    __slots__ = ("metrics", "deadline", "cancel_check", "timeout_s")
+
+    def __init__(
+        self,
+        params=None,
+        outer_rows=None,
+        cache=None,
+        metrics: Optional[Dict[int, NodeMetrics]] = None,
+        deadline: Optional[float] = None,
+        cancel_check: Optional[Callable[[], bool]] = None,
+        timeout_s: Optional[float] = None,
+    ):
+        super().__init__(params, outer_rows, cache)
+        self.metrics = metrics
+        self.deadline = deadline
+        self.cancel_check = cancel_check
+        self.timeout_s = timeout_s
+
+    @classmethod
+    def begin(
+        cls,
+        params=None,
+        timeout_s: Optional[float] = None,
+        collect_metrics: bool = False,
+        cancel_check: Optional[Callable[[], bool]] = None,
+    ) -> "ExecutionContext":
+        """Start a fresh context for one statement execution."""
+        deadline = (
+            time.perf_counter() + timeout_s if timeout_s is not None else None
+        )
+        return cls(
+            params,
+            metrics={} if collect_metrics else None,
+            deadline=deadline,
+            cancel_check=cancel_check,
+            timeout_s=timeout_s,
+        )
+
+    def nested(self, outer_row) -> "ExecutionContext":
+        """Correlated-subquery context: new outer row, shared everything else."""
+        return ExecutionContext(
+            self.params,
+            [outer_row] + self.outer_rows,
+            self.cache,
+            metrics=self.metrics,
+            deadline=self.deadline,
+            cancel_check=self.cancel_check,
+            timeout_s=self.timeout_s,
+        )
+
+    # -- cooperative control ------------------------------------------------
+
+    def check(self):
+        """Raise if the deadline passed or a cancellation was requested."""
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            if self.timeout_s is not None:
+                raise QueryTimeout(
+                    f"query exceeded timeout of {self.timeout_s}s"
+                )
+            raise QueryTimeout("query deadline exceeded")
+        if self.cancel_check is not None and self.cancel_check():
+            raise QueryCancelled("query cancelled")
+
+    def guard_iter(self, iterable, every: int = 4096):
+        """Wrap *iterable* so the deadline is polled every *every* items.
+
+        Returns the iterable unchanged when neither a deadline nor a cancel
+        check is active — scans pay nothing in the common case.
+        """
+        if self.deadline is None and self.cancel_check is None:
+            return iterable
+
+        def guarded():
+            count = 0
+            for item in iterable:
+                yield item
+                count += 1
+                if count % every == 0:
+                    self.check()
+
+        return guarded()
+
+    # -- operator instrumentation -------------------------------------------
+
+    def run_operator(self, op):
+        """Execute one operator, enforcing the deadline and recording metrics.
+
+        Times are *inclusive* of children (Postgres EXPLAIN ANALYZE style);
+        repeated invocations (e.g. a subplan under a correlated subquery)
+        accumulate and surface as ``loops``.
+        """
+        if self.deadline is not None or self.cancel_check is not None:
+            self.check()
+        metrics = self.metrics
+        if metrics is None:
+            return op.execute(self)
+        started = time.perf_counter()
+        out = op.execute(self)
+        elapsed = time.perf_counter() - started
+        node = metrics.get(id(op))
+        if node is None:
+            node = NodeMetrics()
+            metrics[id(op)] = node
+        node.calls += 1
+        node.rows += len(out)
+        node.time_s += elapsed
+        detail = op.metrics_detail()
+        if detail:
+            node.detail = detail
+        return out

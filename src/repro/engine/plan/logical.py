@@ -1,0 +1,514 @@
+"""Logical plan IR: the stage between the AST and physical operators.
+
+The planner used to go from AST straight to physical operators in one
+monolithic pass.  This module gives queries an intermediate, inspectable
+shape: a small relational tree built from the FROM/WHERE part of a SELECT
+(scans, derived tables, joins, filters), with the projection/aggregation
+part carried alongside on the owning :class:`LogicalQuery`.
+
+The tree is deliberately close to the AST — table references keep their
+temporal clauses, predicates stay expression nodes — because the paper's
+systems optimise exactly here: which conjuncts reach a scan decides
+index-vs-scan (§5.3.3), and join order decides the intermediate sizes.
+Rewrite rules (:mod:`.rewrite`) transform this IR; physical lowering in
+:mod:`.planner` turns the result into operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..errors import CatalogError, PlanError, ProgrammingError
+from ..sql import ast
+
+# ---------------------------------------------------------------------------
+# predicate helpers (shared by the rewriter and the planner)
+# ---------------------------------------------------------------------------
+
+
+def split_conjuncts(expr: Optional[ast.Expr]) -> List[ast.Expr]:
+    """Flatten a predicate into its AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.Binary) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: Sequence[ast.Expr]) -> Optional[ast.Expr]:
+    result = None
+    for conjunct in conjuncts:
+        result = conjunct if result is None else ast.Binary("and", result, conjunct)
+    return result
+
+
+def collect_column_refs(node) -> List[ast.ColumnRef]:
+    """All column references in an expression, subqueries included."""
+    refs: List[ast.ColumnRef] = []
+    _walk_with_subqueries(node, refs)
+    return refs
+
+
+def _walk_with_subqueries(node, refs):
+    if node is None:
+        return
+    for sub in ast.walk_expr(node):
+        if isinstance(sub, ast.ColumnRef):
+            refs.append(sub)
+        elif isinstance(sub, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)):
+            _walk_select(sub.subquery, refs)
+
+
+def _walk_select(select: ast.Select, refs):
+    for item in select.items:
+        _walk_with_subqueries(item.expr, refs)
+    _walk_with_subqueries(select.where, refs)
+    for expr in select.group_by:
+        _walk_with_subqueries(expr, refs)
+    _walk_with_subqueries(select.having, refs)
+    for item in select.order_by:
+        _walk_with_subqueries(item.expr, refs)
+    for from_item in select.from_items:
+        _walk_from(from_item, refs)
+    if select.set_op is not None:
+        _walk_select(select.set_op[1], refs)
+
+
+def _walk_from(item, refs):
+    if isinstance(item, ast.Join):
+        _walk_from(item.left, refs)
+        _walk_from(item.right, refs)
+        _walk_with_subqueries(item.on, refs)
+    elif isinstance(item, ast.DerivedTable):
+        _walk_select(item.select, refs)
+    elif isinstance(item, ast.TableRef):
+        for clause in item.temporal:
+            _walk_with_subqueries(clause.low, refs)
+            _walk_with_subqueries(clause.high, refs)
+
+
+def referenced_columns(select: ast.Select) -> List[Tuple[Optional[str], str]]:
+    """All (binding, column) pairs a query touches; stars become ``*``."""
+    refs: List[ast.ColumnRef] = []
+    _walk_select(select, refs)
+    out: List[Tuple[Optional[str], str]] = [(ref.table, ref.name) for ref in refs]
+    for item in select.items:
+        if isinstance(item.expr, ast.Star):
+            out.append((item.expr.table, "*"))
+    return out
+
+
+def rebuild_expr(expr, rewrite):
+    """Rebuild an expression node with rewritten children."""
+    if isinstance(expr, ast.Binary):
+        return ast.Binary(expr.op, rewrite(expr.left), rewrite(expr.right))
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(expr.op, rewrite(expr.operand))
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(expr.name, tuple(rewrite(a) for a in expr.args))
+    if isinstance(expr, ast.Case):
+        return ast.Case(
+            tuple((rewrite(c), rewrite(r)) for c, r in expr.branches),
+            rewrite(expr.default) if expr.default is not None else None,
+        )
+    if isinstance(expr, ast.Between):
+        return ast.Between(
+            rewrite(expr.operand), rewrite(expr.low), rewrite(expr.high), expr.negated
+        )
+    if isinstance(expr, ast.Like):
+        return ast.Like(rewrite(expr.operand), rewrite(expr.pattern), expr.negated)
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(rewrite(expr.operand), expr.negated)
+    if isinstance(expr, ast.InList):
+        return ast.InList(
+            rewrite(expr.operand), tuple(rewrite(i) for i in expr.items), expr.negated
+        )
+    # literals, params, column refs, subqueries: returned unchanged
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# IR nodes
+# ---------------------------------------------------------------------------
+
+
+class LogicalNode:
+    """Base class of all logical plan nodes."""
+
+    est_rows: int = 1
+
+    @property
+    def bindings(self) -> Set[str]:
+        return set()
+
+    def children(self) -> Tuple["LogicalNode", ...]:
+        return ()
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def render(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class LogicalValues(LogicalNode):
+    """The single-row relation behind a FROM-less SELECT."""
+
+    est_rows: int = 1
+
+    def describe(self):
+        return "Values(1 row)"
+
+
+@dataclass
+class LogicalScan(LogicalNode):
+    """A base-table reference, temporal clauses and pushed conjuncts attached."""
+
+    ref: ast.TableRef
+    schema: object  # catalog.TableSchema
+    est_rows: int = 1
+    pushed: Tuple[ast.Expr, ...] = ()
+
+    @property
+    def binding(self) -> str:
+        return self.ref.binding
+
+    @property
+    def bindings(self) -> Set[str]:
+        return {self.ref.binding}
+
+    def describe(self):
+        return (
+            f"Scan({self.schema.name} as {self.binding}, est={self.est_rows}, "
+            f"temporal={len(self.ref.temporal)}, pushed={len(self.pushed)})"
+        )
+
+
+@dataclass
+class LogicalDerived(LogicalNode):
+    """A derived table (subquery in FROM) or an expanded view."""
+
+    select: ast.Select
+    alias: str
+    view_name: Optional[str] = None
+    columns: Tuple[str, ...] = ()
+    est_rows: int = 1000
+
+    @property
+    def bindings(self) -> Set[str]:
+        return {self.alias}
+
+    def describe(self):
+        origin = f"view {self.view_name}" if self.view_name else "subquery"
+        return f"Derived({self.alias}, {origin})"
+
+
+@dataclass
+class LogicalJoin(LogicalNode):
+    """A join with its conjuncts still in AST form (equi-key split happens
+    at lowering, where compiled scopes exist)."""
+
+    kind: str  # "inner" | "left"
+    left: LogicalNode
+    right: LogicalNode
+    conjuncts: Tuple[ast.Expr, ...] = ()
+
+    @property
+    def bindings(self) -> Set[str]:
+        return self.left.bindings | self.right.bindings
+
+    @property
+    def est_rows(self) -> int:
+        l, r = self.left.est_rows, self.right.est_rows
+        if self.conjuncts:
+            if any(_looks_equi(c, self.left.bindings, self.right.bindings) for c in self.conjuncts):
+                return max(1, (l * r) // max(l, r, 1))
+            return max(l, r)
+        if self.kind == "left":
+            return max(l, r)
+        return l * max(r, 1)
+
+    def children(self):
+        return (self.left, self.right)
+
+    def describe(self):
+        return f"Join({self.kind}, conjuncts={len(self.conjuncts)})"
+
+
+@dataclass
+class LogicalProduct(LogicalNode):
+    """An unordered FROM list plus the join-edge pool, before join-order
+    selection replaces it with a left-deep :class:`LogicalJoin` chain."""
+
+    units: Tuple[LogicalNode, ...]
+    edges: Tuple[Tuple[frozenset, ast.Expr], ...] = ()
+
+    @property
+    def bindings(self) -> Set[str]:
+        out: Set[str] = set()
+        for unit in self.units:
+            out |= unit.bindings
+        return out
+
+    @property
+    def est_rows(self) -> int:
+        est = 1
+        for unit in self.units:
+            est *= max(1, unit.est_rows)
+        return est
+
+    def children(self):
+        return tuple(self.units)
+
+    def describe(self):
+        return f"Product(units={len(self.units)}, edges={len(self.edges)})"
+
+
+@dataclass
+class LogicalFilter(LogicalNode):
+    """A residual predicate above its child relation."""
+
+    child: LogicalNode
+    predicate: ast.Expr
+    label: str = "where"
+
+    @property
+    def bindings(self) -> Set[str]:
+        return self.child.bindings
+
+    @property
+    def est_rows(self) -> int:
+        return self.child.est_rows
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self):
+        return f"Filter({self.label}, conjuncts={len(split_conjuncts(self.predicate))})"
+
+
+@dataclass
+class LogicalQuery:
+    """One SELECT core as a logical plan.
+
+    ``relation`` is the FROM/WHERE tree (None only before building);
+    projection, aggregation, ordering and limits are read from ``select``
+    during lowering — they are scope-dependent and carry no join structure
+    worth rewriting here.
+    """
+
+    select: ast.Select
+    relation: LogicalNode
+    referenced: List[Tuple[Optional[str], str]]
+    applied_rules: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        select = self.select
+        bits = [f"items={len(select.items)}"]
+        if select.group_by or any(
+            ast.contains_aggregate(i.expr) for i in select.items
+        ):
+            bits.append(f"group_by={len(select.group_by)}")
+        if select.distinct:
+            bits.append("distinct")
+        if select.order_by:
+            bits.append(f"order_by={len(select.order_by)}")
+        if select.limit is not None:
+            bits.append("limit")
+        lines = ["LogicalQuery[" + ", ".join(bits) + "]"]
+        if self.applied_rules:
+            lines.append("  rewrites: " + ", ".join(self.applied_rules))
+        lines.append(self.relation.render(1))
+        return "\n".join(lines)
+
+
+def _looks_equi(conjunct, left_bindings, right_bindings) -> bool:
+    """Heuristic mirror of the lowering-time equi-key test: ``a = b`` with
+    the two sides' column references split across the join inputs."""
+    if not (isinstance(conjunct, ast.Binary) and conjunct.op == "="):
+        return False
+    left_refs = {r.table for r in collect_column_refs(conjunct.left) if r.table}
+    right_refs = {r.table for r in collect_column_refs(conjunct.right) if r.table}
+    return bool(
+        (left_refs and right_refs)
+        and (
+            (left_refs <= left_bindings and right_refs <= right_bindings)
+            or (left_refs <= right_bindings and right_refs <= left_bindings)
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# building the IR from the AST
+# ---------------------------------------------------------------------------
+
+
+def build_logical(select: ast.Select, db) -> LogicalQuery:
+    """Build the logical plan for one SELECT core (no set operations)."""
+    referenced = referenced_columns(select)
+    if select.from_items:
+        units = tuple(_build_from_item(item, db) for item in select.from_items)
+        relation: LogicalNode = units[0] if len(units) == 1 else LogicalProduct(units)
+        if select.where is not None:
+            relation = LogicalFilter(relation, select.where, "where")
+    else:
+        relation = LogicalValues()
+        if select.where is not None:
+            relation = LogicalFilter(relation, select.where, "no-from")
+    return LogicalQuery(select, relation, referenced)
+
+
+def _build_from_item(item, db) -> LogicalNode:
+    if isinstance(item, ast.TableRef):
+        view = getattr(db, "view", lambda _n: None)(item.name)
+        if view is not None:
+            if item.temporal:
+                raise ProgrammingError(
+                    f"temporal clauses are not supported on view {item.name!r}"
+                )
+            return LogicalDerived(
+                view,
+                item.binding,
+                view_name=item.name,
+                columns=tuple(output_columns_of(view, db)),
+            )
+        table = db.table(item.name)
+        schema = table.schema
+        return LogicalScan(
+            item, schema, est_rows=_estimate_scan_rows(table, schema, item)
+        )
+    if isinstance(item, ast.DerivedTable):
+        return LogicalDerived(
+            item.select,
+            item.alias,
+            columns=tuple(output_columns_of(item.select, db)),
+        )
+    if isinstance(item, ast.Join):
+        left = _build_from_item(item.left, db)
+        right = _build_from_item(item.right, db)
+        kind = item.kind if item.kind != "cross" else "inner"
+        return LogicalJoin(kind, left, right, tuple(split_conjuncts(item.on)))
+    raise PlanError(f"cannot build logical plan for FROM item {item!r}")
+
+
+def _estimate_scan_rows(table, schema, ref: ast.TableRef) -> int:
+    est = table.current_count() + (
+        table.history_count()
+        if (_has_system_clause(schema, ref) and table.has_split)
+        else 0
+    )
+    return max(1, est)
+
+
+def _has_system_clause(schema, ref: ast.TableRef) -> bool:
+    for clause in ref.temporal:
+        if clause.period == "system_time":
+            return True
+        if clause.period == "business_time":
+            continue
+        try:
+            period = schema.period(clause.period)
+        except CatalogError:
+            continue  # lowering reports unknown periods
+        if period.is_system:
+            return True
+    return False
+
+
+def output_columns_of(select: ast.Select, db) -> List[str]:
+    """Best-effort output column names of a sub-select (stars expanded).
+
+    Used only to attribute unqualified column references to FROM units —
+    never for the final result schema, which lowering computes exactly.
+    """
+    names: List[str] = []
+    for item in select.items:
+        if isinstance(item.expr, ast.Star):
+            names.extend(_star_columns(item.expr, select.from_items, db))
+        elif item.alias:
+            names.append(item.alias)
+        elif isinstance(item.expr, ast.ColumnRef):
+            names.append(item.expr.name)
+        else:
+            names.append(f"col{len(names)}")
+    return names
+
+
+def _star_columns(star: ast.Star, from_items, db) -> List[str]:
+    out: List[str] = []
+    for item in from_items:
+        out.extend(_from_item_columns(item, star.table, db))
+    return out
+
+
+def _from_item_columns(item, wanted, db) -> List[str]:
+    if isinstance(item, ast.Join):
+        return _from_item_columns(item.left, wanted, db) + _from_item_columns(
+            item.right, wanted, db
+        )
+    if isinstance(item, ast.TableRef):
+        if wanted is not None and wanted != item.binding:
+            return []
+        view = getattr(db, "view", lambda _n: None)(item.name)
+        if view is not None:
+            return output_columns_of(view, db)
+        try:
+            return db.table(item.name).schema.column_names()
+        except CatalogError:
+            return []
+    if isinstance(item, ast.DerivedTable):
+        if wanted is not None and wanted != item.alias:
+            return []
+        return output_columns_of(item.select, db)
+    return []
+
+
+def unit_layout(unit: LogicalNode) -> List[Tuple[str, str]]:
+    """(binding, column) pairs a FROM unit exposes, for name attribution."""
+    if isinstance(unit, LogicalScan):
+        return [(unit.binding, c) for c in unit.schema.column_names()]
+    if isinstance(unit, LogicalDerived):
+        return [(unit.alias, c) for c in unit.columns]
+    if isinstance(unit, LogicalJoin):
+        return unit_layout(unit.left) + unit_layout(unit.right)
+    if isinstance(unit, LogicalFilter):
+        return unit_layout(unit.child)
+    return []
+
+
+def scans_in_order(node: LogicalNode) -> List[LogicalScan]:
+    """All LogicalScan leaves, depth-first left-to-right (FROM order)."""
+    if isinstance(node, LogicalScan):
+        return [node]
+    out: List[LogicalScan] = []
+    for child in node.children():
+        out.extend(scans_in_order(child))
+    return out
+
+
+def replace_scans(node: LogicalNode, mapping) -> LogicalNode:
+    """Rebuild a FROM unit with scans substituted via ``mapping[id(scan)]``."""
+    if isinstance(node, LogicalScan):
+        return mapping.get(id(node), node)
+    if isinstance(node, LogicalJoin):
+        left = replace_scans(node.left, mapping)
+        right = replace_scans(node.right, mapping)
+        if left is node.left and right is node.right:
+            return node
+        return replace(node, left=left, right=right)
+    if isinstance(node, LogicalFilter):
+        child = replace_scans(node.child, mapping)
+        if child is node.child:
+            return node
+        return replace(node, child=child)
+    if isinstance(node, LogicalProduct):
+        units = tuple(replace_scans(u, mapping) for u in node.units)
+        if all(a is b for a, b in zip(units, node.units)):
+            return node
+        return replace(node, units=units)
+    return node

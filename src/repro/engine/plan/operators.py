@@ -6,6 +6,12 @@ engine is an analytics engine over in-memory partitions, and materialising
 keeps hash joins and sorts simple while preserving the *relative* costs the
 benchmark needs (scans linear in partition size, index probes logarithmic,
 extra joins visibly expensive).
+
+``rows`` is a thin dispatcher: subclasses implement ``execute(env)``, and
+when the env is an :class:`~repro.engine.plan.context.ExecutionContext` the
+call routes through it, which enforces the cooperative deadline and records
+per-operator counters for ``EXPLAIN ANALYZE``.  With a plain ``Env`` the
+dispatcher adds one ``getattr`` and nothing else.
 """
 
 from __future__ import annotations
@@ -23,10 +29,22 @@ class Operator:
     children: Sequence["Operator"] = ()
 
     def rows(self, env: Env) -> List[tuple]:
+        # ExecutionContext exposes run_operator; a plain Env does not.
+        runner = getattr(env, "run_operator", None)
+        if runner is not None:
+            return runner(self)
+        return self.execute(env)
+
+    def execute(self, env: Env) -> List[tuple]:
         raise NotImplementedError
 
     def label(self) -> str:
         return type(self).__name__
+
+    def metrics_detail(self) -> str:
+        """Extra per-execution detail for EXPLAIN ANALYZE (e.g. the
+        index-vs-scan decision an access path took)."""
+        return ""
 
     def explain(self, indent=0) -> str:
         lines = ["  " * indent + self.label()]
@@ -36,17 +54,39 @@ class Operator:
 
 
 class TableAccess(Operator):
-    """Scan or index access over one table (built by plan.access)."""
+    """Scan or index access over one table (built by plan.access).
 
-    def __init__(self, producer: Callable[[Env], List[tuple]], description: str):
-        self._producer = producer
+    Accepts either a :class:`~repro.engine.plan.access.TableAccessPlan`
+    (preferred — its run-time decisions feed EXPLAIN ANALYZE) or a bare
+    producer callable.
+    """
+
+    def __init__(self, access, description: str):
+        if callable(access) and not hasattr(access, "rows"):
+            self.access_plan = None
+            self._producer = access
+        else:
+            self.access_plan = access
+            self._producer = access.rows
         self._description = description
 
-    def rows(self, env):
+    def execute(self, env):
         return self._producer(env)
 
     def label(self):
         return self._description
+
+    def metrics_detail(self):
+        plan = self.access_plan
+        if plan is None or not plan.decisions:
+            return ""
+        bits = []
+        for decision in plan.decisions:
+            bit = f"{decision.partition}: {decision.strategy}"
+            if decision.index_name:
+                bit += f"[{decision.index_name}]"
+            bits.append(bit)
+        return "; ".join(bits)
 
 
 class Materialized(Operator):
@@ -56,7 +96,7 @@ class Materialized(Operator):
         self._rows = rows_value
         self._description = description
 
-    def rows(self, env):
+    def execute(self, env):
         return self._rows
 
     def label(self):
@@ -70,7 +110,7 @@ class Subplan(Operator):
         self._producer = producer
         self._description = description
 
-    def rows(self, env):
+    def execute(self, env):
         return self._producer(env)
 
     def label(self):
@@ -83,9 +123,13 @@ class Filter(Operator):
         self._predicate = predicate
         self._description = description
 
-    def rows(self, env):
+    def execute(self, env):
         predicate = self._predicate
-        return [row for row in self.children[0].rows(env) if predicate(row, env) is True]
+        rows = self.children[0].rows(env)
+        guard = getattr(env, "guard_iter", None)
+        if guard is not None:
+            rows = guard(rows)
+        return [row for row in rows if predicate(row, env) is True]
 
     def label(self):
         return self._description
@@ -97,7 +141,7 @@ class Project(Operator):
         self._exprs = exprs
         self._description = description
 
-    def rows(self, env):
+    def execute(self, env):
         exprs = self._exprs
         return [tuple(e(row, env) for e in exprs) for row in self.children[0].rows(env)]
 
@@ -109,9 +153,13 @@ class CrossJoin(Operator):
     def __init__(self, left: Operator, right: Operator):
         self.children = (left, right)
 
-    def rows(self, env):
+    def execute(self, env):
         left_rows = self.children[0].rows(env)
         right_rows = self.children[1].rows(env)
+        guard = getattr(env, "guard_iter", None)
+        if guard is not None:
+            # poll often on the outer side: each step emits len(right) rows
+            left_rows = guard(left_rows, 256)
         return [lrow + rrow for lrow in left_rows for rrow in right_rows]
 
     def label(self):
@@ -127,9 +175,13 @@ class NestedLoopJoin(Operator):
         self._kind = kind
         self._right_width = right_width
 
-    def rows(self, env):
+    def execute(self, env):
         left_rows = self.children[0].rows(env)
         right_rows = self.children[1].rows(env)
+        guard = getattr(env, "guard_iter", None)
+        if guard is not None:
+            # poll often on the outer side: each step scans the inner input
+            left_rows = guard(left_rows, 256)
         predicate = self._predicate
         out = []
         pad = (None,) * self._right_width
@@ -168,7 +220,7 @@ class HashJoin(Operator):
         self._kind = kind
         self._right_width = right_width
 
-    def rows(self, env):
+    def execute(self, env):
         left_rows = self.children[0].rows(env)
         right_rows = self.children[1].rows(env)
         table = {}
@@ -180,6 +232,9 @@ class HashJoin(Operator):
         out = []
         residual = self._residual
         pad = (None,) * self._right_width
+        guard = getattr(env, "guard_iter", None)
+        if guard is not None:
+            left_rows = guard(left_rows)
         for lrow in left_rows:
             key = tuple(k(lrow, env) for k in self._left_keys)
             matched = False
@@ -208,7 +263,7 @@ class MergeJoin(Operator):
         self._right_key = right_key
         self._residual = residual
 
-    def rows(self, env):
+    def execute(self, env):
         left_rows = sorted(
             self.children[0].rows(env),
             key=lambda r: _sort_token(self._left_key(r, env)),
@@ -265,11 +320,15 @@ class Aggregate(Operator):
         self._accumulators = accumulators
         self._global_agg = global_agg
 
-    def rows(self, env):
+    def execute(self, env):
         groups = {}
         key_exprs = self._key_exprs
         specs = self._accumulators
-        for row in self.children[0].rows(env):
+        rows = self.children[0].rows(env)
+        guard = getattr(env, "guard_iter", None)
+        if guard is not None:
+            rows = guard(rows)
+        for row in rows:
             key = tuple(k(row, env) for k in key_exprs)
             state = groups.get(key)
             if state is None:
@@ -332,7 +391,7 @@ class Sort(Operator):
         self._key_fns = key_fns
         self._descending = descending_flags
 
-    def rows(self, env):
+    def execute(self, env):
         out = list(self.children[0].rows(env))
         # stable multi-key sort: apply keys right-to-left
         for key_fn, descending in reversed(list(zip(self._key_fns, self._descending))):
@@ -349,7 +408,7 @@ class Limit(Operator):
         self._limit_fn = limit_fn
         self._offset_fn = offset_fn
 
-    def rows(self, env):
+    def execute(self, env):
         out = self.children[0].rows(env)
         start = int(self._offset_fn((), env)) if self._offset_fn else 0
         count = int(self._limit_fn((), env))
@@ -363,7 +422,7 @@ class Distinct(Operator):
     def __init__(self, child):
         self.children = (child,)
 
-    def rows(self, env):
+    def execute(self, env):
         seen = set()
         out = []
         for row in self.children[0].rows(env):
@@ -378,7 +437,7 @@ class Union(Operator):
         self.children = (left, right)
         self._all = all_rows
 
-    def rows(self, env):
+    def execute(self, env):
         out = list(self.children[0].rows(env)) + list(self.children[1].rows(env))
         if self._all:
             return out

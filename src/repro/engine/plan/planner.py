@@ -1,19 +1,26 @@
-"""The query planner: AST → physical operator tree.
+"""The query planner: AST → logical plan → rewrites → physical operators.
 
 Planning follows the rewrite-based approach the paper found in every
 commercial system (§5.9: *"all of these systems utilize only standard
-storage and query processing techniques"*):
+storage and query processing techniques"*), now staged explicitly:
 
-1. temporal table clauses are rewritten into partition choices plus
-   ordinary predicates on the period columns (:mod:`.access`);
-2. WHERE conjuncts are pushed down to single-table filters and equi-join
-   edges; a greedy size-ordered heuristic picks the join order and uses
-   hash joins for equi-edges, nested loops otherwise;
-3. aggregation, having, distinct, order and limit are stacked on top.
+1. :func:`~.logical.build_logical` turns the FROM/WHERE part of a SELECT
+   core into a small relational IR (scans with temporal clauses, derived
+   tables, joins, filters);
+2. :func:`~.rewrite.rewrite_logical` applies the profile's rule set —
+   constant folding, predicate pushdown (single-table conjuncts onto scans,
+   multi-table conjuncts into the join-edge pool) and greedy size-ordered
+   join-order selection;
+3. physical lowering (this module) turns the rewritten IR into operators:
+   temporal clauses become partition choices plus period predicates
+   (:mod:`.access`), equi-edges become hash joins, the rest nested loops;
+4. aggregation, having, distinct, order and limit are stacked on top.
 
 A :class:`PlannedQuery` is reusable across executions with different
 parameters — access paths re-decide scan-vs-index at run time from the
-parameter values.
+parameter values.  It also records which catalog objects it depends on
+(``dependencies``: name → catalog version at plan time), which the plan
+cache uses for targeted invalidation.
 """
 
 from __future__ import annotations
@@ -27,77 +34,25 @@ from ..sql import ast
 from ..types import END_OF_TIME
 from . import operators as ops
 from .access import ColumnConstraint, TableAccessPlan, TemporalBounds
+from .logical import (  # noqa: F401 - split_conjuncts/conjoin re-exported
+    LogicalDerived,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalNode,
+    LogicalProduct,
+    LogicalQuery,
+    LogicalScan,
+    LogicalValues,
+    build_logical,
+    conjoin,
+    rebuild_expr,
+    split_conjuncts,
+)
+from .rewrite import rewrite_logical
 
 # ---------------------------------------------------------------------------
 # helpers
 # ---------------------------------------------------------------------------
-
-
-def split_conjuncts(expr: Optional[ast.Expr]) -> List[ast.Expr]:
-    """Flatten a predicate into its AND-ed conjuncts."""
-    if expr is None:
-        return []
-    if isinstance(expr, ast.Binary) and expr.op == "and":
-        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
-    return [expr]
-
-
-def conjoin(conjuncts: Sequence[ast.Expr]) -> Optional[ast.Expr]:
-    result = None
-    for conjunct in conjuncts:
-        result = conjunct if result is None else ast.Binary("and", result, conjunct)
-    return result
-
-
-def _collect_column_refs(node) -> List[ast.ColumnRef]:
-    refs = []
-    _walk_with_subqueries(node, refs)
-    return refs
-
-
-def _walk_with_subqueries(node, refs):
-    if node is None:
-        return
-    for sub in ast.walk_expr(node):
-        if isinstance(sub, ast.ColumnRef):
-            refs.append(sub)
-        elif isinstance(sub, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)):
-            _walk_select(sub.subquery, refs)
-
-
-def _walk_select(select: ast.Select, refs):
-    for item in select.items:
-        _walk_with_subqueries(item.expr, refs)
-    _walk_with_subqueries(select.where, refs)
-    for expr in select.group_by:
-        _walk_with_subqueries(expr, refs)
-    _walk_with_subqueries(select.having, refs)
-    for item in select.order_by:
-        _walk_with_subqueries(item.expr, refs)
-    for from_item in select.from_items:
-        _walk_from(from_item, refs)
-    if select.set_op is not None:
-        _walk_select(select.set_op[1], refs)
-
-
-def _walk_from(item, refs):
-    if isinstance(item, ast.Join):
-        _walk_from(item.left, refs)
-        _walk_from(item.right, refs)
-        _walk_with_subqueries(item.on, refs)
-    elif isinstance(item, ast.DerivedTable):
-        _walk_select(item.select, refs)
-    elif isinstance(item, ast.TableRef):
-        for clause in item.temporal:
-            _walk_with_subqueries(clause.low, refs)
-            _walk_with_subqueries(clause.high, refs)
-
-
-def _item_bindings(item) -> set:
-    """All bindings introduced by one FROM item (joins included)."""
-    if isinstance(item, ast.Join):
-        return _item_bindings(item.left) | _item_bindings(item.right)
-    return {item.binding}
 
 
 def _expr_key(expr, scope: Scope) -> str:
@@ -137,17 +92,64 @@ class _Relation:
 
 
 class PlannedQuery:
-    """Executable plan: call :meth:`rows` with an Env."""
+    """Executable plan: call :meth:`rows` with an Env or ExecutionContext."""
 
-    def __init__(self, op: ops.Operator, column_names: List[str]):
+    def __init__(
+        self,
+        op: ops.Operator,
+        column_names: List[str],
+        dependencies: Optional[Dict[str, int]] = None,
+        logical: Optional[LogicalQuery] = None,
+        subplans: Optional[List["PlannedQuery"]] = None,
+    ):
         self.op = op
         self.column_names = column_names
+        #: catalog object name -> catalog version at plan time
+        self.dependencies: Dict[str, int] = dependencies or {}
+        #: the rewritten logical plan of the root SELECT core (None for
+        #: set-operation roots, whose branches each have their own)
+        self.logical = logical
+        #: plans of expression-level subqueries (IN/EXISTS/scalar), which are
+        #: compiled into closures and so are not children of ``op``
+        self.subplans: List["PlannedQuery"] = subplans or []
+        #: global catalog version at last dependency validation (maintained
+        #: by the session's plan cache so unchanged catalogs skip the checks)
+        self.checked_at_version = -1
 
     def rows(self, env: Env) -> List[tuple]:
         return self.op.rows(env)
 
     def explain(self) -> str:
         return self.op.explain()
+
+    def explain_analyze(self, metrics) -> str:
+        """Render the operator tree annotated with executed counters.
+
+        Expression-level subqueries render as ``SubPlan`` sections; their
+        ``loops`` count shows how often correlation re-ran them.
+        """
+        lines = self._analyze_lines(self.op, metrics, 0)
+        for number, subplan in enumerate(self.subplans, start=1):
+            lines.append(f"SubPlan {number}")
+            lines.extend(subplan._analyze_lines(subplan.op, metrics, 1))
+        return "\n".join(lines)
+
+    def _analyze_lines(self, op, metrics, indent) -> List[str]:
+        node = metrics.get(id(op))
+        prefix = "  " * indent
+        if node is None:
+            lines = [f"{prefix}{op.label()} (never executed)"]
+        else:
+            line = (
+                f"{prefix}{op.label()} (actual rows={node.rows} "
+                f"loops={node.calls} time={node.time_s * 1000.0:.3f} ms)"
+            )
+            if node.detail:
+                line += f" [{node.detail}]"
+            lines = [line]
+        for child in op.children:
+            lines.extend(self._analyze_lines(child, metrics, indent + 1))
+        return lines
 
 
 # ---------------------------------------------------------------------------
@@ -159,12 +161,49 @@ class Planner:
     def __init__(self, db):
         self.db = db
         self.profile = db.profile
+        # root-scoped bookkeeping for the outermost plan_select in flight
+        self._dependencies: Optional[Dict[str, int]] = None
+        self._subplans: Optional[List[PlannedQuery]] = None
+        self._root_select = None
+        self._root_logical: Optional[LogicalQuery] = None
 
     # -- entry points ---------------------------------------------------------
 
     def plan_select(self, select: ast.Select, outer_scope: Optional[Scope] = None) -> PlannedQuery:
-        op, layout, names = self._plan_select(select, outer_scope)
+        if self._dependencies is None:
+            self._dependencies = {}
+            self._subplans = []
+            self._root_select = select
+            self._root_logical = None
+            try:
+                op, _layout, names = self._plan_select(select, outer_scope)
+                deps = dict(self._dependencies)
+                subplans = list(self._subplans)
+                logical = self._root_logical
+            finally:
+                self._dependencies = None
+                self._subplans = None
+                self._root_select = None
+                self._root_logical = None
+            return PlannedQuery(
+                op, names, dependencies=deps, logical=logical, subplans=subplans
+            )
+        # nested planning (subqueries, views) feeds the root's dependency set
+        op, _layout, names = self._plan_select(select, outer_scope)
         return PlannedQuery(op, names)
+
+    def logical_plan(
+        self, select: ast.Select, outer_scope: Optional[Scope] = None
+    ) -> LogicalQuery:
+        """Build and rewrite the logical plan of one SELECT core."""
+        query = build_logical(select, self.db)
+        return rewrite_logical(query, self.db, self.profile, outer_scope)
+
+    def _note_dependency(self, name: str):
+        if self._dependencies is not None:
+            key = name.lower()
+            if key not in self._dependencies:
+                self._dependencies[key] = self.db.catalog.version_of(key)
 
     # -- select planning ---------------------------------------------------------
 
@@ -194,36 +233,26 @@ class Planner:
         return op, out_layout, left_names
 
     def _plan_core(self, select: ast.Select, outer_scope):
-        # 1. FROM -------------------------------------------------------------
-        where_conjuncts = split_conjuncts(select.where)
-        consumed: Set[int] = set()
-        referenced = self._referenced_columns(select)
-        if select.from_items:
-            relation, scope = self._plan_from(
-                select.from_items, where_conjuncts, outer_scope, referenced, consumed
-            )
-            source_op = relation.op
-            source_layout = relation.layout
-        else:
-            source_op = ops.Materialized([()], "SingleRow")
-            source_layout = []
-            scope = Scope([], outer=outer_scope)
-            if where_conjuncts:
-                predicate = self._compile(conjoin(where_conjuncts), scope)
-                source_op = ops.Filter(source_op, predicate, "Filter(no-from)")
-            where_conjuncts = []
+        # stages 1+2: AST -> logical IR -> rewritten IR
+        query = self.logical_plan(select, outer_scope)
+        if select is self._root_select:
+            self._root_logical = query
+        return self._lower_query(query, outer_scope)
 
-        # 2. residual WHERE (multi-table / non-pushable conjuncts) ---------------
-        residual = [c for c in where_conjuncts if id(c) not in consumed]
-        if residual:
-            predicate = self._compile(conjoin(residual), scope)
-            source_op = ops.Filter(source_op, predicate, "Filter(where)")
+    # -- physical lowering ------------------------------------------------------
 
-        # 3. expand stars in the select list --------------------------------------
+    def _lower_query(self, query: LogicalQuery, outer_scope):
+        select = query.select
+        relation = self._lower_relation(query.relation, outer_scope, query.referenced)
+        source_op = relation.op
+        source_layout = relation.layout
+        scope = Scope(source_layout, outer=outer_scope)
+
+        # expand stars in the select list ------------------------------------
         items = self._expand_stars(select.items, source_layout)
         original_items = list(items)  # output names come from the un-rewritten list
 
-        # 4. aggregation --------------------------------------------------------
+        # aggregation --------------------------------------------------------
         has_aggregates = (
             bool(select.group_by)
             or any(ast.contains_aggregate(item.expr) for item in items)
@@ -245,7 +274,7 @@ class Planner:
                 predicate = self._compile(select.having, pre_scope)
                 pre_op = ops.Filter(pre_op, predicate, "Filter(having)")
 
-        # 5. projection / distinct / order / limit ---------------------------------
+        # projection / distinct / order / limit ------------------------------
         out_names = self._output_names(original_items)
         item_fns = [self._compile(item.expr, pre_scope) for item in items]
         final = _Finalize(
@@ -265,97 +294,122 @@ class Planner:
         out_layout = [("", name) for name in out_names]
         return final, out_layout, out_names
 
-    # -- FROM planning -------------------------------------------------------------
-
-    def _plan_from(self, from_items, where_conjuncts, outer_scope, referenced, consumed):
-        all_bindings = set()
-        for item in from_items:
-            all_bindings |= _item_bindings(item)
-        units = [
-            self._plan_from_item(
-                item, outer_scope, referenced, where_conjuncts, consumed, all_bindings
+    def _lower_relation(self, node: LogicalNode, outer_scope, referenced) -> _Relation:
+        if isinstance(node, LogicalValues):
+            return _Relation(ops.Materialized([()], "SingleRow"), [], set(), 1)
+        if isinstance(node, LogicalScan):
+            return self._lower_scan(node, outer_scope, referenced)
+        if isinstance(node, LogicalDerived):
+            return self._lower_derived(node)
+        if isinstance(node, LogicalJoin):
+            left = self._lower_relation(node.left, outer_scope, referenced)
+            right = self._lower_relation(node.right, outer_scope, referenced)
+            return self._build_join(
+                left, right, list(node.conjuncts), node.kind, outer_scope
             )
-            for item in from_items
-        ]
-        if len(units) == 1:
-            unit = units[0]
-            return unit, Scope(unit.layout, outer=outer_scope)
-
-        # classify remaining where conjuncts into join edges
-        edges = []  # (bindings_set, conjunct)
-        for conjunct in where_conjuncts:
-            if id(conjunct) in consumed:
-                continue
-            bindings = self._conjunct_bindings(conjunct, units)
-            if bindings is not None and len(bindings) >= 2:
-                edges.append((bindings, conjunct))
-                consumed.add(id(conjunct))
-
-        joined = self._greedy_join(units, edges, outer_scope)
-        return joined, Scope(joined.layout, outer=outer_scope)
-
-    def _conjunct_bindings(self, conjunct, units) -> Optional[Set[str]]:
-        """Bindings (among *units*) referenced by a conjunct, or None if it
-        also references something none of the units can resolve."""
-        all_bindings = set()
-        for unit in units:
-            all_bindings |= unit.bindings
-        found = set()
-        for ref in _collect_column_refs(conjunct):
-            if ref.table is not None:
-                if ref.table in all_bindings:
-                    found.add(ref.table)
-            else:
-                owner = self._binding_of_unqualified(ref.name, units)
-                if owner is not None:
-                    found.add(owner)
-        return found
-
-    def _binding_of_unqualified(self, name, units) -> Optional[str]:
-        owners = []
-        for unit in units:
-            for binding, column in unit.layout:
-                if column == name:
-                    owners.append(binding)
-        if len(owners) == 1:
-            return owners[0]
-        return None
-
-    def _greedy_join(self, units: List[_Relation], edges, outer_scope) -> _Relation:
-        remaining = sorted(units, key=lambda u: u.est_rows)
-        current = remaining.pop(0)
-        pending_edges = list(edges)
-        while remaining:
-            # find a unit connected to `current` through at least one edge
-            chosen = None
-            for candidate in remaining:
-                combined = current.bindings | candidate.bindings
-                if any(b <= combined and (b & candidate.bindings) and (b & current.bindings) for b, _c in pending_edges):
-                    chosen = candidate
-                    break
-            if chosen is None:
-                chosen = remaining[0]
-            remaining.remove(chosen)
-            applicable = []
-            combined = current.bindings | chosen.bindings
-            for b, conjunct in pending_edges:
-                if b <= combined:
-                    applicable.append(conjunct)
-            pending_edges = [
-                (b, c) for b, c in pending_edges if c not in applicable
-            ]
-            current = self._build_join(current, chosen, applicable, "inner", outer_scope)
-        if pending_edges:
-            # edges that never became applicable (shouldn't happen) – filter
-            scope = Scope(current.layout, outer=outer_scope)
-            predicate = self._compile(conjoin([c for _b, c in pending_edges]), scope)
-            current = _Relation(
-                ops.Filter(current.op, predicate, "Filter(join-residual)"),
-                current.layout,
-                current.bindings,
-                current.est_rows,
+        if isinstance(node, LogicalFilter):
+            relation = self._lower_relation(node.child, outer_scope, referenced)
+            scope = Scope(relation.layout, outer=outer_scope)
+            predicate = self._compile(node.predicate, scope)
+            return _Relation(
+                ops.Filter(relation.op, predicate, f"Filter({node.label})"),
+                relation.layout,
+                relation.bindings,
+                relation.est_rows,
             )
-        return current
+        if isinstance(node, LogicalProduct):
+            raise PlanError("join-order selection left a Product node unlowered")
+        raise PlanError(f"cannot lower logical node {node!r}")
+
+    def _lower_derived(self, node: LogicalDerived) -> _Relation:
+        if node.view_name is not None:
+            self._note_dependency(node.view_name)
+        sub_op, _layout, names = self._plan_select(node.select, None)
+        layout = [(node.alias, name) for name in names]
+        cache_key = id(node)
+
+        def produce(env, _op=sub_op, _key=cache_key):
+            cached = env.cache.get(_key)
+            if cached is None:
+                cached = _op.rows(env)
+                env.cache[_key] = cached
+            return cached
+
+        op = ops.Subplan(produce, f"Derived({node.alias})")
+        op.children = (sub_op,)
+        return _Relation(op, layout, {node.alias}, 1000)
+
+    def _lower_scan(self, node: LogicalScan, outer_scope, referenced) -> _Relation:
+        ref = node.ref
+        self._note_dependency(ref.name)
+        table = self.db.table(ref.name)
+        schema = table.schema
+        binding = node.binding
+        layout = [(binding, column) for column in schema.column_names()]
+        scope = Scope(layout, outer=outer_scope)
+
+        temporal_filters, has_system_clause = self._resolve_temporal(
+            ref, schema, outer_scope
+        )
+
+        # which partitions must be read?
+        if not table.is_versioned:
+            partitions = [table.current_partition_name()]
+        elif not table.has_split:
+            partitions = [table.current_partition_name()]
+            if not has_system_clause:
+                # System D "current" semantics: filter open versions by value
+                period = schema.system_period
+                temporal_filters.append(
+                    TemporalBounds(
+                        period.begin_column,
+                        period.end_column,
+                        "overlap",
+                        low=lambda env: END_OF_TIME - 1,
+                        high=lambda env: END_OF_TIME,
+                    )
+                )
+        elif has_system_clause:
+            # Fig 6: explicit system time always unions in the history
+            # partition (no optimizer prunes it), unless the profile opts in.
+            partitions = [table.current_partition_name(), "history"]
+        else:
+            partitions = [table.current_partition_name()]
+
+        # pushed conjuncts (assigned by the rewrite pass) -> access constraints
+        pushed = list(node.pushed)
+        constraints: List[ColumnConstraint] = []
+        for conjunct in pushed:
+            constraint = self._to_constraint(conjunct, binding, schema, scope, outer_scope)
+            if constraint is not None:
+                constraints.append(constraint)
+
+        need_temporal = self._needs_temporal(
+            schema, binding, referenced, has_system_clause, table
+        )
+
+        access = TableAccessPlan(
+            table,
+            self.profile,
+            partitions,
+            temporal_filters,
+            constraints,
+            need_temporal,
+        )
+        description = (
+            f"Access({schema.name} as {binding}, partitions={partitions}, "
+            f"temporal={len(temporal_filters)})"
+        )
+        op: ops.Operator = ops.TableAccess(access, description)
+        if pushed:
+            predicate = self._compile(conjoin(pushed), scope)
+            op = ops.Filter(op, predicate, f"Filter({binding})")
+        est = table.current_count() + (
+            table.history_count() if (has_system_clause and table.has_split) else 0
+        )
+        return _Relation(op, layout, {binding}, max(1, est))
+
+    # -- joins -----------------------------------------------------------------
 
     def _build_join(self, left: _Relation, right: _Relation, conjuncts, kind, outer_scope) -> _Relation:
         combined_layout = left.layout + right.layout
@@ -413,119 +467,7 @@ class Planner:
             return (left_fn, right_fn)
         return None
 
-    def _plan_from_item(self, item, outer_scope, referenced, where_conjuncts, consumed, all_bindings=frozenset()) -> _Relation:
-        if isinstance(item, ast.TableRef):
-            return self._plan_table_ref(
-                item, outer_scope, referenced, where_conjuncts, consumed, all_bindings
-            )
-        if isinstance(item, ast.DerivedTable):
-            sub_op, _layout, names = self._plan_select(item.select, None)
-            layout = [(item.alias, name) for name in names]
-            cache_key = id(item)
-
-            def produce(env, _op=sub_op, _key=cache_key):
-                cached = env.cache.get(_key)
-                if cached is None:
-                    cached = _op.rows(env)
-                    env.cache[_key] = cached
-                return cached
-
-            op = ops.Subplan(produce, f"Derived({item.alias})")
-            op.children = (sub_op,)
-            return _Relation(op, layout, {item.alias}, 1000)
-        if isinstance(item, ast.Join):
-            left = self._plan_from_item(item.left, outer_scope, referenced, where_conjuncts, consumed, all_bindings)
-            right = self._plan_from_item(item.right, outer_scope, referenced, where_conjuncts, consumed, all_bindings)
-            conjuncts = split_conjuncts(item.on)
-            return self._build_join(left, right, conjuncts, item.kind if item.kind != "cross" else "inner", outer_scope)
-        raise PlanError(f"cannot plan FROM item {item!r}")
-
-    def _plan_table_ref(self, ref: ast.TableRef, outer_scope, referenced, where_conjuncts, consumed, all_bindings=frozenset()) -> _Relation:
-        view = getattr(self.db, "view", lambda _n: None)(ref.name)
-        if view is not None:
-            if ref.temporal:
-                raise ProgrammingError(
-                    f"temporal clauses are not supported on view {ref.name!r}"
-                )
-            derived = ast.DerivedTable(view, ref.binding)
-            return self._plan_from_item(
-                derived, outer_scope, referenced, where_conjuncts, consumed,
-                all_bindings,
-            )
-        table = self.db.table(ref.name)
-        schema = table.schema
-        binding = ref.binding
-        layout = [(binding, column) for column in schema.column_names()]
-        scope = Scope(layout, outer=outer_scope)
-
-        temporal_filters, has_system_clause = self._resolve_temporal(
-            ref, schema, outer_scope
-        )
-
-        # which partitions must be read?
-        if not table.is_versioned:
-            partitions = [table.current_partition_name()]
-        elif not table.has_split:
-            partitions = [table.current_partition_name()]
-            if not has_system_clause:
-                # System D "current" semantics: filter open versions by value
-                period = schema.system_period
-                temporal_filters.append(
-                    TemporalBounds(
-                        period.begin_column,
-                        period.end_column,
-                        "overlap",
-                        low=lambda env: END_OF_TIME - 1,
-                        high=lambda env: END_OF_TIME,
-                    )
-                )
-        elif has_system_clause:
-            # Fig 6: explicit system time always unions in the history
-            # partition (no optimizer prunes it), unless the profile opts in.
-            partitions = [table.current_partition_name(), "history"]
-        else:
-            partitions = [table.current_partition_name()]
-
-        # sargable single-table conjuncts -> access constraints + pushed filter
-        constraints: List[ColumnConstraint] = []
-        pushed: List[ast.Expr] = []
-        for conjunct in where_conjuncts:
-            if id(conjunct) in consumed:
-                continue
-            if not self._only_references(
-                conjunct, binding, schema, all_bindings, outer_scope
-            ):
-                continue
-            consumed.add(id(conjunct))
-            pushed.append(conjunct)
-            constraint = self._to_constraint(conjunct, binding, schema, scope, outer_scope)
-            if constraint is not None:
-                constraints.append(constraint)
-
-        need_temporal = self._needs_temporal(
-            schema, binding, referenced, has_system_clause, table
-        )
-
-        access = TableAccessPlan(
-            table,
-            self.profile,
-            partitions,
-            temporal_filters,
-            constraints,
-            need_temporal,
-        )
-        description = (
-            f"Access({schema.name} as {binding}, partitions={partitions}, "
-            f"temporal={len(temporal_filters)})"
-        )
-        op: ops.Operator = ops.TableAccess(access.rows, description)
-        if pushed:
-            predicate = self._compile(conjoin(pushed), scope)
-            op = ops.Filter(op, predicate, f"Filter({binding})")
-        est = table.current_count() + (
-            table.history_count() if (has_system_clause and table.has_split) else 0
-        )
-        return _Relation(op, layout, {binding}, max(1, est))
+    # -- temporal resolution ----------------------------------------------------
 
     def _resolve_temporal(self, ref, schema: TableSchema, outer_scope):
         filters: List[TemporalBounds] = []
@@ -585,35 +527,6 @@ class Planner:
             return None
         fn = compile_expr(expr, Scope([], outer=outer_scope))
         return lambda env: fn((), env)
-
-    def _only_references(
-        self, conjunct, binding, schema, all_bindings=frozenset(), outer_scope=None
-    ) -> bool:
-        """True if every column in *conjunct* belongs to *binding*; references
-        that resolve only in an enclosing query behave like constants, while
-        references to sibling FROM units disqualify the conjunct."""
-        has_local = False
-        for ref in _collect_column_refs(conjunct):
-            if ref.table == binding:
-                has_local = True
-            elif ref.table is None and schema.has_column(ref.name):
-                has_local = True
-            elif ref.table is not None and ref.table not in all_bindings:
-                # qualified with something that is not a sibling: a
-                # correlation column from an enclosing query, if it resolves
-                if outer_scope is None:
-                    return False
-                try:
-                    outer_scope.resolve(ref)
-                except ProgrammingError:
-                    return False
-            else:
-                return False
-        # subquery-bearing predicates are never pushed into access paths
-        for node in ast.walk_expr(conjunct):
-            if isinstance(node, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)):
-                return False
-        return has_local
 
     def _to_constraint(self, conjunct, binding, schema, scope, outer_scope):
         """Turn a pushed conjunct into a ColumnConstraint when sargable."""
@@ -678,18 +591,6 @@ class Planner:
                 return True
         return False
 
-    def _referenced_columns(self, select) -> List[Tuple[Optional[str], str]]:
-        refs = []
-        _walk_select(select, refs)
-        out = []
-        for ref in refs:
-            out.append((ref.table, ref.name))
-        # stars reference everything
-        for item in select.items:
-            if isinstance(item.expr, ast.Star):
-                out.append((item.expr.table, "*"))
-        return out
-
     # -- aggregation -----------------------------------------------------------
 
     def _plan_aggregation(self, select, items, source_op, scope, outer_scope):
@@ -718,7 +619,7 @@ class Planner:
             if isinstance(expr, ast.Aggregate):
                 idx = register(expr)
                 return ast.ColumnRef(f"__a{idx}", table="__agg")
-            return _rebuild(expr, rewrite)
+            return rebuild_expr(expr, rewrite)
 
         rewritten_items = [
             ast.SelectItem(rewrite(item.expr), item.alias) for item in items
@@ -826,14 +727,21 @@ class Planner:
 
     def _subquery_compiler(self, select: ast.Select, scope: Scope):
         planned = self.plan_select(select, outer_scope=scope)
+        if self._subplans is not None:
+            self._subplans.append(planned)
         # uncorrelated subqueries (those that also plan with no outer scope)
-        # are cached per statement execution
+        # are cached per statement execution; the probe must not register
+        # its throwaway plans as SubPlans
         correlated = True
+        saved_subplans = self._subplans
+        self._subplans = None
         try:
             self.plan_select(select, outer_scope=None)
             correlated = False
         except (ProgrammingError, PlanError):
             correlated = True
+        finally:
+            self._subplans = saved_subplans
         cache_key = id(planned)
 
         def run(env: Env):
@@ -864,7 +772,7 @@ class _Finalize(ops.Operator):
         self._limit_fn = limit_fn
         self._offset_fn = offset_fn
 
-    def rows(self, env):
+    def execute(self, env):
         item_fns = self._item_fns
         pairs = []
         for pre_row in self.children[0].rows(env):
@@ -905,30 +813,5 @@ class _Finalize(ops.Operator):
         return "Finalize[" + ", ".join(bits) + "]"
 
 
-def _rebuild(expr, rewrite):
-    """Rebuild an expression node with rewritten children."""
-    if isinstance(expr, ast.Binary):
-        return ast.Binary(expr.op, rewrite(expr.left), rewrite(expr.right))
-    if isinstance(expr, ast.Unary):
-        return ast.Unary(expr.op, rewrite(expr.operand))
-    if isinstance(expr, ast.FuncCall):
-        return ast.FuncCall(expr.name, tuple(rewrite(a) for a in expr.args))
-    if isinstance(expr, ast.Case):
-        return ast.Case(
-            tuple((rewrite(c), rewrite(r)) for c, r in expr.branches),
-            rewrite(expr.default) if expr.default is not None else None,
-        )
-    if isinstance(expr, ast.Between):
-        return ast.Between(
-            rewrite(expr.operand), rewrite(expr.low), rewrite(expr.high), expr.negated
-        )
-    if isinstance(expr, ast.Like):
-        return ast.Like(rewrite(expr.operand), rewrite(expr.pattern), expr.negated)
-    if isinstance(expr, ast.IsNull):
-        return ast.IsNull(rewrite(expr.operand), expr.negated)
-    if isinstance(expr, ast.InList):
-        return ast.InList(
-            rewrite(expr.operand), tuple(rewrite(i) for i in expr.items), expr.negated
-        )
-    # literals, params, column refs, subqueries: returned unchanged
-    return expr
+# Backwards-compatible alias: earlier code imported _rebuild from here.
+_rebuild = rebuild_expr

@@ -1,0 +1,431 @@
+"""Rule-based rewrites over the logical plan IR.
+
+Three rules, applied in order and individually switchable through
+``ArchitectureProfile.rewrite_rules`` (for ablation benchmarks):
+
+* **constant-folding** — closed expression subtrees (no columns, params or
+  subqueries) are evaluated once at plan time, so ``DATE '1994-01-01' +
+  INTERVAL '1' YEAR`` costs nothing per row;
+* **predicate-pushdown** — WHERE conjuncts that reference a single base
+  table move onto its scan (where they can become index constraints), and
+  multi-table conjuncts become join edges;
+* **join-reorder** — the edge pool plus per-unit row estimates drive a
+  greedy size-ordered join tree (the heuristic every §5.9 system uses:
+  "standard storage and query processing techniques").
+
+Join-tree construction from a :class:`LogicalProduct` always runs — physical
+lowering requires binary joins — but with ``join-reorder`` disabled the
+units keep their textual FROM order instead of being size-sorted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import PlanError, ProgrammingError
+from ..expr import Env, Interval, Scope, compile_expr
+from ..sql import ast
+from .logical import (
+    LogicalDerived,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalNode,
+    LogicalProduct,
+    LogicalQuery,
+    LogicalScan,
+    LogicalValues,
+    collect_column_refs,
+    conjoin,
+    rebuild_expr,
+    replace_scans,
+    scans_in_order,
+    split_conjuncts,
+    unit_layout,
+)
+
+ALL_RULES: Tuple[str, ...] = (
+    "constant-folding",
+    "predicate-pushdown",
+    "join-reorder",
+)
+
+
+def rewrite_logical(
+    query: LogicalQuery, db, profile, outer_scope: Optional[Scope] = None
+) -> LogicalQuery:
+    """Apply the profile's enabled rules; always normalise products to joins."""
+    rules = getattr(profile, "rewrite_rules", ALL_RULES)
+    applied: List[str] = list(query.applied_rules)
+    select = query.select
+    relation = query.relation
+
+    if "constant-folding" in rules:
+        select, relation, changed = _fold_query(select, relation)
+        if changed:
+            applied.append("constant-folding")
+
+    if "predicate-pushdown" in rules:
+        relation, changed = _push_predicates(relation, outer_scope)
+        if changed:
+            applied.append("predicate-pushdown")
+
+    relation, reordered = _order_joins(relation, cost_based="join-reorder" in rules)
+    if reordered:
+        applied.append("join-reorder")
+
+    return LogicalQuery(select, relation, query.referenced, applied)
+
+
+# ---------------------------------------------------------------------------
+# constant folding
+# ---------------------------------------------------------------------------
+
+_OPEN_NODES = (
+    ast.ColumnRef,
+    ast.Param,
+    ast.Star,
+    ast.Aggregate,
+    ast.InSubquery,
+    ast.Exists,
+    ast.ScalarSubquery,
+)
+
+
+def _is_closed(expr) -> bool:
+    """True when the subtree references no columns, params or subqueries."""
+    return all(not isinstance(node, _OPEN_NODES) for node in ast.walk_expr(expr))
+
+
+def fold_expr(expr):
+    """Fold closed subtrees bottom-up into literals; returns the input node
+    unchanged (identity) when nothing folded."""
+    if expr is None or isinstance(expr, (ast.Literal, ast.Param, ast.ColumnRef, ast.Star)):
+        return expr
+    child_changed = False
+
+    def fold_child(child):
+        nonlocal child_changed
+        out = fold_expr(child)
+        if out is not child:
+            child_changed = True
+        return out
+
+    folded = rebuild_expr(expr, fold_child)
+    if not child_changed:
+        folded = expr  # identity-preserving: no child folded
+    if isinstance(folded, ast.Literal):
+        return folded
+    if not _is_closed(folded):
+        return folded
+    try:
+        fn = compile_expr(folded, Scope([]))
+        value = fn((), _EMPTY_ENV)
+    except Exception:
+        return folded
+    if isinstance(value, Interval):
+        # intervals have no literal form; leave the expression intact
+        return folded
+    return ast.Literal(value)
+
+
+_EMPTY_ENV = Env({})
+
+
+def _fold_query(select: ast.Select, relation: LogicalNode):
+    changed = False
+
+    def fold(expr):
+        nonlocal changed
+        out = fold_expr(expr)
+        if out is not expr:
+            changed = True
+        return out
+
+    items = [ast.SelectItem(fold(item.expr), item.alias) for item in select.items]
+    group_by = [fold(expr) for expr in select.group_by]
+    having = fold(select.having) if select.having is not None else None
+    limit = fold(select.limit) if select.limit is not None else None
+    offset = fold(select.offset) if select.offset is not None else None
+
+    def fold_order_item(item):
+        folded = fold(item.expr)
+        if isinstance(folded, ast.Literal) and not isinstance(item.expr, ast.Literal):
+            # a bare integer literal in ORDER BY is positional — folding an
+            # expression down to one would change its meaning
+            return item
+        if folded is item.expr:
+            return item
+        return ast.OrderItem(folded, item.ascending)
+
+    order_by = [fold_order_item(item) for item in select.order_by]
+    folded_select = ast.Select(
+        items=items,
+        from_items=select.from_items,
+        where=select.where,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+        limit=limit,
+        offset=offset,
+        distinct=select.distinct,
+        set_op=select.set_op,
+    )
+    folded_relation = _fold_relation(relation, fold)
+    if not changed:
+        return select, relation, False
+    return folded_select, folded_relation, True
+
+
+def _fold_relation(node: LogicalNode, fold) -> LogicalNode:
+    if isinstance(node, LogicalFilter):
+        child = _fold_relation(node.child, fold)
+        predicate = fold(node.predicate)
+        if child is node.child and predicate is node.predicate:
+            return node
+        return replace(node, child=child, predicate=predicate)
+    if isinstance(node, LogicalJoin):
+        left = _fold_relation(node.left, fold)
+        right = _fold_relation(node.right, fold)
+        conjuncts = tuple(fold(c) for c in node.conjuncts)
+        if (
+            left is node.left
+            and right is node.right
+            and all(a is b for a, b in zip(conjuncts, node.conjuncts))
+        ):
+            return node
+        return replace(node, left=left, right=right, conjuncts=conjuncts)
+    if isinstance(node, LogicalProduct):
+        units = tuple(_fold_relation(u, fold) for u in node.units)
+        if all(a is b for a, b in zip(units, node.units)):
+            return node
+        return replace(node, units=units)
+    if isinstance(node, LogicalScan):
+        ref = node.ref
+        if not ref.temporal:
+            return node
+        clauses = tuple(
+            replace(
+                clause,
+                low=fold(clause.low) if clause.low is not None else None,
+                high=fold(clause.high) if clause.high is not None else None,
+            )
+            for clause in ref.temporal
+        )
+        if all(
+            a.low is b.low and a.high is b.high
+            for a, b in zip(clauses, ref.temporal)
+        ):
+            return node
+        return replace(node, ref=replace(ref, temporal=clauses))
+    # LogicalDerived sub-selects fold when they are planned themselves
+    return node
+
+
+# ---------------------------------------------------------------------------
+# predicate pushdown
+# ---------------------------------------------------------------------------
+
+
+def _push_predicates(relation: LogicalNode, outer_scope):
+    """Distribute top-level WHERE conjuncts onto scans and join edges."""
+    if not isinstance(relation, LogicalFilter) or relation.label != "where":
+        return relation, False
+    if isinstance(relation.child, LogicalValues):
+        return relation, False
+    source = relation.child
+    units: Tuple[LogicalNode, ...] = (
+        source.units if isinstance(source, LogicalProduct) else (source,)
+    )
+    all_bindings: Set[str] = set()
+    for unit in units:
+        all_bindings |= unit.bindings
+    # candidate scans in FROM order, excluding any beneath the right side of
+    # a LEFT JOIN: filtering that input before the join would suppress the
+    # NULL-extended rows a non-null-rejecting predicate (e.g. IS NULL) needs
+    scans = []
+    for unit in units:
+        scans.extend(_pushable_scans(unit))
+
+    conjuncts = split_conjuncts(relation.predicate)
+    assigned: Dict[int, List[ast.Expr]] = {id(scan): [] for scan in scans}
+    remaining: List[ast.Expr] = []
+    for conjunct in conjuncts:
+        target = None
+        for scan in scans:
+            if only_references(
+                conjunct, scan.binding, scan.schema, all_bindings, outer_scope
+            ):
+                target = scan
+                break
+        if target is not None:
+            assigned[id(target)].append(conjunct)
+        else:
+            remaining.append(conjunct)
+
+    pushed_any = any(assigned[id(scan)] for scan in scans)
+    mapping = {
+        id(scan): replace(
+            scan, pushed=scan.pushed + tuple(assigned[id(scan)])
+        )
+        for scan in scans
+        if assigned[id(scan)]
+    }
+    new_units = tuple(replace_scans(unit, mapping) for unit in units)
+
+    edges: List[Tuple[frozenset, ast.Expr]] = []
+    residual: List[ast.Expr] = []
+    if len(new_units) > 1:
+        for conjunct in remaining:
+            bindings = conjunct_bindings(conjunct, units)
+            if bindings is not None and len(bindings) >= 2:
+                edges.append((frozenset(bindings), conjunct))
+            else:
+                residual.append(conjunct)
+        out: LogicalNode = LogicalProduct(new_units, tuple(edges))
+    else:
+        residual = remaining
+        out = new_units[0]
+
+    if residual:
+        out = LogicalFilter(out, conjoin(residual), "where")
+    return out, pushed_any or bool(edges)
+
+
+def _pushable_scans(node: LogicalNode) -> List[LogicalScan]:
+    if isinstance(node, LogicalScan):
+        return [node]
+    if isinstance(node, LogicalJoin):
+        out = _pushable_scans(node.left)
+        if node.kind != "left":
+            out.extend(_pushable_scans(node.right))
+        return out
+    if isinstance(node, LogicalFilter):
+        return _pushable_scans(node.child)
+    if isinstance(node, LogicalProduct):
+        out = []
+        for unit in node.units:
+            out.extend(_pushable_scans(unit))
+        return out
+    return []
+
+
+def only_references(
+    conjunct, binding, schema, all_bindings=frozenset(), outer_scope=None
+) -> bool:
+    """True if every column in *conjunct* belongs to *binding*; references
+    that resolve only in an enclosing query behave like constants, while
+    references to sibling FROM units disqualify the conjunct."""
+    has_local = False
+    for ref in collect_column_refs(conjunct):
+        if ref.table == binding:
+            has_local = True
+        elif ref.table is None and schema.has_column(ref.name):
+            has_local = True
+        elif ref.table is not None and ref.table not in all_bindings:
+            # qualified with something that is not a sibling: a correlation
+            # column from an enclosing query, if it resolves
+            if outer_scope is None:
+                return False
+            try:
+                outer_scope.resolve(ref)
+            except ProgrammingError:
+                return False
+        else:
+            return False
+    # subquery-bearing predicates are never pushed into access paths
+    for node in ast.walk_expr(conjunct):
+        if isinstance(node, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)):
+            return False
+    return has_local
+
+
+def conjunct_bindings(conjunct, units) -> Optional[Set[str]]:
+    """Bindings (among *units*) referenced by a conjunct."""
+    all_bindings: Set[str] = set()
+    for unit in units:
+        all_bindings |= unit.bindings
+    found: Set[str] = set()
+    for ref in collect_column_refs(conjunct):
+        if ref.table is not None:
+            if ref.table in all_bindings:
+                found.add(ref.table)
+        else:
+            owner = _binding_of_unqualified(ref.name, units)
+            if owner is not None:
+                found.add(owner)
+    return found
+
+
+def _binding_of_unqualified(name, units) -> Optional[str]:
+    owners = []
+    for unit in units:
+        for binding, column in unit_layout(unit):
+            if column == name:
+                owners.append(binding)
+    if len(owners) == 1:
+        return owners[0]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# join-order selection
+# ---------------------------------------------------------------------------
+
+
+def _order_joins(relation: LogicalNode, cost_based: bool):
+    """Replace every LogicalProduct with a left-deep join chain.
+
+    With *cost_based* the units are size-sorted first (greedy smallest-
+    relation heuristic); otherwise textual FROM order is kept.  Edges attach
+    as soon as both sides are available; edges that never apply surface as a
+    join-residual filter.
+    """
+    reordered = False
+
+    def transform(node: LogicalNode) -> LogicalNode:
+        nonlocal reordered
+        if isinstance(node, LogicalFilter):
+            child = transform(node.child)
+            if child is node.child:
+                return node
+            return replace(node, child=child)
+        if isinstance(node, LogicalProduct):
+            reordered = True
+            return _join_tree(node, cost_based)
+        return node
+
+    return transform(relation), reordered
+
+
+def _join_tree(product: LogicalProduct, cost_based: bool) -> LogicalNode:
+    units = list(product.units)
+    if cost_based:
+        remaining = sorted(units, key=lambda u: u.est_rows)
+    else:
+        remaining = list(units)
+    current = remaining.pop(0)
+    pending: List[Tuple[frozenset, ast.Expr]] = list(product.edges)
+    while remaining:
+        # find a unit connected to `current` through at least one edge
+        chosen = None
+        for candidate in remaining:
+            combined = current.bindings | candidate.bindings
+            if any(
+                b <= combined and (b & candidate.bindings) and (b & current.bindings)
+                for b, _c in pending
+            ):
+                chosen = candidate
+                break
+        if chosen is None:
+            chosen = remaining[0]
+        remaining.remove(chosen)
+        combined = current.bindings | chosen.bindings
+        applicable = [c for b, c in pending if b <= combined]
+        pending = [(b, c) for b, c in pending if c not in applicable]
+        current = LogicalJoin("inner", current, chosen, tuple(applicable))
+    if pending:
+        current = LogicalFilter(
+            current, conjoin([c for _b, c in pending]), "join-residual"
+        )
+    return current

@@ -8,6 +8,7 @@ query over the current partition, then applies the temporal row operations
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -15,6 +16,7 @@ from . import temporal
 from .catalog import Column, IndexDef, TableSchema, PeriodDef
 from .errors import NotSupportedError, ProgrammingError
 from .expr import Env, Scope, compile_expr
+from .plan.context import ExecutionContext
 from .plan.planner import Planner, PlannedQuery
 from .sql import ast, parse_statement
 from .types import Period, SqlType
@@ -50,36 +52,77 @@ def _normalize_params(params) -> Dict:
 
 
 class SqlEngine:
-    """Per-database SQL façade with a small plan cache."""
+    """Per-database SQL façade with an LRU plan cache.
+
+    Plans are cached per SQL text and validated against the catalog versions
+    of the objects they reference: DDL on a table invalidates exactly the
+    plans that touch it, everything else stays cached.  Overflow evicts the
+    least recently used entry instead of clearing the whole cache.
+    """
 
     def __init__(self, db):
         self.db = db
         self.planner = Planner(db)
-        self._plan_cache: Dict[str, PlannedQuery] = {}
+        self._plan_cache: "OrderedDict[str, PlannedQuery]" = OrderedDict()
         self.plan_cache_limit = 256
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_invalidations = 0
+
+    # -- plan cache ----------------------------------------------------------
+
+    def _cached_plan(self, sql: str) -> Optional[PlannedQuery]:
+        planned = self._plan_cache.get(sql)
+        if planned is None:
+            self.cache_misses += 1
+            return None
+        catalog = self.db.catalog
+        # per-name checks only run when some DDL happened since this plan
+        # was last validated; the common hit path is one int comparison
+        if planned.checked_at_version != catalog.version:
+            for name, version in planned.dependencies.items():
+                if catalog.version_of(name) != version:
+                    del self._plan_cache[sql]
+                    self.cache_invalidations += 1
+                    self.cache_misses += 1
+                    return None
+            planned.checked_at_version = catalog.version
+        self._plan_cache.move_to_end(sql)
+        self.cache_hits += 1
+        return planned
+
+    def _store_plan(self, sql: str, planned: PlannedQuery):
+        while len(self._plan_cache) >= self.plan_cache_limit:
+            self._plan_cache.popitem(last=False)
+        planned.checked_at_version = self.db.catalog.version
+        self._plan_cache[sql] = planned
+
+    def cache_stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._plan_cache),
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "invalidations": self.cache_invalidations,
+        }
 
     # -- public API ----------------------------------------------------------
 
-    def execute(self, sql, params=None) -> Result:
+    def execute(self, sql, params=None, timeout_s=None) -> Result:
         stmt = None
         if isinstance(sql, str):
-            cached = self._plan_cache.get(sql)
+            cached = self._cached_plan(sql)
             if cached is not None:
-                env = Env(_normalize_params(params))
-                rows = cached.rows(env)
-                return Result(rows, cached.column_names, len(rows))
+                return self._run_planned(cached, params, timeout_s)
             stmt = parse_statement(sql)
         else:
             stmt = sql  # pre-parsed AST
         if isinstance(stmt, ast.Select):
             planned = self.planner.plan_select(stmt)
             if isinstance(sql, str):
-                if len(self._plan_cache) >= self.plan_cache_limit:
-                    self._plan_cache.clear()
-                self._plan_cache[sql] = planned
-            env = Env(_normalize_params(params))
-            rows = planned.rows(env)
-            return Result(rows, planned.column_names, len(rows))
+                self._store_plan(sql, planned)
+            return self._run_planned(planned, params, timeout_s)
+        if isinstance(stmt, ast.Explain):
+            return self._execute_explain(stmt, params, timeout_s)
         if isinstance(stmt, ast.Insert):
             return self._execute_insert(stmt, params)
         if isinstance(stmt, ast.Update):
@@ -87,35 +130,71 @@ class SqlEngine:
         if isinstance(stmt, ast.Delete):
             return self._execute_delete(stmt, params)
         if isinstance(stmt, ast.CreateTable):
-            self._plan_cache.clear()
             return self._execute_create_table(stmt)
         if isinstance(stmt, ast.CreateIndex):
-            self._plan_cache.clear()
             return self._execute_create_index(stmt)
         if isinstance(stmt, ast.CreateView):
             self.db.create_view(stmt.name, stmt.select)
-            self._plan_cache.clear()
             return Result(rowcount=0)
         if isinstance(stmt, ast.DropView):
             self.db.drop_view(stmt.name)
-            self._plan_cache.clear()
             return Result(rowcount=0)
         if isinstance(stmt, ast.DropTable):
             self.db.drop_table(stmt.name)
-            self._plan_cache.clear()
             return Result(rowcount=0)
         if isinstance(stmt, ast.DropIndex):
             self.db.drop_index(stmt.name)
-            self._plan_cache.clear()
             return Result(rowcount=0)
         raise ProgrammingError(f"cannot execute statement {stmt!r}")
 
+    def _run_planned(self, planned: PlannedQuery, params, timeout_s) -> Result:
+        if timeout_s is None:
+            env = Env(_normalize_params(params))
+        else:
+            env = ExecutionContext.begin(
+                _normalize_params(params), timeout_s=timeout_s
+            )
+        rows = planned.rows(env)
+        return Result(rows, planned.column_names, len(rows))
+
     def explain(self, sql, params=None) -> str:
         stmt = parse_statement(sql) if isinstance(sql, str) else sql
+        if isinstance(stmt, ast.Explain):
+            stmt = stmt.statement
         if not isinstance(stmt, ast.Select):
             raise ProgrammingError("EXPLAIN is only supported for SELECT")
         planned = self.planner.plan_select(stmt)
         return planned.explain()
+
+    def explain_analyze(self, sql, params=None) -> str:
+        stmt = parse_statement(sql) if isinstance(sql, str) else sql
+        if isinstance(stmt, ast.Explain):
+            stmt = stmt.statement
+        if not isinstance(stmt, ast.Select):
+            raise ProgrammingError("EXPLAIN ANALYZE is only supported for SELECT")
+        planned = self.planner.plan_select(stmt)
+        ctx = ExecutionContext.begin(
+            _normalize_params(params), collect_metrics=True
+        )
+        planned.rows(ctx)
+        return planned.explain_analyze(ctx.metrics)
+
+    def _execute_explain(self, stmt: ast.Explain, params, timeout_s) -> Result:
+        # EXPLAIN output is never cached: it is a diagnostic, and ANALYZE
+        # runs the query anyway
+        if stmt.analyze:
+            planned = self.planner.plan_select(stmt.statement)
+            ctx = ExecutionContext.begin(
+                _normalize_params(params),
+                timeout_s=timeout_s,
+                collect_metrics=True,
+            )
+            planned.rows(ctx)
+            text = planned.explain_analyze(ctx.metrics)
+        else:
+            text = self.explain(stmt.statement)
+        lines = text.split("\n")
+        return Result([(line,) for line in lines], ["plan"], len(lines))
 
     # -- DML ---------------------------------------------------------------------
 

@@ -306,10 +306,20 @@ class DropIndex:
     name: str
 
 
+@dataclass
+class Explain:
+    """``EXPLAIN [ANALYZE] <select>`` — plan (and optionally execute) a
+    query, returning its operator tree as one-column rows."""
+
+    statement: "Select"
+    analyze: bool = False
+
+
 Statement = Union[
     Select, Insert, Update, Delete,
     CreateTable, CreateIndex, CreateView,
     DropTable, DropIndex, DropView,
+    Explain,
 ]
 
 

@@ -21,7 +21,7 @@ KEYWORDS = frozenset(
     delete create table index drop primary key period for system_time
     business_time portion of as_of to date timestamp interval day month year
     true false using btree hash rtree history current extract substring
-    count sum avg min max top view
+    count sum avg min max top view explain analyze
     """.split()
 )
 

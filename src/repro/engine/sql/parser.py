@@ -105,7 +105,9 @@ class Parser:
     # -- statements ------------------------------------------------------
 
     def parse_statement(self) -> ast.Statement:
-        if self.check_keyword("select"):
+        if self.check_keyword("explain"):
+            stmt = self.parse_explain()
+        elif self.check_keyword("select"):
             stmt = self.parse_select()
         elif self.check_keyword("insert"):
             stmt = self.parse_insert()
@@ -133,6 +135,17 @@ class Parser:
         return stmt
 
     # -- SELECT -------------------------------------------------------------
+
+    def parse_explain(self) -> ast.Explain:
+        self.expect_keyword("explain")
+        analyze = bool(self.accept_keyword("analyze"))
+        if not self.check_keyword("select"):
+            token = self.peek()
+            raise SqlSyntaxError(
+                "EXPLAIN only supports SELECT statements",
+                position=token.position,
+            )
+        return ast.Explain(self.parse_select(), analyze=analyze)
 
     def parse_select(self) -> ast.Select:
         select = self._parse_select_core()

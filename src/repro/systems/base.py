@@ -42,11 +42,14 @@ class TemporalSystem:
 
     # -- convenience -------------------------------------------------------
 
-    def execute(self, sql, params=None):
-        return self.db.execute(sql, params)
+    def execute(self, sql, params=None, timeout_s=None):
+        return self.db.execute(sql, params, timeout_s=timeout_s)
 
     def explain(self, sql, params=None):
         return self.db.explain(sql, params)
+
+    def explain_analyze(self, sql, params=None):
+        return self.db.explain_analyze(sql, params)
 
     def connect(self):
         """A PEP 249 connection to this system."""

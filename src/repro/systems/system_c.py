@@ -46,4 +46,7 @@ class SystemC(TemporalSystem):
             prunes_explicit_current=False,
             manual_system_time=False,
             index_selectivity_threshold=0.0,
+            rewrite_rules=(
+                "constant-folding", "predicate-pushdown", "join-reorder",
+            ),
         )

@@ -44,4 +44,7 @@ class SystemD(TemporalSystem):
             prunes_explicit_current=False,
             manual_system_time=True,
             index_selectivity_threshold=0.15,
+            rewrite_rules=(
+                "constant-folding", "predicate-pushdown", "join-reorder",
+            ),
         )

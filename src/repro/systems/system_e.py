@@ -99,6 +99,9 @@ class SystemE(TemporalSystem):
             prunes_explicit_current=True,
             manual_system_time=False,
             index_selectivity_threshold=0.15,
+            rewrite_rules=(
+                "constant-folding", "predicate-pushdown", "join-reorder",
+            ),
         )
 
     # -- native temporal operators ------------------------------------------

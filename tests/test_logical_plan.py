@@ -1,0 +1,271 @@
+"""Logical plan IR: construction, rewrite rules, and rule gating."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.database import ArchitectureProfile
+from repro.engine.plan import (
+    LogicalFilter,
+    LogicalJoin,
+    LogicalProduct,
+    LogicalScan,
+    LogicalValues,
+    build_logical,
+    rewrite_logical,
+)
+from repro.engine.sql import ast, parse_statement
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE orders ("
+        " o_id integer NOT NULL, cust integer, total integer,"
+        " sb timestamp, se timestamp,"
+        " PRIMARY KEY (o_id), PERIOD FOR system_time (sb, se))"
+    )
+    database.execute(
+        "CREATE TABLE customers ("
+        " c_id integer NOT NULL, region integer, PRIMARY KEY (c_id))"
+    )
+    for i in range(20):
+        database.execute(
+            "INSERT INTO orders (o_id, cust, total) VALUES (?, ?, ?)",
+            [i, i % 5, i * 10],
+        )
+    for i in range(5):
+        database.execute(
+            "INSERT INTO customers (c_id, region) VALUES (?, ?)", [i, i % 2]
+        )
+    return database
+
+
+def _select(sql):
+    stmt = parse_statement(sql)
+    assert isinstance(stmt, ast.Select)
+    return stmt
+
+
+def _logical(db, sql):
+    return db._sql_engine.planner.logical_plan(_select(sql))
+
+
+# -- construction -----------------------------------------------------------
+
+
+class TestBuilder:
+    def test_single_table_becomes_scan_under_filter(self, db):
+        query = build_logical(_select("SELECT o_id FROM orders WHERE total > 5"), db)
+        assert isinstance(query.relation, LogicalFilter)
+        assert query.relation.label == "where"
+        scan = query.relation.child
+        assert isinstance(scan, LogicalScan)
+        assert scan.binding == "orders"
+        assert scan.pushed == ()  # pushdown has not run yet
+
+    def test_multi_table_from_becomes_product(self, db):
+        query = build_logical(
+            _select("SELECT o_id FROM orders, customers WHERE cust = c_id"), db
+        )
+        product = query.relation.child
+        assert isinstance(product, LogicalProduct)
+        assert len(product.units) == 2
+        assert product.bindings == {"orders", "customers"}
+
+    def test_from_less_select_uses_values(self, db):
+        query = build_logical(_select("SELECT 1 WHERE 1 = 2"), db)
+        assert isinstance(query.relation, LogicalFilter)
+        assert query.relation.label == "no-from"
+        assert isinstance(query.relation.child, LogicalValues)
+
+    def test_scan_estimate_includes_history_only_with_system_clause(self, db):
+        db.execute("UPDATE orders SET total = 999 WHERE o_id = 1")
+        plain = build_logical(_select("SELECT o_id FROM orders"), db)
+        temporal = build_logical(
+            _select("SELECT o_id FROM orders FOR SYSTEM_TIME ALL"), db
+        )
+        scan_plain = plain.relation
+        scan_temporal = temporal.relation
+        assert isinstance(scan_plain, LogicalScan)
+        assert scan_temporal.est_rows > scan_plain.est_rows
+
+    def test_explicit_join_keeps_conjuncts(self, db):
+        query = build_logical(
+            _select(
+                "SELECT o_id FROM orders JOIN customers ON cust = c_id"
+            ),
+            db,
+        )
+        join = query.relation
+        assert isinstance(join, LogicalJoin)
+        assert join.kind == "inner"
+        assert len(join.conjuncts) == 1
+
+
+# -- rewrite rules ----------------------------------------------------------
+
+
+class TestConstantFolding:
+    def test_folds_closed_arithmetic(self, db):
+        query = _logical(db, "SELECT o_id FROM orders WHERE total > 10 * 10")
+        assert "constant-folding" in query.applied_rules
+        scan = query.relation
+        assert isinstance(scan, LogicalScan)
+        conjunct = scan.pushed[0]
+        assert isinstance(conjunct.right, ast.Literal)
+        assert conjunct.right.value == 100
+
+    def test_does_not_fold_columns_or_params(self, db):
+        query = _logical(db, "SELECT o_id FROM orders WHERE total > ?")
+        assert "constant-folding" not in query.applied_rules
+
+    def test_positional_order_by_is_not_created_by_folding(self, db):
+        # ORDER BY 1+1 sorts by the constant 2 (a no-op), NOT by column 2
+        rows = db.execute(
+            "SELECT o_id, total FROM orders WHERE o_id < 3 ORDER BY 1 + 1"
+        ).rows
+        assert sorted(r[0] for r in rows) == [0, 1, 2]
+
+    def test_folding_preserves_results(self, db):
+        sql = "SELECT o_id, total + 2 * 3 FROM orders WHERE total >= 5 * 2 ORDER BY o_id"
+        expected = [(i, i * 10 + 6) for i in range(1, 20)]
+        assert db.execute(sql).rows == expected
+
+
+class TestPredicatePushdown:
+    def test_single_table_conjunct_lands_on_scan(self, db):
+        query = _logical(db, "SELECT o_id FROM orders WHERE total > 50")
+        scan = query.relation
+        assert isinstance(scan, LogicalScan)
+        assert len(scan.pushed) == 1
+        assert "predicate-pushdown" in query.applied_rules
+
+    def test_join_conjunct_becomes_edge_not_residual(self, db):
+        query = _logical(
+            db,
+            "SELECT o_id FROM orders, customers "
+            "WHERE cust = c_id AND total > 50 AND region = 1",
+        )
+        # both single-table conjuncts pushed; the equi conjunct became a join
+        assert isinstance(query.relation, LogicalJoin)
+        scans = {}
+        stack = [query.relation]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, LogicalScan):
+                scans[node.binding] = node
+            else:
+                stack.extend(node.children())
+        assert len(scans["orders"].pushed) == 1
+        assert len(scans["customers"].pushed) == 1
+
+    def test_subquery_conjunct_is_never_pushed(self, db):
+        query = _logical(
+            db,
+            "SELECT o_id FROM orders "
+            "WHERE total IN (SELECT c_id FROM customers)",
+        )
+        assert isinstance(query.relation, LogicalFilter)
+        scan = query.relation.child
+        assert isinstance(scan, LogicalScan)
+        assert scan.pushed == ()
+
+
+class TestJoinReorder:
+    def test_product_becomes_left_deep_join_chain(self, db):
+        query = _logical(
+            db, "SELECT o_id FROM orders, customers WHERE cust = c_id"
+        )
+        join = query.relation
+        assert isinstance(join, LogicalJoin)
+        assert "join-reorder" in query.applied_rules
+
+    def test_smallest_relation_drives(self, db):
+        # customers (5 rows) is smaller than orders (20): it leads the chain
+        query = _logical(
+            db, "SELECT o_id FROM orders, customers WHERE cust = c_id"
+        )
+        join = query.relation
+        assert isinstance(join.left, LogicalScan)
+        assert join.left.binding == "customers"
+
+
+# -- rule gating through the profile ---------------------------------------
+
+
+def _db_with_rules(rules):
+    database = Database(profile=ArchitectureProfile(rewrite_rules=rules))
+    database.execute(
+        "CREATE TABLE a (x integer NOT NULL, PRIMARY KEY (x))"
+    )
+    database.execute("CREATE TABLE b (y integer NOT NULL, PRIMARY KEY (y))")
+    for i in range(4):
+        database.execute("INSERT INTO a (x) VALUES (?)", [i])
+        database.execute("INSERT INTO b (y) VALUES (?)", [i + 2])
+    return database
+
+
+class TestRuleGating:
+    def test_disabled_pushdown_leaves_filter_above_scan(self):
+        database = _db_with_rules(("join-reorder",))
+        query = database._sql_engine.planner.logical_plan(
+            _select("SELECT x FROM a WHERE x > 1")
+        )
+        assert isinstance(query.relation, LogicalFilter)
+        assert query.relation.child.pushed == ()
+        assert "predicate-pushdown" not in query.applied_rules
+
+    def test_disabled_rules_do_not_change_results(self):
+        sql = "SELECT x, y FROM a, b WHERE x = y AND x > 10 - 9 ORDER BY x"
+        full = _db_with_rules(
+            ("constant-folding", "predicate-pushdown", "join-reorder")
+        )
+        none = _db_with_rules(())
+        assert full.execute(sql).rows == none.execute(sql).rows == [(2, 2), (3, 3)]
+
+    def test_disabled_folding_keeps_expression(self):
+        database = _db_with_rules(("predicate-pushdown",))
+        query = database._sql_engine.planner.logical_plan(
+            _select("SELECT x FROM a WHERE x > 1 + 1")
+        )
+        conjunct = query.relation.pushed[0]
+        assert not isinstance(conjunct.right, ast.Literal)
+
+
+# -- rewrites preserve results against the seed semantics --------------------
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT o_id, total FROM orders WHERE total BETWEEN 30 AND 90 ORDER BY o_id",
+            "SELECT cust, count(*), sum(total) FROM orders GROUP BY cust ORDER BY cust",
+            "SELECT o_id FROM orders, customers WHERE cust = c_id AND region = 0 ORDER BY o_id",
+            "SELECT o_id FROM orders o LEFT JOIN customers c ON o.cust = c.c_id WHERE c.region IS NULL ORDER BY o_id",
+            "SELECT o_id FROM orders WHERE EXISTS (SELECT 1 FROM customers WHERE c_id = cust AND region = 1) ORDER BY o_id",
+        ],
+    )
+    def test_rewritten_and_unrewritten_agree(self, db, sql):
+        bare = Database(profile=ArchitectureProfile(rewrite_rules=()))
+        bare_engine_sql = [
+            "CREATE TABLE orders ("
+            " o_id integer NOT NULL, cust integer, total integer,"
+            " sb timestamp, se timestamp,"
+            " PRIMARY KEY (o_id), PERIOD FOR system_time (sb, se))",
+            "CREATE TABLE customers ("
+            " c_id integer NOT NULL, region integer, PRIMARY KEY (c_id))",
+        ]
+        for ddl in bare_engine_sql:
+            bare.execute(ddl)
+        for i in range(20):
+            bare.execute(
+                "INSERT INTO orders (o_id, cust, total) VALUES (?, ?, ?)",
+                [i, i % 5, i * 10],
+            )
+        for i in range(5):
+            bare.execute(
+                "INSERT INTO customers (c_id, region) VALUES (?, ?)", [i, i % 2]
+            )
+        assert db.execute(sql).rows == bare.execute(sql).rows

@@ -1,0 +1,119 @@
+"""Plan cache: LRU eviction and version-based invalidation.
+
+Regression tests for the two pathologies of the original cache:
+clear-all on overflow, and clear-all on *any* DDL.
+"""
+
+import pytest
+
+from repro.engine import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE t (a integer NOT NULL, b integer,"
+        " sb timestamp, se timestamp,"
+        " PRIMARY KEY (a), PERIOD FOR system_time (sb, se))"
+    )
+    for i in range(10):
+        database.execute("INSERT INTO t (a, b) VALUES (?, ?)", [i, i * i])
+    return database
+
+
+def engine(db):
+    return db._sql_engine
+
+
+class TestPlanReuse:
+    def test_repeat_query_hits_cache(self, db):
+        db.execute("SELECT a FROM t")
+        before = engine(db).cache_hits
+        db.execute("SELECT a FROM t")
+        assert engine(db).cache_hits == before + 1
+
+    def test_cached_plan_reruns_with_new_params(self, db):
+        assert db.execute("SELECT a FROM t WHERE a = ?", [3]).rows == [(3,)]
+        assert db.execute("SELECT a FROM t WHERE a = ?", [7]).rows == [(7,)]
+        assert engine(db).cache_hits >= 1
+
+    def test_plans_record_dependencies(self, db):
+        db.execute("SELECT a FROM t")
+        planned = engine(db)._plan_cache["SELECT a FROM t"]
+        assert "t" in planned.dependencies
+
+    def test_subquery_dependencies_are_recorded(self, db):
+        db.execute("CREATE TABLE s (x integer NOT NULL, PRIMARY KEY (x))")
+        sql = "SELECT a FROM t WHERE a IN (SELECT x FROM s)"
+        db.execute(sql)
+        planned = engine(db)._plan_cache[sql]
+        assert {"t", "s"} <= set(planned.dependencies)
+
+
+class TestLruEviction:
+    def test_overflow_evicts_one_entry_not_all(self, db):
+        eng = engine(db)
+        eng.plan_cache_limit = 4
+        statements = [f"SELECT a FROM t WHERE a = {i}" for i in range(4)]
+        for sql in statements:
+            db.execute(sql)
+        assert len(eng._plan_cache) == 4
+        db.execute("SELECT a FROM t WHERE a = 99")
+        # only the least recently used entry fell out
+        assert len(eng._plan_cache) == 4
+        assert statements[0] not in eng._plan_cache
+        assert all(sql in eng._plan_cache for sql in statements[1:])
+
+    def test_recently_used_entry_survives_overflow(self, db):
+        eng = engine(db)
+        eng.plan_cache_limit = 2
+        db.execute("SELECT a FROM t")            # oldest...
+        db.execute("SELECT b FROM t")
+        db.execute("SELECT a FROM t")            # ...but touched again
+        db.execute("SELECT a, b FROM t")         # evicts "SELECT b FROM t"
+        assert "SELECT a FROM t" in eng._plan_cache
+        assert "SELECT b FROM t" not in eng._plan_cache
+
+
+class TestDdlInvalidation:
+    def test_unrelated_ddl_keeps_plan_cached(self, db):
+        db.execute("SELECT a FROM t")
+        db.execute("CREATE TABLE other (x integer NOT NULL, PRIMARY KEY (x))")
+        before = engine(db).cache_hits
+        db.execute("SELECT a FROM t")
+        assert engine(db).cache_hits == before + 1
+        assert engine(db).cache_invalidations == 0
+
+    def test_index_on_referenced_table_invalidates(self, db):
+        db.execute("SELECT a FROM t WHERE b = 4")
+        db.execute("CREATE INDEX i_b ON t (b)")
+        before = engine(db).cache_invalidations
+        # replans (and may now use the index); the stale plan is dropped
+        assert db.execute("SELECT a FROM t WHERE b = 4").rows == [(2,)]
+        assert engine(db).cache_invalidations == before + 1
+
+    def test_drop_recreate_serves_no_stale_rows(self, db):
+        db.execute("CREATE TABLE r (x integer NOT NULL, PRIMARY KEY (x))")
+        db.execute("INSERT INTO r (x) VALUES (1)")
+        assert db.execute("SELECT x FROM r").rows == [(1,)]
+        db.execute("DROP TABLE r")
+        db.execute("CREATE TABLE r (x integer NOT NULL, PRIMARY KEY (x))")
+        db.execute("INSERT INTO r (x) VALUES (2)")
+        assert db.execute("SELECT x FROM r").rows == [(2,)]
+
+    def test_view_ddl_invalidates_plans_on_view(self, db):
+        db.execute("CREATE VIEW small AS SELECT a FROM t WHERE a < 3")
+        assert len(db.execute("SELECT a FROM small").rows) == 3
+        db.execute("DROP VIEW small")
+        db.execute("CREATE VIEW small AS SELECT a FROM t WHERE a < 5")
+        assert len(db.execute("SELECT a FROM small").rows) == 5
+
+    def test_ddl_on_one_table_keeps_other_tables_plans(self, db):
+        db.execute("CREATE TABLE s (x integer NOT NULL, PRIMARY KEY (x))")
+        db.execute("SELECT a FROM t")
+        db.execute("SELECT x FROM s")
+        db.execute("CREATE INDEX i_b2 ON t (b)")
+        before_hits = engine(db).cache_hits
+        db.execute("SELECT x FROM s")  # plan over s untouched by DDL on t
+        assert engine(db).cache_hits == before_hits + 1

@@ -111,6 +111,31 @@ class TestDocumentedExpressions:
         ).scalar() == date_to_day("1994-01-11")
 
 
+class TestDocumentedExplain:
+    def test_explain_returns_plan_rows(self, db):
+        result = db.execute(
+            "EXPLAIN SELECT o_orderkey FROM orders_doc WHERE o_total > 5"
+        )
+        assert result.columns == ["plan"]
+        assert any("Access(orders_doc" in row[0] for row in result.rows)
+
+    def test_explain_analyze_reports_counters(self, db):
+        result = db.execute(
+            "EXPLAIN ANALYZE SELECT o_orderkey FROM orders_doc"
+            " FOR SYSTEM_TIME AS OF 1"
+        )
+        text = "\n".join(row[0] for row in result.rows)
+        assert "actual rows=" in text
+        assert "loops=" in text
+        assert "time=" in text
+
+    def test_explain_rejects_dml(self, db):
+        from repro.engine.errors import SqlSyntaxError
+
+        with pytest.raises(SqlSyntaxError):
+            db.execute("EXPLAIN DELETE FROM orders_doc")
+
+
 class TestDocumentedLimits:
     def test_no_full_outer_join(self, db):
         from repro.engine.errors import SqlSyntaxError
