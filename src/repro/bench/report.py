@@ -108,6 +108,60 @@ def format_ratio_table(
     return "\n".join(lines)
 
 
+def format_lint_summary(
+    title: str, measurements: Iterable[Measurement]
+) -> str:
+    """Per-rule tally of analyzer findings across a figure run.
+
+    Renders how many measured queries tripped each diagnostic code and on
+    which systems — the workload-variant hazards (§5) made visible next to
+    the timings they explain.  Returns an empty string when no measurement
+    carries diagnostics, so callers can append unconditionally.
+    """
+    by_code: Dict[str, Dict[str, object]] = {}
+    for m in measurements:
+        for diagnostic in getattr(m, "diagnostics", ()) or ():
+            entry = by_code.setdefault(
+                diagnostic.code,
+                {"severity": diagnostic.severity, "qids": set(), "systems": set()},
+            )
+            entry["qids"].add(m.qid)
+            entry["systems"].add(m.system)
+    if not by_code:
+        return ""
+    lines = [title, "=" * len(title)]
+    lines.append(f"{'code':<7} {'severity':<9} {'queries':>8}  systems")
+    for code in sorted(by_code):
+        entry = by_code[code]
+        systems = ",".join(sorted(entry["systems"]))
+        lines.append(
+            f"{code:<7} {entry['severity']:<9} {len(entry['qids']):>8}  {systems}"
+        )
+    return "\n".join(lines)
+
+
+def format_cache_stats(title: str, stats: Dict[str, Dict[str, int]]) -> str:
+    """Plan-cache counters per system (the ROADMAP's hit-rate visibility).
+
+    *stats* maps system name to ``SqlEngine.cache_stats()`` output.
+    """
+    lines = [title, "=" * len(title)]
+    header = (
+        f"{'system':>8}{'size':>8}{'hits':>8}{'misses':>8}"
+        f"{'invalid':>9}{'hit rate':>10}"
+    )
+    lines.append(header)
+    for name, per in stats.items():
+        lookups = per.get("hits", 0) + per.get("misses", 0)
+        rate = per.get("hits", 0) / lookups if lookups else 0.0
+        lines.append(
+            f"{name:>8}{per.get('size', 0):>8}{per.get('hits', 0):>8}"
+            f"{per.get('misses', 0):>8}{per.get('invalidations', 0):>9}"
+            f"{rate:>9.1%}"
+        )
+    return "\n".join(lines)
+
+
 def format_latency_table(title: str, cells: Dict[str, Dict[str, float]]) -> str:
     """Median / 97th-percentile table (Fig 16 layout). *cells* maps system
     name to {"median": s, "p97": s, ...}."""

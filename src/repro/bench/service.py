@@ -28,6 +28,9 @@ class Measurement:
     rows: int = 0
     timed_out: bool = False
     timeout_s: Optional[float] = None
+    #: static-analyzer findings for the measured SQL (repro.engine.analyze),
+    #: recorded outside the timed region; empty for non-SQL callables
+    diagnostics: List[object] = field(default_factory=list)
 
     @property
     def median(self) -> float:
@@ -138,12 +141,20 @@ class BenchmarkService:
         CPU at the deadline instead of running to completion first.
         """
         name = getattr(system, "name", getattr(system, "db", None) and system.db.name or "?")
-        return self.measure_callable(
+        measurement = self.measure_callable(
             lambda: system.execute(sql, params, timeout_s=self.timeout_s),
             qid=qid,
             system=name,
             setting=setting,
         )
+        lint = getattr(system, "lint", None)
+        if lint is not None:
+            try:
+                measurement.diagnostics = list(lint(sql))
+            except Exception:
+                # lint is advisory: analyzer failures never fail a benchmark
+                measurement.diagnostics = []
+        return measurement
 
     def measure_query(self, system, query, meta, setting="no index") -> Measurement:
         """Measure a BenchmarkQuery with parameters bound from *meta*."""

@@ -8,7 +8,9 @@ Commands mirror the benchmark pipeline of the paper's §4:
 * ``bench``    — regenerate one experiment (table/figure) or all of them;
 * ``verify``   — load a workload into a system and run the §4 temporal
   consistency checks;
-* ``systems``  — print the §5.2 architecture cards.
+* ``systems``  — print the §5.2 architecture cards;
+* ``lint``     — static temporal-query diagnostics without executing;
+* ``cache-stats`` — plan-cache hit rates after repeated workload passes.
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ import sys
 from pathlib import Path
 
 from .bench import experiments as x
+from .bench.report import format_cache_stats, format_lint_summary
 from .bench.service import BenchmarkService
 from .core.archive import ArchiveReader, write_archive
 from .core.consistency import check_system
@@ -90,6 +93,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="use the bulk-load path (System D only)")
 
     sub.add_parser("systems", help="print the architecture cards")
+
+    lint = sub.add_parser(
+        "lint", help="static temporal-query diagnostics (no execution)"
+    )
+    lint.add_argument("--system", default="A", help="archetype A..E")
+    lint.add_argument(
+        "--workload",
+        action="store_true",
+        help="lint every benchmark query (T/H/K/R/B) instead of one statement",
+    )
+    lint.add_argument("sql", nargs="?", default=None,
+                      help="SELECT statement to analyze")
+
+    cache = sub.add_parser(
+        "cache-stats", help="plan-cache hit rates after workload passes"
+    )
+    cache.add_argument("--system", default="A", help="archetype A..E")
+    cache.add_argument("--h", type=float, default=0.001)
+    cache.add_argument("--m", type=float, default=0.0003)
+    cache.add_argument(
+        "--runs", type=int, default=2,
+        help="workload passes to drive (>1 exercises cache hits)",
+    )
     return parser
 
 
@@ -147,14 +173,26 @@ def _cmd_bench(args) -> int:
     if needs_data:
         context["workload"] = x.generate_workload(h=args.h, m=args.m)
         context["systems"] = x.prepare_systems(context["workload"], "ABCD")
+    measurements = []
     for name in names:
         result = EXPERIMENTS[name](context)
         print(result.text)
         print()
+        measurements.extend(result.measurements)
         if args.out:
             out = Path(args.out)
             out.mkdir(exist_ok=True)
             (out / f"{result.name}.txt").write_text(result.text + "\n")
+    summary = format_lint_summary("Analyzer findings", measurements)
+    if summary:
+        print(summary)
+        print()
+    if "systems" in context:
+        stats = {
+            name: system.cache_stats()
+            for name, system in context["systems"].items()
+        }
+        print(format_cache_stats("Plan cache", stats))
     return 0
 
 
@@ -180,6 +218,66 @@ def _cmd_systems(_args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .core.queries import Workload
+    from .core.queries.tpch import as_benchmark_queries
+    from .core.schema import create_benchmark_tables
+
+    system = make_system(args.system)
+    # the analyzer only needs the catalog, not data: schema-only setup
+    create_benchmark_tables(system.db, temporal=True)
+    if args.workload:
+        targets = [(query.qid, query.sql) for query in Workload()]
+        for mode in ("plain", "app", "sys"):
+            targets.extend(
+                (query.qid, query.sql) for query in as_benchmark_queries(mode)
+            )
+    elif args.sql:
+        targets = [("query", args.sql)]
+    else:
+        print("lint: give a SQL statement or --workload", file=sys.stderr)
+        return 2
+    exit_code = 0
+    findings = 0
+    for qid, sql in targets:
+        diagnostics = system.lint(sql)
+        findings += len(diagnostics)
+        for diagnostic in diagnostics:
+            first, *rest = diagnostic.render().split("\n")
+            print(f"{qid}: {first}")
+            for line in rest:
+                print(line)
+            if diagnostic.severity == "error":
+                exit_code = 1
+    print(
+        f"({len(targets)} statements, {findings} diagnostics, "
+        f"system {args.system})"
+    )
+    return exit_code
+
+
+def _cmd_cache_stats(args) -> int:
+    from .core.loader import Loader
+    from .core.queries import Workload
+
+    workload = BitemporalDataGenerator(
+        GeneratorConfig(h=args.h, m=args.m)
+    ).generate()
+    system = make_system(args.system)
+    Loader(system, workload).load()
+    queries = list(Workload())
+    for _ in range(max(1, args.runs)):
+        for query in queries:
+            system.execute(query.sql, query.params(workload.meta))
+    print(
+        format_cache_stats(
+            f"Plan cache after {max(1, args.runs)}x{len(queries)} queries",
+            {args.system: system.cache_stats()},
+        )
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -189,6 +287,8 @@ def main(argv=None) -> int:
         "bench": _cmd_bench,
         "verify": _cmd_verify,
         "systems": _cmd_systems,
+        "lint": _cmd_lint,
+        "cache-stats": _cmd_cache_stats,
     }[args.command]
     return handler(args)
 

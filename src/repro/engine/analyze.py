@@ -1,0 +1,690 @@
+"""Static semantic analyzer: temporal query lint over the logical plan IR.
+
+The paper's headline finding is that innocuous workload variations cause
+order-of-magnitude slowdowns — history access costs 26x/73x/7x/2.1x over
+current-data access across the four commercial systems (PAPER.md §5) —
+and most of those cliffs are *statically detectable* from the query shape
+before execution.  This module walks the logical plan **after** rewrite
+(so pushdown has already decided which conjuncts reach which scan, exactly
+the index-vs-scan boundary of §5.3.3) and emits structured diagnostics
+without executing anything.
+
+Each diagnostic carries a stable code (``TQ001``..), a severity, the plan
+node path, and — thanks to the token spans the parser threads onto AST
+nodes — the line/column and source fragment of the offending SQL text.
+
+Severities:
+
+* ``error`` — the query is almost certainly wrong (contradictory range,
+  duplicate temporal clause);
+* ``warning`` — the shape silently changes semantics or falls off a
+  measured performance cliff that a rewrite would avoid;
+* ``info`` — the cost is real but often deliberate (the benchmark's own
+  time-travel queries scan history on purpose), so figure runs report it
+  without failing anything.
+
+Per-archetype gating: ``ArchitectureProfile.lint_suppressions`` lists
+codes that do not apply to a system — System D's implicit time travel
+(§5.8) legitimately omits the predicates System A must spell out.
+
+Entry points: :func:`analyze_sql` / :func:`analyze_select`; surfaced as
+``EXPLAIN (LINT)`` in the session layer and ``repro lint`` in the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .errors import CatalogError, PlanError, ProgrammingError
+from .plan.logical import (
+    LogicalDerived,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalNode,
+    LogicalProduct,
+    LogicalScan,
+    build_logical,
+    collect_column_refs,
+    split_conjuncts,
+)
+from .plan.rewrite import conjunct_bindings, rewrite_logical
+from .sql import ast
+from .sql.lexer import line_col
+from .sql.parser import parse_statement
+
+SEVERITIES = ("info", "warning", "error")
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+_COMPARISONS = ("=", "<>", "<", "<=", ">", ">=")
+_FRAGMENT_LIMIT = 48
+
+
+# ---------------------------------------------------------------------------
+# rule registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One analyzer rule: identity, severity and its paper grounding."""
+
+    code: str
+    name: str
+    severity: str
+    summary: str
+    paper: str  # the measurement/section that motivates the rule
+    hint: str  # suggested fix, shown with every diagnostic
+
+
+_RULE_LIST = (
+    Rule(
+        "TQ001",
+        "full-history-scan",
+        "info",
+        "FOR SYSTEM_TIME ALL reads the entire history partition",
+        "§5.5: history access costs 26x/73x/7x/2.1x over current data",
+        "bound the range (AS OF / FROM..TO) if the full history is not needed",
+    ),
+    Rule(
+        "TQ002",
+        "explicit-current-as-of",
+        "warning",
+        "AS OF <current time> spelled explicitly forces a history probe",
+        "§5.5 Fig 6: explicit current timestamps lose the current-partition "
+        "pruning that implicit time travel gets for free",
+        "drop the temporal clause (implicit current) or use a parameter the "
+        "planner can prune",
+    ),
+    Rule(
+        "TQ003",
+        "non-sargable-temporal",
+        "warning",
+        "expression wraps a period column, defeating timeline/R-tree indexes",
+        "§5.3.3: indexes only help very selective predicates; a wrapped "
+        "column is never matched to an index at all",
+        "rewrite so the bare period column stands alone on one side of the "
+        "comparison",
+    ),
+    Rule(
+        "TQ004",
+        "contradictory-temporal-range",
+        "error",
+        "temporal range is empty (lower bound not below upper bound)",
+        "SQL:2011 period semantics: FROM..TO is half-open, BETWEEN closed",
+        "swap or widen the bounds; an empty range returns no versions",
+    ),
+    Rule(
+        "TQ005",
+        "left-join-filter-degeneration",
+        "warning",
+        "WHERE filter on the NULL-extended side degenerates LEFT JOIN to INNER",
+        "§5.6: the TPC-H Q13 pattern — the predicate belongs in the ON clause",
+        "move the predicate into the join's ON clause or guard it with IS NULL",
+    ),
+    Rule(
+        "TQ006",
+        "cartesian-product",
+        "warning",
+        "FROM units have no connecting join predicate",
+        "§5.6: join order and edges decide intermediate sizes; a cross "
+        "product is quadratic before the first filter runs",
+        "add the missing join predicate between the disconnected tables",
+    ),
+    Rule(
+        "TQ007",
+        "unindexed-history-probe",
+        "info",
+        "key-in-time probe reaches a history partition with no matching index",
+        "§5.3.3: the history partition is scanned unless an index on the "
+        "probe column covers it",
+        "CREATE INDEX ... ON <table> HISTORY (<column>) to cover the probe",
+    ),
+    Rule(
+        "TQ008",
+        "simulated-application-time",
+        "info",
+        "application-time clause on an archetype without native support",
+        "§2.6: System C has no specific support for application time; the "
+        "clause is rewritten into plain column predicates",
+        "expect plain-predicate performance, not period-index performance",
+    ),
+    Rule(
+        "TQ009",
+        "duplicate-temporal-clause",
+        "error",
+        "two temporal clauses resolve to the same period of one table",
+        "SQL:2011 allows at most one clause per period per table reference",
+        "keep a single clause per period",
+    ),
+    Rule(
+        "TQ010",
+        "history-star-projection",
+        "info",
+        "SELECT * over history versions returns duplicate business keys",
+        "§5.2: versioned tables hold many rows per key; * exposes all of "
+        "them plus the period columns",
+        "project explicit columns (and version timestamps if wanted)",
+    ),
+)
+
+RULES: Dict[str, Rule] = {rule.code: rule for rule in _RULE_LIST}
+
+
+# ---------------------------------------------------------------------------
+# diagnostics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Diagnostic:
+    """One analyzer finding, source-anchored when spans are available."""
+
+    code: str
+    severity: str
+    message: str
+    hint: str
+    plan_path: str
+    span: Optional[Tuple[int, int]] = None
+    line: Optional[int] = None
+    column: Optional[int] = None
+    fragment: Optional[str] = None
+
+    @property
+    def rule(self) -> Rule:
+        return RULES[self.code]
+
+    def render(self) -> str:
+        where = f"{self.line}:{self.column}: " if self.line is not None else ""
+        out = f"{self.severity}[{self.code}] {where}{self.message}"
+        if self.fragment:
+            out += f"  <{self.fragment}>"
+        if self.hint:
+            out += f"\n    hint: {self.hint}"
+        return out
+
+
+def analyze_sql(db, sql: str, profile=None) -> List[Diagnostic]:
+    """Parse *sql* and statically analyze it (SELECT / EXPLAIN ... SELECT)."""
+    stmt = parse_statement(sql)
+    if isinstance(stmt, ast.Explain):
+        stmt = stmt.statement
+    if not isinstance(stmt, ast.Select):
+        raise ProgrammingError("the analyzer only lints SELECT statements")
+    return analyze_select(db, stmt, sql=sql, profile=profile)
+
+
+def analyze_select(db, select: ast.Select, sql=None, profile=None) -> List[Diagnostic]:
+    """Analyze an already-parsed SELECT against *db*'s catalog and profile."""
+    profile = profile if profile is not None else getattr(db, "profile", None)
+    analysis = _Analysis(db, profile, sql)
+    analysis.check_select(select, "query")
+    return analysis.finish()
+
+
+# ---------------------------------------------------------------------------
+# the walker
+# ---------------------------------------------------------------------------
+
+
+class _Analysis:
+    def __init__(self, db, profile, sql):
+        self.db = db
+        self.profile = profile
+        self.sql = sql
+        self.diagnostics: List[Diagnostic] = []
+        self.suppressed: Set[str] = set(
+            getattr(profile, "lint_suppressions", ()) or ()
+        )
+
+    # -- emission --------------------------------------------------------
+
+    def emit(self, code, message, node=None, path="query"):
+        if code in self.suppressed:
+            return
+        rule = RULES[code]
+        span = ast.span_of(node) if node is not None else None
+        line = column = fragment = None
+        if span is not None and self.sql:
+            line, column = line_col(self.sql, span[0])
+            text = " ".join(self.sql[span[0]:span[1]].split())
+            if len(text) > _FRAGMENT_LIMIT:
+                text = text[:_FRAGMENT_LIMIT] + "..."
+            fragment = text or None
+        self.diagnostics.append(
+            Diagnostic(
+                code=code,
+                severity=rule.severity,
+                message=message,
+                hint=rule.hint,
+                plan_path=path,
+                span=span,
+                line=line,
+                column=column,
+                fragment=fragment,
+            )
+        )
+
+    def finish(self) -> List[Diagnostic]:
+        self.diagnostics.sort(
+            key=lambda d: (
+                -_SEVERITY_RANK[d.severity],
+                d.code,
+                d.span[0] if d.span else 1 << 30,
+            )
+        )
+        return self.diagnostics
+
+    # -- traversal -------------------------------------------------------
+
+    def check_select(self, select: ast.Select, path: str):
+        core = select
+        index = 0
+        while core is not None:
+            core_path = path if index == 0 else f"{path}/union[{index}]"
+            self.check_core(core, core_path)
+            core = core.set_op[1] if core.set_op is not None else None
+            index += 1
+
+    def check_core(self, select: ast.Select, path: str):
+        try:
+            query = build_logical(select, self.db)
+            query = rewrite_logical(query, self.db, self.profile)
+        except (CatalogError, PlanError, ProgrammingError):
+            # lowering/execution reports these as hard errors; there is no
+            # plan shape to lint
+            self._recurse_subqueries(select, path)
+            return
+        relation = query.relation
+        self._check_scans(relation, path)
+        self._check_sargability(relation, path)
+        self._check_left_join_filters(relation, path)
+        self._check_connectivity(relation, path)
+        self._check_projection(select, relation, path)
+        for derived in _derived_in(relation):
+            self.check_select(derived.select, f"{path}/derived:{derived.alias}")
+        self._recurse_subqueries(select, path)
+
+    def _recurse_subqueries(self, select: ast.Select, path: str):
+        count = 0
+        for expr in _expressions_of(select):
+            for node in ast.walk_expr(expr):
+                if isinstance(node, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)):
+                    self.check_select(node.subquery, f"{path}/subquery[{count}]")
+                    count += 1
+
+    # -- per-scan rules (TQ001/TQ002/TQ004/TQ007/TQ008/TQ009) -------------
+
+    def _check_scans(self, relation: LogicalNode, path: str):
+        for scan in _scans_in(relation):
+            scan_path = f"{path}/scan:{scan.binding}"
+            table = self._table_of(scan)
+            has_split = bool(table is not None and table.has_split)
+            seen_periods: Dict[Tuple[str, str], ast.TemporalClause] = {}
+            for clause in scan.ref.temporal:
+                period = _clause_period(scan.schema, clause)
+                if period is None:
+                    continue
+                key = (period.begin_column, period.end_column)
+                if key in seen_periods:
+                    self.emit(
+                        "TQ009",
+                        f"table {scan.schema.name!r} has two temporal clauses "
+                        f"for period {period.name!r}",
+                        clause,
+                        scan_path,
+                    )
+                else:
+                    seen_periods[key] = clause
+                self._check_range(scan, clause, period, scan_path)
+                if period.is_system:
+                    self._check_system_clause(
+                        scan, clause, period, has_split, scan_path
+                    )
+                elif self.profile is not None and not getattr(
+                    self.profile, "supports_application_time", True
+                ):
+                    self.emit(
+                        "TQ008",
+                        f"application-time clause on {scan.schema.name!r} is "
+                        f"simulated on archetype "
+                        f"{getattr(self.profile, 'name', '?')!r}",
+                        clause,
+                        scan_path,
+                    )
+
+    def _check_system_clause(self, scan, clause, period, has_split, scan_path):
+        if clause.mode == "all" and has_split:
+            self.emit(
+                "TQ001",
+                f"FOR SYSTEM_TIME ALL scans the full history of "
+                f"{scan.schema.name!r}",
+                clause,
+                scan_path,
+            )
+        if (
+            clause.mode == "as_of"
+            and has_split
+            and isinstance(clause.low, ast.Literal)
+            and not getattr(self.profile, "prunes_explicit_current", False)
+        ):
+            try:
+                is_current = clause.low.value >= self.db.now()
+            except TypeError:
+                is_current = False
+            if is_current:
+                self.emit(
+                    "TQ002",
+                    f"explicit AS OF the current time on {scan.schema.name!r} "
+                    f"probes the history partition a bare reference would skip",
+                    clause,
+                    scan_path,
+                )
+        if has_split and getattr(self.profile, "uses_indexes", True):
+            self._check_history_probe(scan, clause, scan_path)
+
+    def _check_history_probe(self, scan, clause, scan_path):
+        indexed = set()
+        for index in self.db.catalog.indexes_on(scan.schema.name):
+            if index.partition in ("history", "single"):
+                indexed.add(index.columns[0])
+        for conjunct in scan.pushed:
+            column = _probe_column(conjunct, scan)
+            if column is not None and column not in indexed:
+                self.emit(
+                    "TQ007",
+                    f"probe on {scan.schema.name}.{column} reaches the "
+                    f"history partition without a covering index",
+                    conjunct,
+                    scan_path,
+                )
+
+    def _check_range(self, scan, clause, period, scan_path):
+        low = clause.low.value if isinstance(clause.low, ast.Literal) else None
+        high = clause.high.value if isinstance(clause.high, ast.Literal) else None
+        if low is None or high is None:
+            return
+        try:
+            empty = (low >= high) if clause.mode == "from_to" else (
+                (low > high) if clause.mode == "between" else False
+            )
+        except TypeError:
+            return
+        if empty:
+            self.emit(
+                "TQ004",
+                f"temporal range on {scan.schema.name!r} is empty "
+                f"({low!r} .. {high!r}, mode {clause.mode})",
+                clause,
+                scan_path,
+            )
+
+    # -- sargability (TQ003) ----------------------------------------------
+
+    def _check_sargability(self, relation: LogicalNode, path: str):
+        period_columns = self._period_columns(relation)
+        if not period_columns:
+            return
+        for conjunct, where in _predicate_conjuncts(relation, path):
+            sides = _comparison_sides(conjunct)
+            for side in sides:
+                if isinstance(side, ast.ColumnRef) or side is None:
+                    continue
+                wrapped = [
+                    ref
+                    for ref in collect_column_refs(side)
+                    if _is_period_column(ref, period_columns)
+                ]
+                if wrapped:
+                    ref = wrapped[0]
+                    self.emit(
+                        "TQ003",
+                        f"period column {ref.name!r} is wrapped in an "
+                        f"expression; the predicate cannot use a temporal index",
+                        conjunct,
+                        where,
+                    )
+                    break
+
+    def _period_columns(self, relation) -> Dict[Optional[str], Set[str]]:
+        """binding -> period column names (None key: unqualified lookup)."""
+        out: Dict[Optional[str], Set[str]] = {None: set()}
+        for scan in _scans_in(relation):
+            cols = {
+                col
+                for period in scan.schema.periods
+                for col in (period.begin_column, period.end_column)
+            }
+            out[scan.binding] = cols
+            out[None] |= cols
+        return out
+
+    # -- LEFT JOIN hazards (TQ005) ----------------------------------------
+
+    def _check_left_join_filters(self, relation: LogicalNode, path: str):
+        for node in _nodes_in(relation):
+            if not isinstance(node, LogicalFilter):
+                continue
+            null_sides = _null_extended_bindings(node.child)
+            if not null_sides:
+                continue
+            units = list(_scans_in(node.child)) + list(_derived_in(node.child))
+            for conjunct in split_conjuncts(node.predicate):
+                if any(
+                    isinstance(sub, ast.IsNull) and not sub.negated
+                    for sub in ast.walk_expr(conjunct)
+                ):
+                    continue  # the anti-join idiom keeps NULL-extended rows
+                bindings = conjunct_bindings(conjunct, units)
+                if not bindings:
+                    continue
+                for side in null_sides:
+                    if bindings <= side:
+                        self.emit(
+                            "TQ005",
+                            "filter on the NULL-extended side of a LEFT JOIN "
+                            "discards the NULL-extended rows (degenerates to "
+                            "INNER JOIN)",
+                            conjunct,
+                            f"{path}/filter:{node.label}",
+                        )
+                        break
+
+    # -- cartesian products (TQ006) ---------------------------------------
+
+    def _check_connectivity(self, relation: LogicalNode, path: str):
+        leaves = list(_scans_in(relation)) + list(_derived_in(relation))
+        if len(leaves) < 2:
+            return
+        parent = {id(leaf): id(leaf) for leaf in leaves}
+
+        def find(key):
+            while parent[key] != key:
+                parent[key] = parent[parent[key]]
+                key = parent[key]
+            return key
+
+        def union(a, b):
+            parent[find(a)] = find(b)
+
+        by_binding = {}
+        for leaf in leaves:
+            for binding in leaf.bindings:
+                by_binding[binding] = id(leaf)
+        for conjunct, _where in _predicate_conjuncts(relation, path):
+            bindings = conjunct_bindings(conjunct, leaves) or set()
+            keys = sorted({by_binding[b] for b in bindings if b in by_binding})
+            for other in keys[1:]:
+                union(keys[0], other)
+        components = {find(id(leaf)) for leaf in leaves}
+        if len(components) > 1:
+            names = ", ".join(sorted(b for leaf in leaves for b in leaf.bindings))
+            self.emit(
+                "TQ006",
+                f"{len(components)} disconnected FROM groups ({names}) form "
+                f"a cartesian product",
+                None,
+                path,
+            )
+
+    # -- projection shape (TQ010) -----------------------------------------
+
+    def _check_projection(self, select, relation, path):
+        star = next(
+            (item.expr for item in select.items if isinstance(item.expr, ast.Star)),
+            None,
+        )
+        if star is None:
+            return
+        for scan in _scans_in(relation):
+            if star.table is not None and star.table != scan.binding:
+                continue
+            for clause in scan.ref.temporal:
+                period = _clause_period(scan.schema, clause)
+                if period is not None and period.is_system and clause.mode != "as_of":
+                    self.emit(
+                        "TQ010",
+                        f"SELECT * over the version history of "
+                        f"{scan.schema.name!r} returns one row per version",
+                        star,
+                        f"{path}/scan:{scan.binding}",
+                    )
+                    return
+
+    # -- helpers ----------------------------------------------------------
+
+    def _table_of(self, scan: LogicalScan):
+        try:
+            return self.db.table(scan.schema.name)
+        except CatalogError:
+            return None
+
+
+# ---------------------------------------------------------------------------
+# plan/AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _nodes_in(node: LogicalNode):
+    yield node
+    for child in node.children():
+        yield from _nodes_in(child)
+
+
+def _scans_in(node: LogicalNode) -> List[LogicalScan]:
+    return [n for n in _nodes_in(node) if isinstance(n, LogicalScan)]
+
+
+def _derived_in(node: LogicalNode) -> List[LogicalDerived]:
+    return [n for n in _nodes_in(node) if isinstance(n, LogicalDerived)]
+
+
+def _predicate_conjuncts(relation: LogicalNode, path: str):
+    """Every predicate conjunct in the tree with a rough location label."""
+    for node in _nodes_in(relation):
+        if isinstance(node, LogicalFilter):
+            for conjunct in split_conjuncts(node.predicate):
+                yield conjunct, f"{path}/filter:{node.label}"
+        elif isinstance(node, LogicalJoin):
+            for conjunct in node.conjuncts:
+                yield conjunct, f"{path}/join"
+        elif isinstance(node, LogicalProduct):
+            for _bindings, conjunct in node.edges:
+                yield conjunct, f"{path}/join"
+        elif isinstance(node, LogicalScan):
+            for conjunct in node.pushed:
+                yield conjunct, f"{path}/scan:{node.binding}"
+
+
+def _clause_period(schema, clause: ast.TemporalClause):
+    """Mirror of the planner's period resolution, returning None on failure."""
+    if clause.period == "system_time":
+        return schema.system_period
+    if clause.period == "business_time":
+        app = schema.application_periods
+        return app[0] if app else None
+    try:
+        return schema.period(clause.period)
+    except CatalogError:
+        return None
+
+
+def _comparison_sides(conjunct):
+    if isinstance(conjunct, ast.Binary) and conjunct.op in _COMPARISONS:
+        return (conjunct.left, conjunct.right)
+    if isinstance(conjunct, ast.Between):
+        return (conjunct.operand,)
+    return ()
+
+
+def _is_period_column(ref: ast.ColumnRef, period_columns) -> bool:
+    if ref.table is not None:
+        return ref.name in period_columns.get(ref.table, ())
+    return ref.name in period_columns[None]
+
+
+def _probe_column(conjunct, scan: LogicalScan) -> Optional[str]:
+    """The column of a ``col = <constant>`` equality pushed onto *scan*."""
+    if not (isinstance(conjunct, ast.Binary) and conjunct.op == "="):
+        return None
+    for column_side, value_side in (
+        (conjunct.left, conjunct.right),
+        (conjunct.right, conjunct.left),
+    ):
+        if not isinstance(column_side, ast.ColumnRef):
+            continue
+        if column_side.table not in (None, scan.binding):
+            continue
+        if not scan.schema.has_column(column_side.name):
+            continue
+        if isinstance(value_side, (ast.Literal, ast.Param)):
+            return column_side.name
+    return None
+
+
+def _null_extended_bindings(node: LogicalNode) -> List[Set[str]]:
+    """Binding sets sitting on the right side of a LEFT JOIN under *node*."""
+    out: List[Set[str]] = []
+    for sub in _nodes_in(node):
+        if isinstance(sub, LogicalJoin) and sub.kind == "left":
+            out.append(set(sub.right.bindings))
+    return out
+
+
+def _expressions_of(select: ast.Select):
+    for item in select.items:
+        yield item.expr
+    if select.where is not None:
+        yield select.where
+    for expr in select.group_by:
+        yield expr
+    if select.having is not None:
+        yield select.having
+    for item in select.order_by:
+        yield item.expr
+    for from_item in select.from_items:
+        yield from _from_item_expressions(from_item)
+
+
+def _from_item_expressions(item):
+    if isinstance(item, ast.Join):
+        yield from _from_item_expressions(item.left)
+        yield from _from_item_expressions(item.right)
+        if item.on is not None:
+            yield item.on
+    elif isinstance(item, ast.TableRef):
+        for clause in item.temporal:
+            if clause.low is not None:
+                yield clause.low
+            if clause.high is not None:
+                yield clause.high
+
+
+__all__ = [
+    "Diagnostic",
+    "Rule",
+    "RULES",
+    "SEVERITIES",
+    "analyze_select",
+    "analyze_sql",
+]

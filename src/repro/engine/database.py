@@ -53,6 +53,10 @@ class ArchitectureProfile:
         "predicate-pushdown",
         "join-reorder",
     )
+    #: analyzer diagnostic codes (see repro.engine.analyze) that do not
+    #: apply to this archetype — e.g. System D's implicit time travel
+    #: legitimately omits the predicates System A must spell out
+    lint_suppressions: Tuple[str, ...] = ()
 
 
 class Database:
@@ -229,27 +233,30 @@ class Database:
 
     # -- SQL ------------------------------------------------------------------
 
-    def execute(self, sql, params=None, timeout_s=None):
-        """Parse, plan and run one SQL statement; returns a Result."""
+    def _engine(self):
         if self._sql_engine is None:
             from .session import SqlEngine  # deferred: avoids import cycle
 
             self._sql_engine = SqlEngine(self)
-        return self._sql_engine.execute(sql, params, timeout_s=timeout_s)
+        return self._sql_engine
+
+    def execute(self, sql, params=None, timeout_s=None):
+        """Parse, plan and run one SQL statement; returns a Result."""
+        return self._engine().execute(sql, params, timeout_s=timeout_s)
 
     def explain(self, sql, params=None) -> str:
-        if self._sql_engine is None:
-            from .session import SqlEngine
-
-            self._sql_engine = SqlEngine(self)
-        return self._sql_engine.explain(sql, params)
+        return self._engine().explain(sql, params)
 
     def explain_analyze(self, sql, params=None) -> str:
-        if self._sql_engine is None:
-            from .session import SqlEngine
+        return self._engine().explain_analyze(sql, params)
 
-            self._sql_engine = SqlEngine(self)
-        return self._sql_engine.explain_analyze(sql, params)
+    def lint(self, sql):
+        """Static diagnostics for one SELECT (see repro.engine.analyze)."""
+        return self._engine().lint(sql)
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Plan-cache counters of the attached SQL engine."""
+        return self._engine().cache_stats()
 
     # -- maintenance -----------------------------------------------------------
 

@@ -168,6 +168,18 @@ class Connection:
     def database(self) -> Database:
         return self._db
 
+    def lint(self, operation):
+        """Static diagnostics for a SELECT without executing it."""
+        if self._closed:
+            raise InterfaceError("connection is closed")
+        return self._db.lint(operation)
+
+    def cache_stats(self):
+        """Plan-cache counters of the underlying engine."""
+        if self._closed:
+            raise InterfaceError("connection is closed")
+        return self._db.cache_stats()
+
     def cursor(self) -> Cursor:
         if self._closed:
             raise InterfaceError("connection is closed")

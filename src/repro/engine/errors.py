@@ -46,17 +46,26 @@ class NotSupportedError(DatabaseError):
 
 
 class SqlSyntaxError(ProgrammingError):
-    """Raised by the SQL lexer/parser with position information."""
+    """Raised by the SQL lexer/parser with position information.
 
-    def __init__(self, message, position=None, fragment=None):
+    When the token's line/column are known (the lexer records them on every
+    token) the message reads ``(at line 2, column 7)``; a bare character
+    offset remains the fallback for callers that only track offsets.
+    """
+
+    def __init__(self, message, position=None, fragment=None, line=None, column=None):
         detail = message
-        if position is not None:
+        if line is not None and column is not None:
+            detail = f"{message} (at line {line}, column {column})"
+        elif position is not None:
             detail = f"{message} (at offset {position})"
         if fragment:
             detail = f"{detail} near {fragment!r}"
         super().__init__(detail)
         self.position = position
         self.fragment = fragment
+        self.line = line
+        self.column = column
 
 
 class CatalogError(ProgrammingError):

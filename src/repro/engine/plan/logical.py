@@ -100,32 +100,38 @@ def referenced_columns(select: ast.Select) -> List[Tuple[Optional[str], str]]:
 
 
 def rebuild_expr(expr, rewrite):
-    """Rebuild an expression node with rewritten children."""
+    """Rebuild an expression node with rewritten children.
+
+    Source spans carry over to the rebuilt node so analyzer diagnostics
+    keep pointing at the original SQL text after rewrites.
+    """
     if isinstance(expr, ast.Binary):
-        return ast.Binary(expr.op, rewrite(expr.left), rewrite(expr.right))
-    if isinstance(expr, ast.Unary):
-        return ast.Unary(expr.op, rewrite(expr.operand))
-    if isinstance(expr, ast.FuncCall):
-        return ast.FuncCall(expr.name, tuple(rewrite(a) for a in expr.args))
-    if isinstance(expr, ast.Case):
-        return ast.Case(
+        out = ast.Binary(expr.op, rewrite(expr.left), rewrite(expr.right))
+    elif isinstance(expr, ast.Unary):
+        out = ast.Unary(expr.op, rewrite(expr.operand))
+    elif isinstance(expr, ast.FuncCall):
+        out = ast.FuncCall(expr.name, tuple(rewrite(a) for a in expr.args))
+    elif isinstance(expr, ast.Case):
+        out = ast.Case(
             tuple((rewrite(c), rewrite(r)) for c, r in expr.branches),
             rewrite(expr.default) if expr.default is not None else None,
         )
-    if isinstance(expr, ast.Between):
-        return ast.Between(
+    elif isinstance(expr, ast.Between):
+        out = ast.Between(
             rewrite(expr.operand), rewrite(expr.low), rewrite(expr.high), expr.negated
         )
-    if isinstance(expr, ast.Like):
-        return ast.Like(rewrite(expr.operand), rewrite(expr.pattern), expr.negated)
-    if isinstance(expr, ast.IsNull):
-        return ast.IsNull(rewrite(expr.operand), expr.negated)
-    if isinstance(expr, ast.InList):
-        return ast.InList(
+    elif isinstance(expr, ast.Like):
+        out = ast.Like(rewrite(expr.operand), rewrite(expr.pattern), expr.negated)
+    elif isinstance(expr, ast.IsNull):
+        out = ast.IsNull(rewrite(expr.operand), expr.negated)
+    elif isinstance(expr, ast.InList):
+        out = ast.InList(
             rewrite(expr.operand), tuple(rewrite(i) for i in expr.items), expr.negated
         )
-    # literals, params, column refs, subqueries: returned unchanged
-    return expr
+    else:
+        # literals, params, column refs, subqueries: returned unchanged
+        return expr
+    return ast.copy_span(expr, out)
 
 
 # ---------------------------------------------------------------------------

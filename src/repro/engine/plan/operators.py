@@ -143,7 +143,11 @@ class Project(Operator):
 
     def execute(self, env):
         exprs = self._exprs
-        return [tuple(e(row, env) for e in exprs) for row in self.children[0].rows(env)]
+        rows = self.children[0].rows(env)
+        guard = getattr(env, "guard_iter", None)
+        if guard is not None:
+            rows = guard(rows)
+        return [tuple(e(row, env) for e in exprs) for row in rows]
 
     def label(self):
         return self._description
@@ -274,8 +278,13 @@ class MergeJoin(Operator):
         )
         out = []
         residual = self._residual
+        check = getattr(env, "check", None)
+        steps = 0
         i = j = 0
         while i < len(left_rows) and j < len(right_rows):
+            steps += 1
+            if check is not None and steps % 4096 == 0:
+                check()
             lkey = self._left_key(left_rows[i], env)
             rkey = self._right_key(right_rows[j], env)
             cmp = compare_values(lkey, rkey)
@@ -393,8 +402,12 @@ class Sort(Operator):
 
     def execute(self, env):
         out = list(self.children[0].rows(env))
-        # stable multi-key sort: apply keys right-to-left
+        # stable multi-key sort: apply keys right-to-left; key extraction is
+        # the long part, so poll the context once per key pass
+        check = getattr(env, "check", None)
         for key_fn, descending in reversed(list(zip(self._key_fns, self._descending))):
+            if check is not None:
+                check()
             out.sort(key=lambda r: _sort_token(key_fn(r, env)), reverse=descending)
         return out
 
@@ -425,7 +438,11 @@ class Distinct(Operator):
     def execute(self, env):
         seen = set()
         out = []
-        for row in self.children[0].rows(env):
+        rows = self.children[0].rows(env)
+        guard = getattr(env, "guard_iter", None)
+        if guard is not None:
+            rows = guard(rows)
+        for row in rows:
             if row not in seen:
                 seen.add(row)
                 out.append(row)
@@ -443,7 +460,11 @@ class Union(Operator):
             return out
         seen = set()
         deduped = []
-        for row in out:
+        rows = out
+        guard = getattr(env, "guard_iter", None)
+        if guard is not None:
+            rows = guard(rows)
+        for row in rows:
             if row not in seen:
                 seen.add(row)
                 deduped.append(row)

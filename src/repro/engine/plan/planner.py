@@ -775,7 +775,11 @@ class _Finalize(ops.Operator):
     def execute(self, env):
         item_fns = self._item_fns
         pairs = []
-        for pre_row in self.children[0].rows(env):
+        rows = self.children[0].rows(env)
+        guard = getattr(env, "guard_iter", None)
+        if guard is not None:
+            rows = guard(rows)
+        for pre_row in rows:
             out_row = tuple(fn(pre_row, env) for fn in item_fns)
             pairs.append((pre_row, out_row))
         if self._distinct:

@@ -50,6 +50,26 @@ ALL_RULES: Tuple[str, ...] = (
     "join-reorder",
 )
 
+# Every rule must state the invariants it preserves; tools/engine_lint.py
+# fails the build when a rule in ALL_RULES has no declaration here.
+RULE_INVARIANTS: Dict[str, Tuple[str, ...]] = {
+    "constant-folding": (
+        "result-equivalence",
+        "source-spans",
+        "temporal-clause-modes",
+    ),
+    "predicate-pushdown": (
+        "result-equivalence",
+        "left-join-null-extension",
+        "subqueries-stay-residual",
+    ),
+    "join-reorder": (
+        "result-equivalence",
+        "inner-joins-only",
+        "left-deep-shape",
+    ),
+}
+
 
 def rewrite_logical(
     query: LogicalQuery, db, profile, outer_scope: Optional[Scope] = None
@@ -126,7 +146,7 @@ def fold_expr(expr):
     if isinstance(value, Interval):
         # intervals have no literal form; leave the expression intact
         return folded
-    return ast.Literal(value)
+    return ast.copy_span(folded, ast.Literal(value))
 
 
 _EMPTY_ENV = Env({})
@@ -205,10 +225,13 @@ def _fold_relation(node: LogicalNode, fold) -> LogicalNode:
         if not ref.temporal:
             return node
         clauses = tuple(
-            replace(
+            ast.copy_span(
                 clause,
-                low=fold(clause.low) if clause.low is not None else None,
-                high=fold(clause.high) if clause.high is not None else None,
+                replace(
+                    clause,
+                    low=fold(clause.low) if clause.low is not None else None,
+                    high=fold(clause.high) if clause.high is not None else None,
+                ),
             )
             for clause in ref.temporal
         )
@@ -217,7 +240,7 @@ def _fold_relation(node: LogicalNode, fold) -> LogicalNode:
             for a, b in zip(clauses, ref.temporal)
         ):
             return node
-        return replace(node, ref=replace(ref, temporal=clauses))
+        return replace(node, ref=ast.copy_span(ref, replace(ref, temporal=clauses)))
     # LogicalDerived sub-selects fold when they are planned themselves
     return node
 

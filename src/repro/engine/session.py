@@ -122,7 +122,9 @@ class SqlEngine:
                 self._store_plan(sql, planned)
             return self._run_planned(planned, params, timeout_s)
         if isinstance(stmt, ast.Explain):
-            return self._execute_explain(stmt, params, timeout_s)
+            return self._execute_explain(
+                stmt, params, timeout_s, sql if isinstance(sql, str) else None
+            )
         if isinstance(stmt, ast.Insert):
             return self._execute_insert(stmt, params)
         if isinstance(stmt, ast.Update):
@@ -179,9 +181,39 @@ class SqlEngine:
         planned.rows(ctx)
         return planned.explain_analyze(ctx.metrics)
 
-    def _execute_explain(self, stmt: ast.Explain, params, timeout_s) -> Result:
+    def lint(self, sql):
+        """Static diagnostics for a SELECT (see :mod:`repro.engine.analyze`)."""
+        from .analyze import analyze_select, analyze_sql  # deferred: cycle
+
+        if isinstance(sql, str):
+            return analyze_sql(self.db, sql)
+        if isinstance(sql, ast.Explain):
+            sql = sql.statement
+        if not isinstance(sql, ast.Select):
+            raise ProgrammingError("the analyzer only lints SELECT statements")
+        return analyze_select(self.db, sql)
+
+    def _execute_explain(self, stmt: ast.Explain, params, timeout_s, sql=None) -> Result:
         # EXPLAIN output is never cached: it is a diagnostic, and ANALYZE
         # runs the query anyway
+        if stmt.lint:
+            from .analyze import analyze_select  # deferred: cycle
+
+            diagnostics = analyze_select(self.db, stmt.statement, sql=sql)
+            lines = []
+            for diagnostic in diagnostics:
+                lines.extend(diagnostic.render().split("\n"))
+            if not lines:
+                lines = ["no diagnostics"]
+            if stmt.analyze:
+                lines.append("")
+        else:
+            lines = []
+        if not stmt.lint or stmt.analyze:
+            lines.extend(self._explain_lines(stmt, params, timeout_s))
+        return Result([(line,) for line in lines], ["plan"], len(lines))
+
+    def _explain_lines(self, stmt: ast.Explain, params, timeout_s) -> List[str]:
         if stmt.analyze:
             planned = self.planner.plan_select(stmt.statement)
             ctx = ExecutionContext.begin(
@@ -193,8 +225,7 @@ class SqlEngine:
             text = planned.explain_analyze(ctx.metrics)
         else:
             text = self.explain(stmt.statement)
-        lines = text.split("\n")
-        return Result([(line,) for line in lines], ["plan"], len(lines))
+        return text.split("\n")
 
     # -- DML ---------------------------------------------------------------------
 

@@ -20,6 +20,37 @@ class Expr:
     """Base class of all expression nodes."""
 
 
+# ---------------------------------------------------------------------------
+# source spans
+#
+# Spans are stored out-of-band in a ``_span`` instance attribute (set with
+# ``object.__setattr__`` so frozen dataclasses accept it).  They never
+# participate in equality or hashing, so rewrites and plan caching are
+# unaffected; they only feed error messages and analyzer diagnostics.
+# ---------------------------------------------------------------------------
+
+
+def set_span(node, start: int, end: int):
+    """Attach a (start, end) character span to an AST node; returns it."""
+    object.__setattr__(node, "_span", (start, end))
+    return node
+
+
+def span_of(node):
+    """The (start, end) span of a node, or None when it has none."""
+    return getattr(node, "_span", None)
+
+
+def copy_span(source, target):
+    """Carry *source*'s span over to *target* (a rewritten node) unless the
+    target already has a narrower one of its own; returns *target*."""
+    if target is not None and getattr(target, "_span", None) is None:
+        span = getattr(source, "_span", None)
+        if span is not None:
+            object.__setattr__(target, "_span", span)
+    return target
+
+
 @dataclass(frozen=True)
 class Literal(Expr):
     value: object  # int, float, str, bool or None
@@ -308,11 +339,18 @@ class DropIndex:
 
 @dataclass
 class Explain:
-    """``EXPLAIN [ANALYZE] <select>`` — plan (and optionally execute) a
-    query, returning its operator tree as one-column rows."""
+    """``EXPLAIN [ANALYZE | LINT] <select>`` — plan (and optionally execute
+    or statically lint) a query, returning one-column rows.
+
+    ``EXPLAIN (LINT)`` runs the static analyzer over the rewritten logical
+    plan and returns its diagnostics instead of the operator tree; the
+    parenthesised option list also accepts ``(ANALYZE)`` and
+    ``(ANALYZE, LINT)``.
+    """
 
     statement: "Select"
     analyze: bool = False
+    lint: bool = False
 
 
 Statement = Union[

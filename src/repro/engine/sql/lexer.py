@@ -4,6 +4,11 @@ Produces a flat token list; the parser indexes into it.  Keywords are
 case-insensitive and normalised to lowercase; identifiers keep their
 lowercase form (the benchmark schema is all lowercase); string literals
 keep their exact contents.
+
+Every token carries its source span: ``position`` (start offset),
+``end`` (exclusive offset) and the 1-based ``line``/``column`` of the
+start.  The parser threads these spans onto AST nodes so the static
+analyzer and error messages can point at the offending SQL text.
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ KEYWORDS = frozenset(
     delete create table index drop primary key period for system_time
     business_time portion of as_of to date timestamp interval day month year
     true false using btree hash rtree history current extract substring
-    count sum avg min max top view explain analyze
+    count sum avg min max top view explain analyze lint
     """.split()
 )
 
@@ -48,10 +53,30 @@ class Token:
     kind: str  # keyword | ident | number | string | op | param | end
     value: object
     position: int
+    end: int = -1  # exclusive end offset (-1: unknown, single-char assumed)
+    line: int = 1
+    column: int = 1
+
+
+def line_col(sql: str, position: int) -> tuple:
+    """1-based (line, column) of a character offset in *sql*."""
+    position = max(0, min(position, len(sql)))
+    line = sql.count("\n", 0, position) + 1
+    last_newline = sql.rfind("\n", 0, position)
+    return line, position - last_newline
 
 
 def tokenize(sql: str) -> List[Token]:
     tokens: List[Token] = []
+
+    def emit(kind, value, start, end):
+        line, column = line_col(sql, start)
+        tokens.append(Token(kind, value, start, end, line, column))
+
+    def error(message, position):
+        line, column = line_col(sql, position)
+        raise SqlSyntaxError(message, position=position, line=line, column=column)
+
     i = 0
     n = len(sql)
     while i < n:
@@ -67,7 +92,7 @@ def tokenize(sql: str) -> List[Token]:
         if ch == "/" and sql.startswith("/*", i):
             end = sql.find("*/", i + 2)
             if end == -1:
-                raise SqlSyntaxError("unterminated comment", position=i)
+                error("unterminated comment", i)
             i = end + 2
             continue
         # -- strings ----------------------------------------------------
@@ -76,7 +101,7 @@ def tokenize(sql: str) -> List[Token]:
             parts = []
             while True:
                 if j >= n:
-                    raise SqlSyntaxError("unterminated string literal", position=i)
+                    error("unterminated string literal", i)
                 if sql[j] == "'":
                     if j + 1 < n and sql[j + 1] == "'":  # escaped quote
                         parts.append("'")
@@ -85,7 +110,7 @@ def tokenize(sql: str) -> List[Token]:
                     break
                 parts.append(sql[j])
                 j += 1
-            tokens.append(Token("string", "".join(parts), i))
+            emit("string", "".join(parts), i, j + 1)
             i = j + 1
             continue
         # -- numbers ----------------------------------------------------
@@ -101,7 +126,7 @@ def tokenize(sql: str) -> List[Token]:
                 j += 1
             text = sql[i:j]
             value = float(text) if has_dot else int(text)
-            tokens.append(Token("number", value, i))
+            emit("number", value, i, j)
             i = j
             continue
         # -- named parameters --------------------------------------------
@@ -110,8 +135,8 @@ def tokenize(sql: str) -> List[Token]:
             while j < n and (sql[j].isalnum() or sql[j] == "_"):
                 j += 1
             if j == i + 1:
-                raise SqlSyntaxError("lone ':'", position=i)
-            tokens.append(Token("param", sql[i + 1:j].lower(), i))
+                error("lone ':'", i)
+            emit("param", sql[i + 1:j].lower(), i, j)
             i = j
             continue
         # -- identifiers / keywords ---------------------------------------
@@ -121,36 +146,36 @@ def tokenize(sql: str) -> List[Token]:
                 j += 1
             word = sql[i:j].lower()
             if word in KEYWORDS:
-                tokens.append(Token("keyword", word, i))
+                emit("keyword", word, i, j)
             else:
-                tokens.append(Token("ident", word, i))
+                emit("ident", word, i, j)
             i = j
             continue
         # -- quoted identifiers -------------------------------------------
         if ch == '"':
             j = sql.find('"', i + 1)
             if j == -1:
-                raise SqlSyntaxError("unterminated quoted identifier", position=i)
-            tokens.append(Token("ident", sql[i + 1:j].lower(), i))
+                error("unterminated quoted identifier", i)
+            emit("ident", sql[i + 1:j].lower(), i, j + 1)
             i = j + 1
             continue
         # -- operators ------------------------------------------------------
         two = sql[i:i + 2]
         if two in TWO_CHAR_OPS:
             op = "<>" if two == "!=" else two
-            tokens.append(Token("op", op, i))
+            emit("op", op, i, i + 2)
             i += 2
             continue
         if ch in "<>":
-            tokens.append(Token("op", ch, i))
+            emit("op", ch, i, i + 1)
             i += 1
             continue
         if ch in SIMPLE_OPS:
             kind = "param" if ch == "?" else "op"
             value = None if ch == "?" else ch
-            tokens.append(Token(kind, value, i))
+            emit(kind, value, i, i + 1)
             i += 1
             continue
-        raise SqlSyntaxError(f"unexpected character {ch!r}", position=i)
-    tokens.append(Token("end", None, n))
+        error(f"unexpected character {ch!r}", i)
+    emit("end", None, n, n)
     return tokens

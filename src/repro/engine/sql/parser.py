@@ -45,6 +45,28 @@ class Parser:
 
     # -- token helpers ---------------------------------------------------
 
+    def error(self, message, token=None, fragment=False) -> SqlSyntaxError:
+        """Build a syntax error pointing at *token* (default: current)."""
+        token = token or self.peek()
+        return SqlSyntaxError(
+            message,
+            position=token.position,
+            fragment=(
+                self.sql[token.position:token.position + 24] if fragment else None
+            ),
+            line=token.line,
+            column=token.column,
+        )
+
+    def _spanned(self, node, start_token: Token):
+        """Attach the source span [start_token, last consumed token) to a
+        node that does not already carry a narrower one."""
+        if node is not None and ast.span_of(node) is None:
+            last = self.tokens[self.pos - 1] if self.pos > 0 else start_token
+            end = last.end if last.end >= 0 else last.position
+            ast.set_span(node, start_token.position, max(end, start_token.position))
+        return node
+
     def peek(self, offset=0) -> Token:
         return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
 
@@ -75,12 +97,10 @@ class Parser:
 
     def expect(self, kind, value=None) -> Token:
         if not self.check(kind, value):
-            token = self.peek()
             want = value if value is not None else kind
-            raise SqlSyntaxError(
-                f"expected {want!r}, found {token.value!r}",
-                position=token.position,
-                fragment=self.sql[token.position:token.position + 24],
+            token = self.peek()
+            raise self.error(
+                f"expected {want!r}, found {token.value!r}", token, fragment=True
             )
         return self.advance()
 
@@ -97,10 +117,7 @@ class Parser:
             "key", "index", "count", "sum", "avg", "min", "max", "period",
         ):
             return self.advance().value
-        raise SqlSyntaxError(
-            f"expected identifier, found {token.value!r}",
-            position=token.position,
-        )
+        raise self.error(f"expected identifier, found {token.value!r}", token)
 
     # -- statements ------------------------------------------------------
 
@@ -120,17 +137,13 @@ class Parser:
         elif self.check_keyword("drop"):
             stmt = self.parse_drop()
         else:
-            token = self.peek()
-            raise SqlSyntaxError(
-                f"unexpected start of statement: {token.value!r}",
-                position=token.position,
+            raise self.error(
+                f"unexpected start of statement: {self.peek().value!r}"
             )
         self.accept("op", ";")
         if not self.check("end"):
-            token = self.peek()
-            raise SqlSyntaxError(
-                f"trailing input after statement: {token.value!r}",
-                position=token.position,
+            raise self.error(
+                f"trailing input after statement: {self.peek().value!r}"
             )
         return stmt
 
@@ -138,14 +151,28 @@ class Parser:
 
     def parse_explain(self) -> ast.Explain:
         self.expect_keyword("explain")
-        analyze = bool(self.accept_keyword("analyze"))
+        analyze = lint = False
+        if self.accept("op", "("):
+            # parenthesised option list: EXPLAIN (ANALYZE), (LINT), (ANALYZE, LINT)
+            while True:
+                if self.accept_keyword("analyze"):
+                    analyze = True
+                elif self.accept_keyword("lint"):
+                    lint = True
+                else:
+                    raise self.error(
+                        f"unknown EXPLAIN option {self.peek().value!r}"
+                    )
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+        elif self.accept_keyword("analyze"):
+            analyze = True
+        elif self.accept_keyword("lint"):
+            lint = True
         if not self.check_keyword("select"):
-            token = self.peek()
-            raise SqlSyntaxError(
-                "EXPLAIN only supports SELECT statements",
-                position=token.position,
-            )
-        return ast.Explain(self.parse_select(), analyze=analyze)
+            raise self.error("EXPLAIN only supports SELECT statements")
+        return ast.Explain(self.parse_select(), analyze=analyze, lint=lint)
 
     def parse_select(self) -> ast.Select:
         select = self._parse_select_core()
@@ -217,8 +244,8 @@ class Parser:
 
     def _parse_select_item(self) -> ast.SelectItem:
         if self.check("op", "*"):
-            self.advance()
-            return ast.SelectItem(ast.Star())
+            token = self.advance()
+            return ast.SelectItem(self._spanned(ast.Star(), token))
         # alias.*
         if (
             self.check("ident")
@@ -227,10 +254,11 @@ class Parser:
             and self.peek(2).kind == "op"
             and self.peek(2).value == "*"
         ):
+            token = self.peek()
             table = self.advance().value
             self.advance()
             self.advance()
-            return ast.SelectItem(ast.Star(table=table))
+            return ast.SelectItem(self._spanned(ast.Star(table=table), token))
         expr = self.parse_expr()
         alias = None
         if self.accept_keyword("as"):
@@ -278,6 +306,7 @@ class Parser:
             item = self._parse_from_item()
             self.expect("op", ")")
             return item
+        start = self.peek()
         name = self.expect_name()
         temporal = []
         while self.check_keyword("for"):
@@ -296,10 +325,11 @@ class Parser:
             if clause is None:
                 break
             temporal.append(clause)
-        return ast.TableRef(name, alias, tuple(temporal))
+        return self._spanned(ast.TableRef(name, alias, tuple(temporal)), start)
 
     def _try_parse_temporal_clause(self) -> Optional[ast.TemporalClause]:
         start = self.pos
+        start_token = self.peek()
         self.expect_keyword("for")
         token = self.peek()
         if token.kind == "keyword" and token.value in ("system_time", "business_time"):
@@ -313,26 +343,25 @@ class Parser:
             self.pos = start  # not a temporal clause (e.g. FOR UPDATE)
             return None
         if self.accept_keyword("all"):
-            return ast.TemporalClause(period, "all")
-        if self.accept_keyword("as"):
+            clause = ast.TemporalClause(period, "all")
+        elif self.accept_keyword("as"):
             self.expect_keyword("of")
             low = self.parse_expr()
-            return ast.TemporalClause(period, "as_of", low)
-        if self.accept_keyword("from"):
+            clause = ast.TemporalClause(period, "as_of", low)
+        elif self.accept_keyword("from"):
             low = self.parse_expr()
             self.expect_keyword("to")
             high = self.parse_expr()
-            return ast.TemporalClause(period, "from_to", low, high)
-        if self.accept_keyword("between"):
+            clause = ast.TemporalClause(period, "from_to", low, high)
+        elif self.accept_keyword("between"):
             # additive level: a bare parse_expr would swallow the AND
             low = self._parse_additive()
             self.expect_keyword("and")
             high = self._parse_additive()
-            return ast.TemporalClause(period, "between", low, high)
-        token = self.peek()
-        raise SqlSyntaxError(
-            f"bad temporal clause near {token.value!r}", position=token.position
-        )
+            clause = ast.TemporalClause(period, "between", low, high)
+        else:
+            raise self.error(f"bad temporal clause near {self.peek().value!r}")
+        return self._spanned(clause, start_token)
 
     # -- DML -----------------------------------------------------------------
 
@@ -418,10 +447,8 @@ class Parser:
             name = self.expect_name()
             self.expect_keyword("as")
             return ast.CreateView(name, self.parse_select())
-        token = self.peek()
-        raise SqlSyntaxError(
-            f"expected TABLE, INDEX or VIEW after CREATE, found {token.value!r}",
-            position=token.position,
+        raise self.error(
+            f"expected TABLE, INDEX or VIEW after CREATE, found {self.peek().value!r}"
         )
 
     def _parse_create_table(self) -> ast.CreateTable:
@@ -455,7 +482,7 @@ class Parser:
                 type_word = self.expect_name() if not self.check("keyword") else self.advance().value
                 type_name = TYPE_NAMES.get(type_word)
                 if type_name is None:
-                    raise SqlSyntaxError(f"unknown type {type_word!r}")
+                    raise self.error(f"unknown type {type_word!r}")
                 if self.accept("op", "("):
                     self.expect("number")  # length/precision, ignored
                     if self.accept("op", ","):
@@ -488,12 +515,12 @@ class Parser:
         if self.accept_keyword("using"):
             token = self.advance()
             if token.value not in ("btree", "hash", "rtree"):
-                raise SqlSyntaxError(f"unknown index kind {token.value!r}")
+                raise self.error(f"unknown index kind {token.value!r}", token)
             kind = token.value
         if self.accept_keyword("on"):
             token = self.advance()
             if token.value not in ("history", "current"):
-                raise SqlSyntaxError(f"unknown partition {token.value!r}")
+                raise self.error(f"unknown partition {token.value!r}", token)
             partition = token.value
         return ast.CreateIndex(name, table, columns, kind, partition)
 
@@ -505,16 +532,15 @@ class Parser:
             return ast.DropIndex(self.expect_name())
         if self.accept_keyword("view"):
             return ast.DropView(self.expect_name())
-        token = self.peek()
-        raise SqlSyntaxError(
-            f"expected TABLE or INDEX after DROP, found {token.value!r}",
-            position=token.position,
+        raise self.error(
+            f"expected TABLE or INDEX after DROP, found {self.peek().value!r}"
         )
 
     # -- expressions (precedence climbing) -------------------------------------
 
     def parse_expr(self) -> ast.Expr:
-        return self._parse_or()
+        start = self.peek()
+        return self._spanned(self._parse_or(), start)
 
     def _parse_or(self) -> ast.Expr:
         left = self._parse_and()
@@ -529,16 +555,21 @@ class Parser:
         return left
 
     def _parse_not(self) -> ast.Expr:
+        start = self.peek()
         if self.accept_keyword("not"):
-            return ast.Unary("not", self._parse_not())
+            return self._spanned(ast.Unary("not", self._parse_not()), start)
         return self._parse_predicate()
 
     def _parse_predicate(self) -> ast.Expr:
+        start = self.peek()
+        return self._spanned(self._parse_predicate_inner(), start)
+
+    def _parse_predicate_inner(self) -> ast.Expr:
         left = self._parse_additive()
         negated = bool(self.accept_keyword("not"))
         if self.check("op") and self.peek().value in COMPARISONS:
             if negated:
-                raise SqlSyntaxError("NOT before comparison operator")
+                raise self.error("NOT before comparison operator")
             op = self.advance().value
             right = self._parse_additive()
             return ast.Binary(op, left, right)
@@ -567,10 +598,14 @@ class Parser:
             node = ast.IsNull(left, inner_neg)
             return ast.Unary("not", node) if negated else node
         if negated:
-            raise SqlSyntaxError("dangling NOT in expression")
+            raise self.error("dangling NOT in expression")
         return left
 
     def _parse_additive(self) -> ast.Expr:
+        start = self.peek()
+        return self._spanned(self._parse_additive_inner(), start)
+
+    def _parse_additive_inner(self) -> ast.Expr:
         left = self._parse_multiplicative()
         while True:
             if self.check("op") and self.peek().value in ("+", "-", "||"):
@@ -595,6 +630,10 @@ class Parser:
         return self._parse_primary()
 
     def _parse_primary(self) -> ast.Expr:
+        start = self.peek()
+        return self._spanned(self._parse_primary_inner(), start)
+
+    def _parse_primary_inner(self) -> ast.Expr:
         token = self.peek()
         if token.kind == "number":
             self.advance()
@@ -621,9 +660,7 @@ class Parser:
             expr = self.parse_expr()
             self.expect("op", ")")
             return expr
-        raise SqlSyntaxError(
-            f"unexpected token {token.value!r} in expression", position=token.position
-        )
+        raise self.error(f"unexpected token {token.value!r} in expression", token)
 
     def _parse_keyword_primary(self, token) -> ast.Expr:
         word = token.value
@@ -652,18 +689,18 @@ class Parser:
             self.advance()
             value_token = self.advance()
             if value_token.kind not in ("string", "number"):
-                raise SqlSyntaxError("INTERVAL needs a quantity")
+                raise self.error("INTERVAL needs a quantity", value_token)
             value = int(value_token.value)
             unit_token = self.advance()
             if unit_token.value not in ("day", "month", "year"):
-                raise SqlSyntaxError(f"bad interval unit {unit_token.value!r}")
+                raise self.error(f"bad interval unit {unit_token.value!r}", unit_token)
             return ast.IntervalLiteral(value, unit_token.value)
         if word == "extract":
             self.advance()
             self.expect("op", "(")
             field_token = self.advance()
             if field_token.value not in ("year", "month", "day"):
-                raise SqlSyntaxError(f"bad EXTRACT field {field_token.value!r}")
+                raise self.error(f"bad EXTRACT field {field_token.value!r}", field_token)
             self.expect_keyword("from")
             arg = self.parse_expr()
             self.expect("op", ")")
@@ -698,9 +735,7 @@ class Parser:
             return ast.Aggregate(word, arg, distinct)
         if word in ("current",):
             return self._parse_ident_primary()
-        raise SqlSyntaxError(
-            f"unexpected keyword {word!r} in expression", position=token.position
-        )
+        raise self.error(f"unexpected keyword {word!r} in expression", token)
 
     def _parse_case(self) -> ast.Case:
         self.expect_keyword("case")
@@ -711,7 +746,7 @@ class Parser:
             result = self.parse_expr()
             branches.append((cond, result))
         if not branches:
-            raise SqlSyntaxError("CASE without WHEN branch")
+            raise self.error("CASE without WHEN branch")
         default = None
         if self.accept_keyword("else"):
             default = self.parse_expr()

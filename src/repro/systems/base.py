@@ -51,6 +51,13 @@ class TemporalSystem:
     def explain_analyze(self, sql, params=None):
         return self.db.explain_analyze(sql, params)
 
+    def lint(self, sql):
+        """Static diagnostics, gated by this archetype's lint_suppressions."""
+        return self.db.lint(sql)
+
+    def cache_stats(self) -> Dict[str, int]:
+        return self.db.cache_stats()
+
     def connect(self):
         """A PEP 249 connection to this system."""
         from ..engine import dbapi

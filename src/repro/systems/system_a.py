@@ -42,4 +42,6 @@ class SystemA(TemporalSystem):
             rewrite_rules=(
                 "constant-folding", "predicate-pushdown", "join-reorder",
             ),
+            # every analyzer rule applies to the row-store reference system
+            lint_suppressions=(),
         )

@@ -47,4 +47,5 @@ class SystemB(TemporalSystem):
             rewrite_rules=(
                 "constant-folding", "predicate-pushdown", "join-reorder",
             ),
+            lint_suppressions=(),
         )

@@ -102,6 +102,7 @@ class SystemE(TemporalSystem):
             rewrite_rules=(
                 "constant-folding", "predicate-pushdown", "join-reorder",
             ),
+            lint_suppressions=(),
         )
 
     # -- native temporal operators ------------------------------------------

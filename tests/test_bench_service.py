@@ -98,6 +98,37 @@ class TestService:
         assert measurement.rows == 1
         assert measurement.qid == "probe"
 
+    def test_measure_sql_attaches_diagnostics(self):
+        from repro.systems import make_system
+
+        system = make_system("A")
+        system.db.execute(
+            "CREATE TABLE t (a integer, sb timestamp, se timestamp,"
+            " PERIOD FOR system_time (sb, se))"
+        )
+        system.db.execute("INSERT INTO t (a) VALUES (1)")
+        service = BenchmarkService(repetitions=2, discard=1)
+        measurement = service.measure_sql(
+            system, "SELECT a FROM t FOR SYSTEM_TIME ALL", qid="probe"
+        )
+        assert [d.code for d in measurement.diagnostics] == ["TQ001"]
+
+    def test_measure_sql_without_lint_surface(self):
+        from repro.engine import Database
+
+        db = Database()
+        db.execute("CREATE TABLE t (a integer)")
+
+        # a target without a .lint attribute: diagnostics stay empty
+
+        class Bare:
+            def execute(self, sql, params=None, timeout_s=None):
+                return db.execute(sql, params)
+
+        service = BenchmarkService(repetitions=2, discard=1)
+        measurement = service.measure_sql(Bare(), "SELECT a FROM t")
+        assert measurement.diagnostics == []
+
 
 class TestReports:
     def test_geometric_mean(self):
@@ -142,3 +173,38 @@ class TestReports:
             "L", {"A": {"median": 0.001, "p97": 0.005}}
         )
         assert "median" in text and "p97" in text and "5.000ms" in text
+
+    def test_format_lint_summary_tallies_by_code(self):
+        from types import SimpleNamespace
+
+        from repro.bench.report import format_lint_summary
+
+        diag = SimpleNamespace(code="TQ001", severity="info")
+        a = Measurement(qid="T1", system="A")
+        a.diagnostics = [diag]
+        b = Measurement(qid="T2", system="B")
+        b.diagnostics = [diag]
+        text = format_lint_summary("Findings", [a, b])
+        assert "TQ001" in text
+        assert "A,B" in text
+        assert " 2" in text  # two distinct qids
+
+    def test_format_lint_summary_empty(self):
+        from repro.bench.report import format_lint_summary
+
+        assert format_lint_summary("Findings", [Measurement(qid="q", system="A")]) == ""
+
+    def test_format_cache_stats(self):
+        from repro.bench.report import format_cache_stats
+
+        text = format_cache_stats("Plan cache", {
+            "A": {"size": 3, "hits": 9, "misses": 1, "invalidations": 0},
+        })
+        assert "90.0%" in text
+        assert "hit rate" in text
+
+    def test_format_cache_stats_no_lookups(self):
+        from repro.bench.report import format_cache_stats
+
+        text = format_cache_stats("Plan cache", {"A": {}})
+        assert "0.0%" in text

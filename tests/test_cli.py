@@ -68,3 +68,47 @@ def test_verify_bulk_path(capsys):
     code = main(["verify", "--system", "D", "--bulk",
                  "--h", "0.0003", "--m", "0.00005"])
     assert code == 0
+
+
+def test_lint_single_statement(capsys):
+    code = main([
+        "lint", "--system", "A",
+        "SELECT * FROM lineitem FOR SYSTEM_TIME ALL",
+    ])
+    assert code == 0  # info findings never fail the command
+    out = capsys.readouterr().out
+    assert "TQ001" in out
+    assert "hint:" in out
+    assert "system A" in out
+
+
+def test_lint_error_severity_sets_exit_code(capsys):
+    code = main([
+        "lint", "--system", "A",
+        "SELECT l_orderkey FROM lineitem FOR SYSTEM_TIME FROM 5 TO 1",
+    ])
+    assert code == 1
+    assert "error[TQ004]" in capsys.readouterr().out
+
+
+def test_lint_workload_sweep_is_clean(capsys):
+    code = main(["lint", "--system", "D", "--workload"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "statements," in out
+    assert "error[" not in out
+    assert "warning[" not in out
+
+
+def test_lint_requires_sql_or_workload(capsys):
+    code = main(["lint"])
+    assert code == 2
+
+
+def test_cache_stats_command(capsys):
+    code = main(["cache-stats", "--system", "A",
+                 "--h", "0.0003", "--m", "0.00005", "--runs", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "hit rate" in out
+    assert "Plan cache" in out

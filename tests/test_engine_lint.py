@@ -1,0 +1,211 @@
+"""tools/engine_lint.py must pass on the repo and catch planted violations."""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_spec = importlib.util.spec_from_file_location(
+    "engine_lint", REPO_ROOT / "tools" / "engine_lint.py"
+)
+engine_lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(engine_lint)
+
+
+def _write(root: Path, relative: str, text: str):
+    path = root / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+
+
+@pytest.fixture
+def fake_repo(tmp_path):
+    """A minimal clean tree the individual checks accept."""
+    _write(tmp_path, "src/repro/engine/plan/rewrite.py", (
+        'ALL_RULES = ("constant-folding",)\n'
+        'RULE_INVARIANTS = {"constant-folding": ("result-equivalence",)}\n'
+    ))
+    _write(tmp_path, "src/repro/engine/plan/operators.py", (
+        "class Ok:\n"
+        "    def execute(self, env):\n"
+        "        rows = self.children[0].rows(env)\n"
+        '        guard = getattr(env, "guard_iter", None)\n'
+        "        if guard is not None:\n"
+        "            rows = guard(rows)\n"
+        "        return [row for row in rows]\n"
+    ))
+    _write(tmp_path, "src/repro/engine/sql/parser.py", "from . import ast\n")
+    _write(tmp_path, "src/repro/engine/storage/row_store.py", "import bisect\n")
+    _write(tmp_path, "src/repro/engine/analyze.py",
+           'RULES = (Rule("TQ001", "n", "info", "s", "p", "h"),)\n')
+    _write(tmp_path, "src/repro/systems/system_a.py", (
+        "profile = ArchitectureProfile(\n"
+        '    rewrite_rules=("constant-folding",),\n'
+        '    lint_suppressions=("TQ001",),\n'
+        ")\n"
+    ))
+    return tmp_path
+
+
+class TestRepoIsClean:
+    def test_all_checks_pass_on_this_repo(self):
+        assert engine_lint.run_all(REPO_ROOT) == []
+
+    def test_cli_exit_code_zero(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "engine_lint.py")],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+
+class TestFakeRepoBaseline:
+    def test_clean_tree_passes(self, fake_repo):
+        assert engine_lint.run_all(fake_repo) == []
+
+
+class TestOperatorGuards:
+    def test_unguarded_loop_is_flagged(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/plan/operators.py", (
+            "class Bad:\n"
+            "    def execute(self, env):\n"
+            "        out = []\n"
+            "        for row in self.children[0].rows(env):\n"
+            "            out.append(row)\n"
+            "        return out\n"
+        ))
+        problems = engine_lint.check_operator_guards(fake_repo)
+        assert len(problems) == 1
+        assert "operator-guards" in problems[0]
+
+    def test_unguarded_comprehension_is_flagged(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/plan/operators.py", (
+            "class Bad:\n"
+            "    def execute(self, env):\n"
+            "        return [r for r in self.children[0].rows(env)]\n"
+        ))
+        assert engine_lint.check_operator_guards(fake_repo)
+
+    def test_periodic_check_style_is_accepted(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/plan/operators.py", (
+            "class Ok:\n"
+            "    def execute(self, env):\n"
+            '        check = getattr(env, "check", None)\n'
+            "        while True:\n"
+            "            if check is not None:\n"
+            "                check()\n"
+        ))
+        assert engine_lint.check_operator_guards(fake_repo) == []
+
+    def test_loopless_execute_needs_no_guard(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/plan/operators.py", (
+            "class Ok:\n"
+            "    def execute(self, env):\n"
+            "        return self._rows\n"
+        ))
+        assert engine_lint.check_operator_guards(fake_repo) == []
+
+
+class TestNoWallclock:
+    @pytest.mark.parametrize("call", [
+        "datetime.datetime.now()",
+        "datetime.now()",
+        "date.today()",
+        "time.time()",
+    ])
+    def test_wallclock_reads_are_flagged(self, fake_repo, call):
+        _write(fake_repo, "src/repro/engine/plan/operators.py",
+               f"def stamp():\n    return {call}\n")
+        problems = engine_lint.check_no_wallclock(fake_repo)
+        assert len(problems) == 1
+        assert "no-wallclock" in problems[0]
+
+    def test_logical_clock_and_perf_counter_are_fine(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/plan/operators.py", (
+            "def ok(self):\n"
+            "    a = self.db.now()\n"
+            "    b = time.perf_counter()\n"
+            "    return a, b\n"
+        ))
+        assert engine_lint.check_no_wallclock(fake_repo) == []
+
+
+class TestRewriteInvariants:
+    def test_undeclared_rule_is_flagged(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/plan/rewrite.py", (
+            'ALL_RULES = ("constant-folding", "mystery")\n'
+            'RULE_INVARIANTS = {"constant-folding": ("result-equivalence",)}\n'
+        ))
+        problems = engine_lint.check_rewrite_invariants(fake_repo)
+        assert any("mystery" in p for p in problems)
+
+    def test_missing_result_equivalence_is_flagged(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/plan/rewrite.py", (
+            'ALL_RULES = ("constant-folding",)\n'
+            'RULE_INVARIANTS = {"constant-folding": ("source-spans",)}\n'
+        ))
+        problems = engine_lint.check_rewrite_invariants(fake_repo)
+        assert any("result-equivalence" in p for p in problems)
+
+    def test_unknown_declared_rule_is_flagged(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/plan/rewrite.py", (
+            'ALL_RULES = ("constant-folding",)\n'
+            'RULE_INVARIANTS = {\n'
+            '    "constant-folding": ("result-equivalence",),\n'
+            '    "ghost": ("result-equivalence",),\n'
+            "}\n"
+        ))
+        problems = engine_lint.check_rewrite_invariants(fake_repo)
+        assert any("ghost" in p for p in problems)
+
+
+class TestLayering:
+    @pytest.mark.parametrize("line", [
+        "from ..plan import operators",
+        "from ..storage.row_store import RowStore",
+        "from repro.engine.plan import operators",
+        "from ..index.btree import BTree",
+    ])
+    def test_sql_reaching_backwards_is_flagged(self, fake_repo, line):
+        _write(fake_repo, "src/repro/engine/sql/parser.py", line + "\n")
+        problems = engine_lint.check_layering(fake_repo)
+        assert len(problems) == 1
+        assert "engine/sql" in problems[0]
+
+    @pytest.mark.parametrize("line", [
+        "from ..sql import ast",
+        "from .. import sql",
+        "from ..plan.context import Env",
+    ])
+    def test_storage_reaching_up_is_flagged(self, fake_repo, line):
+        _write(fake_repo, "src/repro/engine/storage/row_store.py", line + "\n")
+        assert engine_lint.check_layering(fake_repo)
+
+    def test_local_and_stdlib_imports_are_fine(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/sql/parser.py",
+               "import bisect\nfrom . import ast\nfrom ..errors import X\n")
+        assert engine_lint.check_layering(fake_repo) == []
+
+
+class TestProfiles:
+    def test_unknown_rewrite_rule_is_flagged(self, fake_repo):
+        _write(fake_repo, "src/repro/systems/system_a.py", (
+            "profile = ArchitectureProfile(\n"
+            '    rewrite_rules=("no-such-rule",),\n'
+            ")\n"
+        ))
+        problems = engine_lint.check_profiles(fake_repo)
+        assert any("no-such-rule" in p for p in problems)
+
+    def test_unknown_suppression_code_is_flagged(self, fake_repo):
+        _write(fake_repo, "src/repro/systems/system_a.py", (
+            "profile = ArchitectureProfile(\n"
+            '    lint_suppressions=("TQ999",),\n'
+            ")\n"
+        ))
+        problems = engine_lint.check_profiles(fake_repo)
+        assert any("TQ999" in p for p in problems)

@@ -1,0 +1,81 @@
+"""Lexer/parser errors must point at the offending source position.
+
+Satellite of the analyzer PR: the token spans that anchor analyzer
+diagnostics also upgrade every syntax error from a bare character offset
+to line/column plus a source fragment.
+"""
+
+import pytest
+
+from repro.engine.errors import SqlSyntaxError
+from repro.engine.sql.lexer import line_col, tokenize
+from repro.engine.sql.parser import parse_statement
+
+
+class TestLineCol:
+    def test_first_character(self):
+        assert line_col("SELECT 1", 0) == (1, 1)
+
+    def test_mid_line(self):
+        assert line_col("SELECT 1", 7) == (1, 8)
+
+    def test_after_newlines(self):
+        sql = "SELECT 1\nFROM t\nWHERE x"
+        assert line_col(sql, sql.index("FROM")) == (2, 1)
+        assert line_col(sql, sql.index("x")) == (3, 7)
+
+
+class TestTokenSpans:
+    def test_tokens_carry_line_and_column(self):
+        tokens = tokenize("SELECT a\nFROM t")
+        by_value = {t.value: t for t in tokens if t.value}
+        assert (by_value["select"].line, by_value["select"].column) == (1, 1)
+        assert (by_value["from"].line, by_value["from"].column) == (2, 1)
+
+    def test_token_end_covers_the_lexeme(self):
+        token = next(t for t in tokenize("SELECT abc") if t.value == "abc")
+        assert "SELECT abc"[token.position:token.end] == "abc"
+
+
+class TestLexerErrors:
+    def test_bad_character_reports_line_and_column(self):
+        with pytest.raises(SqlSyntaxError) as info:
+            tokenize("SELECT a\nFROM t ^ 1")
+        assert info.value.line == 2
+        assert info.value.column == 8
+        assert "line 2" in str(info.value)
+
+    def test_unterminated_string_points_at_the_quote(self):
+        with pytest.raises(SqlSyntaxError) as info:
+            tokenize("SELECT 'oops")
+        assert info.value.line == 1
+        assert info.value.column == 8
+
+
+class TestParserErrors:
+    def test_error_on_second_line(self):
+        with pytest.raises(SqlSyntaxError) as info:
+            parse_statement("SELECT a\nFROM t WHERE")
+        assert info.value.line == 2
+        assert "line 2" in str(info.value)
+
+    def test_error_carries_fragment(self):
+        with pytest.raises(SqlSyntaxError) as info:
+            parse_statement("SELECT a FROM t ORDER banana")
+        assert info.value.fragment
+        assert "banana" in info.value.fragment
+
+    def test_unknown_explain_option(self):
+        with pytest.raises(SqlSyntaxError) as info:
+            parse_statement("EXPLAIN (VERBOSE) SELECT 1")
+        assert "verbose" in str(info.value).lower()
+
+    def test_dangling_not(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT a FROM t WHERE NOT")
+
+    def test_bad_interval_unit_points_at_unit(self):
+        with pytest.raises(SqlSyntaxError) as info:
+            parse_statement("SELECT date '1994-01-01' + interval '1' lightyear")
+        assert info.value.line == 1
+        assert info.value.column is not None

@@ -129,6 +129,29 @@ class TestDocumentedExplain:
         assert "loops=" in text
         assert "time=" in text
 
+    def test_explain_lint_reports_diagnostics(self, db):
+        result = db.execute(
+            "EXPLAIN (LINT) SELECT * FROM orders_doc FOR SYSTEM_TIME ALL"
+        )
+        assert result.columns == ["plan"]
+        text = "\n".join(row[0] for row in result.rows)
+        assert "TQ001" in text
+        assert "hint:" in text
+
+    def test_explain_lint_clean_statement(self, db):
+        result = db.execute(
+            "EXPLAIN LINT SELECT o_orderkey FROM orders_doc"
+        )
+        assert [row[0] for row in result.rows] == ["no diagnostics"]
+
+    def test_explain_analyze_lint_combines_both(self, db):
+        result = db.execute(
+            "EXPLAIN (ANALYZE, LINT) SELECT o_orderkey FROM orders_doc"
+        )
+        text = "\n".join(row[0] for row in result.rows)
+        assert "no diagnostics" in text
+        assert "actual rows=" in text
+
     def test_explain_rejects_dml(self, db):
         from repro.engine.errors import SqlSyntaxError
 

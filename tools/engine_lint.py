@@ -1,0 +1,310 @@
+#!/usr/bin/env python3
+"""Engine-invariant linter: repo-specific checks ruff cannot express.
+
+The benchmark engine has a handful of structural invariants that keep the
+paper's measurements honest.  Each is cheap to verify statically, and each
+has been broken (or nearly broken) by an innocent-looking edit before:
+
+* **operator-guards** — every plan operator ``execute`` method that loops
+  over rows must poll the ``ExecutionContext`` (``guard_iter`` wrapping or
+  periodic ``check()`` calls).  A single unguarded loop makes timeouts and
+  cancellation advisory, which silently invalidates the §5.1 timeout
+  methodology.
+* **no-wallclock** — engine code under ``src/repro/engine`` must never read
+  the wall clock (``datetime.now``/``utcnow``/``today``, ``time.time``):
+  system time is a logical, transaction-driven clock (``db.now()``), and
+  wall-clock reads make runs non-reproducible.  ``time.perf_counter`` (a
+  monotonic duration source) stays allowed for timeout accounting.
+* **rewrite-invariants** — every rule named in ``ALL_RULES`` must declare
+  its preserved invariants in ``RULE_INVARIANTS``, and every declaration
+  must include ``result-equivalence``: a rewrite that changes results is a
+  bug, not an optimisation.
+* **layering** — ``engine/sql`` (lexer/parser/AST) must not import from
+  ``engine/storage``, ``engine/plan`` or ``engine/index``; ``engine/storage``
+  must not import from ``engine/sql`` or ``engine/plan``.  The parser has to
+  stay usable for pure static analysis with no executor behind it.
+* **profiles** — every ``ArchitectureProfile`` in ``src/repro/systems`` may
+  only name rewrite rules that exist in ``ALL_RULES`` and may only suppress
+  analyzer codes that exist in ``repro.engine.analyze``.  A typo here would
+  silently disable nothing.
+
+Run as ``python tools/engine_lint.py`` (exit 0 = clean); every check is also
+importable for the test suite.  Standard library only.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ENGINE = Path("src/repro/engine")
+
+#: loop-bearing node types that force an execute() method to poll the context
+_LOOPS = (ast.For, ast.While, ast.ListComp, ast.SetComp, ast.DictComp,
+          ast.GeneratorExp)
+#: wall-clock reads forbidden inside the engine (dotted-name prefixes)
+_WALLCLOCK = ("datetime.now", "datetime.utcnow", "datetime.today",
+              "datetime.datetime.now", "datetime.datetime.utcnow",
+              "datetime.date.today", "date.today", "time.time",
+              "time.localtime", "time.gmtime")
+#: importing package -> forbidden sibling packages under repro.engine
+_LAYERS = {
+    "sql": ("storage", "plan", "index"),
+    "storage": ("sql", "plan"),
+}
+
+
+def _parse(path: Path) -> ast.Module:
+    return ast.parse(path.read_text(), filename=str(path))
+
+
+def _dotted(node: ast.AST) -> str:
+    """Flatten an Attribute/Name chain to ``a.b.c`` (best effort)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    else:
+        parts.append("?")
+    return ".".join(reversed(parts))
+
+
+# -- check 1: operator loops must poll the ExecutionContext ----------------
+
+def check_operator_guards(root: Path = REPO_ROOT) -> List[str]:
+    problems = []
+    for path in sorted((root / ENGINE / "plan").glob("*.py")):
+        tree = _parse(path)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.FunctionDef) or node.name != "execute":
+                continue
+            has_loop = any(
+                isinstance(inner, _LOOPS) for inner in ast.walk(node)
+            )
+            if not has_loop:
+                continue
+            # both guard styles name the context hook as a string:
+            #   guard = getattr(env, "guard_iter", None)
+            #   check = getattr(env, "check", None)
+            mentioned: Set[str] = set()
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Constant) and isinstance(inner.value, str):
+                    mentioned.add(inner.value)
+                elif isinstance(inner, ast.Name):
+                    mentioned.add(inner.id)
+                elif isinstance(inner, ast.Attribute):
+                    mentioned.add(inner.attr)
+            if not mentioned & {"guard_iter", "check"}:
+                problems.append(
+                    f"{path.relative_to(root)}:{node.lineno}: "
+                    f"[operator-guards] execute() loops over rows without "
+                    f"polling the ExecutionContext (guard_iter/check)"
+                )
+    return problems
+
+
+# -- check 2: no wall-clock reads inside the engine ------------------------
+
+def check_no_wallclock(root: Path = REPO_ROOT) -> List[str]:
+    problems = []
+    for path in sorted((root / ENGINE).rglob("*.py")):
+        tree = _parse(path)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted(node.func)
+            bare = name.split(".", 1)[-1] if name.startswith("self.") else name
+            if bare in _WALLCLOCK:
+                problems.append(
+                    f"{path.relative_to(root)}:{node.lineno}: "
+                    f"[no-wallclock] engine code calls {name}(); system time "
+                    f"is the logical clock (db.now())"
+                )
+    return problems
+
+
+# -- check 3: every rewrite rule declares its invariants -------------------
+
+def _tuple_of_strings(node: ast.AST) -> Tuple[str, ...]:
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return tuple(
+            e.value for e in node.elts
+            if isinstance(e, ast.Constant) and isinstance(e.value, str)
+        )
+    return ()
+
+
+def _rewrite_declarations(root: Path) -> Tuple[Tuple[str, ...], Dict[str, Tuple[str, ...]]]:
+    tree = _parse(root / ENGINE / "plan" / "rewrite.py")
+    all_rules: Tuple[str, ...] = ()
+    invariants: Dict[str, Tuple[str, ...]] = {}
+    for node in tree.body:
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+        if not isinstance(target, ast.Name):
+            continue
+        value = node.value
+        if target.id == "ALL_RULES":
+            all_rules = _tuple_of_strings(value)
+        elif target.id == "RULE_INVARIANTS" and isinstance(value, ast.Dict):
+            for key, val in zip(value.keys, value.values):
+                if isinstance(key, ast.Constant):
+                    invariants[key.value] = _tuple_of_strings(val)
+    return all_rules, invariants
+
+
+def check_rewrite_invariants(root: Path = REPO_ROOT) -> List[str]:
+    problems = []
+    where = ENGINE / "plan" / "rewrite.py"
+    all_rules, invariants = _rewrite_declarations(root)
+    if not all_rules:
+        return [f"{where}: [rewrite-invariants] could not locate ALL_RULES"]
+    for rule in all_rules:
+        declared = invariants.get(rule)
+        if declared is None:
+            problems.append(
+                f"{where}: [rewrite-invariants] rule {rule!r} is in ALL_RULES "
+                f"but declares no invariants in RULE_INVARIANTS"
+            )
+        elif "result-equivalence" not in declared:
+            problems.append(
+                f"{where}: [rewrite-invariants] rule {rule!r} does not declare "
+                f"result-equivalence; a rewrite that changes results is a bug"
+            )
+    for rule in invariants:
+        if rule not in all_rules:
+            problems.append(
+                f"{where}: [rewrite-invariants] RULE_INVARIANTS names unknown "
+                f"rule {rule!r} (not in ALL_RULES)"
+            )
+    return problems
+
+
+# -- check 4: layer separation between sql / plan / storage ----------------
+
+def _forbidden_import(module: str, level: int, forbidden: Tuple[str, ...]) -> bool:
+    """True when a ``from`` target reaches into a forbidden sibling layer."""
+    segments = [s for s in module.split(".") if s]
+    if level > 0:  # relative: ..plan, ..storage.row_store, ...
+        return bool(segments) and segments[0] in forbidden
+    # absolute: repro.engine.plan...
+    for i, segment in enumerate(segments):
+        if segment == "engine" and i + 1 < len(segments):
+            return segments[i + 1] in forbidden
+    return False
+
+
+def check_layering(root: Path = REPO_ROOT) -> List[str]:
+    problems = []
+    for package, forbidden in sorted(_LAYERS.items()):
+        for path in sorted((root / ENGINE / package).glob("*.py")):
+            tree = _parse(path)
+            for node in ast.walk(tree):
+                hits = []
+                if isinstance(node, ast.ImportFrom):
+                    if _forbidden_import(node.module or "", node.level, forbidden):
+                        hits.append(node.module or ".")
+                    elif node.level > 0 and not node.module:
+                        # "from .. import plan" style
+                        hits.extend(
+                            a.name for a in node.names if a.name in forbidden
+                        )
+                elif isinstance(node, ast.Import):
+                    hits.extend(
+                        a.name for a in node.names
+                        if _forbidden_import(a.name, 0, forbidden)
+                    )
+                for hit in hits:
+                    problems.append(
+                        f"{path.relative_to(root)}:{node.lineno}: "
+                        f"[layering] engine/{package} must not import "
+                        f"{hit!r} (keep the front-end executor-free)"
+                    )
+    return problems
+
+
+# -- check 5: profiles only reference rules/codes that exist ---------------
+
+def _analyzer_codes(root: Path) -> Set[str]:
+    tree = _parse(root / ENGINE / "analyze.py")
+    codes = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "Rule"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+        ):
+            codes.add(node.args[0].value)
+    return codes
+
+
+def check_profiles(root: Path = REPO_ROOT) -> List[str]:
+    problems = []
+    all_rules, _ = _rewrite_declarations(root)
+    codes = _analyzer_codes(root)
+    for path in sorted((root / "src/repro/systems").glob("system_*.py")):
+        tree = _parse(path)
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "ArchitectureProfile"
+            ):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg == "rewrite_rules":
+                    known, kind = set(all_rules), "rewrite rule"
+                elif keyword.arg == "lint_suppressions":
+                    known, kind = codes, "analyzer code"
+                else:
+                    continue
+                for name in _tuple_of_strings(keyword.value):
+                    if name not in known:
+                        problems.append(
+                            f"{path.relative_to(root)}:{keyword.value.lineno}: "
+                            f"[profiles] unknown {kind} {name!r}"
+                        )
+    return problems
+
+
+ALL_CHECKS = (
+    check_operator_guards,
+    check_no_wallclock,
+    check_rewrite_invariants,
+    check_layering,
+    check_profiles,
+)
+
+
+def run_all(root: Path = REPO_ROOT) -> List[str]:
+    problems: List[str] = []
+    for check in ALL_CHECKS:
+        problems.extend(check(root))
+    return problems
+
+
+def main(argv: List[str] = None) -> int:
+    root = Path(argv[0]).resolve() if argv else REPO_ROOT
+    problems = run_all(root)
+    for problem in problems:
+        print(problem)
+    checks = ", ".join(c.__name__.replace("check_", "") for c in ALL_CHECKS)
+    if problems:
+        print(f"engine_lint: {len(problems)} problem(s) ({checks})")
+        return 1
+    print(f"engine_lint: clean ({checks})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
