@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..engine.errors import QueryCancelled, QueryTimeout
+from ..engine.obs import MetricsRegistry
 
 
 @dataclass
@@ -31,6 +32,9 @@ class Measurement:
     #: static-analyzer findings for the measured SQL (repro.engine.analyze),
     #: recorded outside the timed region; empty for non-SQL callables
     diagnostics: List[object] = field(default_factory=list)
+    #: engine metric-counter delta for this cell (nonzero counters only);
+    #: captured by measure_sql when the target exposes a MetricsRegistry
+    metrics: Dict[str, int] = field(default_factory=dict)
 
     @property
     def median(self) -> float:
@@ -46,7 +50,10 @@ class Measurement:
 
     def percentile(self, pct: float) -> float:
         if not self.times:
-            return float("inf")
+            raise ValueError(
+                f"percentile({pct}) of {self.qid}/{self.system} "
+                f"[{self.setting}]: no recorded samples"
+            )
         ordered = sorted(self.times)
         rank = (pct / 100.0) * (len(ordered) - 1)
         low = int(rank)
@@ -55,9 +62,18 @@ class Measurement:
         return ordered[low] * (1 - frac) + ordered[high] * frac
 
     def label(self) -> str:
+        base = f"{self.qid}/{self.system} [{self.setting}]"
         if self.timed_out:
-            return f"{self.qid}/{self.system}: TIMEOUT (> {self.timeout_s}s)"
-        return f"{self.qid}/{self.system}: {self.median * 1000:.2f} ms median"
+            return f"{base}: TIMEOUT (> {self.timeout_s}s)"
+        return f"{base}: {self.median * 1000:.2f} ms median"
+
+
+def _metrics_registry(system) -> Optional[MetricsRegistry]:
+    """The engine metric registry behind *system* (TemporalSystem or bare
+    Database), or None for targets without one."""
+    owner = getattr(system, "db", system)
+    registry = getattr(owner, "metrics", None)
+    return registry if isinstance(registry, MetricsRegistry) else None
 
 
 class BenchmarkService:
@@ -141,12 +157,19 @@ class BenchmarkService:
         CPU at the deadline instead of running to completion first.
         """
         name = getattr(system, "name", getattr(system, "db", None) and system.db.name or "?")
+        registry = _metrics_registry(system)
+        if registry is not None:
+            # per-cell metric deltas: each measurement carries exactly the
+            # counters its own repetitions (incl. warm-up) produced
+            registry.reset()
         measurement = self.measure_callable(
             lambda: system.execute(sql, params, timeout_s=self.timeout_s),
             qid=qid,
             system=name,
             setting=setting,
         )
+        if registry is not None:
+            measurement.metrics = registry.counters(nonzero=True)
         lint = getattr(system, "lint", None)
         if lint is not None:
             try:

@@ -10,17 +10,24 @@ Commands mirror the benchmark pipeline of the paper's §4:
   consistency checks;
 * ``systems``  — print the §5.2 architecture cards;
 * ``lint``     — static temporal-query diagnostics without executing;
-* ``cache-stats`` — plan-cache hit rates after repeated workload passes.
+* ``cache-stats`` — plan-cache hit rates after repeated workload passes;
+* ``trace``    — run one statement and print its lifecycle span tree;
+* ``metrics``  — engine metric counters after workload passes.
+
+``bench --json PATH`` additionally writes a machine-readable
+``BENCH_<experiment>.json`` artifact (schema ``repro-bench/v1``, see
+:mod:`repro.bench.artifact`) so the repo accumulates a perf trajectory.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from .bench import experiments as x
-from .bench.report import format_cache_stats, format_lint_summary
+from .bench.report import format_cache_stats, format_lint_summary, format_metrics
 from .bench.service import BenchmarkService
 from .core.archive import ArchiveReader, write_archive
 from .core.consistency import check_system
@@ -84,6 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--h", type=float, default=0.001)
     bench.add_argument("--m", type=float, default=0.0003)
     bench.add_argument("--out", default=None, help="also write report file(s) here")
+    bench.add_argument(
+        "--json", dest="json_path", default=None, metavar="PATH",
+        help="write a machine-readable artifact (schema repro-bench/v1); "
+        "a directory gets BENCH_<experiment>.json",
+    )
 
     verify = sub.add_parser("verify", help="run temporal consistency checks")
     verify.add_argument("--system", default="A", help="archetype A..E")
@@ -115,6 +127,28 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--runs", type=int, default=2,
         help="workload passes to drive (>1 exercises cache hits)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="run one statement and print its lifecycle span tree"
+    )
+    trace.add_argument("--system", default="A", help="archetype A..E")
+    trace.add_argument("--h", type=float, default=0.001)
+    trace.add_argument("--m", type=float, default=0.0003)
+    trace.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="also append every finished span to this JSONL file",
+    )
+    trace.add_argument("sql", help="SQL statement to trace")
+
+    metrics = sub.add_parser(
+        "metrics", help="engine metric counters after workload passes"
+    )
+    metrics.add_argument("--system", default="A", help="archetype A..E")
+    metrics.add_argument("--h", type=float, default=0.001)
+    metrics.add_argument("--m", type=float, default=0.0003)
+    metrics.add_argument(
+        "--runs", type=int, default=1, help="workload passes to drive"
     )
     return parser
 
@@ -174,10 +208,12 @@ def _cmd_bench(args) -> int:
         context["workload"] = x.generate_workload(h=args.h, m=args.m)
         context["systems"] = x.prepare_systems(context["workload"], "ABCD")
     measurements = []
+    results = []
     for name in names:
         result = EXPERIMENTS[name](context)
         print(result.text)
         print()
+        results.append(result)
         measurements.extend(result.measurements)
         if args.out:
             out = Path(args.out)
@@ -193,6 +229,25 @@ def _cmd_bench(args) -> int:
             for name, system in context["systems"].items()
         }
         print(format_cache_stats("Plan cache", stats))
+    if args.json_path:
+        from .bench.artifact import build_artifact, write_artifact
+
+        artifact = build_artifact(
+            results,
+            systems=context.get("systems"),
+            config={
+                "experiments": names,
+                "h": args.h,
+                "m": args.m,
+                "repetitions": service.repetitions,
+                "discard": service.discard,
+            },
+        )
+        artifact["generator"]["created_unix"] = time.time()
+        path = write_artifact(
+            args.json_path, artifact, experiment="_".join(names)
+        )
+        print(f"wrote artifact {path}")
     return 0
 
 
@@ -278,6 +333,85 @@ def _cmd_cache_stats(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .engine.obs import JsonlSink, RingBufferSink, render_span_tree
+
+    workload = BitemporalDataGenerator(
+        GeneratorConfig(h=args.h, m=args.m)
+    ).generate()
+    system = make_system(args.system)
+    Loader(system, workload).load()
+    ring = RingBufferSink()
+    tracer = system.tracer
+    tracer.add_sink(ring)
+    jsonl = None
+    if args.jsonl:
+        jsonl = JsonlSink(args.jsonl)
+        tracer.add_sink(jsonl)
+    try:
+        started = time.perf_counter()
+        result = system.execute(args.sql)
+        measured = time.perf_counter() - started
+    finally:
+        tracer.remove_sink(ring)
+        if jsonl is not None:
+            tracer.remove_sink(jsonl)
+            jsonl.close()
+    roots = ring.roots()
+    if not roots:
+        print("no spans recorded", file=sys.stderr)
+        return 1
+    root = roots[-1]
+    print(render_span_tree(root))
+    phase_total = sum(
+        child.duration for child in root.children
+        if child.duration is not None
+    )
+    print(
+        f"({len(result.rows)} rows; phases {phase_total * 1000:.3f} ms of "
+        f"{root.duration * 1000:.3f} ms traced, "
+        f"{measured * 1000:.3f} ms measured)"
+    )
+    if args.jsonl:
+        print(f"wrote spans to {args.jsonl}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from .core.queries import Workload
+
+    workload = BitemporalDataGenerator(
+        GeneratorConfig(h=args.h, m=args.m)
+    ).generate()
+    system = make_system(args.system)
+    Loader(system, workload).load()
+    system.reset_metrics()
+    runs = max(1, args.runs)
+    queries = list(Workload())
+    for _ in range(runs):
+        for query in queries:
+            system.execute(query.sql, query.params(workload.meta))
+    snapshot = system.metrics()
+    print(
+        format_metrics(
+            f"Engine metrics after {runs}x{len(queries)} queries "
+            f"(system {args.system})",
+            {args.system: snapshot["counters"]},
+        )
+    )
+    print()
+    for name, summary in snapshot["histograms"].items():
+        if not summary["count"]:
+            continue
+        print(
+            f"{name}: count={summary['count']} "
+            f"mean={summary['mean'] * 1000:.3f}ms "
+            f"p95={summary['p95'] * 1000:.3f}ms "
+            f"max={summary['max'] * 1000:.3f}ms"
+        )
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -289,6 +423,8 @@ def main(argv=None) -> int:
         "systems": _cmd_systems,
         "lint": _cmd_lint,
         "cache-stats": _cmd_cache_stats,
+        "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
     }[args.command]
     return handler(args)
 

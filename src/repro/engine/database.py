@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from . import temporal
 from .catalog import Catalog, IndexDef, TableSchema
 from .errors import CatalogError, IntegrityError, ProgrammingError
+from .obs import MetricsRegistry, SlowQueryLog, Tracer
 from .storage.versioned import StorageOptions, VersionedTable
 from .txn import TransactionManager
 from .types import END_OF_TIME, Period
@@ -72,7 +73,10 @@ class Database:
         self.catalog = Catalog()
         self.default_options = options or StorageOptions()
         self.profile = profile or ArchitectureProfile()
-        self.txns = TransactionManager()
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+        self.slow_query_log: Optional[SlowQueryLog] = None
+        self.txns = TransactionManager(metrics=self.metrics)
         self._tables: Dict[str, VersionedTable] = {}
         self._views: Dict[str, object] = {}  # name -> Select AST
         self._sql_engine = None  # created on first execute()
@@ -83,7 +87,9 @@ class Database:
         self, schema: TableSchema, options: Optional[StorageOptions] = None
     ) -> VersionedTable:
         self.catalog.add_table(schema)
-        table = VersionedTable(schema, options or self.default_options)
+        table = VersionedTable(
+            schema, options or self.default_options, metrics=self.metrics
+        )
         self._tables[schema.name] = table
         return table
 
@@ -257,6 +263,34 @@ class Database:
     def cache_stats(self) -> Dict[str, int]:
         """Plan-cache counters of the attached SQL engine."""
         return self._engine().cache_stats()
+
+    # -- observability ---------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, Dict]:
+        """Counters + histogram summaries of this database's registry."""
+        return self.metrics.snapshot()
+
+    def reset_metrics(self):
+        self.metrics.reset()
+
+    def set_slow_query_log(
+        self, threshold_s: Optional[float], path: Optional[str] = None,
+        capacity: int = 256,
+    ) -> Optional[SlowQueryLog]:
+        """Enable (or, with ``None``, disable) the slow-query log.
+
+        Enabling forces span collection on so every threshold breach has a
+        complete tree to record; disabling releases that again.
+        """
+        if threshold_s is None:
+            self.slow_query_log = None
+            self.tracer.force_tracing = False
+            return None
+        self.slow_query_log = SlowQueryLog(
+            threshold_s, path=path, capacity=capacity
+        )
+        self.tracer.force_tracing = True
+        return self.slow_query_log
 
     # -- maintenance -----------------------------------------------------------
 

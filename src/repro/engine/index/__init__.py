@@ -7,12 +7,17 @@ from .rtree import RTree
 __all__ = ["BPlusTree", "HashIndex", "RTree", "create_index_structure"]
 
 
-def create_index_structure(kind, order=64):
-    """Factory used by the storage layer to materialise an IndexDef."""
+def create_index_structure(kind, order=64, metrics=None):
+    """Factory used by the storage layer to materialise an IndexDef.
+
+    *metrics* is an optional :class:`~repro.engine.obs.MetricsRegistry`;
+    when given, the structure counts its probes (``index.btree_probes``,
+    ``index.hash_probes``, ``index.rtree_searches``).
+    """
     if kind == "btree":
-        return BPlusTree(order=order)
+        return BPlusTree(order=order, metrics=metrics)
     if kind == "hash":
-        return HashIndex()
+        return HashIndex(metrics=metrics)
     if kind == "rtree":
-        return RTree()
+        return RTree(metrics=metrics)
     raise ValueError(f"unknown index kind {kind!r}")

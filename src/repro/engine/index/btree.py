@@ -30,12 +30,13 @@ class _Node:
 class BPlusTree:
     """Ordered multimap from key to row ids."""
 
-    def __init__(self, order=64):
+    def __init__(self, order=64, metrics=None):
         if order < 4:
             raise ValueError("order must be >= 4")
         self.order = order
         self._root = _Node(is_leaf=True)
         self._size = 0  # number of (key, value) pairs
+        self._metrics = metrics  # optional obs.MetricsRegistry
 
     def __len__(self):
         return self._size
@@ -130,6 +131,8 @@ class BPlusTree:
 
     def search(self, key) -> List[Any]:
         """All row ids stored under *key* (empty list when absent)."""
+        if self._metrics is not None:
+            self._metrics.inc("index.btree_probes")
         leaf, idx = self._find_leaf(key)
         if idx is None:
             return []
@@ -150,6 +153,8 @@ class BPlusTree:
         Either bound may be None (unbounded).  Inclusivity flags give the
         four SQL comparison shapes (<, <=, >, >=).
         """
+        if self._metrics is not None:
+            self._metrics.inc("index.btree_probes")
         node = self._root
         probe = low if low is not None else _MINUS_INF
         while not node.is_leaf:

@@ -14,9 +14,10 @@ class HashIndex:
     for ``=`` and ``IN``.
     """
 
-    def __init__(self):
+    def __init__(self, metrics=None):
         self._buckets: Dict[Any, List[Any]] = {}
         self._size = 0
+        self._metrics = metrics  # optional obs.MetricsRegistry
 
     def __len__(self):
         return self._size
@@ -39,6 +40,8 @@ class HashIndex:
         return True
 
     def search(self, key) -> List[Any]:
+        if self._metrics is not None:
+            self._metrics.inc("index.hash_probes")
         return list(self._buckets.get(key, ()))
 
     def __contains__(self, key):

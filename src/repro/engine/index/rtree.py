@@ -47,13 +47,14 @@ def _enlargement(entry, lo, hi):
 class RTree:
     """Guttman R-Tree specialised to 1-D intervals."""
 
-    def __init__(self, max_entries=32):
+    def __init__(self, max_entries=32, metrics=None):
         if max_entries < 4:
             raise ValueError("max_entries must be >= 4")
         self.max_entries = max_entries
         self.min_entries = max(2, max_entries // 3)
         self._root = _RNode(is_leaf=True)
         self._size = 0
+        self._metrics = metrics  # optional obs.MetricsRegistry
 
     def __len__(self):
         return self._size
@@ -129,6 +130,8 @@ class RTree:
 
     def search_overlap(self, lo, hi) -> List[Any]:
         """Row ids whose interval intersects the half-open [lo, hi)."""
+        if self._metrics is not None:
+            self._metrics.inc("index.rtree_searches")
         out: List[Any] = []
         self._search(self._root, lo, hi, out)
         return out

@@ -30,10 +30,11 @@ INVALIDATE = -1
 class TimelineIndex:
     """Event list + checkpoints over one table's version history."""
 
-    def __init__(self, checkpoint_interval: int = 1024):
+    def __init__(self, checkpoint_interval: int = 1024, metrics=None):
         if checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be >= 1")
         self.checkpoint_interval = checkpoint_interval
+        self._metrics = metrics  # optional obs.MetricsRegistry
         #: events sorted by (tick, order-of-arrival): (tick, kind, rid)
         self._events: List[Tuple[int, int, int]] = []
         self._event_ticks: List[int] = []
@@ -109,6 +110,8 @@ class TimelineIndex:
         Visibility is half-open: a version activated at ``tick`` is
         visible, one invalidated at ``tick`` is not.
         """
+        if self._metrics is not None:
+            self._metrics.inc("index.timeline_lookups")
         end = bisect.bisect_right(self._event_ticks, tick)
         visible, offset = self._base_at_offset(end)
         for index in range(offset, end):
@@ -134,6 +137,8 @@ class TimelineIndex:
 
         The returned set is reused between yields — copy it if you keep it.
         """
+        if self._metrics is not None:
+            self._metrics.inc("index.timeline_sweeps")
         visible: Set[int] = set()
         index = 0
         events = self._events
@@ -164,6 +169,8 @@ class TimelineIndex:
         for function in functions:
             if function not in ("count", "sum", "avg"):
                 raise ValueError(f"unsupported temporal aggregate {function!r}")
+        if self._metrics is not None:
+            self._metrics.inc("index.timeline_sweeps")
         out = []
         count = 0
         total = 0.0
@@ -202,6 +209,8 @@ class TimelineIndex:
 
         Implemented as a coordinated sweep over both event lists.
         """
+        if self._metrics is not None:
+            self._metrics.inc("index.timeline_sweeps")
         events = sorted(
             [(t, k, r, 0) for t, k, r in self._events]
             + [(t, k, r, 1) for t, k, r in other._events],

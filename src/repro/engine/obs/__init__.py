@@ -1,0 +1,25 @@
+"""Engine observability: structured tracer, metrics registry, slow-query log.
+
+See ``docs/OBSERVABILITY.md`` for the span and metric catalogue and the
+paper sections each one diagnoses.  This package is stdlib-only by design:
+every engine layer (storage, index, txn, plan, session) may import it
+without violating the layering invariants in ``tools/engine_lint.py``.
+"""
+
+from .metrics import COUNTERS, HISTOGRAMS, Histogram, MetricsRegistry
+from .sinks import JsonlSink, RingBufferSink
+from .slowlog import SlowQueryLog
+from .tracer import Span, Tracer, render_span_tree
+
+__all__ = [
+    "COUNTERS",
+    "HISTOGRAMS",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "RingBufferSink",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "render_span_tree",
+]

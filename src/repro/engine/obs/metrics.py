@@ -1,0 +1,170 @@
+"""Central metrics registry: named counters and histograms.
+
+Every metric the engine emits is declared here, once, with a one-line
+description.  The registry pre-populates its counter table from these
+declarations, so incrementing an undeclared name raises ``KeyError`` at the
+call site instead of silently creating a new counter — and
+``tools/engine_lint.py`` cross-checks the same declarations statically
+(check ``metric-names``), so a typo cannot survive either at runtime or in
+CI.  See ``docs/OBSERVABILITY.md`` for the catalogue with the paper
+sections each metric diagnoses.
+
+This module is stdlib-only and imports nothing from the engine: the
+storage, index and transaction layers all depend on it, and the layering
+check (engine/storage must not import engine/sql or engine/plan) has to
+keep holding transitively.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+#: counter name -> description.  Names are ``layer.event`` dotted pairs.
+COUNTERS: Dict[str, str] = {
+    "plan.cache_hit": "plan-cache lookups that returned a valid cached plan",
+    "plan.cache_miss": "plan-cache lookups that found no (valid) entry",
+    "plan.cache_evict": "LRU evictions when the plan cache overflowed",
+    "plan.cache_invalidate": "cached plans dropped because DDL touched a dependency",
+    "storage.current_scans": "full scans of a current (or single) partition",
+    "storage.history_scans": "full scans of a history partition",
+    "storage.current_rows_scanned": "rows produced by current-partition scans",
+    "storage.history_rows_scanned": "rows produced by history-partition scans",
+    "storage.vp_merge_joins": "sort/merge joins reconstructing vertically partitioned temporal columns",
+    "storage.history_moves": "closed versions moved into a history partition",
+    "storage.undo_drains": "undo-log drain operations (System B background process)",
+    "storage.versions_invalidated": "current versions closed by update/delete",
+    "storage.column_merges": "delta-into-main merges of a column store",
+    "index.btree_probes": "B+-tree descents (point searches and range-scan starts)",
+    "index.hash_probes": "hash-index equality probes",
+    "index.rtree_searches": "R-tree interval searches (overlap and stab queries)",
+    "index.pk_probes": "primary-key lookups against the current-rid map",
+    "index.timeline_lookups": "Timeline-Index snapshot reconstructions (checkpoint + replay)",
+    "index.timeline_sweeps": "Timeline-Index event-list sweeps (temporal aggregate/join)",
+    "txn.versions_written": "row versions appended to any partition",
+    "txn.commits": "committed transactions",
+    "txn.rollbacks": "rolled-back transactions",
+    "slowlog.entries": "queries recorded by the slow-query log",
+}
+
+#: histogram name -> description.  Histograms keep summary statistics plus a
+#: bounded reservoir of recent samples for percentile estimates.
+HISTOGRAMS: Dict[str, str] = {
+    "query.execute_s": "wall seconds spent in the execute phase of one statement",
+}
+
+
+class Histogram:
+    """Summary statistics plus a bounded reservoir of recent samples."""
+
+    __slots__ = ("count", "total", "min", "max", "_samples")
+
+    def __init__(self, reservoir: int = 512):
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: deque = deque(maxlen=reservoir)
+
+    def observe(self, value: float):
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self._samples.append(value)
+
+    def percentile(self, pct: float) -> Optional[float]:
+        """Linear-interpolated percentile over the retained samples."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = (pct / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        mean = self.total / self.count if self.count else None
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": mean,
+            "p95": self.percentile(95),
+        }
+
+    def reset(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._samples.clear()
+
+
+class MetricsRegistry:
+    """One registry per :class:`~repro.engine.database.Database` instance.
+
+    The benchmark service resets it between measurement cells, so each
+    :class:`~repro.bench.service.Measurement` carries the metric *delta* of
+    exactly its own repetitions.
+    """
+
+    __slots__ = ("_counters", "_histograms")
+
+    def __init__(self):
+        self._counters: Dict[str, int] = dict.fromkeys(COUNTERS, 0)
+        self._histograms: Dict[str, Histogram] = {
+            name: Histogram() for name in HISTOGRAMS
+        }
+
+    # -- writes ------------------------------------------------------------
+
+    def inc(self, name: str, delta: int = 1):
+        try:
+            self._counters[name] += delta
+        except KeyError:
+            raise KeyError(
+                f"metric {name!r} is not declared in "
+                f"repro.engine.obs.metrics.COUNTERS"
+            ) from None
+
+    def observe(self, name: str, value: float):
+        try:
+            self._histograms[name].observe(value)
+        except KeyError:
+            raise KeyError(
+                f"histogram {name!r} is not declared in "
+                f"repro.engine.obs.metrics.HISTOGRAMS"
+            ) from None
+
+    # -- reads -------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self._counters[name]
+
+    def counters(self, nonzero: bool = False) -> Dict[str, int]:
+        if nonzero:
+            return {n: v for n, v in self._counters.items() if v}
+        return dict(self._counters)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms[name]
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Counters plus histogram summaries, JSON-serialisable."""
+        return {
+            "counters": self.counters(),
+            "histograms": {
+                name: hist.summary() for name, hist in self._histograms.items()
+            },
+        }
+
+    def reset(self):
+        for name in self._counters:
+            self._counters[name] = 0
+        for hist in self._histograms.values():
+            hist.reset()

@@ -1,0 +1,63 @@
+"""Span sinks: in-memory ring buffer and JSONL file.
+
+A sink is anything with ``emit(span)``; the tracer calls it once per span
+as the span finishes (children before parents, since inner regions close
+first).  Both sinks here record flat span dicts — the parent ids are
+enough to rebuild the tree offline — while :class:`RingBufferSink` also
+keeps the live :class:`~repro.engine.obs.tracer.Span` objects so in-process
+consumers (the ``repro trace`` command, tests) can walk ``children``
+directly.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import List
+
+
+class RingBufferSink:
+    """Keeps the last *capacity* finished spans in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        self._spans: deque = deque(maxlen=capacity)
+
+    def emit(self, span):
+        self._spans.append(span)
+
+    def spans(self) -> List[object]:
+        return list(self._spans)
+
+    def roots(self) -> List[object]:
+        """Finished spans with no parent, oldest first."""
+        return [s for s in self._spans if s.parent_id is None]
+
+    def clear(self):
+        self._spans.clear()
+
+    def __len__(self):
+        return len(self._spans)
+
+
+class JsonlSink:
+    """Appends one JSON object per finished span to a file."""
+
+    def __init__(self, path):
+        self.path = path
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def emit(self, span):
+        json.dump(span.to_dict(), self._fh, default=str)
+        self._fh.write("\n")
+
+    def close(self):
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False

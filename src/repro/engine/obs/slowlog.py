@@ -1,0 +1,42 @@
+"""Slow-query log: span tree + plan snapshot for threshold breaches.
+
+Configured via ``Database.set_slow_query_log(threshold_s, path=...)``;
+enabling it turns on ``Tracer.force_tracing`` so every statement builds a
+span tree even with no sink installed — a breach must always have a
+complete tree to record.  Entries keep the most recent *capacity* records
+in memory and, when a path is given, are also appended as JSONL.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Dict, List, Optional
+
+
+class SlowQueryLog:
+    """Bounded in-memory record of threshold-exceeding queries."""
+
+    def __init__(self, threshold_s: float, path: Optional[str] = None,
+                 capacity: int = 256):
+        if threshold_s < 0:
+            raise ValueError("threshold_s must be >= 0")
+        self.threshold_s = threshold_s
+        self.path = path
+        self._entries: deque = deque(maxlen=capacity)
+
+    def record(self, entry: Dict):
+        self._entries.append(entry)
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                json.dump(entry, fh, default=str)
+                fh.write("\n")
+
+    def entries(self) -> List[Dict]:
+        return list(self._entries)
+
+    def clear(self):
+        self._entries.clear()
+
+    def __len__(self):
+        return len(self._entries)

@@ -47,7 +47,7 @@ class ExecutionContext(Env):
     zero-argument callable polled alongside the deadline.
     """
 
-    __slots__ = ("metrics", "deadline", "cancel_check", "timeout_s")
+    __slots__ = ("metrics", "deadline", "cancel_check", "timeout_s", "tracer")
 
     def __init__(
         self,
@@ -58,12 +58,14 @@ class ExecutionContext(Env):
         deadline: Optional[float] = None,
         cancel_check: Optional[Callable[[], bool]] = None,
         timeout_s: Optional[float] = None,
+        tracer=None,
     ):
         super().__init__(params, outer_rows, cache)
         self.metrics = metrics
         self.deadline = deadline
         self.cancel_check = cancel_check
         self.timeout_s = timeout_s
+        self.tracer = tracer  # optional obs.Tracer for per-operator spans
 
     @classmethod
     def begin(
@@ -72,6 +74,7 @@ class ExecutionContext(Env):
         timeout_s: Optional[float] = None,
         collect_metrics: bool = False,
         cancel_check: Optional[Callable[[], bool]] = None,
+        tracer=None,
     ) -> "ExecutionContext":
         """Start a fresh context for one statement execution."""
         deadline = (
@@ -83,6 +86,7 @@ class ExecutionContext(Env):
             deadline=deadline,
             cancel_check=cancel_check,
             timeout_s=timeout_s,
+            tracer=tracer,
         )
 
     def nested(self, outer_row) -> "ExecutionContext":
@@ -95,6 +99,7 @@ class ExecutionContext(Env):
             deadline=self.deadline,
             cancel_check=self.cancel_check,
             timeout_s=self.timeout_s,
+            tracer=self.tracer,
         )
 
     # -- cooperative control ------------------------------------------------
@@ -141,11 +146,23 @@ class ExecutionContext(Env):
         if self.deadline is not None or self.cancel_check is not None:
             self.check()
         metrics = self.metrics
-        if metrics is None:
+        tracer = self.tracer
+        if metrics is None and tracer is None:
             return op.execute(self)
+        span = tracer.start("operator", op=op.label()) if tracer is not None else None
         started = time.perf_counter()
-        out = op.execute(self)
+        try:
+            out = op.execute(self)
+        except BaseException:
+            if tracer is not None:
+                tracer.finish(span, aborted=True)
+            raise
         elapsed = time.perf_counter() - started
+        if span is not None:
+            span.set(rows=len(out))
+            tracer.finish(span)
+        if metrics is None:
+            return out
         node = metrics.get(id(op))
         if node is None:
             node = NodeMetrics()

@@ -196,8 +196,14 @@ class Planner:
         self, select: ast.Select, outer_scope: Optional[Scope] = None
     ) -> LogicalQuery:
         """Build and rewrite the logical plan of one SELECT core."""
-        query = build_logical(select, self.db)
-        return rewrite_logical(query, self.db, self.profile, outer_scope)
+        tracer = getattr(self.db, "tracer", None)
+        if tracer is None or not tracer.active:
+            query = build_logical(select, self.db)
+            return rewrite_logical(query, self.db, self.profile, outer_scope)
+        with tracer.span("plan.analyze"):
+            query = build_logical(select, self.db)
+        with tracer.span("plan.rewrite"):
+            return rewrite_logical(query, self.db, self.profile, outer_scope)
 
     def _note_dependency(self, name: str):
         if self._dependencies is not None:
@@ -237,7 +243,12 @@ class Planner:
         query = self.logical_plan(select, outer_scope)
         if select is self._root_select:
             self._root_logical = query
-        return self._lower_query(query, outer_scope)
+        # stage 3: physical lowering
+        tracer = getattr(self.db, "tracer", None)
+        if tracer is None or not tracer.active:
+            return self._lower_query(query, outer_scope)
+        with tracer.span("plan.physical"):
+            return self._lower_query(query, outer_scope)
 
     # -- physical lowering ------------------------------------------------------
 

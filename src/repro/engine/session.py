@@ -8,6 +8,7 @@ query over the current partition, then applies the temporal row operations
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -68,13 +69,17 @@ class SqlEngine:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_invalidations = 0
+        #: plan of the most recent SELECT, for the slow-query log snapshot
+        self._last_planned: Optional[PlannedQuery] = None
 
     # -- plan cache ----------------------------------------------------------
 
     def _cached_plan(self, sql: str) -> Optional[PlannedQuery]:
+        metrics = self.db.metrics
         planned = self._plan_cache.get(sql)
         if planned is None:
             self.cache_misses += 1
+            metrics.inc("plan.cache_miss")
             return None
         catalog = self.db.catalog
         # per-name checks only run when some DDL happened since this plan
@@ -85,15 +90,19 @@ class SqlEngine:
                     del self._plan_cache[sql]
                     self.cache_invalidations += 1
                     self.cache_misses += 1
+                    metrics.inc("plan.cache_invalidate")
+                    metrics.inc("plan.cache_miss")
                     return None
             planned.checked_at_version = catalog.version
         self._plan_cache.move_to_end(sql)
         self.cache_hits += 1
+        metrics.inc("plan.cache_hit")
         return planned
 
     def _store_plan(self, sql: str, planned: PlannedQuery):
         while len(self._plan_cache) >= self.plan_cache_limit:
             self._plan_cache.popitem(last=False)
+            self.db.metrics.inc("plan.cache_evict")
         planned.checked_at_version = self.db.catalog.version
         self._plan_cache[sql] = planned
 
@@ -108,18 +117,43 @@ class SqlEngine:
     # -- public API ----------------------------------------------------------
 
     def execute(self, sql, params=None, timeout_s=None) -> Result:
+        tracer = self.db.tracer
+        if not tracer.active:
+            # hot path: no sinks, no slow-query log — zero tracing overhead
+            return self._dispatch(sql, params, timeout_s)
+        self._last_planned = None
+        sql_text = sql if isinstance(sql, str) else type(sql).__name__
+        root = tracer.start("query", sql=sql_text)
+        try:
+            result = self._dispatch(sql, params, timeout_s)
+        except BaseException as exc:
+            tracer.finish(root, aborted=True)
+            self._record_slow_query(root, sql, error=type(exc).__name__)
+            raise
+        root.set(rows=result.rowcount)
+        tracer.finish(root)
+        self._record_slow_query(root, sql)
+        return result
+
+    def _dispatch(self, sql, params, timeout_s) -> Result:
         stmt = None
+        tracer = self.db.tracer
         if isinstance(sql, str):
-            cached = self._cached_plan(sql)
+            with tracer.span("plan_cache.lookup") as span:
+                cached = self._cached_plan(sql)
+                span.set(outcome="hit" if cached is not None else "miss")
             if cached is not None:
+                self._last_planned = cached
                 return self._run_planned(cached, params, timeout_s)
-            stmt = parse_statement(sql)
+            with tracer.span("parse"):
+                stmt = parse_statement(sql)
         else:
             stmt = sql  # pre-parsed AST
         if isinstance(stmt, ast.Select):
             planned = self.planner.plan_select(stmt)
             if isinstance(sql, str):
                 self._store_plan(sql, planned)
+            self._last_planned = planned
             return self._run_planned(planned, params, timeout_s)
         if isinstance(stmt, ast.Explain):
             return self._execute_explain(
@@ -150,14 +184,51 @@ class SqlEngine:
         raise ProgrammingError(f"cannot execute statement {stmt!r}")
 
     def _run_planned(self, planned: PlannedQuery, params, timeout_s) -> Result:
-        if timeout_s is None:
+        tracer = self.db.tracer
+        tracing = tracer.active
+        if timeout_s is None and not tracing:
             env = Env(_normalize_params(params))
         else:
             env = ExecutionContext.begin(
-                _normalize_params(params), timeout_s=timeout_s
+                _normalize_params(params),
+                timeout_s=timeout_s,
+                tracer=tracer if tracing else None,
             )
-        rows = planned.rows(env)
+        started = time.perf_counter()
+        with tracer.span("execute") as span:
+            rows = planned.rows(env)
+            span.set(rows=len(rows))
+        self.db.metrics.observe("query.execute_s", time.perf_counter() - started)
         return Result(rows, planned.column_names, len(rows))
+
+    def _record_slow_query(self, root, sql, error=None):
+        """Append a slow-query-log entry when *root* breached the threshold."""
+        log = self.db.slow_query_log
+        if log is None or root is None or root.duration is None:
+            return
+        if root.duration < log.threshold_s:
+            return
+        planned = self._last_planned
+        diagnostics = []
+        if isinstance(sql, str) and planned is not None:
+            try:
+                diagnostics = [
+                    {"code": d.code, "severity": d.severity,
+                     "rendered": d.render()}
+                    for d in self.lint(sql)
+                ]
+            except Exception:
+                diagnostics = []  # advisory: never let lint mask the query
+        log.record({
+            "sql": sql if isinstance(sql, str) else type(sql).__name__,
+            "duration_s": root.duration,
+            "threshold_s": log.threshold_s,
+            "error": error,
+            "plan": planned.explain() if planned is not None else None,
+            "spans": root.to_dict(recursive=True),
+            "diagnostics": diagnostics,
+        })
+        self.db.metrics.inc("slowlog.entries")
 
     def explain(self, sql, params=None) -> str:
         stmt = parse_statement(sql) if isinstance(sql, str) else sql
@@ -169,17 +240,35 @@ class SqlEngine:
         return planned.explain()
 
     def explain_analyze(self, sql, params=None) -> str:
+        was_wrapped = False
         stmt = parse_statement(sql) if isinstance(sql, str) else sql
         if isinstance(stmt, ast.Explain):
             stmt = stmt.statement
+            was_wrapped = True
         if not isinstance(stmt, ast.Select):
             raise ProgrammingError("EXPLAIN ANALYZE is only supported for SELECT")
-        planned = self.planner.plan_select(stmt)
+        # The plan cache is keyed by statement text, so when the caller hands
+        # us the bare SELECT text we consult (and populate) the same cache
+        # execute() uses — the reported hit/miss is the outcome an ordinary
+        # execution of this text would have seen.  EXPLAIN-wrapped text keys
+        # would collide with the inner SELECT's results, so those bypass.
+        outcome = None
+        if isinstance(sql, str) and not was_wrapped:
+            planned = self._cached_plan(sql)
+            outcome = "hit" if planned is not None else "miss"
+            if planned is None:
+                planned = self.planner.plan_select(stmt)
+                self._store_plan(sql, planned)
+        else:
+            planned = self.planner.plan_select(stmt)
         ctx = ExecutionContext.begin(
             _normalize_params(params), collect_metrics=True
         )
         planned.rows(ctx)
-        return planned.explain_analyze(ctx.metrics)
+        text = planned.explain_analyze(ctx.metrics)
+        if outcome is not None:
+            text += f"\nplan cache: {outcome}"
+        return text
 
     def lint(self, sql):
         """Static diagnostics for a SELECT (see :mod:`repro.engine.analyze`)."""
@@ -223,6 +312,7 @@ class SqlEngine:
             )
             planned.rows(ctx)
             text = planned.explain_analyze(ctx.metrics)
+            text += "\nplan cache: bypass (EXPLAIN statements are never cached)"
         else:
             text = self.explain(stmt.statement)
         return text.split("\n")

@@ -37,9 +37,10 @@ class _Dictionary:
 class ColumnStore:
     """Columnar storage with delta/main split and explicit merge."""
 
-    def __init__(self, column_count, merge_threshold=8192):
+    def __init__(self, column_count, merge_threshold=8192, metrics=None):
         self._column_count = column_count
         self._merge_threshold = merge_threshold
+        self._metrics = metrics  # optional obs.MetricsRegistry
         self._dictionaries = [_Dictionary() for _ in range(column_count)]
         self._main: List[List[int]] = [[] for _ in range(column_count)]
         self._main_deleted: List[bool] = []
@@ -113,6 +114,8 @@ class ColumnStore:
                 self._main_deleted.append(False)
         self._delta = []
         self._merge_count += 1
+        if self._metrics is not None:
+            self._metrics.inc("storage.column_merges")
 
     # -- reads ---------------------------------------------------------------
 

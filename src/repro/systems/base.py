@@ -58,6 +58,23 @@ class TemporalSystem:
     def cache_stats(self) -> Dict[str, int]:
         return self.db.cache_stats()
 
+    def metrics(self) -> Dict[str, Dict]:
+        """Engine metric counters + histogram summaries for this system."""
+        return self.db.metrics.snapshot()
+
+    def reset_metrics(self):
+        """Zero the metric registry (between benchmark measurements)."""
+        self.db.metrics.reset()
+
+    @property
+    def tracer(self):
+        """The engine's span tracer (install sinks here to trace queries)."""
+        return self.db.tracer
+
+    def set_slow_query_log(self, threshold_s, path=None):
+        """Enable (or disable with ``None``) the slow-query log."""
+        return self.db.set_slow_query_log(threshold_s, path=path)
+
     def connect(self):
         """A PEP 249 connection to this system."""
         from ..engine import dbapi

@@ -40,7 +40,10 @@ class TimelineDatabase(Database):
     def create_table(self, schema, options=None):
         table = super().create_table(schema, options)
         if table.is_versioned:
-            timeline = TimelineIndex(checkpoint_interval=self.checkpoint_interval)
+            timeline = TimelineIndex(
+                checkpoint_interval=self.checkpoint_interval,
+                metrics=self.metrics,
+            )
             self.timelines[schema.name] = timeline
             _instrument(table, timeline)
         return table

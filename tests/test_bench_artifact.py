@@ -1,0 +1,145 @@
+"""Machine-readable bench artifacts (repro.bench.artifact, schema v1)."""
+
+import json
+import math
+from types import SimpleNamespace
+
+from repro.bench.artifact import (
+    SCHEMA,
+    build_artifact,
+    measurement_record,
+    write_artifact,
+)
+from repro.bench.service import Measurement
+
+
+def _measurement(times, **kwargs):
+    m = Measurement(qid=kwargs.pop("qid", "T1"),
+                    system=kwargs.pop("system", "A"), **kwargs)
+    m.times = times
+    return m
+
+
+def _result(measurements, name="fig02", series=None, extra=None):
+    return SimpleNamespace(
+        name=name, text="(human tables)", measurements=measurements,
+        series=series or {}, extra=extra or {},
+    )
+
+
+class TestMeasurementRecord:
+    def test_basic_fields(self):
+        m = _measurement([0.2, 0.1, 0.3], setting="with index")
+        m.rows = 7
+        m.metrics = {"storage.current_scans": 3}
+        record = measurement_record(m)
+        assert record["qid"] == "T1"
+        assert record["system"] == "A"
+        assert record["setting"] == "with index"
+        assert record["runs"] == 3
+        assert record["median_s"] == 0.2
+        assert record["rows"] == 7
+        assert record["metrics"] == {"storage.current_scans": 3}
+
+    def test_empty_measurement_serialises_to_nulls(self):
+        record = measurement_record(_measurement([]))
+        # median/mean/best are inf on empty cells; percentile raises —
+        # the artifact maps all of them to null, never to "Infinity"
+        assert record["median_s"] is None
+        assert record["mean_s"] is None
+        assert record["p95_s"] is None
+        json.dumps(record)  # strict JSON
+
+    def test_diagnostics_become_codes(self):
+        m = _measurement([0.1])
+        m.diagnostics = [SimpleNamespace(code="TQ001", severity="info")]
+        assert measurement_record(m)["diagnostics"] == ["TQ001"]
+
+
+class TestBuildArtifact:
+    def _systems(self):
+        return {
+            "A": SimpleNamespace(
+                architecture="in-place update",
+                cache_stats=lambda: {"hits": 5, "misses": 2},
+            ),
+        }
+
+    def test_shape(self):
+        m = _measurement([0.1])
+        artifact = build_artifact(
+            [_result([m])], systems=self._systems(),
+            config={"h": 0.001},
+        )
+        assert artifact["schema"] == SCHEMA
+        assert artifact["config"] == {"h": 0.001}
+        assert [e["name"] for e in artifact["experiments"]] == ["fig02"]
+        assert artifact["systems"]["A"]["architecture"] == "in-place update"
+        assert artifact["systems"]["A"]["cache"] == {"hits": 5, "misses": 2}
+
+    def test_system_metrics_are_summed_deltas(self):
+        a1 = _measurement([0.1])
+        a1.metrics = {"storage.current_scans": 2}
+        a2 = _measurement([0.1], qid="T2")
+        a2.metrics = {"storage.current_scans": 3, "index.btree_probes": 1}
+        b = _measurement([0.1], system="B")
+        b.metrics = {"storage.current_scans": 99}
+        artifact = build_artifact(
+            [_result([a1, a2, b])], systems=self._systems()
+        )
+        assert artifact["systems"]["A"]["metrics"] == {
+            "index.btree_probes": 1,
+            "storage.current_scans": 5,  # B's counters not mixed in
+        }
+
+    def test_analyzer_tally(self):
+        diag = SimpleNamespace(code="TQ001", severity="info")
+        m1 = _measurement([0.1])
+        m1.diagnostics = [diag]
+        m2 = _measurement([0.1], system="B")
+        m2.diagnostics = [diag]
+        artifact = build_artifact([_result([m1, m2])])
+        assert artifact["analyzer"] == {
+            "TQ001": {"severity": "info", "count": 2}
+        }
+
+    def test_non_finite_series_values_become_null(self):
+        result = _result([], series={"A": [(1, float("inf"))]})
+        artifact = build_artifact([result])
+        assert artifact["experiments"][0]["series"]["A"][0][1] is None
+        json.dumps(artifact)
+
+    def test_text_is_dropped(self):
+        artifact = build_artifact([_result([_measurement([0.1])])])
+        assert "text" not in artifact["experiments"][0]
+
+
+class TestWriteArtifact:
+    def test_file_path(self, tmp_path):
+        target = tmp_path / "out.json"
+        written = write_artifact(target, {"schema": SCHEMA})
+        assert written == target
+        assert json.loads(target.read_text())["schema"] == SCHEMA
+
+    def test_directory_gets_canonical_name(self, tmp_path):
+        written = write_artifact(tmp_path, {"schema": SCHEMA},
+                                 experiment="fig02")
+        assert written == tmp_path / "BENCH_fig02.json"
+        assert written.exists()
+
+    def test_round_trip_from_live_measurement(self, tmp_path):
+        from repro.bench.service import BenchmarkService
+        from repro.engine import Database
+
+        db = Database()
+        db.execute("CREATE TABLE t (a integer)")
+        db.execute("INSERT INTO t (a) VALUES (1)")
+        service = BenchmarkService(repetitions=2, discard=1)
+        m = service.measure_sql(db, "SELECT a FROM t", qid="probe")
+        artifact = build_artifact([_result([m], name="probe")])
+        written = write_artifact(tmp_path / "b.json", artifact)
+        loaded = json.loads(written.read_text())
+        (record,) = loaded["experiments"][0]["measurements"]
+        assert record["qid"] == "probe"
+        assert record["metrics"]["storage.current_scans"] == 2
+        assert math.isfinite(record["median_s"])

@@ -36,12 +36,28 @@ class TestMeasurement:
         m = self._measurement([])
         assert math.isinf(m.median)
 
+    def test_percentile_of_empty_raises(self):
+        m = self._measurement([])
+        with pytest.raises(ValueError) as excinfo:
+            m.percentile(95)
+        # the message names the cell, not just "index out of range"
+        assert "q/A" in str(excinfo.value)
+        assert "no recorded samples" in str(excinfo.value)
+
     def test_label(self):
         m = self._measurement([0.001])
         assert "1.00 ms" in m.label()
         m.timed_out = True
         m.timeout_s = 5
         assert "TIMEOUT" in m.label()
+
+    def test_label_includes_setting(self):
+        m = Measurement(qid="q", system="A", setting="with index")
+        m.times = [0.001]
+        assert "[with index]" in m.label()
+        m.timed_out = True
+        m.timeout_s = 5
+        assert "[with index]" in m.label()
 
 
 class TestService:
@@ -112,6 +128,20 @@ class TestService:
             system, "SELECT a FROM t FOR SYSTEM_TIME ALL", qid="probe"
         )
         assert [d.code for d in measurement.diagnostics] == ["TQ001"]
+
+    def test_measure_sql_captures_metric_deltas(self):
+        from repro.engine import Database
+
+        db = Database()
+        db.execute("CREATE TABLE t (a integer)")
+        db.execute("INSERT INTO t (a) VALUES (1)")
+        service = BenchmarkService(repetitions=2, discard=1)
+        measurement = service.measure_sql(db, "SELECT a FROM t", qid="probe")
+        # two repetitions scanned the current partition twice
+        assert measurement.metrics.get("storage.current_scans") == 2
+        # deltas are per-cell: a second measurement starts from zero
+        again = service.measure_sql(db, "SELECT a FROM t", qid="probe")
+        assert again.metrics.get("storage.current_scans") == 2
 
     def test_measure_sql_without_lint_surface(self):
         from repro.engine import Database

@@ -112,3 +112,52 @@ def test_cache_stats_command(capsys):
     out = capsys.readouterr().out
     assert "hit rate" in out
     assert "Plan cache" in out
+
+
+def test_trace_command(capsys):
+    code = main(["trace", "--system", "A", "--h", "0.0003", "--m", "0.00005",
+                 "SELECT count(*) FROM orders"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "query [sql=SELECT count(*) FROM orders" in out
+    for phase in ("parse", "plan.physical", "execute", "operator"):
+        assert phase in out
+    assert "ms measured)" in out
+
+
+def test_trace_command_jsonl(tmp_path, capsys):
+    import json
+
+    spans = tmp_path / "spans.jsonl"
+    code = main(["trace", "--h", "0.0003", "--m", "0.00005",
+                 "--jsonl", str(spans),
+                 "SELECT count(*) FROM orders"])
+    assert code == 0
+    records = [json.loads(line) for line in spans.read_text().splitlines()]
+    assert any(r["name"] == "query" for r in records)
+    assert all(r["duration_s"] is not None for r in records)
+
+
+def test_metrics_command(capsys):
+    code = main(["metrics", "--system", "A",
+                 "--h", "0.0003", "--m", "0.00005", "--runs", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Engine metrics" in out
+    assert "storage.current_scans" in out
+    assert "query.execute_s" in out  # histogram summary line
+
+
+def test_bench_json_artifact(tmp_path, capsys):
+    import json
+
+    target = tmp_path / "artifact.json"
+    code = main(["bench", "table2", "--h", "0.0003", "--m", "0.00005",
+                 "--json", str(target)])
+    assert code == 0
+    assert "wrote artifact" in capsys.readouterr().out
+    artifact = json.loads(target.read_text())
+    assert artifact["schema"] == "repro-bench/v1"
+    assert artifact["config"]["experiments"] == ["table2"]
+    assert "created_unix" in artifact["generator"]
+    assert [e["name"] for e in artifact["experiments"]] == ["table2"]

@@ -47,6 +47,15 @@ def fake_repo(tmp_path):
         '    lint_suppressions=("TQ001",),\n'
         ")\n"
     ))
+    _write(tmp_path, "src/repro/engine/obs/metrics.py", (
+        'COUNTERS = {"txn.commits": "doc"}\n'
+        'HISTOGRAMS = {"query.execute_s": "doc"}\n'
+    ))
+    _write(tmp_path, "src/repro/engine/txn.py", (
+        "class T:\n"
+        "    def done(self):\n"
+        '        self._metrics.inc("txn.commits")\n'
+    ))
     return tmp_path
 
 
@@ -209,3 +218,45 @@ class TestProfiles:
         ))
         problems = engine_lint.check_profiles(fake_repo)
         assert any("TQ999" in p for p in problems)
+
+
+class TestMetricNames:
+    def test_undeclared_counter_is_flagged(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/txn.py", (
+            "class T:\n"
+            "    def done(self):\n"
+            '        self._metrics.inc("txn.comits")\n'  # typo
+        ))
+        problems = engine_lint.check_metric_names(fake_repo)
+        assert len(problems) == 1
+        assert "txn.comits" in problems[0]
+        assert "COUNTERS" in problems[0]
+
+    def test_undeclared_histogram_is_flagged(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/session.py", (
+            "class S:\n"
+            "    def run(self):\n"
+            '        self.db.metrics.observe("query.exec_s", 0.1)\n'
+        ))
+        problems = engine_lint.check_metric_names(fake_repo)
+        assert any("HISTOGRAMS" in p for p in problems)
+
+    def test_declared_names_pass(self, fake_repo):
+        _write(fake_repo, "src/repro/bench/service.py", (
+            "def f(registry):\n"
+            '    registry.inc("txn.commits")\n'
+            '    registry.observe("query.execute_s", 0.5)\n'
+        ))
+        assert engine_lint.check_metric_names(fake_repo) == []
+
+    def test_inc_on_unrelated_receiver_is_ignored(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/session.py", (
+            "def f(cursor):\n"
+            '    cursor.inc("not-a-metric")\n'
+        ))
+        assert engine_lint.check_metric_names(fake_repo) == []
+
+    def test_missing_declarations_are_reported(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/obs/metrics.py", "X = 1\n")
+        problems = engine_lint.check_metric_names(fake_repo)
+        assert any("COUNTERS" in p for p in problems)

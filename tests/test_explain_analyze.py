@@ -89,6 +89,38 @@ class TestExplainAnalyze:
             db.execute("EXPLAIN ANALYZE DELETE FROM item")
 
 
+class TestPlanCacheLine:
+    """explain_analyze reports the plan-cache outcome (plan.cache_* reuse)."""
+
+    def test_first_call_is_a_miss(self, db):
+        text = db.explain_analyze("SELECT id FROM item WHERE id = 3")
+        assert text.endswith("plan cache: miss")
+
+    def test_repeat_call_is_a_hit(self, db):
+        sql = "SELECT id FROM item WHERE id = 3"
+        db.explain_analyze(sql)
+        assert db.explain_analyze(sql).endswith("plan cache: hit")
+        # the counters behind the report are the shared plan.cache_* metrics
+        assert db.metrics.counter("plan.cache_hit") >= 1
+
+    def test_shares_cache_with_execute(self, db):
+        sql = "SELECT id FROM item WHERE id = 4"
+        db.execute(sql)  # populates the cache
+        assert db.explain_analyze(sql).endswith("plan cache: hit")
+        # and the other way round: analyze primes execute's cache
+        db.metrics.reset()
+        db.execute(sql)
+        assert db.metrics.counter("plan.cache_hit") == 1
+
+    def test_statement_form_bypasses(self, db):
+        result = db.execute("EXPLAIN ANALYZE SELECT id FROM item")
+        text = "\n".join(row[0] for row in result.rows)
+        assert "plan cache: bypass" in text
+        # the wrapped text must not shadow the inner SELECT's cache slot
+        rows = db.execute("EXPLAIN ANALYZE SELECT id FROM item")
+        assert rows.columns == ["plan"]
+
+
 class TestDbapiSurface:
     def test_explain_analyze_through_cursor(self, db):
         conn = __import__(

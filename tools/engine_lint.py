@@ -27,6 +27,11 @@ has been broken (or nearly broken) by an innocent-looking edit before:
   only name rewrite rules that exist in ``ALL_RULES`` and may only suppress
   analyzer codes that exist in ``repro.engine.analyze``.  A typo here would
   silently disable nothing.
+* **metric-names** — every metric name passed to ``.inc()``/``.observe()``
+  on a metrics registry anywhere under ``src/repro`` must be declared in
+  ``repro.engine.obs.metrics`` (``COUNTERS``/``HISTOGRAMS``).  The registry
+  raises at runtime for undeclared counters, but only on the code path that
+  increments them; this check catches the typo before any query runs.
 
 Run as ``python tools/engine_lint.py`` (exit 0 = clean); every check is also
 importable for the test suite.  Standard library only.
@@ -277,12 +282,74 @@ def check_profiles(root: Path = REPO_ROOT) -> List[str]:
     return problems
 
 
+# -- check 6: incremented metric names are declared in the registry --------
+
+def _declared_metrics(root: Path) -> Tuple[Set[str], Set[str]]:
+    """(counter names, histogram names) declared in repro.engine.obs.metrics."""
+    tree = _parse(root / ENGINE / "obs" / "metrics.py")
+    counters: Set[str] = set()
+    histograms: Set[str] = set()
+    for node in tree.body:
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+        if not isinstance(target, ast.Name):
+            continue
+        if target.id in ("COUNTERS", "HISTOGRAMS") and isinstance(node.value, ast.Dict):
+            bucket = counters if target.id == "COUNTERS" else histograms
+            bucket.update(
+                key.value for key in node.value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            )
+    return counters, histograms
+
+
+def check_metric_names(root: Path = REPO_ROOT) -> List[str]:
+    problems = []
+    counters, histograms = _declared_metrics(root)
+    if not counters:
+        return [
+            f"{ENGINE / 'obs' / 'metrics.py'}: [metric-names] could not "
+            f"locate the COUNTERS declaration"
+        ]
+    declared = {"inc": counters, "observe": histograms}
+    for path in sorted((root / "src/repro").rglob("*.py")):
+        if path.name == "metrics.py" and path.parent.name == "obs":
+            continue
+        tree = _parse(path)
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in declared
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                continue
+            receiver = _dotted(node.func.value).lower()
+            if "metric" not in receiver and "registry" not in receiver:
+                continue  # .inc()/.observe() on something else entirely
+            name = node.args[0].value
+            if name not in declared[node.func.attr]:
+                where = "COUNTERS" if node.func.attr == "inc" else "HISTOGRAMS"
+                problems.append(
+                    f"{path.relative_to(root)}:{node.lineno}: "
+                    f"[metric-names] {node.func.attr}({name!r}) but {name!r} "
+                    f"is not declared in repro.engine.obs.metrics.{where}"
+                )
+    return problems
+
+
 ALL_CHECKS = (
     check_operator_guards,
     check_no_wallclock,
     check_rewrite_invariants,
     check_layering,
     check_profiles,
+    check_metric_names,
 )
 
 
