@@ -2,15 +2,19 @@
 
 Modelled on the Benchmarking Service the paper used (§4, [10]): repeated
 measurement with warm-up discards, parameter binding from generator
-metadata, per-experiment orchestration and paper-style reports.
+metadata, per-experiment orchestration and paper-style reports.  The
+perf-trajectory side (artifact diffing, trend folding) lives in
+:mod:`.compare` and :mod:`.trend` over the ``repro-bench/v1`` artifacts
+:mod:`.artifact` reads and writes.
 """
 
 from .service import BenchmarkService, Measurement
-from .report import format_figure, format_ratio_table, geometric_mean
+from .report import format_delta_table, format_figure, format_ratio_table, geometric_mean
 
 __all__ = [
     "BenchmarkService",
     "Measurement",
+    "format_delta_table",
     "format_figure",
     "format_ratio_table",
     "geometric_mean",

@@ -158,3 +158,55 @@ def write_artifact(path, artifact: Dict, experiment: str = "bench") -> Path:
         target = target / f"BENCH_{experiment}.json"
     target.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
     return target
+
+
+class ArtifactError(ValueError):
+    """A file is not a readable ``repro-bench/v1`` artifact."""
+
+
+def load_artifact(path) -> Dict:
+    """Read and validate one artifact file.
+
+    Validation is shallow on purpose — the schema string must match and
+    the experiment list must be a list — so artifacts written by older
+    code with extra keys keep loading; consumers treat missing fields as
+    absent values.
+    """
+    source = Path(path)
+    try:
+        artifact = json.loads(source.read_text())
+    except OSError as exc:
+        raise ArtifactError(f"cannot read artifact {source}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"{source} is not valid JSON: {exc}") from exc
+    if not isinstance(artifact, dict) or artifact.get("schema") != SCHEMA:
+        raise ArtifactError(
+            f"{source} is not a {SCHEMA} artifact "
+            f"(schema={artifact.get('schema') if isinstance(artifact, dict) else '?'!r})"
+        )
+    if not isinstance(artifact.get("experiments"), list):
+        raise ArtifactError(f"{source}: 'experiments' must be a list")
+    return artifact
+
+
+def find_artifacts(directory) -> List[Path]:
+    """Every loadable artifact under *directory*, ordered for trending.
+
+    Order: the artifact's own ``generator.created_unix`` stamp when
+    present, file modification time otherwise — name is the final
+    tie-break so the fold is deterministic.  Unreadable or non-artifact
+    JSON files are skipped silently (the directory may hold other tooling
+    output).
+    """
+    root = Path(directory)
+    dated = []
+    for candidate in sorted(root.glob("*.json")):
+        try:
+            artifact = load_artifact(candidate)
+        except ArtifactError:
+            continue
+        stamp = (artifact.get("generator") or {}).get("created_unix")
+        if not isinstance(stamp, (int, float)):
+            stamp = candidate.stat().st_mtime
+        dated.append((stamp, candidate.name, candidate))
+    return [path for _stamp, _name, path in sorted(dated)]

@@ -1,0 +1,343 @@
+"""Artifact comparator: run-to-run deltas, threshold policy, CI gate.
+
+The paper's headline results are *relative* — geometric-mean slowdowns of
+26x/73x/7x/2.1x for systems A-D — so the reproduction needs run-to-run
+comparison as a first-class operation, not a one-off script.  This module
+diffs two ``repro-bench/v1`` artifacts (see :mod:`repro.bench.artifact`)
+cell by cell and classifies each cell against a configurable threshold
+policy, which makes the perf trajectory enforceable: ``repro bench-diff
+BASE.json NEW.json --gate`` exits nonzero when any cell regressed.
+
+Per cell (``experiment|qid|system|setting``):
+
+* median and p95 ratio + absolute delta, classified as ``improved`` /
+  ``unchanged`` / ``regressed`` (or ``added`` / ``removed`` when the cell
+  exists on only one side);
+* metric-count regressions — engine counters (rows scanned, probes,
+  merges) that grew past the policy's metric ratio, the *why* behind a
+  time regression;
+
+and across the artifact: per-system geometric-mean ratios (the paper's
+headline aggregation), and analyzer-tally drift (diagnostic codes that
+appeared, disappeared, or changed count).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .artifact import load_artifact
+from .report import geometric_mean
+
+#: classification outcomes, in report order
+STATUSES = ("regressed", "added", "removed", "improved", "unchanged")
+
+
+@dataclass(frozen=True)
+class ThresholdPolicy:
+    """When does a cell's movement count as a real change?
+
+    ``regress_ratio`` — new/base median at or above this regresses the
+    cell; the improvement bound is its reciprocal unless ``improve_ratio``
+    is given.  ``min_delta_s`` is an absolute floor: sub-noise absolute
+    movements never classify as changes regardless of ratio (tiny cells
+    jitter by large ratios).  ``metric_ratio`` bounds engine-counter
+    growth the same way (with ``min_metric_delta`` as its floor).
+    """
+
+    regress_ratio: float = 1.15
+    improve_ratio: Optional[float] = None
+    min_delta_s: float = 0.0005
+    metric_ratio: float = 1.5
+    min_metric_delta: int = 16
+
+    def __post_init__(self):
+        if self.regress_ratio <= 1.0:
+            raise ValueError("regress_ratio must be > 1.0")
+        if self.improve_ratio is not None and self.improve_ratio >= 1.0:
+            raise ValueError("improve_ratio must be < 1.0")
+
+    @property
+    def improvement_bound(self) -> float:
+        return self.improve_ratio if self.improve_ratio is not None else 1.0 / self.regress_ratio
+
+    def classify(self, base_s: Optional[float], new_s: Optional[float]) -> str:
+        if base_s is None and new_s is None:
+            return "unchanged"
+        if base_s is None:
+            return "added"
+        if new_s is None:
+            return "removed"
+        if abs(new_s - base_s) < self.min_delta_s:
+            return "unchanged"
+        if base_s <= 0:
+            return "regressed" if new_s > 0 else "unchanged"
+        ratio = new_s / base_s
+        if ratio >= self.regress_ratio:
+            return "regressed"
+        if ratio <= self.improvement_bound:
+            return "improved"
+        return "unchanged"
+
+
+@dataclass
+class CellDelta:
+    """One benchmark cell compared across two artifacts."""
+
+    key: str  # "experiment|qid|system|setting"
+    experiment: str
+    qid: str
+    system: str
+    setting: str
+    base_median_s: Optional[float]
+    new_median_s: Optional[float]
+    base_p95_s: Optional[float] = None
+    new_p95_s: Optional[float] = None
+    base_timed_out: bool = False
+    new_timed_out: bool = False
+    status: str = "unchanged"
+    #: (counter, base value, new value) for counters past the metric policy
+    metric_regressions: List[Tuple[str, int, int]] = field(default_factory=list)
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.base_median_s and self.new_median_s is not None and self.base_median_s > 0:
+            return self.new_median_s / self.base_median_s
+        return None
+
+    @property
+    def delta_s(self) -> Optional[float]:
+        if self.base_median_s is None or self.new_median_s is None:
+            return None
+        return self.new_median_s - self.base_median_s
+
+
+@dataclass
+class ArtifactDiff:
+    """The full comparison of two artifacts."""
+
+    base_label: str
+    new_label: str
+    policy: ThresholdPolicy
+    cells: List[CellDelta] = field(default_factory=list)
+    #: system -> geometric mean of new/base median ratios over shared cells
+    system_gm: Dict[str, float] = field(default_factory=dict)
+    #: code -> (base count, new count) where the tally moved
+    analyzer_drift: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def regressions(self) -> List[CellDelta]:
+        return [c for c in self.cells if c.status == "regressed"]
+
+    @property
+    def improvements(self) -> List[CellDelta]:
+        return [c for c in self.cells if c.status == "improved"]
+
+    @property
+    def metric_regressions(self) -> List[CellDelta]:
+        return [c for c in self.cells if c.metric_regressions]
+
+    def counts(self) -> Dict[str, int]:
+        out = {status: 0 for status in STATUSES}
+        for cell in self.cells:
+            out[cell.status] += 1
+        return out
+
+    def summary(self) -> str:
+        counts = self.counts()
+        bits = [f"{counts[s]} {s}" for s in STATUSES if counts[s]]
+        return (
+            f"{self.base_label} -> {self.new_label}: "
+            f"{', '.join(bits) if bits else 'no cells'}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# cell extraction
+# ---------------------------------------------------------------------------
+
+
+def cell_key(experiment: str, qid: str, system: str, setting: str) -> str:
+    return f"{experiment}|{qid}|{system}|{setting}"
+
+
+def artifact_cells(artifact: Dict) -> Dict[str, Dict]:
+    """``cell key -> measurement record`` over every experiment.
+
+    Duplicate keys (a qid measured twice in one experiment under the same
+    setting) keep the first record — artifacts produced by ``repro bench``
+    never contain duplicates, but hand-merged files might.
+    """
+    out: Dict[str, Dict] = {}
+    for experiment in artifact.get("experiments", ()):
+        name = experiment.get("name", "?")
+        for record in experiment.get("measurements", ()):
+            key = cell_key(
+                name,
+                record.get("qid", "?"),
+                record.get("system", "?"),
+                record.get("setting", "?"),
+            )
+            out.setdefault(key, dict(record, experiment=name))
+    return out
+
+
+def _finite(value) -> Optional[float]:
+    if isinstance(value, (int, float)) and math.isfinite(value):
+        return float(value)
+    return None
+
+
+def _metric_regressions(base: Dict, new: Dict, policy: ThresholdPolicy):
+    out: List[Tuple[str, int, int]] = []
+    base_metrics = base.get("metrics") or {}
+    new_metrics = new.get("metrics") or {}
+    for name in sorted(set(base_metrics) | set(new_metrics)):
+        before = int(base_metrics.get(name, 0))
+        after = int(new_metrics.get(name, 0))
+        if after - before < policy.min_metric_delta:
+            continue
+        if before <= 0 or after / before >= policy.metric_ratio:
+            out.append((name, before, after))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# diffing
+# ---------------------------------------------------------------------------
+
+
+def diff_artifacts(
+    base: Dict,
+    new: Dict,
+    policy: Optional[ThresholdPolicy] = None,
+    base_label: str = "base",
+    new_label: str = "new",
+) -> ArtifactDiff:
+    """Compare two loaded artifacts cell by cell."""
+    policy = policy or ThresholdPolicy()
+    diff = ArtifactDiff(base_label=base_label, new_label=new_label, policy=policy)
+    base_cells = artifact_cells(base)
+    new_cells = artifact_cells(new)
+    ratios_by_system: Dict[str, List[float]] = {}
+    for key in sorted(set(base_cells) | set(new_cells)):
+        before = base_cells.get(key)
+        after = new_cells.get(key)
+        source = after or before
+        cell = CellDelta(
+            key=key,
+            experiment=source["experiment"],
+            qid=source.get("qid", "?"),
+            system=source.get("system", "?"),
+            setting=source.get("setting", "?"),
+            base_median_s=_finite(before.get("median_s")) if before else None,
+            new_median_s=_finite(after.get("median_s")) if after else None,
+            base_p95_s=_finite(before.get("p95_s")) if before else None,
+            new_p95_s=_finite(after.get("p95_s")) if after else None,
+            base_timed_out=bool(before and before.get("timed_out")),
+            new_timed_out=bool(after and after.get("timed_out")),
+        )
+        if before is not None and after is not None:
+            # timeouts dominate the numeric policy: a fresh timeout is a
+            # regression whatever the recorded cutoff instants say
+            if cell.new_timed_out and not cell.base_timed_out:
+                cell.status = "regressed"
+            elif cell.base_timed_out and not cell.new_timed_out:
+                cell.status = "improved"
+            else:
+                cell.status = policy.classify(cell.base_median_s, cell.new_median_s)
+            cell.metric_regressions = _metric_regressions(before, after, policy)
+            if (
+                cell.ratio is not None
+                and not cell.base_timed_out
+                and not cell.new_timed_out
+            ):
+                ratios_by_system.setdefault(cell.system, []).append(cell.ratio)
+        else:
+            cell.status = "added" if before is None else "removed"
+        diff.cells.append(cell)
+    for system, ratios in sorted(ratios_by_system.items()):
+        diff.system_gm[system] = geometric_mean(ratios)
+    base_tally = base.get("analyzer") or {}
+    new_tally = new.get("analyzer") or {}
+    for code in sorted(set(base_tally) | set(new_tally)):
+        before_count = int((base_tally.get(code) or {}).get("count", 0))
+        after_count = int((new_tally.get(code) or {}).get("count", 0))
+        if before_count != after_count:
+            diff.analyzer_drift[code] = (before_count, after_count)
+    return diff
+
+
+def diff_files(
+    base_path,
+    new_path,
+    policy: Optional[ThresholdPolicy] = None,
+) -> ArtifactDiff:
+    """Load and diff two artifact files (labels are the file names)."""
+    from pathlib import Path
+
+    base = load_artifact(base_path)
+    new = load_artifact(new_path)
+    return diff_artifacts(
+        base,
+        new,
+        policy=policy,
+        base_label=Path(base_path).name,
+        new_label=Path(new_path).name,
+    )
+
+
+def markdown_report(diff: ArtifactDiff) -> str:
+    """The delta report as markdown (the CI-uploaded artifact)."""
+    lines = [
+        f"# Bench delta: `{diff.base_label}` → `{diff.new_label}`",
+        "",
+        f"Policy: regress ≥ {diff.policy.regress_ratio:.2f}×, "
+        f"improve ≤ {diff.policy.improvement_bound:.2f}×, "
+        f"floor {diff.policy.min_delta_s * 1000:.2f} ms.",
+        "",
+        f"**{diff.summary()}**",
+        "",
+        "| cell | base | new | ratio | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for cell in diff.cells:
+        base = "—" if cell.base_median_s is None else f"{cell.base_median_s * 1000:.3f} ms"
+        new = "—" if cell.new_median_s is None else f"{cell.new_median_s * 1000:.3f} ms"
+        if cell.base_timed_out:
+            base = "timeout"
+        if cell.new_timed_out:
+            new = "timeout"
+        ratio = "—" if cell.ratio is None else f"{cell.ratio:.2f}×"
+        lines.append(f"| `{cell.key}` | {base} | {new} | {ratio} | {cell.status} |")
+    if diff.system_gm:
+        lines += ["", "| system | geometric-mean ratio |", "|---|---:|"]
+        for system, gm in diff.system_gm.items():
+            value = "—" if math.isnan(gm) else f"{gm:.3f}×"
+            lines.append(f"| {system} | {value} |")
+    metric_cells = diff.metric_regressions
+    if metric_cells:
+        lines += ["", "## Metric regressions", ""]
+        for cell in metric_cells:
+            for name, before, after in cell.metric_regressions:
+                lines.append(f"- `{cell.key}`: `{name}` {before} → {after}")
+    if diff.analyzer_drift:
+        lines += ["", "## Analyzer drift", ""]
+        for code, (before, after) in diff.analyzer_drift.items():
+            lines.append(f"- `{code}`: {before} → {after}")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "ArtifactDiff",
+    "CellDelta",
+    "STATUSES",
+    "ThresholdPolicy",
+    "artifact_cells",
+    "cell_key",
+    "diff_artifacts",
+    "diff_files",
+    "markdown_report",
+]

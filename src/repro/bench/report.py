@@ -189,6 +189,52 @@ def format_metrics(
     return "\n".join(lines)
 
 
+def format_delta_table(diff, only_changed: bool = False) -> str:
+    """Per-cell delta table for an :class:`repro.bench.compare.ArtifactDiff`.
+
+    Duck-typed on the diff object (cells with median/p95/status, system
+    geometric means, analyzer drift) so this module does not import the
+    comparator.  ``only_changed`` drops unchanged cells — useful inline
+    after a bench run where the full matrix would drown the signal.
+    """
+    title = f"Bench delta: {diff.base_label} -> {diff.new_label}"
+    lines = [title, "=" * len(title)]
+    cells = [c for c in diff.cells if not only_changed or c.status != "unchanged"]
+    if not cells:
+        lines.append(
+            "(all cells unchanged)" if diff.cells else "(no cells to compare)"
+        )
+    else:
+        width = max(len(c.key) for c in cells) + 2
+        lines.append(
+            f"{'cell':<{width}}{'base':>12}{'new':>12}{'ratio':>8}  status"
+        )
+        marks = {"regressed": "!", "improved": "+", "added": ">", "removed": "<"}
+        for cell in cells:
+            base = "timeout" if cell.base_timed_out else (
+                "-" if cell.base_median_s is None else f"{cell.base_median_s * 1000:.3f}ms"
+            )
+            new = "timeout" if cell.new_timed_out else (
+                "-" if cell.new_median_s is None else f"{cell.new_median_s * 1000:.3f}ms"
+            )
+            ratio = "-" if cell.ratio is None else f"{cell.ratio:.2f}x"
+            mark = marks.get(cell.status, " ")
+            lines.append(
+                f"{cell.key:<{width}}{base:>12}{new:>12}{ratio:>8}  "
+                f"{mark} {cell.status}"
+            )
+    for system, gm in diff.system_gm.items():
+        value = "-" if math.isnan(gm) else f"{gm:.3f}x"
+        lines.append(f"system {system}: geometric-mean ratio {value}")
+    for cell in diff.metric_regressions:
+        for name, before, after in cell.metric_regressions:
+            lines.append(f"metric {cell.key}: {name} {before} -> {after}")
+    for code, (before, after) in diff.analyzer_drift.items():
+        lines.append(f"analyzer {code}: {before} -> {after} findings")
+    lines.append(diff.summary())
+    return "\n".join(lines)
+
+
 def format_latency_table(title: str, cells: Dict[str, Dict[str, float]]) -> str:
     """Median / 97th-percentile table (Fig 16 layout). *cells* maps system
     name to {"median": s, "p97": s, ...}."""

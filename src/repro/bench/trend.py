@@ -1,0 +1,216 @@
+"""Trend store: fold a directory of bench artifacts into a time series.
+
+CI uploads one ``BENCH_<experiment>.json`` per run; this module folds all
+artifacts in a directory into a single ``TREND.json`` (schema
+``repro-trend/v1``) holding per-cell median series with sparkline data,
+plus a markdown trajectory report — the accumulating artifacts become a
+readable perf trajectory instead of a pile of numbers.
+
+Schema ``repro-trend/v1``::
+
+    {
+      "schema": "repro-trend/v1",
+      "points": [{"source": "BENCH_fig02.json", "created_unix": ...}, ...],
+      "cells": {
+        "fig02|T1.app|A|no index": {
+          "medians_s": [..., null, ...],   # one slot per point, null = absent
+          "spark": "▁▃▇",                  # absent points render as space
+          "first_s": ..., "last_s": ..., "best_s": ..., "worst_s": ...,
+          "ratio": last/first              # null when either end is missing
+        }, ...
+      },
+      "systems": {"A": {"last_gm_ratio": ...}, ...}   # last vs first point
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .artifact import ArtifactError, find_artifacts, load_artifact
+from .compare import artifact_cells, diff_artifacts
+from .report import geometric_mean
+
+TREND_SCHEMA = "repro-trend/v1"
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: List[Optional[float]]) -> str:
+    """Unicode sparkline; ``None`` slots render as spaces.
+
+    Levels are scaled on a log axis (like the paper's figures) so the
+    order-of-magnitude cliffs the benchmark cares about stay visible next
+    to small cells.
+    """
+    finite = [v for v in values if v is not None and v > 0]
+    if not finite:
+        return " " * len(values)
+    low = math.log(min(finite))
+    high = math.log(max(finite))
+    span = high - low
+    out = []
+    for value in values:
+        if value is None or value <= 0:
+            out.append(" ")
+            continue
+        if span <= 0:
+            out.append(_SPARK_LEVELS[0])
+            continue
+        level = (math.log(value) - low) / span
+        out.append(_SPARK_LEVELS[min(len(_SPARK_LEVELS) - 1, int(level * len(_SPARK_LEVELS)))])
+    return "".join(out)
+
+
+def _finite(value) -> Optional[float]:
+    if isinstance(value, (int, float)) and math.isfinite(value):
+        return float(value)
+    return None
+
+
+def fold_artifacts(paths: List) -> Dict:
+    """Fold loadable artifact files (chronological order) into a trend."""
+    points = []
+    series: Dict[str, List[Optional[float]]] = {}
+    loaded = []
+    for path in paths:
+        artifact = load_artifact(path)
+        loaded.append(artifact)
+        points.append({
+            "source": Path(path).name,
+            "created_unix": (artifact.get("generator") or {}).get("created_unix"),
+        })
+    if not loaded:
+        raise ArtifactError("no repro-bench/v1 artifacts to fold")
+    for index, artifact in enumerate(loaded):
+        for key, record in artifact_cells(artifact).items():
+            slots = series.setdefault(key, [None] * len(loaded))
+            median = _finite(record.get("median_s"))
+            slots[index] = None if record.get("timed_out") else median
+    cells = {}
+    for key in sorted(series):
+        values = series[key]
+        finite = [v for v in values if v is not None]
+        first = next((v for v in values if v is not None), None)
+        last = next((v for v in reversed(values) if v is not None), None)
+        cells[key] = {
+            "medians_s": values,
+            "spark": sparkline(values),
+            "first_s": first,
+            "last_s": last,
+            "best_s": min(finite) if finite else None,
+            "worst_s": max(finite) if finite else None,
+            "ratio": (last / first) if (first and last is not None and first > 0) else None,
+        }
+    systems: Dict[str, Dict] = {}
+    if len(loaded) >= 2:
+        end_to_end = diff_artifacts(loaded[0], loaded[-1])
+        for system, gm in end_to_end.system_gm.items():
+            systems[system] = {"last_gm_ratio": None if math.isnan(gm) else gm}
+    return {
+        "schema": TREND_SCHEMA,
+        "points": points,
+        "cells": cells,
+        "systems": systems,
+    }
+
+
+def fold_directory(directory) -> Dict:
+    """Fold every artifact in *directory* (see :func:`find_artifacts`)."""
+    paths = find_artifacts(directory)
+    if not paths:
+        raise ArtifactError(f"no repro-bench/v1 artifacts in {directory}")
+    return fold_artifacts(paths)
+
+
+def write_trend(trend: Dict, path) -> Path:
+    target = Path(path)
+    if target.is_dir():
+        target = target / "TREND.json"
+    target.write_text(json.dumps(trend, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+# ---------------------------------------------------------------------------
+# reports
+# ---------------------------------------------------------------------------
+
+
+def _experiment_of(key: str) -> str:
+    return key.split("|", 1)[0]
+
+
+def markdown_report(trend: Dict) -> str:
+    """The trajectory report as markdown (``TREND.md``)."""
+    points = trend["points"]
+    lines = [
+        "# Perf trajectory",
+        "",
+        f"{len(points)} runs folded "
+        f"(`{points[0]['source']}` → `{points[-1]['source']}`).",
+        "",
+    ]
+    for system, entry in sorted((trend.get("systems") or {}).items()):
+        gm = entry.get("last_gm_ratio")
+        if gm is not None:
+            lines.append(f"- system {system}: last/first geometric-mean ratio {gm:.3f}×")
+    if trend.get("systems"):
+        lines.append("")
+    by_experiment: Dict[str, List[str]] = {}
+    for key in trend["cells"]:
+        by_experiment.setdefault(_experiment_of(key), []).append(key)
+    for experiment in sorted(by_experiment):
+        lines += [
+            f"## {experiment}",
+            "",
+            "| cell | runs | first | last | ratio | trend |",
+            "|---|---:|---:|---:|---:|---|",
+        ]
+        for key in by_experiment[experiment]:
+            cell = trend["cells"][key]
+            runs = sum(1 for v in cell["medians_s"] if v is not None)
+            first = "—" if cell["first_s"] is None else f"{cell['first_s'] * 1000:.3f} ms"
+            last = "—" if cell["last_s"] is None else f"{cell['last_s'] * 1000:.3f} ms"
+            ratio = "—" if cell["ratio"] is None else f"{cell['ratio']:.2f}×"
+            label = key.split("|", 1)[1]
+            lines.append(
+                f"| `{label}` | {runs} | {first} | {last} | {ratio} "
+                f"| `{cell['spark']}` |"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_trend_summary(trend: Dict, limit: int = 0) -> str:
+    """Terminal summary: one sparkline row per cell."""
+    points = trend["points"]
+    title = f"Perf trajectory ({len(points)} runs)"
+    lines = [title, "=" * len(title)]
+    keys = sorted(trend["cells"])
+    if limit:
+        keys = keys[:limit]
+    width = max((len(k) for k in keys), default=10) + 2
+    for key in keys:
+        cell = trend["cells"][key]
+        last = "      —" if cell["last_s"] is None else f"{cell['last_s'] * 1000:9.3f}ms"
+        ratio = "    —" if cell["ratio"] is None else f"{cell['ratio']:4.2f}x"
+        lines.append(f"{key:<{width}}{last} {ratio}  {cell['spark']}")
+    for system, entry in sorted((trend.get("systems") or {}).items()):
+        gm = entry.get("last_gm_ratio")
+        if gm is not None:
+            lines.append(f"system {system}: last/first gm ratio {gm:.3f}x")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "TREND_SCHEMA",
+    "fold_artifacts",
+    "fold_directory",
+    "format_trend_summary",
+    "markdown_report",
+    "sparkline",
+    "write_trend",
+]

@@ -12,11 +12,19 @@ Commands mirror the benchmark pipeline of the paper's §4:
 * ``lint``     — static temporal-query diagnostics without executing;
 * ``cache-stats`` — plan-cache hit rates after repeated workload passes;
 * ``trace``    — run one statement and print its lifecycle span tree;
-* ``metrics``  — engine metric counters after workload passes.
+* ``metrics``  — engine metric counters after workload passes;
+* ``bench-diff`` — compare two or more bench artifacts cell by cell
+  (``--gate`` exits nonzero on regression, the CI perf gate);
+* ``trend``    — fold a directory of artifacts into ``TREND.json`` plus a
+  markdown trajectory report;
+* ``flamegraph`` — folded stacks / SVG flamegraph / per-operator table
+  from tracer spans (live run or a recorded JSONL file).
 
 ``bench --json PATH`` additionally writes a machine-readable
 ``BENCH_<experiment>.json`` artifact (schema ``repro-bench/v1``, see
-:mod:`repro.bench.artifact`) so the repo accumulates a perf trajectory.
+:mod:`repro.bench.artifact`) so the repo accumulates a perf trajectory;
+``bench --compare-to BASELINE.json`` prints the delta table against a
+prior artifact inline after the run.
 """
 
 from __future__ import annotations
@@ -96,6 +104,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a machine-readable artifact (schema repro-bench/v1); "
         "a directory gets BENCH_<experiment>.json",
     )
+    bench.add_argument(
+        "--compare-to", dest="compare_to", default=None, metavar="BASELINE",
+        help="print the delta table against this repro-bench/v1 artifact "
+        "after the run",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=1.15,
+        help="regression ratio for --compare-to classification "
+        "(default %(default)s)",
+    )
 
     verify = sub.add_parser("verify", help="run temporal consistency checks")
     verify.add_argument("--system", default="A", help="archetype A..E")
@@ -149,6 +167,76 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--m", type=float, default=0.0003)
     metrics.add_argument(
         "--runs", type=int, default=1, help="workload passes to drive"
+    )
+
+    diff = sub.add_parser(
+        "bench-diff",
+        help="compare bench artifacts cell by cell (perf trajectory gate)",
+    )
+    diff.add_argument("base", help="baseline repro-bench/v1 artifact")
+    diff.add_argument("others", nargs="+", metavar="new",
+                      help="artifact(s) to compare against the baseline")
+    diff.add_argument(
+        "--threshold", type=float, default=1.15,
+        help="new/base median ratio at or above this regresses a cell "
+        "(default %(default)s)",
+    )
+    diff.add_argument(
+        "--min-delta-ms", type=float, default=0.5,
+        help="ignore absolute median movements below this many milliseconds "
+        "(default %(default)s)",
+    )
+    diff.add_argument(
+        "--gate", action="store_true",
+        help="exit nonzero when any cell regressed (CI perf gate)",
+    )
+    diff.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the delta report as markdown",
+    )
+    diff.add_argument(
+        "--all-cells", action="store_true",
+        help="print unchanged cells too (default shows changes only)",
+    )
+
+    trend = sub.add_parser(
+        "trend", help="fold a directory of bench artifacts into TREND.json"
+    )
+    trend.add_argument("directory", help="directory holding BENCH_*.json files")
+    trend.add_argument(
+        "--json", dest="json_path", default=None, metavar="PATH",
+        help="where to write the trend store (default DIR/TREND.json)",
+    )
+    trend.add_argument(
+        "--md", dest="md_path", default=None, metavar="PATH",
+        help="where to write the markdown trajectory report "
+        "(default DIR/TREND.md)",
+    )
+
+    flame = sub.add_parser(
+        "flamegraph",
+        help="folded stacks / SVG flamegraph from tracer span trees",
+    )
+    flame.add_argument("--system", default="A", help="archetype A..E")
+    flame.add_argument("--h", type=float, default=0.001)
+    flame.add_argument("--m", type=float, default=0.0003)
+    flame.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="read spans from this JSONL file (tracer or slow-query-log "
+        "output) instead of executing anything",
+    )
+    flame.add_argument(
+        "--svg", default=None, metavar="PATH",
+        help="render the flamegraph SVG here",
+    )
+    flame.add_argument(
+        "--folded", default=None, metavar="PATH",
+        help="write folded-stack lines here (flamegraph.pl input)",
+    )
+    flame.add_argument(
+        "sql", nargs="?", default=None,
+        help="statement to profile (default: one full T/H/K/R/B "
+        "workload pass)",
     )
     return parser
 
@@ -229,7 +317,8 @@ def _cmd_bench(args) -> int:
             for name, system in context["systems"].items()
         }
         print(format_cache_stats("Plan cache", stats))
-    if args.json_path:
+    artifact = None
+    if args.json_path or args.compare_to:
         from .bench.artifact import build_artifact, write_artifact
 
         artifact = build_artifact(
@@ -244,10 +333,30 @@ def _cmd_bench(args) -> int:
             },
         )
         artifact["generator"]["created_unix"] = time.time()
+    if args.json_path:
         path = write_artifact(
             args.json_path, artifact, experiment="_".join(names)
         )
         print(f"wrote artifact {path}")
+    if args.compare_to:
+        from .bench.artifact import ArtifactError, load_artifact
+        from .bench.compare import ThresholdPolicy, diff_artifacts
+        from .bench.report import format_delta_table
+
+        try:
+            baseline = load_artifact(args.compare_to)
+        except ArtifactError as exc:
+            print(f"bench: {exc}", file=sys.stderr)
+            return 2
+        diff = diff_artifacts(
+            baseline,
+            artifact,
+            policy=ThresholdPolicy(regress_ratio=args.threshold),
+            base_label=Path(args.compare_to).name,
+            new_label="this run",
+        )
+        print()
+        print(format_delta_table(diff))
     return 0
 
 
@@ -412,6 +521,115 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_bench_diff(args) -> int:
+    from .bench.artifact import ArtifactError, load_artifact
+    from .bench.compare import ThresholdPolicy, diff_artifacts, markdown_report
+    from .bench.report import format_delta_table
+
+    policy = ThresholdPolicy(
+        regress_ratio=args.threshold, min_delta_s=args.min_delta_ms / 1000.0
+    )
+    try:
+        base = load_artifact(args.base)
+    except ArtifactError as exc:
+        print(f"bench-diff: {exc}", file=sys.stderr)
+        return 2
+    base_label = Path(args.base).name
+    regressed = False
+    reports = []
+    for other in args.others:
+        try:
+            new = load_artifact(other)
+        except ArtifactError as exc:
+            print(f"bench-diff: {exc}", file=sys.stderr)
+            return 2
+        diff = diff_artifacts(
+            base, new, policy=policy,
+            base_label=base_label, new_label=Path(other).name,
+        )
+        print(format_delta_table(diff, only_changed=not args.all_cells))
+        print()
+        reports.append(markdown_report(diff))
+        regressed = regressed or bool(diff.regressions)
+    if args.report:
+        Path(args.report).write_text("\n".join(reports))
+        print(f"wrote report {args.report}")
+    if args.gate and regressed:
+        print("bench-diff: GATE FAILED (regressed cells above)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_trend(args) -> int:
+    from .bench.artifact import ArtifactError
+    from .bench import trend as trend_mod
+
+    try:
+        trend = trend_mod.fold_directory(args.directory)
+    except ArtifactError as exc:
+        print(f"trend: {exc}", file=sys.stderr)
+        return 2
+    directory = Path(args.directory)
+    json_path = trend_mod.write_trend(trend, args.json_path or directory)
+    md_path = Path(args.md_path) if args.md_path else directory / "TREND.md"
+    md_path.write_text(trend_mod.markdown_report(trend))
+    print(trend_mod.format_trend_summary(trend))
+    print(f"wrote {json_path} and {md_path}")
+    return 0
+
+
+def _cmd_flamegraph(args) -> int:
+    from .engine.obs import (
+        RingBufferSink,
+        format_folded,
+        format_operator_table,
+        load_jsonl,
+        operator_table,
+        render_flamegraph_svg,
+    )
+    from .engine.obs.profile import normalize
+
+    if args.jsonl:
+        roots = load_jsonl(args.jsonl)
+        source = args.jsonl
+    else:
+        workload = BitemporalDataGenerator(
+            GeneratorConfig(h=args.h, m=args.m)
+        ).generate()
+        system = make_system(args.system)
+        Loader(system, workload).load()
+        ring = RingBufferSink(capacity=65536)
+        system.tracer.add_sink(ring)
+        try:
+            if args.sql:
+                system.execute(args.sql)
+                source = args.sql
+            else:
+                from .core.queries import Workload
+
+                for query in Workload():
+                    system.execute(query.sql, query.params(workload.meta))
+                source = f"T/H/K/R/B workload on system {args.system}"
+        finally:
+            system.tracer.remove_sink(ring)
+        roots = normalize(ring.roots())
+    if not roots:
+        print("flamegraph: no spans recorded", file=sys.stderr)
+        return 1
+    if args.folded:
+        Path(args.folded).write_text(format_folded(roots) + "\n")
+        print(f"wrote folded stacks to {args.folded}")
+    if args.svg:
+        svg = render_flamegraph_svg(roots, title=f"repro flamegraph: {source}")
+        Path(args.svg).write_text(svg)
+        print(f"wrote flamegraph to {args.svg}")
+    if not args.folded and not args.svg:
+        print(format_folded(roots))
+        print()
+    print(format_operator_table(operator_table(roots)))
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -425,6 +643,9 @@ def main(argv=None) -> int:
         "cache-stats": _cmd_cache_stats,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
+        "bench-diff": _cmd_bench_diff,
+        "trend": _cmd_trend,
+        "flamegraph": _cmd_flamegraph,
     }[args.command]
     return handler(args)
 

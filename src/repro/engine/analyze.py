@@ -52,12 +52,24 @@ from .plan.rewrite import conjunct_bindings, rewrite_logical
 from .sql import ast
 from .sql.lexer import line_col
 from .sql.parser import parse_statement
+from .types import SqlType
 
 SEVERITIES = ("info", "warning", "error")
 _SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
 
 _COMPARISONS = ("=", "<>", "<", "<=", ">", ">=")
 _FRAGMENT_LIMIT = 48
+
+#: coarse comparability classes for TQ011 — types in the same category
+#: compare meaningfully, types across categories do not.
+_TYPE_CATEGORY = {
+    SqlType.INTEGER: "numeric",
+    SqlType.DECIMAL: "numeric",
+    SqlType.VARCHAR: "string",
+    SqlType.BOOLEAN: "boolean",
+    SqlType.DATE: "date",
+    SqlType.TIMESTAMP: "timestamp",
+}
 
 
 # ---------------------------------------------------------------------------
@@ -165,6 +177,26 @@ _RULE_LIST = (
         "§5.2: versioned tables hold many rows per key; * exposes all of "
         "them plus the period columns",
         "project explicit columns (and version timestamps if wanted)",
+    ),
+    Rule(
+        "TQ011",
+        "join-type-mismatch",
+        "warning",
+        "join predicate compares columns of incompatible types",
+        "§5.6: join edges decide intermediate sizes; a mistyped edge can "
+        "never use an index probe and usually selects nothing",
+        "join on columns of the same domain, or cast explicitly so the "
+        "mismatch is deliberate",
+    ),
+    Rule(
+        "TQ012",
+        "cross-period-join",
+        "error",
+        "application-period column compared against a system-period column",
+        "§2/§4: application time counts days, system time counts commit "
+        "ticks — the domains never align, so the comparison is meaningless",
+        "compare application periods with application periods and system "
+        "periods with system periods",
     ),
 )
 
@@ -300,6 +332,7 @@ class _Analysis:
         self._check_sargability(relation, path)
         self._check_left_join_filters(relation, path)
         self._check_connectivity(relation, path)
+        self._check_join_predicates(relation, path)
         self._check_projection(select, relation, path)
         for derived in _derived_in(relation):
             self.check_select(derived.select, f"{path}/derived:{derived.alias}")
@@ -527,6 +560,71 @@ class _Analysis:
                 path,
             )
 
+    # -- join-predicate domains (TQ011/TQ012) ------------------------------
+
+    def _check_join_predicates(self, relation: LogicalNode, path: str):
+        """Column-vs-column comparisons whose sides live in different value
+        domains: incompatible SQL types across a join edge (TQ011), or an
+        application-period column against a system-period column (TQ012)."""
+        scans = _scans_in(relation)
+        if not scans:
+            return
+        by_binding = {scan.binding: scan for scan in scans}
+        for conjunct, where in _predicate_conjuncts(relation, path):
+            if not (
+                isinstance(conjunct, ast.Binary)
+                and conjunct.op in _COMPARISONS
+                and isinstance(conjunct.left, ast.ColumnRef)
+                and isinstance(conjunct.right, ast.ColumnRef)
+            ):
+                continue
+            left = self._resolve_ref(conjunct.left, by_binding, scans)
+            right = self._resolve_ref(conjunct.right, by_binding, scans)
+            if left is None or right is None:
+                continue
+            left_scan, left_ref = left
+            right_scan, right_ref = right
+            kinds = {
+                _period_kind(left_scan.schema, left_ref.name),
+                _period_kind(right_scan.schema, right_ref.name),
+            }
+            if kinds == {"system", "application"}:
+                self.emit(
+                    "TQ012",
+                    f"{_qualified(left_scan, left_ref)} and "
+                    f"{_qualified(right_scan, right_ref)} belong to different "
+                    f"period kinds (application days vs system ticks)",
+                    conjunct,
+                    where,
+                )
+                continue  # the type mismatch is implied; one finding suffices
+            if left_scan.binding == right_scan.binding:
+                continue  # same-table comparison is not a join edge
+            left_cat = _TYPE_CATEGORY.get(left_scan.schema.column(left_ref.name).type)
+            right_cat = _TYPE_CATEGORY.get(right_scan.schema.column(right_ref.name).type)
+            if left_cat and right_cat and left_cat != right_cat:
+                self.emit(
+                    "TQ011",
+                    f"join predicate compares {_qualified(left_scan, left_ref)} "
+                    f"({left_cat}) with {_qualified(right_scan, right_ref)} "
+                    f"({right_cat})",
+                    conjunct,
+                    where,
+                )
+
+    def _resolve_ref(self, ref: ast.ColumnRef, by_binding, scans):
+        """The (scan, ref) a column reference resolves to, or None when the
+        binding is unknown/ambiguous or the column is not a base column."""
+        if ref.table is not None:
+            scan = by_binding.get(ref.table)
+            if scan is not None and scan.schema.has_column(ref.name):
+                return scan, ref
+            return None
+        owners = [s for s in scans if s.schema.has_column(ref.name)]
+        if len(owners) == 1:
+            return owners[0], ref
+        return None
+
     # -- projection shape (TQ010) -----------------------------------------
 
     def _check_projection(self, select, relation, path):
@@ -607,6 +705,18 @@ def _clause_period(schema, clause: ast.TemporalClause):
         return schema.period(clause.period)
     except CatalogError:
         return None
+
+
+def _period_kind(schema, column_name: str) -> Optional[str]:
+    """``"system"``/``"application"`` if the column belongs to a period."""
+    for period in schema.periods:
+        if column_name in (period.begin_column, period.end_column):
+            return "system" if period.is_system else "application"
+    return None
+
+
+def _qualified(scan: LogicalScan, ref: ast.ColumnRef) -> str:
+    return f"{scan.binding}.{ref.name}"
 
 
 def _comparison_sides(conjunct):

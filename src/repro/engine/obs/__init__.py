@@ -7,6 +7,15 @@ without violating the layering invariants in ``tools/engine_lint.py``.
 """
 
 from .metrics import COUNTERS, HISTOGRAMS, Histogram, MetricsRegistry
+from .profile import (
+    SpanNode,
+    folded_stacks,
+    format_folded,
+    format_operator_table,
+    load_jsonl,
+    operator_table,
+    render_flamegraph_svg,
+)
 from .sinks import JsonlSink, RingBufferSink
 from .slowlog import SlowQueryLog
 from .tracer import Span, Tracer, render_span_tree
@@ -20,6 +29,13 @@ __all__ = [
     "RingBufferSink",
     "SlowQueryLog",
     "Span",
+    "SpanNode",
     "Tracer",
+    "folded_stacks",
+    "format_folded",
+    "format_operator_table",
+    "load_jsonl",
+    "operator_table",
+    "render_flamegraph_svg",
     "render_span_tree",
 ]

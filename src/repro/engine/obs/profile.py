@@ -1,0 +1,354 @@
+"""Span-tree profiler: folded stacks, flamegraph SVG, operator attribution.
+
+The tracer records where a query's time went (parse, rewrite, execute,
+individual operators); this module turns those span trees into the three
+artefacts profilers expect:
+
+* **folded stacks** — one line per stack, ``query;execute;SeqScan 1234``,
+  value in integer microseconds of *self* time (span duration minus its
+  children), the input format of Brendan Gregg's flamegraph tooling.
+  Because values are self times, the values of a tree sum back to its
+  root's duration — nothing is double-counted.
+* **flamegraph SVG** — a self-contained pure-python renderer (no external
+  tooling): one rect per span, width proportional to duration, children
+  stacked above their parent.  Sibling widths tile the parent exactly, so
+  the per-phase widths at depth 1 sum to the root span's width.
+* **operator table** — per-operator totals (invocations, total time, self
+  time, rows) plus the plan-cache hit share of the traced statements,
+  attributing the Fig 2/5 cost structure to physical operators.
+
+Input can be live :class:`~repro.engine.obs.tracer.Span` objects (from a
+``RingBufferSink``), the recursive dict shape ``Span.to_dict(recursive=True)``
+records (slow-query-log entries, aborted trees included), or the flat
+JSONL stream a :class:`~repro.engine.obs.sinks.JsonlSink` appends — parent
+ids are enough to rebuild the forest.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SpanNode",
+    "folded_stacks",
+    "format_folded",
+    "format_operator_table",
+    "node_from_dict",
+    "node_from_span",
+    "nodes_from_flat",
+    "load_jsonl",
+    "operator_table",
+    "render_flamegraph_svg",
+]
+
+
+class SpanNode:
+    """Normalised span-tree node: the profiler's single input shape."""
+
+    __slots__ = ("name", "duration", "attrs", "status", "children")
+
+    def __init__(self, name: str, duration: float, attrs: Optional[Dict] = None,
+                 status: str = "ok", children: Optional[List["SpanNode"]] = None):
+        self.name = name
+        self.duration = float(duration or 0.0)
+        self.attrs = attrs or {}
+        self.status = status
+        self.children = children if children is not None else []
+
+    @property
+    def self_time(self) -> float:
+        """Duration not covered by children (clamped at zero)."""
+        return max(0.0, self.duration - sum(c.duration for c in self.children))
+
+    @property
+    def frame(self) -> str:
+        """The flamegraph frame label: operator spans use their op label."""
+        if self.name == "operator" and self.attrs.get("op"):
+            return str(self.attrs["op"])
+        if self.status == "aborted":
+            return f"{self.name}!"
+        return self.name
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self):
+        return f"<SpanNode {self.frame} {self.duration * 1000:.3f}ms>"
+
+
+# ---------------------------------------------------------------------------
+# building the normalised forest
+# ---------------------------------------------------------------------------
+
+
+def node_from_span(span) -> SpanNode:
+    """A live tracer ``Span`` (children attached) as a :class:`SpanNode`."""
+    return SpanNode(
+        span.name,
+        span.duration or 0.0,
+        dict(span.attrs),
+        getattr(span, "status", "ok"),
+        [node_from_span(child) for child in span.children],
+    )
+
+
+def node_from_dict(record: Dict) -> SpanNode:
+    """The recursive ``Span.to_dict(recursive=True)`` shape (slow-query-log
+    entries, aborted trees included) as a :class:`SpanNode`."""
+    return SpanNode(
+        record.get("name", "?"),
+        record.get("duration_s") or 0.0,
+        dict(record.get("attrs") or {}),
+        record.get("status", "ok"),
+        [node_from_dict(child) for child in record.get("children") or []],
+    )
+
+
+def nodes_from_flat(records: Iterable[Dict]) -> List[SpanNode]:
+    """Rebuild the forest from flat span dicts (JsonlSink output).
+
+    Children arrive before parents (inner regions close first), so the
+    pass collects every span first and then attaches by ``parent_id``.
+    Spans whose parent never closed (an aborted run cut short) surface as
+    roots of their own — the walker never drops data.
+    """
+    built: Dict[int, SpanNode] = {}
+    order: List[Tuple[Optional[int], int]] = []
+    for record in records:
+        span_id = record.get("span_id")
+        if span_id is None:
+            continue
+        built[span_id] = node_from_dict(record)
+        order.append((record.get("parent_id"), span_id))
+    roots: List[SpanNode] = []
+    for parent_id, span_id in order:
+        node = built[span_id]
+        if parent_id is not None and parent_id in built:
+            built[parent_id].children.append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+def load_jsonl(path) -> List[SpanNode]:
+    """Load a JsonlSink span stream (or slow-query-log JSONL) as a forest.
+
+    Accepts both line shapes: flat span dicts (``span_id``/``parent_id``)
+    and slow-query-log entries carrying a recursive tree under ``spans``.
+    """
+    flat: List[Dict] = []
+    roots: List[SpanNode] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if "spans" in record and isinstance(record["spans"], dict):
+                roots.append(node_from_dict(record["spans"]))
+            else:
+                flat.append(record)
+    roots.extend(nodes_from_flat(flat))
+    return roots
+
+
+def normalize(roots: Sequence) -> List[SpanNode]:
+    """Coerce a mixed sequence (live spans / dicts / SpanNodes) to nodes."""
+    out: List[SpanNode] = []
+    for root in roots:
+        if isinstance(root, SpanNode):
+            out.append(root)
+        elif isinstance(root, dict):
+            out.append(node_from_dict(root))
+        else:
+            out.append(node_from_span(root))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# folded stacks
+# ---------------------------------------------------------------------------
+
+
+def folded_stacks(roots: Sequence) -> List[Tuple[str, int]]:
+    """``(stack, microseconds)`` pairs, one per span with nonzero self time.
+
+    The stack is the ``;``-joined frame path from the root; the value is
+    the span's *self* time in integer microseconds, so summing every value
+    of one tree recovers the root duration (up to rounding).
+    """
+    out: List[Tuple[str, int]] = []
+
+    def visit(node: SpanNode, prefix: str):
+        stack = f"{prefix};{node.frame}" if prefix else node.frame
+        value = int(round(node.self_time * 1e6))
+        if value > 0 or not node.children:
+            out.append((stack, value))
+        for child in node.children:
+            visit(child, stack)
+
+    for root in normalize(roots):
+        visit(root, "")
+    return out
+
+
+def format_folded(roots: Sequence) -> str:
+    """The folded-stack text file flamegraph tooling consumes."""
+    return "\n".join(f"{stack} {value}" for stack, value in folded_stacks(roots))
+
+
+# ---------------------------------------------------------------------------
+# flamegraph SVG
+# ---------------------------------------------------------------------------
+
+_ROW_H = 17
+_FONT_PX = 11
+#: warm flamegraph palette; a frame keeps its colour across renders
+_PALETTE = (
+    "#e4572e", "#f28f3b", "#c8553d", "#f2a65a", "#d1495b",
+    "#e07a5f", "#bc6c25", "#dd6e42", "#e26d5c", "#c44536",
+)
+
+
+def _color(frame: str) -> str:
+    return _PALETTE[sum(frame.encode()) % len(_PALETTE)]
+
+
+def _depth(node: SpanNode) -> int:
+    return 1 + max((_depth(child) for child in node.children), default=0)
+
+
+def render_flamegraph_svg(roots: Sequence, width: int = 1000,
+                          title: str = "repro flamegraph") -> str:
+    """A self-contained flamegraph SVG for one or more span trees.
+
+    Widths are proportional to span durations over the summed root
+    durations; children are laid out left-to-right inside their parent
+    starting at the parent's left edge, so sibling widths tile the parent
+    and the depth-1 phase widths sum to the root span's width.  Each rect
+    carries ``data-name``/``data-dur-us``/``data-depth`` attributes and a
+    ``<title>`` tooltip, so the file is grep- and test-friendly.
+    """
+    forest = [r for r in normalize(roots) if r.duration > 0]
+    total = sum(root.duration for root in forest)
+    if not forest or total <= 0:
+        raise ValueError("no finished spans with nonzero duration to render")
+    depth = max(_depth(root) for root in forest)
+    height = (depth + 1) * _ROW_H + 24
+    scale = width / total
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="monospace" font-size="{_FONT_PX}">',
+        f'<rect x="0" y="0" width="{width}" height="{height}" fill="#fdf6ec"/>',
+        f'<text x="4" y="14" fill="#333">{html.escape(title)} '
+        f'({total * 1000:.3f} ms total)</text>',
+    ]
+
+    def emit(node: SpanNode, x: float, level: int):
+        w = node.duration * scale
+        y = height - (level + 1) * _ROW_H
+        label = node.frame
+        pct = 100.0 * node.duration / total
+        fill = "#9e2a2b" if node.status == "aborted" else _color(label)
+        parts.append(
+            f'<g><rect x="{x:.3f}" y="{y}" width="{w:.3f}" '
+            f'height="{_ROW_H - 1}" fill="{fill}" rx="1" '
+            f'data-name="{html.escape(label, quote=True)}" '
+            f'data-dur-us="{int(round(node.duration * 1e6))}" '
+            f'data-depth="{level}">'
+            f"<title>{html.escape(label)}: {node.duration * 1000:.3f} ms "
+            f"({pct:.1f}%)</title></rect>"
+        )
+        if w >= _FONT_PX * 2:
+            visible = max(1, int(w / (_FONT_PX * 0.62)))
+            text = label if len(label) <= visible else label[: max(1, visible - 1)] + "…"
+            parts.append(
+                f'<text x="{x + 2:.3f}" y="{y + _ROW_H - 5}" '
+                f'fill="#fff">{html.escape(text)}</text>'
+            )
+        parts.append("</g>")
+        cx = x
+        for child in node.children:
+            emit(child, cx, level + 1)
+            cx += child.duration * scale
+
+    x = 0.0
+    for root in forest:
+        emit(root, x, 0)
+        x += root.duration * scale
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# per-operator attribution
+# ---------------------------------------------------------------------------
+
+
+def operator_table(roots: Sequence) -> Dict:
+    """Aggregate operator spans across the forest.
+
+    Returns ``{"operators": {label: {"calls", "total_s", "self_s", "rows"}},
+    "cache": {"hits", "misses"}}`` — the per-operator cost attribution the
+    Fig 2/5 tables need, plus the plan-cache hit share of the traced
+    statements (from ``plan_cache.lookup`` spans).
+    """
+    operators: Dict[str, Dict] = {}
+    cache = {"hits": 0, "misses": 0}
+    for root in normalize(roots):
+        for node in root.walk():
+            if node.name == "plan_cache.lookup":
+                outcome = node.attrs.get("outcome")
+                if outcome == "hit":
+                    cache["hits"] += 1
+                elif outcome == "miss":
+                    cache["misses"] += 1
+            if node.name != "operator":
+                continue
+            label = node.frame
+            entry = operators.setdefault(
+                label, {"calls": 0, "total_s": 0.0, "self_s": 0.0, "rows": 0}
+            )
+            entry["calls"] += 1
+            entry["total_s"] += node.duration
+            entry["self_s"] += node.self_time
+            rows = node.attrs.get("rows")
+            if isinstance(rows, int):
+                entry["rows"] += rows
+    return {"operators": operators, "cache": cache}
+
+
+def format_operator_table(table: Dict, title: str = "Operator attribution") -> str:
+    """Render :func:`operator_table` output, heaviest self time first."""
+    operators = table["operators"]
+    lines = [title, "=" * len(title)]
+    if not operators:
+        lines.append("(no operator spans recorded)")
+    else:
+        width = max(len(label) for label in operators) + 2
+        lines.append(
+            f"{'operator':<{width}}{'calls':>7}{'rows':>10}"
+            f"{'total':>12}{'self':>12}"
+        )
+        ordered = sorted(
+            operators.items(), key=lambda kv: kv[1]["self_s"], reverse=True
+        )
+        for label, entry in ordered:
+            lines.append(
+                f"{label:<{width}}{entry['calls']:>7}{entry['rows']:>10}"
+                f"{entry['total_s'] * 1000:>10.3f}ms"
+                f"{entry['self_s'] * 1000:>10.3f}ms"
+            )
+    cache = table["cache"]
+    lookups = cache["hits"] + cache["misses"]
+    if lookups:
+        share = cache["hits"] / lookups
+        lines.append(
+            f"plan cache: {cache['hits']}/{lookups} lookups hit ({share:.1%})"
+        )
+    return "\n".join(lines)

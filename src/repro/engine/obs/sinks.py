@@ -12,6 +12,7 @@ directly.
 from __future__ import annotations
 
 import json
+import threading
 from collections import deque
 from typing import List
 
@@ -40,15 +41,23 @@ class RingBufferSink:
 
 
 class JsonlSink:
-    """Appends one JSON object per finished span to a file."""
+    """Appends one JSON object per finished span to a file.
+
+    Writes are line-atomic: each span serialises to a full line first and
+    reaches the file handle in a single locked ``write`` call, so sessions
+    tracing concurrently into one sink interleave whole lines, never
+    fragments — every line of the output parses on its own.
+    """
 
     def __init__(self, path):
         self.path = path
         self._fh = open(path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
 
     def emit(self, span):
-        json.dump(span.to_dict(), self._fh, default=str)
-        self._fh.write("\n")
+        line = json.dumps(span.to_dict(), default=str) + "\n"
+        with self._lock:
+            self._fh.write(line)
 
     def close(self):
         if self._fh is not None:

@@ -25,8 +25,8 @@ def only(db, sql, code):
 
 
 class TestRuleCatalog:
-    def test_ten_stable_codes(self):
-        assert sorted(RULES) == [f"TQ{n:03d}" for n in range(1, 11)]
+    def test_twelve_stable_codes(self):
+        assert sorted(RULES) == [f"TQ{n:03d}" for n in range(1, 13)]
 
     def test_every_rule_is_complete(self):
         for rule in RULES.values():
@@ -223,6 +223,61 @@ class TestTQ010HistoryStarProjection:
     def test_negative_explicit_projection(self, db):
         assert "TQ010" not in codes(
             db, "SELECT id, price FROM item FOR SYSTEM_TIME ALL"
+        )
+
+
+class TestTQ011JoinTypeMismatch:
+    def test_positive_string_vs_numeric_edge(self, db):
+        d = only(db, "SELECT a.id FROM item a, item b WHERE a.name = b.price", "TQ011")
+        assert d.severity == "warning"
+        assert "a.name" in d.message and "b.price" in d.message
+
+    def test_negative_same_type_edge(self, db):
+        assert "TQ011" not in codes(
+            db, "SELECT a.id FROM item a, item b WHERE a.id = b.id"
+        )
+
+    def test_negative_numeric_category_is_compatible(self, db):
+        # INTEGER vs DECIMAL both live in the numeric category.
+        assert "TQ011" not in codes(
+            db, "SELECT a.id FROM item a, item b WHERE a.id = b.price"
+        )
+
+    def test_negative_same_binding_is_not_a_join_edge(self, db):
+        assert "TQ011" not in codes(
+            db,
+            "SELECT a.id FROM item a, item b WHERE a.name = a.name AND a.id = b.id",
+        )
+
+
+class TestTQ012CrossPeriodJoin:
+    def test_positive_app_vs_system_column(self, db):
+        d = only(
+            db,
+            "SELECT a.id FROM item a, item b WHERE a.ab = b.sb AND a.id = b.id",
+            "TQ012",
+        )
+        assert d.severity == "error"
+        assert "a.ab" in d.message and "b.sb" in d.message
+
+    def test_positive_same_table_cross_period(self, db):
+        assert "TQ012" in codes(db, "SELECT id FROM item WHERE ab = sb")
+
+    def test_positive_suppresses_tq011(self, db):
+        found = codes(
+            db, "SELECT a.id FROM item a, item b WHERE a.ae = b.se AND a.id = b.id"
+        )
+        assert "TQ012" in found
+        assert "TQ011" not in found
+
+    def test_negative_both_application(self, db):
+        assert "TQ012" not in codes(
+            db, "SELECT a.id FROM item a, item b WHERE a.ab = b.ae AND a.id = b.id"
+        )
+
+    def test_negative_both_system(self, db):
+        assert "TQ012" not in codes(
+            db, "SELECT a.id FROM item a, item b WHERE a.sb = b.se AND a.id = b.id"
         )
 
 

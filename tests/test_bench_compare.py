@@ -1,0 +1,232 @@
+"""Artifact comparator: threshold policy, cell deltas, gate classification."""
+
+import math
+
+import pytest
+
+from repro.bench.artifact import ArtifactError, load_artifact, write_artifact
+from repro.bench.compare import (
+    ArtifactDiff,
+    STATUSES,
+    ThresholdPolicy,
+    artifact_cells,
+    cell_key,
+    diff_artifacts,
+    diff_files,
+    markdown_report,
+)
+from repro.bench.report import format_delta_table
+
+
+def make_artifact(cells, analyzer=None, created=None):
+    """A minimal repro-bench/v1 artifact from (qid, system, setting, fields)."""
+    measurements = []
+    for qid, system, setting, fields in cells:
+        record = {
+            "qid": qid,
+            "system": system,
+            "setting": setting,
+            "median_s": fields.get("median_s"),
+            "p95_s": fields.get("p95_s"),
+            "timed_out": fields.get("timed_out", False),
+            "metrics": fields.get("metrics", {}),
+        }
+        measurements.append(record)
+    generator = {"tool": "repro bench"}
+    if created is not None:
+        generator["created_unix"] = created
+    return {
+        "schema": "repro-bench/v1",
+        "generator": generator,
+        "experiments": [{"name": "fig02", "measurements": measurements}],
+        "analyzer": analyzer or {},
+    }
+
+
+class TestThresholdPolicy:
+    def test_classification_bands(self):
+        policy = ThresholdPolicy(regress_ratio=1.15, min_delta_s=0.0005)
+        assert policy.classify(0.100, 0.120) == "regressed"  # 1.20x
+        assert policy.classify(0.100, 0.110) == "unchanged"  # 1.10x
+        assert policy.classify(0.100, 0.080) == "improved"   # 0.80x
+        assert policy.classify(None, 0.1) == "added"
+        assert policy.classify(0.1, None) == "removed"
+        assert policy.classify(None, None) == "unchanged"
+
+    def test_absolute_floor_beats_ratio(self):
+        # 3x ratio but only 0.2 ms of movement: below the noise floor.
+        policy = ThresholdPolicy(regress_ratio=1.15, min_delta_s=0.0005)
+        assert policy.classify(0.0001, 0.0003) == "unchanged"
+
+    def test_improvement_bound_is_reciprocal(self):
+        policy = ThresholdPolicy(regress_ratio=2.0)
+        assert policy.improvement_bound == pytest.approx(0.5)
+        assert policy.classify(0.100, 0.051) == "unchanged"
+        assert policy.classify(0.100, 0.050) == "improved"
+
+    def test_invalid_ratios_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(regress_ratio=1.0)
+        with pytest.raises(ValueError):
+            ThresholdPolicy(improve_ratio=1.0)
+
+
+class TestDiffArtifacts:
+    def test_per_cell_statuses(self):
+        base = make_artifact([
+            ("T1", "A", "no index", {"median_s": 0.100}),
+            ("T2", "A", "no index", {"median_s": 0.100}),
+            ("T3", "A", "no index", {"median_s": 0.100}),
+            ("T4", "A", "no index", {"median_s": 0.100}),
+        ])
+        new = make_artifact([
+            ("T1", "A", "no index", {"median_s": 0.130}),   # regressed
+            ("T2", "A", "no index", {"median_s": 0.070}),   # improved
+            ("T3", "A", "no index", {"median_s": 0.101}),   # unchanged
+            ("T5", "A", "no index", {"median_s": 0.100}),   # added (T4 removed)
+        ])
+        diff = diff_artifacts(base, new)
+        by_qid = {c.qid: c.status for c in diff.cells}
+        assert by_qid == {
+            "T1": "regressed",
+            "T2": "improved",
+            "T3": "unchanged",
+            "T4": "removed",
+            "T5": "added",
+        }
+        assert diff.counts() == {
+            "regressed": 1, "improved": 1, "unchanged": 1, "added": 1, "removed": 1,
+        }
+        assert set(diff.counts()) == set(STATUSES)
+        (regression,) = diff.regressions
+        assert regression.ratio == pytest.approx(1.30)
+        assert regression.delta_s == pytest.approx(0.030)
+        assert regression.key == cell_key("fig02", "T1", "A", "no index")
+
+    def test_new_timeout_dominates_numbers(self):
+        base = make_artifact([("T1", "A", "s", {"median_s": 0.100})])
+        new = make_artifact(
+            [("T1", "A", "s", {"median_s": 0.001, "timed_out": True})]
+        )
+        (cell,) = diff_artifacts(base, new).cells
+        assert cell.status == "regressed"
+
+    def test_resolved_timeout_is_an_improvement(self):
+        base = make_artifact(
+            [("T1", "A", "s", {"median_s": 5.0, "timed_out": True})]
+        )
+        new = make_artifact([("T1", "A", "s", {"median_s": 9.0})])
+        diff = diff_artifacts(base, new)
+        (cell,) = diff.cells
+        assert cell.status == "improved"
+        # timed-out cells stay out of the geometric means
+        assert "A" not in diff.system_gm
+
+    def test_system_geometric_means(self):
+        base = make_artifact([
+            ("T1", "A", "s", {"median_s": 0.100}),
+            ("T2", "A", "s", {"median_s": 0.100}),
+            ("T1", "B", "s", {"median_s": 0.100}),
+        ])
+        new = make_artifact([
+            ("T1", "A", "s", {"median_s": 0.200}),
+            ("T2", "A", "s", {"median_s": 0.050}),
+            ("T1", "B", "s", {"median_s": 0.300}),
+        ])
+        diff = diff_artifacts(base, new)
+        assert diff.system_gm["A"] == pytest.approx(1.0)  # gm(2.0, 0.5)
+        assert diff.system_gm["B"] == pytest.approx(3.0)
+
+    def test_metric_count_regressions(self):
+        base = make_artifact(
+            [("T1", "A", "s", {"median_s": 0.1,
+                               "metrics": {"storage.history_rows_scanned": 100}})]
+        )
+        new = make_artifact(
+            [("T1", "A", "s", {"median_s": 0.1,
+                               "metrics": {"storage.history_rows_scanned": 400}})]
+        )
+        (cell,) = diff_artifacts(base, new).cells
+        assert cell.metric_regressions == [
+            ("storage.history_rows_scanned", 100, 400)
+        ]
+
+    def test_metric_floor_suppresses_small_counters(self):
+        base = make_artifact(
+            [("T1", "A", "s", {"median_s": 0.1, "metrics": {"idx.probes": 2}})]
+        )
+        new = make_artifact(
+            [("T1", "A", "s", {"median_s": 0.1, "metrics": {"idx.probes": 10}})]
+        )
+        (cell,) = diff_artifacts(base, new).cells
+        assert cell.metric_regressions == []  # 5x but delta < min_metric_delta
+
+    def test_analyzer_tally_drift(self):
+        base = make_artifact([], analyzer={"TQ001": {"severity": "info", "count": 4}})
+        new = make_artifact([], analyzer={
+            "TQ001": {"severity": "info", "count": 4},
+            "TQ007": {"severity": "warning", "count": 2},
+        })
+        diff = diff_artifacts(base, new)
+        assert diff.analyzer_drift == {"TQ007": (0, 2)}
+
+    def test_summary_names_both_labels(self):
+        diff = diff_artifacts(
+            make_artifact([]), make_artifact([]),
+            base_label="old.json", new_label="new.json",
+        )
+        assert "old.json -> new.json" in diff.summary()
+
+
+class TestFilesAndReports:
+    def test_diff_files_round_trip(self, tmp_path):
+        base = make_artifact([("T1", "A", "s", {"median_s": 0.100})])
+        new = make_artifact([("T1", "A", "s", {"median_s": 0.200})])
+        base_path = write_artifact(tmp_path / "base.json", base)
+        new_path = write_artifact(tmp_path / "new.json", new)
+        diff = diff_files(base_path, new_path)
+        assert diff.base_label == "base.json"
+        assert (cell.status for cell in diff.cells)
+        assert diff.cells[0].status == "regressed"
+
+    def test_load_rejects_non_artifacts(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"schema": "something-else"}')
+        with pytest.raises(ArtifactError):
+            load_artifact(bogus)
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        with pytest.raises(ArtifactError):
+            load_artifact(broken)
+
+    def test_markdown_report_shape(self):
+        base = make_artifact([("T1", "A", "s", {"median_s": 0.100})])
+        new = make_artifact([("T1", "A", "s", {"median_s": 0.200,
+                                               "metrics": {"c": 100}})])
+        report = markdown_report(diff_artifacts(base, new))
+        assert "| `fig02|T1|A|s` |" in report
+        assert "2.00×" in report
+        assert "regressed" in report
+
+    def test_format_delta_table(self):
+        base = make_artifact([("T1", "A", "s", {"median_s": 0.100})])
+        new = make_artifact([("T1", "A", "s", {"median_s": 0.200})])
+        text = format_delta_table(diff_artifacts(base, new))
+        assert "fig02|T1|A|s" in text
+        assert "regressed" in text
+
+    def test_artifact_cells_keeps_first_duplicate(self):
+        artifact = make_artifact([
+            ("T1", "A", "s", {"median_s": 0.1}),
+            ("T1", "A", "s", {"median_s": 0.9}),
+        ])
+        cells = artifact_cells(artifact)
+        assert cells[cell_key("fig02", "T1", "A", "s")]["median_s"] == 0.1
+
+    def test_empty_diff_is_well_formed(self):
+        diff = diff_artifacts(make_artifact([]), make_artifact([]))
+        assert isinstance(diff, ArtifactDiff)
+        assert diff.cells == []
+        assert not diff.system_gm
+        assert "no cells" in diff.summary()
+        assert not any(math.isnan(v) for v in diff.system_gm.values())

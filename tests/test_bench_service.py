@@ -32,6 +32,22 @@ class TestMeasurement:
         assert abs(m.percentile(97) - 97.03) < 0.01
         assert m.percentile(50) == m.median
 
+    def test_percentile_linear_interpolation_pinned(self):
+        # Linear interpolation between order statistics, rank = p/100*(n-1):
+        # nearest-rank would return 3.0 and 4.0 for p50/p95 here.
+        m = self._measurement([4.0, 1.0, 3.0, 2.0])
+        assert m.percentile(50) == pytest.approx(2.5)
+        assert m.percentile(95) == pytest.approx(3.85)
+        assert m.percentile(99) == pytest.approx(3.97)
+
+    def test_percentile_endpoints_and_singleton(self):
+        m = self._measurement([4.0, 1.0, 3.0, 2.0])
+        assert m.percentile(0) == 1.0
+        assert m.percentile(100) == 4.0
+        single = self._measurement([0.125])
+        for pct in (0, 50, 95, 99, 100):
+            assert single.percentile(pct) == 0.125
+
     def test_empty_is_infinite(self):
         m = self._measurement([])
         assert math.isinf(m.median)

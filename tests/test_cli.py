@@ -161,3 +161,116 @@ def test_bench_json_artifact(tmp_path, capsys):
     assert artifact["config"]["experiments"] == ["table2"]
     assert "created_unix" in artifact["generator"]
     assert [e["name"] for e in artifact["experiments"]] == ["table2"]
+
+
+def _tiny_artifact(path, median=0.1, created=None):
+    import json
+
+    generator = {"tool": "repro bench"}
+    if created is not None:
+        generator["created_unix"] = created
+    path.write_text(json.dumps({
+        "schema": "repro-bench/v1",
+        "generator": generator,
+        "experiments": [{"name": "fig02", "measurements": [{
+            "qid": "T1", "system": "A", "setting": "no index",
+            "median_s": median, "timed_out": False, "metrics": {},
+        }]}],
+        "analyzer": {},
+    }))
+    return path
+
+
+def test_bench_diff_reports_and_gates(tmp_path, capsys):
+    base = _tiny_artifact(tmp_path / "base.json", median=0.100)
+    new = _tiny_artifact(tmp_path / "new.json", median=0.200)
+    report = tmp_path / "delta.md"
+    code = main(["bench-diff", str(base), str(new), "--report", str(report)])
+    assert code == 0  # informational without --gate
+    out = capsys.readouterr().out
+    assert "regressed" in out
+    assert "2.00x" in out
+    assert report.exists()
+    assert "2.00×" in report.read_text()
+
+    code = main(["bench-diff", str(base), str(new), "--gate"])
+    assert code == 1
+    assert "GATE FAILED" in capsys.readouterr().err
+
+    # a generous threshold lets the same pair through
+    code = main(["bench-diff", str(base), str(new), "--gate", "--threshold", "3.0"])
+    assert code == 0
+
+
+def test_bench_diff_rejects_non_artifact(tmp_path, capsys):
+    base = _tiny_artifact(tmp_path / "base.json")
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text("{}")
+    code = main(["bench-diff", str(base), str(bogus)])
+    assert code == 2
+    assert "artifact" in capsys.readouterr().err.lower()
+
+
+def test_bench_compare_to_baseline(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    code = main(["bench", "fig02", "--h", "0.0003", "--m", "0.00005",
+                 "--json", str(baseline)])
+    assert code == 0
+    capsys.readouterr()
+    code = main(["bench", "fig02", "--h", "0.0003", "--m", "0.00005",
+                 "--compare-to", str(baseline), "--threshold", "100.0"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Bench delta" in out
+    assert "geometric-mean ratio" in out
+
+
+def test_trend_command(tmp_path, capsys):
+    import json
+
+    _tiny_artifact(tmp_path / "run1.json", median=0.1, created=1000)
+    _tiny_artifact(tmp_path / "run2.json", median=0.2, created=2000)
+    code = main(["trend", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Perf trajectory (2 runs)" in out
+    trend = json.loads((tmp_path / "TREND.json").read_text())
+    assert trend["schema"] == "repro-trend/v1"
+    assert (tmp_path / "TREND.md").exists()
+
+
+def test_trend_empty_directory_fails(tmp_path, capsys):
+    code = main(["trend", str(tmp_path)])
+    assert code == 2
+    assert "artifact" in capsys.readouterr().err.lower()
+
+
+def test_flamegraph_command(tmp_path, capsys):
+    import xml.etree.ElementTree as ET
+
+    svg = tmp_path / "fg.svg"
+    folded = tmp_path / "fg.txt"
+    code = main(["flamegraph", "--system", "A", "--svg", str(svg),
+                 "--folded", str(folded), "SELECT 1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Operator attribution" in out
+    ET.parse(svg)  # well-formed SVG
+    lines = folded.read_text().splitlines()
+    assert any(line.startswith("query") for line in lines)
+    stack, value = lines[0].rsplit(" ", 1)
+    assert value.isdigit()
+
+
+def test_flamegraph_from_jsonl(tmp_path, capsys):
+    import json
+
+    source = tmp_path / "spans.jsonl"
+    records = [
+        {"span_id": 2, "parent_id": 1, "name": "execute", "duration_s": 0.001},
+        {"span_id": 1, "parent_id": None, "name": "query", "duration_s": 0.002},
+    ]
+    source.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+    code = main(["flamegraph", "--jsonl", str(source)])
+    assert code == 0
+    assert "query;execute" in capsys.readouterr().out

@@ -260,3 +260,50 @@ class TestMetricNames:
         _write(fake_repo, "src/repro/engine/obs/metrics.py", "X = 1\n")
         problems = engine_lint.check_metric_names(fake_repo)
         assert any("COUNTERS" in p for p in problems)
+
+
+class TestSpanCatalogue:
+    def _trace_file(self, fake_repo, name="query"):
+        _write(fake_repo, "src/repro/engine/session.py", (
+            "def run(tracer, sql):\n"
+            f'    with tracer.span("{name}"):\n'
+            "        pass\n"
+        ))
+
+    def test_no_span_calls_means_clean(self, fake_repo):
+        # the baseline fake repo has no tracer calls and no docs/ at all
+        assert engine_lint.check_span_catalogue(fake_repo) == []
+
+    def test_documented_span_passes(self, fake_repo):
+        self._trace_file(fake_repo)
+        _write(fake_repo, "docs/OBSERVABILITY.md", "| `query` | root span |\n")
+        assert engine_lint.check_span_catalogue(fake_repo) == []
+
+    def test_undocumented_span_is_flagged(self, fake_repo):
+        self._trace_file(fake_repo, name="mystery.phase")
+        _write(fake_repo, "docs/OBSERVABILITY.md", "| `query` | root span |\n")
+        problems = engine_lint.check_span_catalogue(fake_repo)
+        assert len(problems) == 1
+        assert "mystery.phase" in problems[0]
+        assert "span-catalogue" in problems[0]
+
+    def test_missing_catalogue_is_flagged_when_spans_exist(self, fake_repo):
+        self._trace_file(fake_repo)
+        problems = engine_lint.check_span_catalogue(fake_repo)
+        assert any("OBSERVABILITY.md" in p for p in problems)
+
+    def test_start_call_is_also_collected(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/session.py", (
+            "def run(self, sql):\n"
+            '    span = self._tracer.start("undocumented", sql=sql)\n'
+        ))
+        _write(fake_repo, "docs/OBSERVABILITY.md", "nothing here\n")
+        problems = engine_lint.check_span_catalogue(fake_repo)
+        assert any("undocumented" in p for p in problems)
+
+    def test_span_on_non_tracer_receiver_is_ignored(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/session.py", (
+            "def run(cursor):\n"
+            '    cursor.span("whatever")\n'
+        ))
+        assert engine_lint.check_span_catalogue(fake_repo) == []

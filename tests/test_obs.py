@@ -259,6 +259,33 @@ class TestSinks:
         inner = by_id[records[0]["span_id"]]
         assert by_id[inner["parent_id"]]["name"] == "outer"
 
+    def test_jsonl_sink_is_line_atomic_under_concurrency(self, tmp_path):
+        # Many sessions may share one sink; every emitted line must parse
+        # on its own — whole lines interleave, fragments never do.
+        import threading
+
+        path = tmp_path / "concurrent.jsonl"
+        per_thread = 50
+        with JsonlSink(path) as sink:
+            def worker(label):
+                tracer = Tracer()
+                tracer.add_sink(sink)
+                for i in range(per_thread):
+                    with tracer.span(f"{label}-{i}", attrs={"payload": "x" * 256}):
+                        pass
+
+            threads = [
+                threading.Thread(target=worker, args=(f"t{n}",)) for n in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 8 * per_thread
+        names = {json.loads(line)["name"] for line in lines}  # every line parses
+        assert len(names) == 8 * per_thread
+
 
 # -- slow-query log ----------------------------------------------------------
 
@@ -309,6 +336,21 @@ class TestSlowQueryLog:
         (entry,) = db.slow_query_log.entries()
         assert entry["error"] == "QueryTimeout"
         assert entry["spans"]["attrs"]["aborted"] is True
+
+    def test_aborted_entry_feeds_the_folded_stack_walker(self, db):
+        # A slow-log span tree from an aborted query must remain a valid
+        # profiler input: the walker marks aborted frames with a ``!``.
+        from repro.engine.obs.profile import folded_stacks, node_from_dict
+
+        db.set_slow_query_log(0.0)
+        with pytest.raises(QueryTimeout):
+            db.execute("SELECT a.v FROM n a, n b", timeout_s=0)
+        (entry,) = db.slow_query_log.entries()
+        root = node_from_dict(entry["spans"])
+        stacks = folded_stacks([root])
+        assert stacks, "aborted tree produced no folded stacks"
+        assert all(stack.startswith("query!") for stack, _ in stacks)
+        assert all(count >= 0 for _, count in stacks)
 
 
 # -- engine tracing ----------------------------------------------------------

@@ -1,0 +1,210 @@
+"""Span-tree profiler: folded stacks, flamegraph SVG, operator table."""
+
+import json
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.engine.obs.profile import (
+    SpanNode,
+    folded_stacks,
+    format_folded,
+    format_operator_table,
+    load_jsonl,
+    node_from_dict,
+    nodes_from_flat,
+    operator_table,
+    render_flamegraph_svg,
+)
+
+
+def query_tree():
+    """A deterministic query-shaped tree: 1 ms total, 0.1 ms untracked."""
+    return SpanNode("query", 0.001, children=[
+        SpanNode("parse", 0.0002),
+        SpanNode("execute", 0.0007, children=[
+            SpanNode("operator", 0.0005, attrs={"op": "SeqScan(item)", "rows": 10}),
+        ]),
+    ])
+
+
+class TestSpanNode:
+    def test_self_time_subtracts_children(self):
+        root = query_tree()
+        assert root.self_time == pytest.approx(0.0001)
+        assert root.children[1].self_time == pytest.approx(0.0002)
+
+    def test_self_time_clamps_at_zero(self):
+        node = SpanNode("x", 0.001, children=[SpanNode("y", 0.005)])
+        assert node.self_time == 0.0
+
+    def test_operator_frame_uses_op_label(self):
+        node = SpanNode("operator", 0.001, attrs={"op": "IndexProbe(i_ab)"})
+        assert node.frame == "IndexProbe(i_ab)"
+
+    def test_aborted_frame_is_marked(self):
+        node = SpanNode("query", 0.001, status="aborted")
+        assert node.frame == "query!"
+
+
+class TestFoldedStacks:
+    def test_values_are_self_time_and_sum_to_root(self):
+        stacks = dict(folded_stacks([query_tree()]))
+        assert stacks == {
+            "query": 100,
+            "query;parse": 200,
+            "query;execute": 200,
+            "query;execute;SeqScan(item)": 500,
+        }
+        assert sum(stacks.values()) == 1000  # the root's 1 ms, nothing doubled
+
+    def test_format_folded_lines(self):
+        lines = format_folded([query_tree()]).splitlines()
+        assert "query;execute;SeqScan(item) 500" in lines
+
+    def test_zero_self_interior_frames_are_omitted(self):
+        # a wrapper fully covered by its child contributes no line...
+        root = SpanNode("query", 0.001, children=[SpanNode("execute", 0.001)])
+        assert dict(folded_stacks([root])) == {"query;execute": 1000}
+        # ...but a zero-duration *leaf* still appears (it documents the call)
+        assert ("a;b", 0) in folded_stacks(
+            [SpanNode("a", 0.0, children=[SpanNode("b", 0.0)])]
+        )
+
+
+class TestForestRebuild:
+    def flat_records(self):
+        return [
+            {"span_id": 2, "parent_id": 1, "name": "parse", "duration_s": 0.0002},
+            {"span_id": 3, "parent_id": 1, "name": "execute", "duration_s": 0.0007},
+            {"span_id": 1, "parent_id": None, "name": "query", "duration_s": 0.001},
+        ]
+
+    def test_nodes_from_flat_attaches_by_parent_id(self):
+        (root,) = nodes_from_flat(self.flat_records())
+        assert root.name == "query"
+        assert [c.name for c in root.children] == ["parse", "execute"]
+
+    def test_orphans_become_roots(self):
+        records = self.flat_records()[:2]  # parent line missing
+        roots = nodes_from_flat(records)
+        assert sorted(r.name for r in roots) == ["execute", "parse"]
+
+    def test_load_jsonl_handles_both_line_shapes(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        slowlog_entry = {
+            "sql": "SELECT 1",
+            "spans": {"name": "query", "duration_s": 0.002,
+                      "children": [{"name": "execute", "duration_s": 0.001}]},
+        }
+        with open(path, "w") as fh:
+            for record in self.flat_records():
+                fh.write(json.dumps(record) + "\n")
+            fh.write(json.dumps(slowlog_entry) + "\n")
+        roots = load_jsonl(path)
+        assert sorted(r.name for r in roots) == ["query", "query"]
+        assert sum(len(list(r.walk())) for r in roots) == 5
+
+
+class TestFlamegraphSvg:
+    def test_valid_svg_with_tiling_widths(self):
+        svg = render_flamegraph_svg([query_tree()], width=1000)
+        root = ET.fromstring(svg)  # well-formed XML
+        ns = "{http://www.w3.org/2000/svg}"
+        rects = [
+            r for r in root.iter(f"{ns}rect") if r.get("data-name") is not None
+        ]
+        by_depth = {}
+        for rect in rects:
+            by_depth.setdefault(int(rect.get("data-depth")), []).append(rect)
+        (root_rect,) = by_depth[0]
+        root_width = float(root_rect.get("width"))
+        assert root_width == pytest.approx(1000.0)
+        # acceptance: per-phase widths at depth 1 sum to the root width
+        phase_sum = sum(float(r.get("width")) for r in by_depth[1])
+        assert phase_sum == pytest.approx(root_width * 0.9)  # 0.1 ms untracked
+        names = {r.get("data-name") for r in rects}
+        assert {"query", "parse", "execute", "SeqScan(item)"} <= names
+
+    def test_phase_widths_sum_exactly_when_fully_covered(self):
+        root = SpanNode("query", 0.001, children=[
+            SpanNode("parse", 0.0004), SpanNode("execute", 0.0006),
+        ])
+        svg = render_flamegraph_svg([root], width=800)
+        tree = ET.fromstring(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        widths = [
+            float(r.get("width"))
+            for r in tree.iter(f"{ns}rect")
+            if r.get("data-depth") == "1"
+        ]
+        assert sum(widths) == pytest.approx(800.0)
+
+    def test_aborted_spans_are_flagged(self):
+        root = SpanNode("query", 0.001, status="aborted")
+        svg = render_flamegraph_svg([root])
+        assert 'data-name="query!"' in svg
+        assert "#9e2a2b" in svg
+
+    def test_no_spans_raises(self):
+        with pytest.raises(ValueError):
+            render_flamegraph_svg([])
+        with pytest.raises(ValueError):
+            render_flamegraph_svg([SpanNode("empty", 0.0)])
+
+    def test_title_is_escaped(self):
+        svg = render_flamegraph_svg([query_tree()], title="a<b>&c")
+        assert "a&lt;b&gt;&amp;c" in svg
+
+
+class TestOperatorTable:
+    def forest(self):
+        lookup_hit = SpanNode("plan_cache.lookup", 0.00001, attrs={"outcome": "hit"})
+        lookup_miss = SpanNode("plan_cache.lookup", 0.00001, attrs={"outcome": "miss"})
+        scan = SpanNode("operator", 0.0005, attrs={"op": "SeqScan(item)", "rows": 10})
+        probe = SpanNode("operator", 0.0002, attrs={"op": "IndexProbe(i)", "rows": 2})
+        q1 = SpanNode("query", 0.001, children=[lookup_miss, scan])
+        q2 = SpanNode("query", 0.0004, children=[lookup_hit, probe])
+        return [q1, q2]
+
+    def test_aggregation(self):
+        table = operator_table(self.forest())
+        scan = table["operators"]["SeqScan(item)"]
+        assert scan["calls"] == 1
+        assert scan["rows"] == 10
+        assert scan["total_s"] == pytest.approx(0.0005)
+        assert table["cache"] == {"hits": 1, "misses": 1}
+
+    def test_nested_operator_self_time(self):
+        inner = SpanNode("operator", 0.0003, attrs={"op": "SeqScan(t)"})
+        outer = SpanNode(
+            "operator", 0.0008, attrs={"op": "NLJoin"}, children=[inner]
+        )
+        table = operator_table([SpanNode("query", 0.001, children=[outer])])
+        assert table["operators"]["NLJoin"]["self_s"] == pytest.approx(0.0005)
+        assert table["operators"]["NLJoin"]["total_s"] == pytest.approx(0.0008)
+
+    def test_render_sorts_by_self_time(self):
+        text = format_operator_table(operator_table(self.forest()))
+        assert text.index("SeqScan(item)") < text.index("IndexProbe(i)")
+        assert "plan cache: 1/2 lookups hit (50.0%)" in text
+
+    def test_render_empty(self):
+        text = format_operator_table(operator_table([]))
+        assert "no operator spans" in text
+
+
+class TestLiveEngineProfile:
+    def test_traced_workload_round_trips(self, db):
+        from repro.engine.obs import RingBufferSink
+
+        sink = db.tracer.add_sink(RingBufferSink())
+        db.execute("SELECT id FROM item WHERE id < 3")
+        roots = sink.roots()
+        assert roots, "tracing produced no root spans"
+        stacks = folded_stacks(roots)
+        assert any(stack.startswith("query;execute") for stack, _ in stacks)
+        svg = render_flamegraph_svg(roots)
+        ET.fromstring(svg)
+        table = operator_table(roots)
+        assert table["operators"], "no operator spans attributed"

@@ -1,0 +1,153 @@
+"""Trend store: artifact folding, sparklines, trajectory reports."""
+
+import json
+
+import pytest
+
+from repro.bench.artifact import ArtifactError, find_artifacts, write_artifact
+from repro.bench.trend import (
+    TREND_SCHEMA,
+    fold_artifacts,
+    fold_directory,
+    format_trend_summary,
+    markdown_report,
+    sparkline,
+    write_trend,
+)
+
+def make_artifact(cells, created=None):
+    """A minimal repro-bench/v1 artifact from (qid, system, setting, fields)."""
+    measurements = [
+        {
+            "qid": qid,
+            "system": system,
+            "setting": setting,
+            "median_s": fields.get("median_s"),
+            "timed_out": fields.get("timed_out", False),
+        }
+        for qid, system, setting, fields in cells
+    ]
+    generator = {"tool": "repro bench"}
+    if created is not None:
+        generator["created_unix"] = created
+    return {
+        "schema": "repro-bench/v1",
+        "generator": generator,
+        "experiments": [{"name": "fig02", "measurements": measurements}],
+        "analyzer": {},
+    }
+
+
+def write_series(tmp_path, medians):
+    """One artifact file per median value, stamped in order."""
+    paths = []
+    for index, median in enumerate(medians):
+        artifact = make_artifact(
+            [("T1", "A", "s", {"median_s": median})], created=1000 + index
+        )
+        paths.append(write_artifact(tmp_path / f"run{index}.json", artifact))
+    return paths
+
+
+class TestSparkline:
+    def test_levels_are_monotonic(self):
+        spark = sparkline([0.001, 0.01, 0.1, 1.0])
+        assert len(spark) == 4
+        assert spark[0] == "▁"
+        assert spark[-1] == "█"
+        levels = [ord(c) for c in spark]
+        assert levels == sorted(levels)
+
+    def test_none_renders_as_space(self):
+        assert sparkline([0.1, None, 0.2])[1] == " "
+
+    def test_all_missing(self):
+        assert sparkline([None, None]) == "  "
+
+    def test_flat_series(self):
+        assert sparkline([0.5, 0.5]) == "▁▁"
+
+
+class TestFolding:
+    def test_fold_builds_series_and_stats(self, tmp_path):
+        paths = write_series(tmp_path, [0.100, 0.050, 0.200])
+        trend = fold_artifacts(paths)
+        assert trend["schema"] == TREND_SCHEMA
+        assert [p["source"] for p in trend["points"]] == [
+            "run0.json", "run1.json", "run2.json",
+        ]
+        cell = trend["cells"]["fig02|T1|A|s"]
+        assert cell["medians_s"] == [0.100, 0.050, 0.200]
+        assert cell["first_s"] == 0.100
+        assert cell["last_s"] == 0.200
+        assert cell["best_s"] == 0.050
+        assert cell["worst_s"] == 0.200
+        assert cell["ratio"] == pytest.approx(2.0)
+        assert len(cell["spark"]) == 3
+        assert trend["systems"]["A"]["last_gm_ratio"] == pytest.approx(2.0)
+
+    def test_timed_out_cells_leave_gaps(self, tmp_path):
+        ok = make_artifact([("T1", "A", "s", {"median_s": 0.1})], created=1)
+        timeout = make_artifact(
+            [("T1", "A", "s", {"median_s": 5.0, "timed_out": True})], created=2
+        )
+        paths = [
+            write_artifact(tmp_path / "a.json", ok),
+            write_artifact(tmp_path / "b.json", timeout),
+        ]
+        cell = fold_artifacts(paths)["cells"]["fig02|T1|A|s"]
+        assert cell["medians_s"] == [0.1, None]
+        assert cell["last_s"] == 0.1  # last *observed* value
+
+    def test_fold_directory_orders_by_stamp(self, tmp_path):
+        # written z-then-a but stamped a-first: stamp order must win
+        write_artifact(
+            tmp_path / "z.json",
+            make_artifact([("T1", "A", "s", {"median_s": 0.2})], created=2000),
+        )
+        write_artifact(
+            tmp_path / "a.json",
+            make_artifact([("T1", "A", "s", {"median_s": 0.1})], created=1000),
+        )
+        assert [p.name for p in find_artifacts(tmp_path)] == ["a.json", "z.json"]
+        trend = fold_directory(tmp_path)
+        assert trend["cells"]["fig02|T1|A|s"]["medians_s"] == [0.1, 0.2]
+
+    def test_fold_directory_skips_non_artifacts(self, tmp_path):
+        write_series(tmp_path, [0.1])
+        (tmp_path / "notes.json").write_text('{"schema": "other"}')
+        (tmp_path / "broken.json").write_text("{")
+        trend = fold_directory(tmp_path)
+        assert len(trend["points"]) == 1
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            fold_directory(tmp_path)
+
+    def test_single_run_has_no_system_ratios(self, tmp_path):
+        paths = write_series(tmp_path, [0.1])
+        assert fold_artifacts(paths)["systems"] == {}
+
+
+class TestOutputs:
+    def test_write_trend_into_directory(self, tmp_path):
+        paths = write_series(tmp_path, [0.1, 0.2])
+        target = write_trend(fold_artifacts(paths), tmp_path)
+        assert target.name == "TREND.json"
+        reloaded = json.loads(target.read_text())
+        assert reloaded["schema"] == TREND_SCHEMA
+
+    def test_markdown_report_shape(self, tmp_path):
+        paths = write_series(tmp_path, [0.1, 0.2])
+        report = markdown_report(fold_artifacts(paths))
+        assert "# Perf trajectory" in report
+        assert "## fig02" in report
+        assert "`T1|A|s`" in report
+        assert "2.00×" in report
+
+    def test_terminal_summary(self, tmp_path):
+        paths = write_series(tmp_path, [0.1, 0.2])
+        text = format_trend_summary(fold_artifacts(paths))
+        assert "Perf trajectory (2 runs)" in text
+        assert "fig02|T1|A|s" in text
+        assert "system A" in text

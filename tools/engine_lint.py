@@ -32,6 +32,11 @@ has been broken (or nearly broken) by an innocent-looking edit before:
   ``repro.engine.obs.metrics`` (``COUNTERS``/``HISTOGRAMS``).  The registry
   raises at runtime for undeclared counters, but only on the code path that
   increments them; this check catches the typo before any query runs.
+* **span-catalogue** — every span name started on a tracer
+  (``tracer.span("...")``/``tracer.start("...")``) under ``src/repro`` must
+  appear in the span catalogue in ``docs/OBSERVABILITY.md``.  The profiler
+  and the slow-query log surface these names verbatim; an undocumented span
+  is a dashboard nobody can read.
 
 Run as ``python tools/engine_lint.py`` (exit 0 = clean); every check is also
 importable for the test suite.  Standard library only.
@@ -343,6 +348,58 @@ def check_metric_names(root: Path = REPO_ROOT) -> List[str]:
     return problems
 
 
+# -- check 7: traced span names must be in the docs span catalogue ---------
+
+def _span_call_sites(root: Path) -> List[Tuple[Path, int, str]]:
+    """Every literal span name started on a tracer under src/repro.
+
+    Matches ``<receiver>.span("name")`` / ``<receiver>.start("name")`` where
+    the receiver's dotted path mentions a tracer; the tracer module itself is
+    excluded (its internal ``self.start`` relays the caller's name).
+    """
+    sites: List[Tuple[Path, int, str]] = []
+    for path in sorted((root / "src/repro").rglob("*.py")):
+        if path.name == "tracer.py" and path.parent.name == "obs":
+            continue
+        tree = _parse(path)
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("span", "start")
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                continue
+            if "tracer" not in _dotted(node.func.value).lower():
+                continue
+            sites.append((path, node.lineno, node.args[0].value))
+    return sites
+
+
+def check_span_catalogue(root: Path = REPO_ROOT) -> List[str]:
+    sites = _span_call_sites(root)
+    if not sites:
+        return []  # nothing traced, nothing to document
+    catalogue_path = root / "docs" / "OBSERVABILITY.md"
+    if not catalogue_path.is_file():
+        return [
+            f"docs/OBSERVABILITY.md: [span-catalogue] missing, but "
+            f"{len(sites)} tracer span call(s) exist under src/repro"
+        ]
+    catalogue = catalogue_path.read_text()
+    problems = []
+    for path, lineno, name in sites:
+        if f"`{name}`" not in catalogue:
+            problems.append(
+                f"{path.relative_to(root)}:{lineno}: [span-catalogue] span "
+                f"{name!r} is traced but not documented in "
+                f"docs/OBSERVABILITY.md"
+            )
+    return problems
+
+
 ALL_CHECKS = (
     check_operator_guards,
     check_no_wallclock,
@@ -350,6 +407,7 @@ ALL_CHECKS = (
     check_layering,
     check_profiles,
     check_metric_names,
+    check_span_catalogue,
 )
 
 
