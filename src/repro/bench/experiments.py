@@ -54,12 +54,22 @@ def generate_workload(h=0.001, m=0.0005, seed=None, **kwargs):
     return BitemporalDataGenerator(config).generate()
 
 
-def prepare_systems(workload, names: Sequence[str] = "ABCD", batch_size=1) -> Dict[str, object]:
-    """Load the workload into fresh instances of the named archetypes."""
+def prepare_systems(
+    workload, names: Sequence[str] = "ABCD", batch_size=1, analyze=True
+) -> Dict[str, object]:
+    """Load the workload into fresh instances of the named archetypes.
+
+    Statistics are collected after loading (like any benchmark run on a
+    real system would ANALYZE after bulk load), so multi-table cells run
+    under cost-based join ordering; pass ``analyze=False`` to benchmark
+    the statistics-free greedy planner instead.
+    """
     systems = {}
     for name in names:
         system = make_system(name)
         Loader(system, workload).load(batch_size=batch_size)
+        if analyze:
+            system.analyze()
         systems[name] = system
     return systems
 
@@ -306,6 +316,46 @@ def fig07_tpch(
         extra={"timeouts": timeouts, "base": base_times,
                "slice_ratios": slice_ratios},
     )
+
+
+# ---------------------------------------------------------------------------
+# Join ordering: multi-join TPC-H cells (cost-model demonstration)
+# ---------------------------------------------------------------------------
+
+#: 3+-table TPC-H joins whose plans are join-order sensitive: Q8 and Q9
+#: reorder under statistics (update-heavy histories inflate the greedy
+#: size heuristic); Q3 mostly keeps its order (near-control cell).  Q2 is
+#: deliberately absent: its correlated subquery cost is not modelled and
+#: reordering it can backfire (see docs/COST_MODEL.md, limitations).
+_JOIN_NUMBERS = (3, 8, 9)
+
+
+def join_ordering(systems, workload, service) -> ExperimentResult:
+    """Multi-join TPC-H queries under system time travel, as plain cells.
+
+    Unlike Fig 7 (which reports temporal/non-temporal *ratios*), this
+    experiment keeps the raw measurements so ``bench --compare-to`` /
+    ``bench-diff`` can diff them cell by cell — the A/B surface for the
+    cost-based join ordering: run ``bench joins --no-stats --json base``
+    for the greedy order, then ``bench joins --compare-to base`` with
+    statistics armed (the default; see docs/COST_MODEL.md).
+    """
+    measurements = []
+    params = tpch.tpch_params(workload.meta, "sys")
+    for number in _JOIN_NUMBERS:
+        sql = tpch.tpch_query(number, "sys")
+        for name, system in systems.items():
+            measurements.append(
+                service.measure_sql(
+                    system, sql, params, qid=f"H{number}.sys",
+                    setting="multi-join",
+                )
+            )
+    text = format_figure(
+        "Join ordering: multi-join TPC-H under system time travel",
+        measurements,
+    )
+    return ExperimentResult("joins", text, measurements)
 
 
 # ---------------------------------------------------------------------------

@@ -63,6 +63,7 @@ EXPERIMENTS = {
     "fig14": lambda ctx: x.fig14_range_timeslice(ctx["systems"], ctx["workload"], ctx["service"]),
     "fig15": lambda ctx: x.fig15_bitemporal(ctx["systems"], ctx["workload"], ctx["service"]),
     "fig16": lambda ctx: x.fig16_loading(ctx["workload"]),
+    "joins": lambda ctx: x.join_ordering(ctx["systems"], ctx["workload"], ctx["service"]),
 }
 
 
@@ -114,6 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="regression ratio for --compare-to classification "
         "(default %(default)s)",
     )
+    bench.add_argument(
+        "--no-stats", dest="no_stats", action="store_true",
+        help="skip the post-load ANALYZE so multi-join cells run the "
+        "statistics-free greedy join order (cost-model A/B baseline)",
+    )
 
     verify = sub.add_parser("verify", help="run temporal consistency checks")
     verify.add_argument("--system", default="A", help="archetype A..E")
@@ -145,6 +151,21 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--runs", type=int, default=2,
         help="workload passes to drive (>1 exercises cache hits)",
+    )
+
+    astats = sub.add_parser(
+        "analyze-stats",
+        help="run ANALYZE over a loaded workload and print the statistics",
+    )
+    astats.add_argument("--system", default="A", help="archetype A..E")
+    astats.add_argument("--h", type=float, default=0.001)
+    astats.add_argument("--m", type=float, default=0.0003)
+    astats.add_argument(
+        "--table", default=None, help="restrict to one table (default: all)"
+    )
+    astats.add_argument(
+        "--columns", action="store_true",
+        help="also print per-column NDV / min / max / null fraction",
     )
 
     trace = sub.add_parser(
@@ -294,7 +315,10 @@ def _cmd_bench(args) -> int:
     needs_data = any(name not in ("fig04", "fig12", "fig13") for name in names)
     if needs_data:
         context["workload"] = x.generate_workload(h=args.h, m=args.m)
-        context["systems"] = x.prepare_systems(context["workload"], "ABCD")
+        context["systems"] = x.prepare_systems(
+            context["workload"], "ABCD",
+            analyze=not getattr(args, "no_stats", False),
+        )
     measurements = []
     results = []
     for name in names:
@@ -439,6 +463,36 @@ def _cmd_cache_stats(args) -> int:
             {args.system: system.cache_stats()},
         )
     )
+    return 0
+
+
+def _cmd_analyze_stats(args) -> int:
+    workload = BitemporalDataGenerator(
+        GeneratorConfig(h=args.h, m=args.m)
+    ).generate()
+    system = make_system(args.system)
+    Loader(system, workload).load()
+    snapshots = system.analyze(args.table)
+    for snapshot in snapshots:
+        print(f"table {snapshot.table} ({snapshot.row_count} rows)")
+        for name in sorted(snapshot.partitions):
+            part = snapshot.partitions[name]
+            print(
+                f"  partition {name}: {part.row_count} rows, "
+                f"{len(part.columns)} columns"
+            )
+            if not args.columns:
+                continue
+            for column in sorted(part.columns):
+                col = part.columns[column]
+                print(
+                    f"    {column}: ndv={col.ndv} min={col.min_value!r} "
+                    f"max={col.max_value!r} nulls={col.null_fraction:.3f} "
+                    f"hist={len(col.histogram)} buckets"
+                )
+    counters = system.metrics()["counters"]
+    tallied = {k: v for k, v in counters.items() if k.startswith("stats.")}
+    print("stats counters:", tallied)
     return 0
 
 
@@ -641,6 +695,7 @@ def main(argv=None) -> int:
         "systems": _cmd_systems,
         "lint": _cmd_lint,
         "cache-stats": _cmd_cache_stats,
+        "analyze-stats": _cmd_analyze_stats,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
         "bench-diff": _cmd_bench_diff,

@@ -155,6 +155,10 @@ class Catalog:
         #: objects they reference, so the plan cache invalidates per name
         #: instead of clearing wholesale on any DDL
         self._versions: Dict[str, int] = {}
+        #: per-table ANALYZE snapshots (repro.engine.stats.TableStats);
+        #: validity is checked against _versions and the storage mutation
+        #: marker by Database.stats_for, not here
+        self._stats: Dict[str, object] = {}
         self.version: int = 0
 
     # -- versioning ------------------------------------------------------
@@ -167,6 +171,16 @@ class Catalog:
 
     def version_of(self, name: str) -> int:
         return self._versions.get(name.lower(), 0)
+
+    # -- statistics ------------------------------------------------------
+
+    def set_stats(self, name: str, stats):
+        """Store an ANALYZE snapshot for the named table."""
+        self._stats[name.lower()] = stats
+
+    def stats_of(self, name: str):
+        """Raw snapshot lookup; staleness is the caller's concern."""
+        return self._stats.get(name.lower())
 
     # -- tables ----------------------------------------------------------
 
@@ -182,6 +196,7 @@ class Catalog:
         if name not in self._tables:
             raise CatalogError(f"no table {name!r}")
         del self._tables[name]
+        self._stats.pop(name, None)
         for index_name in [n for n, d in self._indexes.items() if d.table == name]:
             del self._indexes[index_name]
         self.bump(name)

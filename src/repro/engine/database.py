@@ -237,6 +237,60 @@ class Database:
             count += 1
         return count
 
+    # -- statistics -----------------------------------------------------------
+
+    def analyze(self, table_name: Optional[str] = None) -> List["stats_mod.TableStats"]:
+        """Collect per-column statistics (the ``ANALYZE [TABLE]`` statement).
+
+        Analyzing bumps each table's catalog version so cached plans that
+        were built without (or with older) statistics replan against the
+        fresh snapshot — the same invalidation channel DDL uses.
+        """
+        from . import stats as stats_mod
+
+        if table_name is not None:
+            self.table(table_name)  # raises CatalogError when unknown
+            names = [table_name.lower()]
+        else:
+            names = sorted(self._tables)
+        collected = []
+        for name in names:
+            table = self._tables[name]
+            snapshot = stats_mod.collect_table_stats(table)
+            self.catalog.bump(name)
+            snapshot.catalog_version = self.catalog.version_of(name)
+            snapshot.mutation_marker = stats_mod.mutation_marker(table)
+            self.catalog.set_stats(name, snapshot)
+            collected.append(snapshot)
+            self.metrics.inc("stats.tables_analyzed")
+        self.metrics.inc("stats.analyze_runs")
+        return collected
+
+    def stats_for(self, table_name: str):
+        """Return the table's ANALYZE snapshot, or None when absent/stale.
+
+        A snapshot is stale when DDL moved the table's catalog version or
+        DML moved its storage mutation marker since collection; the
+        planner then falls back to the greedy pre-statistics heuristics.
+        """
+        from . import stats as stats_mod
+
+        self.metrics.inc("stats.lookups")
+        snapshot = self.catalog.stats_of(table_name)
+        if snapshot is None:
+            self.metrics.inc("stats.misses")
+            return None
+        table = self._tables.get(table_name.lower())
+        if (
+            table is None
+            or snapshot.catalog_version != self.catalog.version_of(table_name)
+            or snapshot.mutation_marker != stats_mod.mutation_marker(table)
+        ):
+            self.metrics.inc("stats.stale")
+            return None
+        self.metrics.inc("stats.hits")
+        return snapshot
+
     # -- SQL ------------------------------------------------------------------
 
     def _engine(self):

@@ -26,6 +26,14 @@ COUNTERS: Dict[str, str] = {
     "plan.cache_miss": "plan-cache lookups that found no (valid) entry",
     "plan.cache_evict": "LRU evictions when the plan cache overflowed",
     "plan.cache_invalidate": "cached plans dropped because DDL touched a dependency",
+    "plan.cost_based_joins": "join products ordered by the statistics-backed cost model",
+    "plan.greedy_joins": "join products ordered by the greedy size heuristic (no usable stats)",
+    "stats.analyze_runs": "ANALYZE statements / Database.analyze() invocations",
+    "stats.tables_analyzed": "per-table statistics snapshots collected by ANALYZE",
+    "stats.lookups": "planner requests for a table's statistics snapshot",
+    "stats.hits": "statistics lookups answered by a valid snapshot",
+    "stats.misses": "statistics lookups for tables never analyzed",
+    "stats.stale": "statistics lookups rejected because DDL/DML invalidated the snapshot",
     "storage.current_scans": "full scans of a current (or single) partition",
     "storage.history_scans": "full scans of a history partition",
     "storage.current_rows_scanned": "rows produced by current-partition scans",

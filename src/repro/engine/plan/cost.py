@@ -1,0 +1,374 @@
+"""Cardinality estimation and cost-based join ordering.
+
+The rewrite layer (:mod:`.rewrite`) translates AST predicates into the
+neutral *sketch* dataclasses below; this module consumes only sketches
+and :mod:`repro.engine.stats` snapshots, never the AST itself — a
+layering rule enforced by ``tools/engine_lint.py`` (check 8:
+``plan/cost.py`` must not import from ``engine/sql``).
+
+Three layers:
+
+* **Predicate selectivity** — ``=`` costs ``1/NDV``; ranges interpolate
+  over the equi-width histogram when one was collected, else linearly
+  between min and max; predicates with unknown comparison values (query
+  parameters) fall back to fixed default fractions.  Temporal-period
+  clauses (AS OF/BETWEEN/FROM..TO) arrive as plain range sketches over
+  the period's begin/end columns, so a current partition whose ``end``
+  column is pinned at ``END_OF_TIME`` prices ``end > t`` at ~1.0 and a
+  history partition prices it from its own closed-interval statistics.
+* **Scan estimation** — per-partition ``rows × Π selectivity``, summed
+  over the partitions the scan will actually read.
+* **Join ordering** — left-deep dynamic programming over ≤
+  ``MAX_DP_RELATIONS`` relations (cost = Σ intermediate result sizes,
+  equi-edge selectivity ``1/max(NDV)``), with a connected-first greedy
+  fallback above that bound.  Both are deterministic: ties break on the
+  original FROM-clause position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..stats import ColumnStats
+
+#: DP join enumeration is exponential in the relation count; past this
+#: many relations the greedy fallback takes over.
+MAX_DP_RELATIONS = 8
+
+#: selectivity of an equality against a column with no statistics
+DEFAULT_EQ_SELECTIVITY = 0.1
+#: selectivity of a range predicate that cannot be interpolated
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+#: selectivity of predicates the sketcher cannot classify (LIKE, OR, ...)
+DEFAULT_OTHER_SELECTIVITY = 1.0 / 3.0
+#: selectivity of a non-equi join edge
+DEFAULT_THETA_SELECTIVITY = 1.0 / 3.0
+#: fraction of input rows surviving a grouped aggregation (EXPLAIN only)
+GROUP_SELECTIVITY = 0.1
+
+
+@dataclass(frozen=True)
+class PredicateSketch:
+    """One conjunct over one column, stripped of AST structure.
+
+    ``op`` is one of ``"=", "<", "<=", ">", ">=", "between", "in",
+    "isnull", "notnull", "other"``.  ``value``/``high`` are ``None`` when
+    the comparison value is not a literal (parameters, expressions); the
+    estimator then uses the default fraction for the operator class.
+    """
+
+    column: str
+    op: str
+    value: object = None
+    high: object = None          # upper bound for "between"
+    count: int = 1               # list length for "in"
+
+
+@dataclass(frozen=True)
+class PartitionSketch:
+    """What a scan will read from one partition."""
+
+    name: str
+    rows: int
+    columns: Dict[str, ColumnStats] = field(default_factory=dict, hash=False)
+
+
+@dataclass(frozen=True)
+class UnitSketch:
+    """One relation in a join product (base scan or opaque sub-plan)."""
+
+    index: int                               # position in the FROM clause
+    bindings: FrozenSet[str]
+    rows: float
+    #: NDV per (binding, column) for equi-join selectivity; empty for
+    #: units without statistics
+    ndv: Dict[Tuple[str, str], int] = field(default_factory=dict, hash=False)
+
+
+@dataclass(frozen=True)
+class EdgeSketch:
+    """One multi-relation conjunct from the WHERE clause."""
+
+    bindings: FrozenSet[str]
+    #: ``((binding, column), (binding, column))`` for a simple equi-join
+    #: conjunct, ``None`` otherwise
+    keys: Optional[Tuple[Tuple[str, str], Tuple[str, str]]] = None
+
+
+@dataclass
+class JoinOrder:
+    """Result of :func:`order_joins`."""
+
+    order: Tuple[int, ...]           # unit indices, left-deep chain
+    prefix_rows: Tuple[int, ...]     # estimated rows after each join step
+    method: str                      # "dp" or "greedy"
+
+
+def _numeric(value: object) -> Optional[float]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _histogram_fraction(
+    col: ColumnStats, low: Optional[float], high: Optional[float]
+) -> Optional[float]:
+    """Fraction of non-null values in ``[low, high]`` from the histogram."""
+    if not col.histogram or col.count <= 0:
+        return None
+    inside = 0.0
+    for b_low, b_high, b_count in col.histogram:
+        if not b_count:
+            continue
+        span = b_high - b_low
+        lo = b_low if low is None else max(b_low, low)
+        hi = b_high if high is None else min(b_high, high)
+        if hi <= lo or span <= 0:
+            continue
+        inside += b_count * (hi - lo) / span
+    return min(1.0, inside / col.count)
+
+
+def _range_fraction(
+    col: ColumnStats, low: Optional[float], high: Optional[float]
+) -> float:
+    """Fraction of non-null values in ``[low, high]``; histogram first,
+    then linear interpolation over min/max, then the default."""
+    from_hist = _histogram_fraction(col, low, high)
+    if from_hist is not None:
+        return from_hist
+    c_low = _numeric(col.min_value)
+    c_high = _numeric(col.max_value)
+    if c_low is None or c_high is None:
+        return DEFAULT_RANGE_SELECTIVITY
+    if c_high <= c_low:  # constant column
+        inside = (low is None or low <= c_low) and (high is None or high >= c_low)
+        return 1.0 if inside else 0.0
+    lo = c_low if low is None else max(c_low, low)
+    hi = c_high if high is None else min(c_high, high)
+    if hi <= lo:
+        return 0.0
+    return min(1.0, (hi - lo) / (c_high - c_low))
+
+
+def predicate_selectivity(
+    sketch: PredicateSketch, col: Optional[ColumnStats]
+) -> float:
+    """Estimated fraction of partition rows satisfying *sketch*."""
+    if col is None:
+        if sketch.op == "=":
+            return DEFAULT_EQ_SELECTIVITY
+        if sketch.op == "in":
+            return min(1.0, DEFAULT_EQ_SELECTIVITY * max(1, sketch.count))
+        if sketch.op in ("<", "<=", ">", ">=", "between"):
+            return DEFAULT_RANGE_SELECTIVITY
+        if sketch.op in ("isnull", "notnull"):
+            return DEFAULT_OTHER_SELECTIVITY
+        return DEFAULT_OTHER_SELECTIVITY
+
+    not_null = 1.0 - col.null_fraction
+    if sketch.op == "isnull":
+        return col.null_fraction
+    if sketch.op == "notnull":
+        return not_null
+    if sketch.op == "other":
+        return DEFAULT_OTHER_SELECTIVITY * not_null
+
+    if sketch.op == "=":
+        if col.ndv <= 0:
+            return 0.0
+        value = _numeric(sketch.value)
+        low = _numeric(col.min_value)
+        high = _numeric(col.max_value)
+        if value is not None and low is not None and high is not None:
+            if value < low or value > high:
+                return 0.0
+        return not_null / col.ndv
+
+    if sketch.op == "in":
+        if col.ndv <= 0:
+            return 0.0
+        return min(1.0, max(1, sketch.count) / col.ndv) * not_null
+
+    value = _numeric(sketch.value)
+    if sketch.op == "between":
+        high = _numeric(sketch.high)
+        if value is None and high is None:
+            return DEFAULT_RANGE_SELECTIVITY * not_null
+        return _range_fraction(col, value, high) * not_null
+    if value is None:
+        return DEFAULT_RANGE_SELECTIVITY * not_null
+    if sketch.op in ("<", "<="):
+        return _range_fraction(col, None, value) * not_null
+    if sketch.op in (">", ">="):
+        return _range_fraction(col, value, None) * not_null
+    return DEFAULT_OTHER_SELECTIVITY * not_null
+
+
+def estimate_scan_rows(
+    partitions: Sequence[PartitionSketch],
+    predicates: Sequence[PredicateSketch],
+) -> float:
+    """Rows a scan emits: per-partition rows × Π conjunct selectivity.
+
+    Selectivities are evaluated per partition against that partition's
+    own column statistics — this is where a current partition's
+    ``END_OF_TIME``-pinned period end diverges from a history
+    partition's closed intervals.
+    """
+    total = 0.0
+    for part in partitions:
+        survivors = float(part.rows)
+        for sketch in predicates:
+            survivors *= predicate_selectivity(sketch, part.columns.get(sketch.column))
+        total += survivors
+    return total
+
+
+def _edge_selectivity(
+    edge: EdgeSketch,
+    ndv: Dict[Tuple[str, str], int],
+    unit_rows: Dict[str, float],
+) -> float:
+    """Selectivity of one join edge.
+
+    Equi edges cost ``1 / max(NDV_left, NDV_right)``; a side without
+    collected NDV substitutes its relation's row estimate, which reduces
+    to the classic ``|L|·|R| / max(|L|, |R|)`` heuristic when neither
+    side has statistics.
+    """
+    if edge.keys is None:
+        return DEFAULT_THETA_SELECTIVITY
+    sides = []
+    for binding, column in edge.keys:
+        distinct = ndv.get((binding, column))
+        if distinct is None or distinct <= 0:
+            distinct = max(1.0, unit_rows.get(binding, 1.0))
+        sides.append(float(distinct))
+    return 1.0 / max(sides + [1.0])
+
+
+class _JoinSpace:
+    """Shared context for DP and greedy enumeration."""
+
+    def __init__(self, units: Sequence[UnitSketch], edges: Sequence[EdgeSketch]):
+        self.units = list(units)
+        self.edges = list(edges)
+        self.ndv: Dict[Tuple[str, str], int] = {}
+        self.unit_rows: Dict[str, float] = {}
+        for unit in self.units:
+            for key, distinct in unit.ndv.items():
+                # NDV can never exceed the (possibly filtered) row estimate
+                self.ndv[key] = max(1, min(distinct, int(max(1.0, unit.rows))))
+            for binding in unit.bindings:
+                self.unit_rows[binding] = max(1.0, unit.rows)
+
+    def bindings_of(self, indices) -> FrozenSet[str]:
+        out = set()
+        for i in indices:
+            out |= self.units[i].bindings
+        return frozenset(out)
+
+    def connecting_edges(
+        self, left: FrozenSet[str], right: FrozenSet[str]
+    ) -> List[EdgeSketch]:
+        combined = left | right
+        return [
+            e
+            for e in self.edges
+            if e.bindings <= combined and (e.bindings & left) and (e.bindings & right)
+        ]
+
+    def joined_rows(
+        self, left_rows: float, right: UnitSketch, edges: Sequence[EdgeSketch]
+    ) -> float:
+        rows = left_rows * max(1.0, right.rows)
+        for edge in edges:
+            rows *= _edge_selectivity(edge, self.ndv, self.unit_rows)
+        return max(1.0, rows)
+
+
+def order_joins(
+    units: Sequence[UnitSketch], edges: Sequence[EdgeSketch]
+) -> JoinOrder:
+    """Pick a left-deep join order minimising Σ intermediate sizes."""
+    if len(units) <= MAX_DP_RELATIONS:
+        return _dp_order(units, edges)
+    return _greedy_order(units, edges)
+
+
+def _dp_order(
+    units: Sequence[UnitSketch], edges: Sequence[EdgeSketch]
+) -> JoinOrder:
+    space = _JoinSpace(units, edges)
+    n = len(space.units)
+    # state: subset -> (cost, rows, order, prefix_rows)
+    best: Dict[FrozenSet[int], Tuple[float, float, Tuple[int, ...], Tuple[int, ...]]] = {}
+    for i, unit in enumerate(space.units):
+        rows = max(1.0, unit.rows)
+        best[frozenset([i])] = (0.0, rows, (i,), (int(rows),))
+    for size in range(1, n):
+        for subset in [frozenset(c) for c in combinations(range(n), size)]:
+            state = best.get(subset)
+            if state is None:
+                continue
+            cost, rows, order, prefix = state
+            left_bindings = space.bindings_of(subset)
+            candidates = [j for j in range(n) if j not in subset]
+            connected = [
+                j
+                for j in candidates
+                if space.connecting_edges(left_bindings, space.units[j].bindings)
+            ]
+            # avoid Cartesian products while a connected extension exists
+            for j in connected or candidates:
+                unit = space.units[j]
+                joining = space.connecting_edges(left_bindings, unit.bindings)
+                out_rows = space.joined_rows(rows, unit, joining)
+                new_cost = cost + out_rows
+                key = subset | {j}
+                entry = (
+                    new_cost,
+                    out_rows,
+                    order + (j,),
+                    prefix + (int(out_rows),),
+                )
+                existing = best.get(key)
+                if existing is None or (entry[0], entry[1], entry[2]) < (
+                    existing[0],
+                    existing[1],
+                    existing[2],
+                ):
+                    best[key] = entry
+    _, _, order, prefix = best[frozenset(range(n))]
+    return JoinOrder(order=order, prefix_rows=prefix, method="dp")
+
+
+def _greedy_order(
+    units: Sequence[UnitSketch], edges: Sequence[EdgeSketch]
+) -> JoinOrder:
+    """Above the DP bound: start small, always take the connected
+    extension producing the fewest rows (ties on FROM position)."""
+    space = _JoinSpace(units, edges)
+    n = len(space.units)
+    start = min(range(n), key=lambda i: (space.units[i].rows, i))
+    order = [start]
+    rows = max(1.0, space.units[start].rows)
+    prefix = [int(rows)]
+    remaining = [i for i in range(n) if i != start]
+    while remaining:
+        left_bindings = space.bindings_of(order)
+        scored = []
+        for j in remaining:
+            unit = space.units[j]
+            joining = space.connecting_edges(left_bindings, unit.bindings)
+            out_rows = space.joined_rows(rows, unit, joining)
+            scored.append((0 if joining else 1, out_rows, j))
+        scored.sort()
+        _, rows, chosen = scored[0]
+        order.append(chosen)
+        prefix.append(int(rows))
+        remaining.remove(chosen)
+    return JoinOrder(order=tuple(order), prefix_rows=tuple(prefix), method="greedy")

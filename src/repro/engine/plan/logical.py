@@ -179,6 +179,9 @@ class LogicalScan(LogicalNode):
     schema: object  # catalog.TableSchema
     est_rows: int = 1
     pushed: Tuple[ast.Expr, ...] = ()
+    #: "heuristic" (partition row counts) or "stats" (ANALYZE snapshot
+    #: refined the estimate; the cost-based join order may engage)
+    est_source: str = "heuristic"
 
     @property
     def binding(self) -> str:
@@ -223,6 +226,9 @@ class LogicalJoin(LogicalNode):
     left: LogicalNode
     right: LogicalNode
     conjuncts: Tuple[ast.Expr, ...] = ()
+    #: cardinality stamped by the cost-based join order; None falls back
+    #: to the structural heuristic below
+    est_hint: Optional[int] = None
 
     @property
     def bindings(self) -> Set[str]:
@@ -230,6 +236,8 @@ class LogicalJoin(LogicalNode):
 
     @property
     def est_rows(self) -> int:
+        if self.est_hint is not None:
+            return self.est_hint
         l, r = self.left.est_rows, self.right.est_rows
         if self.conjuncts:
             if any(_looks_equi(c, self.left.bindings, self.right.bindings) for c in self.conjuncts):

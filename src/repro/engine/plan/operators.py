@@ -28,6 +28,10 @@ class Operator:
     #: child operators, for explain trees
     children: Sequence["Operator"] = ()
 
+    #: estimated output rows, stamped during lowering (None = not priced);
+    #: EXPLAIN renders it next to actuals so mis-estimates stay visible
+    est_rows: Optional[int] = None
+
     def rows(self, env: Env) -> List[tuple]:
         # ExecutionContext exposes run_operator; a plain Env does not.
         runner = getattr(env, "run_operator", None)
@@ -47,7 +51,10 @@ class Operator:
         return ""
 
     def explain(self, indent=0) -> str:
-        lines = ["  " * indent + self.label()]
+        text = self.label()
+        if self.est_rows is not None:
+            text += f" (est rows={self.est_rows})"
+        lines = ["  " * indent + text]
         for child in self.children:
             lines.append(child.explain(indent + 1))
         return "\n".join(lines)
@@ -97,7 +104,9 @@ class Materialized(Operator):
         self._description = description
 
     def execute(self, env):
-        return self._rows
+        # a copy: consumers sort/extend result lists in place, and handing
+        # out the backing list would corrupt every later reuse
+        return list(self._rows)
 
     def label(self):
         return f"{self._description} ({len(self._rows)} rows)"
@@ -205,7 +214,10 @@ class NestedLoopJoin(Operator):
 
 
 class HashJoin(Operator):
-    """Equi-join; builds on the right input."""
+    """Equi-join.  Builds the hash table on the right input by default;
+    cost-based planning may request ``build_side="left"`` for inner joins
+    when the left input is estimated cheaper (left joins always probe
+    from the left so every left row can surface)."""
 
     def __init__(
         self,
@@ -216,6 +228,7 @@ class HashJoin(Operator):
         residual=None,  # compiled over the combined layout
         kind="inner",
         right_width=0,
+        build_side="right",
     ):
         self.children = (left, right)
         self._left_keys = left_keys
@@ -223,20 +236,39 @@ class HashJoin(Operator):
         self._residual = residual
         self._kind = kind
         self._right_width = right_width
+        self._build_side = build_side if kind == "inner" else "right"
 
     def execute(self, env):
         left_rows = self.children[0].rows(env)
         right_rows = self.children[1].rows(env)
+        out = []
+        residual = self._residual
+        guard = getattr(env, "guard_iter", None)
+        if self._build_side == "left":
+            table = {}
+            for lrow in left_rows:
+                key = tuple(k(lrow, env) for k in self._left_keys)
+                if any(part is None for part in key):
+                    continue
+                table.setdefault(key, []).append(lrow)
+            if guard is not None:
+                right_rows = guard(right_rows)
+            for rrow in right_rows:
+                key = tuple(k(rrow, env) for k in self._right_keys)
+                if any(part is None for part in key):
+                    continue
+                for lrow in table.get(key, ()):
+                    combined = lrow + rrow
+                    if residual is None or residual(combined, env) is True:
+                        out.append(combined)
+            return out
         table = {}
         for rrow in right_rows:
             key = tuple(k(rrow, env) for k in self._right_keys)
             if any(part is None for part in key):
                 continue
             table.setdefault(key, []).append(rrow)
-        out = []
-        residual = self._residual
         pad = (None,) * self._right_width
-        guard = getattr(env, "guard_iter", None)
         if guard is not None:
             left_rows = guard(left_rows)
         for lrow in left_rows:
@@ -253,7 +285,10 @@ class HashJoin(Operator):
         return out
 
     def label(self):
-        return f"HashJoin({self._kind}, keys={len(self._left_keys)})"
+        base = f"HashJoin({self._kind}, keys={len(self._left_keys)})"
+        if self._build_side == "left":
+            base = f"HashJoin({self._kind}, keys={len(self._left_keys)}, build=left)"
+        return base
 
 
 class MergeJoin(Operator):
@@ -267,14 +302,32 @@ class MergeJoin(Operator):
         self._right_key = right_key
         self._residual = residual
 
+    def _merge_key(self, fn, row, env):
+        """Join key with SQL NULL semantics: a NULL (or a composite key
+        with a NULL part) matches nothing, so it normalises to None —
+        which also keeps composite keys with NULL parts sortable.  NaN
+        gets the same treatment: compare_values ranks it "equal" to
+        everything, so letting it into a merge run would glue unrelated
+        keys together."""
+        key = fn(row, env)
+        if key is None:
+            return None
+        if isinstance(key, tuple):
+            if any(part is None or part != part for part in key):
+                return None
+        elif key != key:  # NaN
+            return None
+        return key
+
     def execute(self, env):
+        left_key, right_key = self._left_key, self._right_key
         left_rows = sorted(
             self.children[0].rows(env),
-            key=lambda r: _sort_token(self._left_key(r, env)),
+            key=lambda r: _sort_token(self._merge_key(left_key, r, env)),
         )
         right_rows = sorted(
             self.children[1].rows(env),
-            key=lambda r: _sort_token(self._right_key(r, env)),
+            key=lambda r: _sort_token(self._merge_key(right_key, r, env)),
         )
         out = []
         residual = self._residual
@@ -285,23 +338,36 @@ class MergeJoin(Operator):
             steps += 1
             if check is not None and steps % 4096 == 0:
                 check()
-            lkey = self._left_key(left_rows[i], env)
-            rkey = self._right_key(right_rows[j], env)
+            lkey = self._merge_key(left_key, left_rows[i], env)
+            rkey = self._merge_key(right_key, right_rows[j], env)
+            # NULL keys join nothing; skip their runs on BOTH inputs
+            # (NULLs sort last, so these rows tail each side)
+            if lkey is None:
+                i += 1
+                continue
+            if rkey is None:
+                j += 1
+                continue
             cmp = compare_values(lkey, rkey)
             if cmp < 0:
                 i += 1
             elif cmp > 0:
                 j += 1
             else:
-                if lkey is None:
-                    i += 1
-                    continue
-                # gather the equal runs
-                i_end = i
-                while i_end < len(left_rows) and self._left_key(left_rows[i_end], env) == lkey:
+                # gather the equal runs; starting past the current row
+                # guarantees progress even for keys (NaN) that compare
+                # "equal" to everything but unequal to themselves
+                i_end = i + 1
+                while i_end < len(left_rows):
+                    key = self._merge_key(left_key, left_rows[i_end], env)
+                    if key is None or compare_values(key, lkey) != 0:
+                        break
                     i_end += 1
-                j_end = j
-                while j_end < len(right_rows) and self._right_key(right_rows[j_end], env) == rkey:
+                j_end = j + 1
+                while j_end < len(right_rows):
+                    key = self._merge_key(right_key, right_rows[j_end], env)
+                    if key is None or compare_values(key, rkey) != 0:
+                        break
                     j_end += 1
                 for li in range(i, i_end):
                     for rj in range(j, j_end):

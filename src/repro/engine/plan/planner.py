@@ -32,6 +32,7 @@ from ..errors import NotSupportedError, PlanError, ProgrammingError
 from ..expr import Env, Scope, compile_expr, expr_to_string
 from ..sql import ast
 from ..types import END_OF_TIME
+from . import cost
 from . import operators as ops
 from .access import ColumnConstraint, TableAccessPlan, TemporalBounds
 from .logical import (  # noqa: F401 - split_conjuncts/conjoin re-exported
@@ -81,14 +82,41 @@ def _expr_key(expr, scope: Scope) -> str:
 # ---------------------------------------------------------------------------
 
 
+def _fill_estimates(op: ops.Operator):
+    """Give every operator an ``est_rows`` so EXPLAIN annotates each node.
+
+    Lowering stamps the nodes it can price (scans, joins, aggregates,
+    finalize); anything left unstamped inherits the largest child
+    estimate — a pass-through guess, but it keeps mis-estimates visible
+    next to actuals in EXPLAIN ANALYZE.
+    """
+    for child in op.children:
+        _fill_estimates(child)
+    if getattr(op, "est_rows", None) is None:
+        child_ests = [
+            child.est_rows for child in op.children if child.est_rows is not None
+        ]
+        op.est_rows = max(child_ests) if child_ests else 1
+
+
 class _Relation:
     """A planned FROM unit: an operator plus its row layout."""
 
-    def __init__(self, op: ops.Operator, layout, bindings: Set[str], est_rows: int):
+    def __init__(
+        self,
+        op: ops.Operator,
+        layout,
+        bindings: Set[str],
+        est_rows: int,
+        stats_backed: bool = False,
+    ):
         self.op = op
         self.layout = layout            # list of (binding, column)
         self.bindings = bindings
         self.est_rows = est_rows
+        #: True when est_rows came from an ANALYZE snapshot (directly or
+        #: through a join over one); gates the hash-join build-side swap
+        self.stats_backed = stats_backed
 
 
 class PlannedQuery:
@@ -137,11 +165,13 @@ class PlannedQuery:
     def _analyze_lines(self, op, metrics, indent) -> List[str]:
         node = metrics.get(id(op))
         prefix = "  " * indent
+        est = getattr(op, "est_rows", None)
+        est_note = "" if est is None else f"est rows={est} "
         if node is None:
-            lines = [f"{prefix}{op.label()} (never executed)"]
+            lines = [f"{prefix}{op.label()} ({est_note}never executed)"]
         else:
             line = (
-                f"{prefix}{op.label()} (actual rows={node.rows} "
+                f"{prefix}{op.label()} ({est_note}actual rows={node.rows} "
                 f"loops={node.calls} time={node.time_s * 1000.0:.3f} ms)"
             )
             if node.detail:
@@ -177,6 +207,7 @@ class Planner:
             self._root_logical = None
             try:
                 op, _layout, names = self._plan_select(select, outer_scope)
+                _fill_estimates(op)
                 deps = dict(self._dependencies)
                 subplans = list(self._subplans)
                 logical = self._root_logical
@@ -190,6 +221,7 @@ class Planner:
             )
         # nested planning (subqueries, views) feeds the root's dependency set
         op, _layout, names = self._plan_select(select, outer_scope)
+        _fill_estimates(op)
         return PlannedQuery(op, names)
 
     def logical_plan(
@@ -273,9 +305,16 @@ class Planner:
             pre_op, pre_scope, rewritten_items, rewritten_having, rewrite = (
                 self._plan_aggregation(select, items, source_op, scope, outer_scope)
             )
+            agg_est = (
+                1
+                if not select.group_by
+                else max(1, int(relation.est_rows * cost.GROUP_SELECTIVITY))
+            )
+            pre_op.est_rows = agg_est
             if rewritten_having is not None:
                 predicate = self._compile(rewritten_having, pre_scope)
                 pre_op = ops.Filter(pre_op, predicate, "Filter(having)")
+                pre_op.est_rows = agg_est
             items = rewritten_items
             order_rewrite = rewrite
         else:
@@ -302,6 +341,9 @@ class Planner:
             if select.offset is not None
             else None,
         )
+        if isinstance(select.limit, ast.Literal) and isinstance(select.limit.value, int):
+            source_est = getattr(pre_op, "est_rows", None) or relation.est_rows
+            final.est_rows = max(0, min(source_est, select.limit.value))
         out_layout = [("", name) for name in out_names]
         return final, out_layout, out_names
 
@@ -316,17 +358,25 @@ class Planner:
             left = self._lower_relation(node.left, outer_scope, referenced)
             right = self._lower_relation(node.right, outer_scope, referenced)
             return self._build_join(
-                left, right, list(node.conjuncts), node.kind, outer_scope
+                left,
+                right,
+                list(node.conjuncts),
+                node.kind,
+                outer_scope,
+                est_hint=node.est_hint,
             )
         if isinstance(node, LogicalFilter):
             relation = self._lower_relation(node.child, outer_scope, referenced)
             scope = Scope(relation.layout, outer=outer_scope)
             predicate = self._compile(node.predicate, scope)
+            filter_op = ops.Filter(relation.op, predicate, f"Filter({node.label})")
+            filter_op.est_rows = relation.est_rows
             return _Relation(
-                ops.Filter(relation.op, predicate, f"Filter({node.label})"),
+                filter_op,
                 relation.layout,
                 relation.bindings,
                 relation.est_rows,
+                stats_backed=relation.stats_backed,
             )
         if isinstance(node, LogicalProduct):
             raise PlanError("join-order selection left a Product node unlowered")
@@ -411,20 +461,32 @@ class Planner:
             f"Access({schema.name} as {binding}, partitions={partitions}, "
             f"temporal={len(temporal_filters)})"
         )
-        op: ops.Operator = ops.TableAccess(access, description)
-        if pushed:
-            predicate = self._compile(conjoin(pushed), scope)
-            op = ops.Filter(op, predicate, f"Filter({binding})")
-        est = table.current_count() + (
+        # node.est_rows carries the partition-count heuristic from
+        # build_logical, or a refined per-partition selectivity estimate
+        # when the rewrite pass found a valid ANALYZE snapshot
+        est = max(1, node.est_rows)
+        stats_backed = node.est_source == "stats"
+        raw_est = table.current_count() + (
             table.history_count() if (has_system_clause and table.has_split) else 0
         )
-        return _Relation(op, layout, {binding}, max(1, est))
+        op: ops.Operator = ops.TableAccess(access, description)
+        if pushed:
+            # the access node shows the pre-filter partition estimate
+            op.est_rows = max(1, raw_est)
+            predicate = self._compile(conjoin(pushed), scope)
+            op = ops.Filter(op, predicate, f"Filter({binding})")
+        op.est_rows = est
+        return _Relation(op, layout, {binding}, est, stats_backed=stats_backed)
 
     # -- joins -----------------------------------------------------------------
 
-    def _build_join(self, left: _Relation, right: _Relation, conjuncts, kind, outer_scope) -> _Relation:
+    def _build_join(
+        self, left: _Relation, right: _Relation, conjuncts, kind, outer_scope,
+        est_hint: Optional[int] = None,
+    ) -> _Relation:
         combined_layout = left.layout + right.layout
         combined_bindings = left.bindings | right.bindings
+        stats_backed = left.stats_backed or right.stats_backed
         left_scope = Scope(left.layout, outer=outer_scope)
         right_scope = Scope(right.layout, outer=outer_scope)
         combined_scope = Scope(combined_layout, outer=outer_scope)
@@ -442,6 +504,13 @@ class Planner:
         )
         est = max(1, (left.est_rows * right.est_rows) // max(left.est_rows, right.est_rows, 1))
         if left_keys:
+            # With statistics-backed estimates, build the hash table on the
+            # cheaper input.  Left joins must keep probe=left (every left
+            # row must surface), and without statistics the historical
+            # build=right layout is preserved byte-for-byte.
+            build_side = "right"
+            if kind == "inner" and stats_backed and left.est_rows < right.est_rows:
+                build_side = "left"
             op = ops.HashJoin(
                 left.op,
                 right.op,
@@ -450,6 +519,7 @@ class Planner:
                 residual=residual_fn,
                 kind=kind,
                 right_width=len(right.layout),
+                build_side=build_side,
             )
         elif residual_fn is not None or kind == "left":
             op = ops.NestedLoopJoin(
@@ -459,7 +529,12 @@ class Planner:
         else:
             op = ops.CrossJoin(left.op, right.op)
             est = left.est_rows * max(right.est_rows, 1)
-        return _Relation(op, combined_layout, combined_bindings, est)
+        if est_hint is not None:
+            est = max(1, est_hint)
+        op.est_rows = est
+        return _Relation(
+            op, combined_layout, combined_bindings, est, stats_backed=stats_backed
+        )
 
     def _equi_key(self, conjunct, left_scope, right_scope):
         """If *conjunct* is ``left_col = right_col`` across the two sides,

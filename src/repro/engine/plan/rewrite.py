@@ -9,13 +9,24 @@ Three rules, applied in order and individually switchable through
 * **predicate-pushdown** — WHERE conjuncts that reference a single base
   table move onto its scan (where they can become index constraints), and
   multi-table conjuncts become join edges;
-* **join-reorder** — the edge pool plus per-unit row estimates drive a
-  greedy size-ordered join tree (the heuristic every §5.9 system uses:
-  "standard storage and query processing techniques").
+* **join-reorder** — the edge pool plus per-unit row estimates drive the
+  join tree.  When at least one base table in the product has a valid
+  ``ANALYZE`` snapshot, the AST predicates are translated into neutral
+  sketches and :mod:`.cost` enumerates a left-deep order (DP up to
+  :data:`.cost.MAX_DP_RELATIONS` relations, greedy above); without
+  statistics the pre-statistics greedy size-ordered tree is produced
+  unchanged (the heuristic every §5.9 system uses: "standard storage and
+  query processing techniques").
 
 Join-tree construction from a :class:`LogicalProduct` always runs — physical
 lowering requires binary joins — but with ``join-reorder`` disabled the
 units keep their textual FROM order instead of being size-sorted.
+
+Scan estimates are also refined here: when a scan's table has statistics,
+its ``est_rows`` is recomputed from per-partition selectivities (pushed
+predicates plus temporal-period clauses) and marked ``est_source="stats"``
+— the flag that arms the cost-based ordering and, downstream, the
+hash-join build-side swap.  See docs/COST_MODEL.md.
 """
 
 from __future__ import annotations
@@ -23,10 +34,13 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..errors import PlanError, ProgrammingError
+from ..errors import CatalogError, PlanError, ProgrammingError
 from ..expr import Env, Interval, Scope, compile_expr
 from ..sql import ast
+from ..types import END_OF_TIME
+from . import cost
 from .logical import (
+    _has_system_clause,
     LogicalDerived,
     LogicalFilter,
     LogicalJoin,
@@ -90,7 +104,11 @@ def rewrite_logical(
         if changed:
             applied.append("predicate-pushdown")
 
-    relation, reordered = _order_joins(relation, cost_based="join-reorder" in rules)
+    relation = _refine_scan_estimates(relation, db)
+
+    relation, reordered = _order_joins(
+        relation, cost_based="join-reorder" in rules, db=db
+    )
     if reordered:
         applied.append("join-reorder")
 
@@ -392,17 +410,174 @@ def _binding_of_unqualified(name, units) -> Optional[str]:
 
 
 # ---------------------------------------------------------------------------
+# statistics: scan-estimate refinement and predicate sketches
+# ---------------------------------------------------------------------------
+
+
+def _refine_scan_estimates(relation: LogicalNode, db) -> LogicalNode:
+    """Recompute scan cardinalities from ANALYZE snapshots when available.
+
+    Tables without a valid snapshot keep their partition-count heuristic
+    (and ``est_source="heuristic"``), so a database that was never
+    analyzed produces plans byte-identical to the pre-statistics engine.
+    """
+    if db is None or not hasattr(db, "stats_for"):
+        return relation
+    mapping = {}
+    for scan in scans_in_order(relation):
+        snapshot = db.stats_for(scan.schema.name)
+        if snapshot is None:
+            continue
+        table = db.table(scan.ref.name)
+        partitions, predicates = _scan_cost_inputs(scan, table, snapshot)
+        est = cost.estimate_scan_rows(partitions, predicates)
+        mapping[id(scan)] = replace(
+            scan, est_rows=max(1, int(est + 0.5)), est_source="stats"
+        )
+    if not mapping:
+        return relation
+    return replace_scans(relation, mapping)
+
+
+def _scan_cost_inputs(scan: LogicalScan, table, snapshot):
+    """(partition sketches, predicate sketches) the cost model prices.
+
+    Partition choice mirrors physical lowering: explicit system time on a
+    split table adds the history partition; a versioned single-partition
+    table (System D) without a system clause gets the implicit-current
+    bound on the period end column instead.
+    """
+    has_system = _has_system_clause(scan.schema, scan.ref)
+    names = [table.current_partition_name()]
+    if table.is_versioned and table.has_split and has_system:
+        names.append("history")
+    partitions = []
+    for name in names:
+        part = snapshot.partition(name)
+        if part is not None:
+            partitions.append(
+                cost.PartitionSketch(name, part.row_count, part.columns)
+            )
+        else:
+            rows = (
+                table.history_count() if name == "history" else table.current_count()
+            )
+            partitions.append(cost.PartitionSketch(name, rows))
+    predicates = [_conjunct_sketch(c, scan.binding, scan.schema) for c in scan.pushed]
+    predicates.extend(_temporal_sketches(scan))
+    if table.is_versioned and not table.has_split and not has_system:
+        period = scan.schema.system_period
+        if period is not None:
+            predicates.append(
+                cost.PredicateSketch(period.end_column, ">", END_OF_TIME - 1)
+            )
+    return partitions, predicates
+
+
+def _literal_value(expr):
+    """Comparison value when closed (constant folding already ran)."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    return None
+
+
+def _local_column_name(expr, binding, schema) -> Optional[str]:
+    if not isinstance(expr, ast.ColumnRef):
+        return None
+    if expr.table is not None and expr.table != binding:
+        return None
+    if expr.table is None and not schema.has_column(expr.name):
+        return None
+    return expr.name
+
+
+def _conjunct_sketch(conjunct, binding, schema) -> cost.PredicateSketch:
+    """One pushed conjunct as a neutral sketch (op "other" when opaque)."""
+    if isinstance(conjunct, ast.Between) and not conjunct.negated:
+        column = _local_column_name(conjunct.operand, binding, schema)
+        if column is not None:
+            return cost.PredicateSketch(
+                column,
+                "between",
+                _literal_value(conjunct.low),
+                high=_literal_value(conjunct.high),
+            )
+    if isinstance(conjunct, ast.IsNull):
+        column = _local_column_name(conjunct.operand, binding, schema)
+        if column is not None:
+            return cost.PredicateSketch(
+                column, "notnull" if conjunct.negated else "isnull"
+            )
+    if isinstance(conjunct, ast.InList) and not conjunct.negated:
+        column = _local_column_name(conjunct.operand, binding, schema)
+        if column is not None:
+            return cost.PredicateSketch(column, "in", count=len(conjunct.items))
+    if isinstance(conjunct, ast.Binary) and conjunct.op in ("=", "<", "<=", ">", ">="):
+        flipped = {"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        for operand, other, op in (
+            (conjunct.left, conjunct.right, conjunct.op),
+            (conjunct.right, conjunct.left, flipped[conjunct.op]),
+        ):
+            column = _local_column_name(operand, binding, schema)
+            if column is not None and not isinstance(other, ast.ColumnRef):
+                return cost.PredicateSketch(column, op, _literal_value(other))
+    return cost.PredicateSketch("", "other")
+
+
+def _temporal_sketches(scan: LogicalScan) -> List[cost.PredicateSketch]:
+    """Temporal clauses as range sketches over the period's columns.
+
+    ``AS OF t`` selects versions with ``begin <= t AND end > t``; overlap
+    modes bound begin below the high end and end above the low end.  The
+    per-partition statistics then price them naturally: a current
+    partition's ``end`` column is pinned at END_OF_TIME so ``end > t``
+    costs ~1.0 there, while a history partition prices both bounds from
+    its closed intervals.
+    """
+    out: List[cost.PredicateSketch] = []
+    for clause in scan.ref.temporal:
+        period = _period_for(scan.schema, clause.period)
+        if period is None or clause.mode == "all":
+            continue
+        low = _literal_value(clause.low)
+        high = _literal_value(clause.high)
+        if clause.mode == "as_of":
+            out.append(cost.PredicateSketch(period.begin_column, "<=", low))
+            out.append(cost.PredicateSketch(period.end_column, ">", low))
+        elif clause.mode == "from_to":
+            out.append(cost.PredicateSketch(period.begin_column, "<", high))
+            out.append(cost.PredicateSketch(period.end_column, ">", low))
+        else:  # between: inclusive upper bound
+            out.append(cost.PredicateSketch(period.begin_column, "<=", high))
+            out.append(cost.PredicateSketch(period.end_column, ">", low))
+    return out
+
+
+def _period_for(schema, name: str):
+    if name == "system_time":
+        return schema.system_period
+    if name == "business_time":
+        app = schema.application_periods
+        return app[0] if app else None
+    try:
+        return schema.period(name)
+    except CatalogError:
+        return None
+
+
+# ---------------------------------------------------------------------------
 # join-order selection
 # ---------------------------------------------------------------------------
 
 
-def _order_joins(relation: LogicalNode, cost_based: bool):
+def _order_joins(relation: LogicalNode, cost_based: bool, db=None):
     """Replace every LogicalProduct with a left-deep join chain.
 
-    With *cost_based* the units are size-sorted first (greedy smallest-
-    relation heuristic); otherwise textual FROM order is kept.  Edges attach
-    as soon as both sides are available; edges that never apply surface as a
-    join-residual filter.
+    With *cost_based* the order comes from the cost model when statistics
+    are available (see :func:`_cost_based_order`) and from the greedy
+    smallest-relation heuristic otherwise; without it textual FROM order
+    is kept.  Edges attach as soon as both sides are available; edges
+    that never apply surface as a join-residual filter.
     """
     reordered = False
 
@@ -415,40 +590,122 @@ def _order_joins(relation: LogicalNode, cost_based: bool):
             return replace(node, child=child)
         if isinstance(node, LogicalProduct):
             reordered = True
-            return _join_tree(node, cost_based)
+            return _join_tree(node, cost_based, db)
         return node
 
     return transform(relation), reordered
 
 
-def _join_tree(product: LogicalProduct, cost_based: bool) -> LogicalNode:
+def _join_tree(product: LogicalProduct, cost_based: bool, db=None) -> LogicalNode:
     units = list(product.units)
+    ordered: Optional[List[LogicalNode]] = None
+    prefix_rows: Optional[Tuple[int, ...]] = None
+    metrics = getattr(db, "metrics", None) if db is not None else None
     if cost_based:
+        plan = _cost_based_order(product, db)
+        if plan is not None:
+            ordered, prefix_rows = plan
+            if metrics is not None:
+                metrics.inc("plan.cost_based_joins")
+        elif metrics is not None:
+            metrics.inc("plan.greedy_joins")
+    if ordered is not None:
+        remaining = list(ordered)
+    elif cost_based:
         remaining = sorted(units, key=lambda u: u.est_rows)
     else:
         remaining = list(units)
     current = remaining.pop(0)
     pending: List[Tuple[frozenset, ast.Expr]] = list(product.edges)
+    step = 0
     while remaining:
-        # find a unit connected to `current` through at least one edge
-        chosen = None
-        for candidate in remaining:
-            combined = current.bindings | candidate.bindings
-            if any(
-                b <= combined and (b & candidate.bindings) and (b & current.bindings)
-                for b, _c in pending
-            ):
-                chosen = candidate
-                break
-        if chosen is None:
-            chosen = remaining[0]
-        remaining.remove(chosen)
+        if ordered is not None:
+            chosen = remaining.pop(0)
+        else:
+            # find a unit connected to `current` through at least one edge
+            chosen = None
+            for candidate in remaining:
+                combined = current.bindings | candidate.bindings
+                if any(
+                    b <= combined and (b & candidate.bindings) and (b & current.bindings)
+                    for b, _c in pending
+                ):
+                    chosen = candidate
+                    break
+            if chosen is None:
+                chosen = remaining[0]
+            remaining.remove(chosen)
         combined = current.bindings | chosen.bindings
         applicable = [c for b, c in pending if b <= combined]
         pending = [(b, c) for b, c in pending if c not in applicable]
-        current = LogicalJoin("inner", current, chosen, tuple(applicable))
+        step += 1
+        hint = prefix_rows[step] if prefix_rows is not None else None
+        current = LogicalJoin(
+            "inner", current, chosen, tuple(applicable), est_hint=hint
+        )
     if pending:
         current = LogicalFilter(
             current, conjoin([c for _b, c in pending]), "join-residual"
         )
     return current
+
+
+def _cost_based_order(product: LogicalProduct, db):
+    """Cost-model join order, or None when the greedy path must run.
+
+    Engages only when the product holds ≥ 2 units and at least one is a
+    base-table scan whose estimate was refined from a valid ANALYZE
+    snapshot — the no-statistics plan must stay byte-identical to the
+    pre-statistics engine.
+    """
+    if db is None:
+        return None
+    units = list(product.units)
+    if len(units) < 2:
+        return None
+    if not any(
+        isinstance(u, LogicalScan) and u.est_source == "stats" for u in units
+    ):
+        return None
+    sketches = []
+    for index, unit in enumerate(units):
+        ndv: Dict[Tuple[str, str], int] = {}
+        if isinstance(unit, LogicalScan) and unit.est_source == "stats":
+            snapshot = db.stats_for(unit.schema.name)
+            if snapshot is not None:
+                for column in unit.schema.column_names():
+                    merged = snapshot.merged_column(column)
+                    if merged is not None and merged.ndv > 0:
+                        ndv[(unit.binding, column)] = merged.ndv
+        sketches.append(
+            cost.UnitSketch(
+                index,
+                frozenset(unit.bindings),
+                float(max(1, unit.est_rows)),
+                ndv,
+            )
+        )
+    edges = [
+        cost.EdgeSketch(frozenset(bindings), _equi_edge_keys(conjunct, units))
+        for bindings, conjunct in product.edges
+    ]
+    result = cost.order_joins(sketches, edges)
+    return [units[i] for i in result.order], result.prefix_rows
+
+
+def _equi_edge_keys(conjunct, units):
+    """``((binding, column), (binding, column))`` for a two-column equi
+    conjunct, else None (the cost model then uses a default selectivity)."""
+    if not (isinstance(conjunct, ast.Binary) and conjunct.op == "="):
+        return None
+    sides = []
+    for expr in (conjunct.left, conjunct.right):
+        if not isinstance(expr, ast.ColumnRef):
+            return None
+        binding = expr.table or _binding_of_unqualified(expr.name, units)
+        if binding is None:
+            return None
+        sides.append((binding, expr.name))
+    if sides[0][0] == sides[1][0]:
+        return None
+    return (sides[0], sides[1])

@@ -159,6 +159,8 @@ class SqlEngine:
             return self._execute_explain(
                 stmt, params, timeout_s, sql if isinstance(sql, str) else None
             )
+        if isinstance(stmt, ast.Analyze):
+            return self._execute_analyze(stmt)
         if isinstance(stmt, ast.Insert):
             return self._execute_insert(stmt, params)
         if isinstance(stmt, ast.Update):
@@ -316,6 +318,20 @@ class SqlEngine:
         else:
             text = self.explain(stmt.statement)
         return text.split("\n")
+
+    def _execute_analyze(self, stmt: ast.Analyze) -> Result:
+        """ANALYZE [TABLE] [name]: collect statistics, report per partition."""
+        collected = self.db.analyze(stmt.table)
+        rows = []
+        for snapshot in collected:
+            for name in sorted(snapshot.partitions):
+                part = snapshot.partitions[name]
+                rows.append(
+                    (snapshot.table, name, part.row_count, len(part.columns))
+                )
+        return Result(
+            rows, ["table", "partition", "row_count", "columns_analyzed"], len(rows)
+        )
 
     # -- DML ---------------------------------------------------------------------
 

@@ -353,11 +353,22 @@ class Explain:
     lint: bool = False
 
 
+@dataclass
+class Analyze:
+    """``ANALYZE [TABLE] [name]`` — collect per-column statistics.
+
+    With no table name, every table in the database is analyzed.  The
+    snapshots feed the cost-based join ordering (docs/COST_MODEL.md).
+    """
+
+    table: Optional[str] = None
+
+
 Statement = Union[
     Select, Insert, Update, Delete,
     CreateTable, CreateIndex, CreateView,
     DropTable, DropIndex, DropView,
-    Explain,
+    Explain, Analyze,
 ]
 
 

@@ -124,6 +124,8 @@ class Parser:
     def parse_statement(self) -> ast.Statement:
         if self.check_keyword("explain"):
             stmt = self.parse_explain()
+        elif self.check_keyword("analyze"):
+            stmt = self.parse_analyze()
         elif self.check_keyword("select"):
             stmt = self.parse_select()
         elif self.check_keyword("insert"):
@@ -146,6 +148,15 @@ class Parser:
                 f"trailing input after statement: {self.peek().value!r}"
             )
         return stmt
+
+    def parse_analyze(self) -> ast.Analyze:
+        """``ANALYZE [TABLE] [name]`` — statistics collection."""
+        self.expect_keyword("analyze")
+        self.accept_keyword("table")
+        name = None
+        if not (self.check("end") or self.check("op", ";")):
+            name = self.expect_name()
+        return ast.Analyze(table=name)
 
     # -- SELECT -------------------------------------------------------------
 

@@ -1,0 +1,172 @@
+"""Per-column statistics: the raw material of the cost model.
+
+``ANALYZE [TABLE]`` (or :meth:`Database.analyze`) scans every partition of
+a table and records, per column: non-null count, null count, number of
+distinct values, min/max, and an equi-width histogram over numeric
+domains.  Statistics are collected *per partition* because the paper's
+systems split current and history storage (§5.2) and the two populations
+differ exactly where it matters — a history partition's ``sys_end``
+column spans closed intervals while the current partition's is pinned at
+``END_OF_TIME`` — so temporal-predicate selectivities (AS OF, OVERLAPS)
+only make sense partition by partition.
+
+Statistics are stored in the catalog and invalidated the same way cached
+plans are (PR 1): the ``ANALYZE`` run bumps the table's catalog version
+(which also forces cached plans to replan with the new statistics), and
+the snapshot records both that version and the table's mutation marker.
+DDL moves the catalog version, DML moves the mutation marker; either
+drift makes :meth:`Database.stats_for` report the snapshot as stale and
+the planner falls back to the pre-statistics greedy heuristics.
+
+This module sits beside the storage layer: it imports nothing from
+``engine/sql`` or ``engine/plan`` so the cost model (:mod:`.plan.cost`)
+can consume its dataclasses without dragging the parser in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: number of equi-width buckets collected for numeric columns
+HISTOGRAM_BUCKETS = 16
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics of one column within one partition."""
+
+    count: int                  # non-null values observed
+    nulls: int                  # NULL values observed
+    ndv: int                    # number of distinct non-null values
+    min_value: object = None
+    max_value: object = None
+    #: equi-width buckets ``(low, high, count)`` over numeric domains;
+    #: empty when the column is non-numeric or constant
+    histogram: Tuple[Tuple[float, float, int], ...] = ()
+
+    @property
+    def null_fraction(self) -> float:
+        total = self.count + self.nulls
+        return (self.nulls / total) if total else 0.0
+
+
+@dataclass
+class PartitionStats:
+    """Row count plus per-column statistics of one storage partition."""
+
+    partition: str
+    row_count: int
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+
+
+@dataclass
+class TableStats:
+    """One ANALYZE snapshot of a table, all partitions included."""
+
+    table: str
+    partitions: Dict[str, PartitionStats] = field(default_factory=dict)
+    #: catalog version of the table when the snapshot was taken
+    catalog_version: int = 0
+    #: storage mutation marker (inserts + invalidations + plain writes)
+    mutation_marker: int = 0
+
+    @property
+    def row_count(self) -> int:
+        return sum(p.row_count for p in self.partitions.values())
+
+    def partition(self, name: str) -> Optional[PartitionStats]:
+        return self.partitions.get(name)
+
+    def column(self, partition: str, name: str) -> Optional[ColumnStats]:
+        part = self.partitions.get(partition)
+        return part.columns.get(name) if part is not None else None
+
+    def merged_column(self, name: str) -> Optional[ColumnStats]:
+        """Column statistics folded across partitions (for join NDV).
+
+        NDV is approximated by the largest per-partition NDV — current and
+        history versions of the same key overlap heavily, so summing would
+        overcount badly; the max is the conservative under-count.
+        """
+        parts = [p.columns[name] for p in self.partitions.values() if name in p.columns]
+        if not parts:
+            return None
+        if len(parts) == 1:
+            return parts[0]
+        mins = [p.min_value for p in parts if p.min_value is not None]
+        maxes = [p.max_value for p in parts if p.max_value is not None]
+        try:
+            low = min(mins) if mins else None
+            high = max(maxes) if maxes else None
+        except TypeError:
+            low = high = None
+        return ColumnStats(
+            count=sum(p.count for p in parts),
+            nulls=sum(p.nulls for p in parts),
+            ndv=max(p.ndv for p in parts),
+            min_value=low,
+            max_value=high,
+        )
+
+
+def mutation_marker(table) -> int:
+    """Monotone DML marker of a table: any write moves it forward."""
+    stats = table.stats
+    return stats.inserts + stats.invalidations + stats.plain_writes
+
+
+def _column_stats(values: List[object], buckets: int) -> ColumnStats:
+    non_null = [v for v in values if v is not None]
+    nulls = len(values) - len(non_null)
+    distinct = set(non_null)
+    low = high = None
+    if non_null:
+        try:
+            low = min(non_null)
+            high = max(non_null)
+        except TypeError:
+            low = high = None  # mixed types: no order statistics
+    histogram: Tuple[Tuple[float, float, int], ...] = ()
+    numeric = (
+        low is not None
+        and isinstance(low, (int, float))
+        and isinstance(high, (int, float))
+        and not isinstance(low, bool)
+        and not isinstance(high, bool)
+        and high > low
+    )
+    if numeric:
+        width = (high - low) / buckets
+        counts = [0] * buckets
+        for value in non_null:
+            slot = min(buckets - 1, int((value - low) / width))
+            counts[slot] += 1
+        histogram = tuple(
+            (low + i * width, low + (i + 1) * width, counts[i])
+            for i in range(buckets)
+        )
+    return ColumnStats(
+        count=len(non_null),
+        nulls=nulls,
+        ndv=len(distinct),
+        min_value=low,
+        max_value=high,
+        histogram=histogram,
+    )
+
+
+def collect_table_stats(table, buckets: int = HISTOGRAM_BUCKETS) -> TableStats:
+    """Scan every partition of *table* and compute its statistics."""
+    schema = table.schema
+    column_names = schema.column_names()
+    out = TableStats(table=schema.name)
+    for name in table.partition_names():
+        rows = [row for _rid, row in table.scan_partition(name, need_temporal=True)]
+        part = PartitionStats(partition=name, row_count=len(rows))
+        for position, column in enumerate(column_names):
+            part.columns[column] = _column_stats(
+                [row[position] for row in rows], buckets
+            )
+        out.partitions[name] = part
+    return out

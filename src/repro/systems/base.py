@@ -58,6 +58,10 @@ class TemporalSystem:
     def cache_stats(self) -> Dict[str, int]:
         return self.db.cache_stats()
 
+    def analyze(self, table: Optional[str] = None):
+        """Collect per-column statistics (ANALYZE); arms cost-based joins."""
+        return self.db.analyze(table)
+
     def metrics(self) -> Dict[str, Dict]:
         """Engine metric counters + histogram summaries for this system."""
         return self.db.metrics.snapshot()

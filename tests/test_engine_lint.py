@@ -37,6 +37,8 @@ def fake_repo(tmp_path):
         "            rows = guard(rows)\n"
         "        return [row for row in rows]\n"
     ))
+    _write(tmp_path, "src/repro/engine/plan/cost.py",
+           "DEFAULT_EQ_SELECTIVITY = 0.1\n")
     _write(tmp_path, "src/repro/engine/sql/parser.py", "from . import ast\n")
     _write(tmp_path, "src/repro/engine/storage/row_store.py", "import bisect\n")
     _write(tmp_path, "src/repro/engine/analyze.py",
@@ -307,3 +309,57 @@ class TestSpanCatalogue:
             '    cursor.span("whatever")\n'
         ))
         assert engine_lint.check_span_catalogue(fake_repo) == []
+
+
+class TestCostModel:
+    def test_missing_cost_module_is_flagged(self, fake_repo):
+        (fake_repo / "src/repro/engine/plan/cost.py").unlink()
+        problems = engine_lint.check_cost_model(fake_repo)
+        assert any("missing" in p for p in problems)
+
+    @pytest.mark.parametrize("line", [
+        "from ..sql import ast",
+        "from .. import sql",
+        "from repro.engine.sql.ast import Literal",
+    ])
+    def test_sql_import_in_cost_is_flagged(self, fake_repo, line):
+        _write(fake_repo, "src/repro/engine/plan/cost.py", line + "\n")
+        problems = engine_lint.check_cost_model(fake_repo)
+        assert len(problems) == 1
+        assert "cost-model" in problems[0]
+
+    def test_storage_import_in_cost_is_allowed(self, fake_repo):
+        # only sql is walled off; stats types come from the engine proper
+        _write(fake_repo, "src/repro/engine/plan/cost.py",
+               "from ..stats import ColumnStats\n")
+        assert engine_lint.check_cost_model(fake_repo) == []
+
+    def test_undeclared_optimizer_counter_is_flagged(self, fake_repo):
+        # even on a receiver the metric-names check would skip
+        _write(fake_repo, "src/repro/engine/database.py", (
+            "def analyze(self):\n"
+            '    self._m.inc("stats.analyz_runs")\n'  # typo
+        ))
+        problems = engine_lint.check_cost_model(fake_repo)
+        assert len(problems) == 1
+        assert "stats.analyz_runs" in problems[0]
+
+    def test_declared_optimizer_counter_passes(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/obs/metrics.py", (
+            'COUNTERS = {"txn.commits": "doc", "plan.greedy_joins": "doc"}\n'
+            'HISTOGRAMS = {"query.execute_s": "doc"}\n'
+        ))
+        _write(fake_repo, "src/repro/engine/plan/rewrite.py", (
+            'ALL_RULES = ("constant-folding",)\n'
+            'RULE_INVARIANTS = {"constant-folding": ("result-equivalence",)}\n'
+            "def order(metrics):\n"
+            '    metrics.inc("plan.greedy_joins")\n'
+        ))
+        assert engine_lint.check_cost_model(fake_repo) == []
+
+    def test_non_optimizer_counters_are_left_to_check_six(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/txn.py", (
+            "def f(counter):\n"
+            '    counter.inc("txn.whatever")\n'  # not stats.* / plan.*
+        ))
+        assert engine_lint.check_cost_model(fake_repo) == []

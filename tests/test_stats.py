@@ -1,0 +1,191 @@
+"""Per-column statistics: collection, ANALYZE, and invalidation.
+
+The statistics snapshot must describe each partition separately, go
+stale on any DDL/DML, and surface its lifecycle through the ``stats.*``
+counters — the cost model trusts ``Database.stats_for`` to never return
+a snapshot that no longer matches the table.
+"""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine import stats as stats_mod
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE t (a integer NOT NULL, b integer, c varchar,"
+        " sb timestamp, se timestamp,"
+        " PRIMARY KEY (a), PERIOD FOR system_time (sb, se))"
+    )
+    for i in range(20):
+        database.execute(
+            "INSERT INTO t (a, b, c) VALUES (?, ?, ?)",
+            [i, (i % 5) if i % 4 else None, f"s{i}"],
+        )
+    return database
+
+
+class TestCollection:
+    def test_partition_row_counts(self, db):
+        db.execute("UPDATE t SET b = 99 WHERE a < 3")  # 3 versions -> history
+        snap = db.analyze("t")[0]
+        assert snap.partition("current").row_count == 20
+        assert snap.partition("history").row_count == 3
+        assert snap.row_count == 23
+
+    def test_column_ndv_and_minmax(self, db):
+        snap = db.analyze("t")[0]
+        col = snap.column("current", "a")
+        assert col.ndv == 20
+        assert (col.min_value, col.max_value) == (0, 19)
+
+    def test_null_fraction(self, db):
+        snap = db.analyze("t")[0]
+        col = snap.column("current", "b")
+        assert col.nulls == 5  # a = 0, 4, 8, 12, 16
+        assert col.null_fraction == pytest.approx(0.25)
+
+    def test_histogram_covers_numeric_range(self, db):
+        snap = db.analyze("t")[0]
+        col = snap.column("current", "a")
+        assert col.histogram
+        assert sum(count for _, _, count in col.histogram) == 20
+        assert col.histogram[0][0] == 0
+        assert col.histogram[-1][1] == 19
+
+    def test_constant_column_has_no_histogram(self, db):
+        database = Database()
+        database.execute(
+            "CREATE TABLE k (a integer NOT NULL, b integer, PRIMARY KEY (a))"
+        )
+        for i in range(5):
+            database.execute("INSERT INTO k (a, b) VALUES (?, 7)", [i])
+        snap = database.analyze("k")[0]
+        col = snap.column("single", "b")
+        assert col.histogram == ()
+        assert (col.min_value, col.max_value) == (7, 7)
+
+    def test_string_column_minmax_no_histogram(self, db):
+        snap = db.analyze("t")[0]
+        col = snap.column("current", "c")
+        assert col.histogram == ()
+        assert col.ndv == 20
+
+    def test_merged_column_spans_partitions(self, db):
+        db.execute("UPDATE t SET b = 77 WHERE a = 0")
+        snap = db.analyze("t")[0]
+        merged = snap.merged_column("b")
+        assert merged.max_value == 77
+
+
+class TestAnalyzeStatement:
+    def test_analyze_table_result_shape(self, db):
+        result = db.execute("ANALYZE TABLE t")
+        assert result.columns == [
+            "table", "partition", "row_count", "columns_analyzed"
+        ]
+        partitions = {row[1]: row[2] for row in result.rows}
+        assert partitions["current"] == 20
+
+    def test_analyze_without_table_covers_all(self, db):
+        db.execute(
+            "CREATE TABLE u (x integer NOT NULL, PRIMARY KEY (x))"
+        )
+        result = db.execute("ANALYZE")
+        assert {row[0] for row in result.rows} == {"t", "u"}
+
+    def test_analyze_unknown_table_fails(self, db):
+        with pytest.raises(Exception):
+            db.execute("ANALYZE TABLE missing")
+
+    def test_table_keyword_optional(self, db):
+        assert db.execute("ANALYZE t").rows == db.execute("ANALYZE TABLE t").rows
+
+
+class TestValidity:
+    def test_stats_for_after_analyze(self, db):
+        db.analyze("t")
+        assert db.stats_for("t") is not None
+
+    def test_no_analyze_no_stats(self, db):
+        assert db.stats_for("t") is None
+
+    def test_insert_invalidates(self, db):
+        db.analyze("t")
+        db.execute("INSERT INTO t (a, b) VALUES (100, 1)")
+        assert db.stats_for("t") is None
+
+    def test_versioning_update_invalidates(self, db):
+        db.analyze("t")
+        db.execute("UPDATE t SET b = 1 WHERE a = 5")
+        assert db.stats_for("t") is None
+
+    def test_delete_invalidates(self, db):
+        db.analyze("t")
+        db.execute("DELETE FROM t WHERE a = 5")
+        assert db.stats_for("t") is None
+
+    def test_ddl_invalidates(self, db):
+        db.analyze("t")
+        db.execute("CREATE INDEX i_t_b ON t (b)")
+        assert db.stats_for("t") is None
+
+    def test_reanalyze_restores(self, db):
+        db.analyze("t")
+        db.execute("INSERT INTO t (a, b) VALUES (100, 1)")
+        db.analyze("t")
+        snap = db.stats_for("t")
+        assert snap is not None
+        assert snap.partition("current").row_count == 21
+
+    def test_plain_write_invalidates_nonversioned_table(self):
+        database = Database()
+        database.execute(
+            "CREATE TABLE p (x integer NOT NULL, y integer, PRIMARY KEY (x))"
+        )
+        database.execute("INSERT INTO p (x, y) VALUES (1, 1)")
+        database.analyze("p")
+        database.execute("UPDATE p SET y = 2 WHERE x = 1")
+        assert database.stats_for("p") is None
+
+    def test_drop_table_drops_stats(self, db):
+        db.analyze("t")
+        db.execute("DROP TABLE t")
+        assert db.catalog.stats_of("t") is None
+
+
+class TestMetrics:
+    def test_analyze_counters(self, db):
+        db.execute("CREATE TABLE u (x integer NOT NULL, PRIMARY KEY (x))")
+        db.execute("ANALYZE")
+        counters = db.metrics.snapshot()["counters"]
+        assert counters["stats.analyze_runs"] == 1
+        assert counters["stats.tables_analyzed"] == 2
+
+    def test_lookup_counters(self, db):
+        db.stats_for("t")  # miss
+        db.analyze("t")
+        db.stats_for("t")  # hit
+        db.execute("INSERT INTO t (a) VALUES (500)")
+        db.stats_for("t")  # stale
+        counters = db.metrics.snapshot()["counters"]
+        assert counters["stats.lookups"] == 3
+        assert counters["stats.misses"] == 1
+        assert counters["stats.hits"] == 1
+        assert counters["stats.stale"] == 1
+
+
+class TestModuleHelpers:
+    def test_column_stats_histogram_slots(self):
+        col = stats_mod._column_stats(list(range(100)), buckets=4)
+        assert len(col.histogram) == 4
+        assert all(count == 25 for _, _, count in col.histogram)
+
+    def test_mutation_marker_ingredients(self, db):
+        table = db.table("t")
+        before = stats_mod.mutation_marker(table)
+        db.execute("INSERT INTO t (a) VALUES (900)")
+        assert stats_mod.mutation_marker(table) == before + 1

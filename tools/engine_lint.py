@@ -37,6 +37,14 @@ has been broken (or nearly broken) by an innocent-looking edit before:
   appear in the span catalogue in ``docs/OBSERVABILITY.md``.  The profiler
   and the slow-query log surface these names verbatim; an undocumented span
   is a dashboard nobody can read.
+* **cost-model** — ``engine/plan/cost.py`` (the cardinality estimator) must
+  not import from ``engine/sql``: costing works on sketches the rewriter
+  derives, so it stays usable without a parser behind it.  And every
+  ``stats.*``/``plan.*`` counter literal passed to ``.inc()`` anywhere under
+  ``src/repro`` must be declared in ``repro.engine.obs.metrics.COUNTERS`` —
+  stricter than **metric-names** (no receiver filter), because the optimizer
+  counters back the cost-model acceptance numbers and a silently dropped
+  increment would fake a plan-choice regression.
 
 Run as ``python tools/engine_lint.py`` (exit 0 = clean); every check is also
 importable for the test suite.  Standard library only.
@@ -400,6 +408,61 @@ def check_span_catalogue(root: Path = REPO_ROOT) -> List[str]:
     return problems
 
 
+# -- check 8: cost model stays sql-free; optimizer counters declared -------
+
+def check_cost_model(root: Path = REPO_ROOT) -> List[str]:
+    problems = []
+    cost_path = root / ENGINE / "plan" / "cost.py"
+    if not cost_path.is_file():
+        return [
+            f"{ENGINE / 'plan' / 'cost.py'}: [cost-model] missing — the "
+            f"cardinality estimator is a declared subsystem"
+        ]
+    tree = _parse(cost_path)
+    for node in ast.walk(tree):
+        hits = []
+        if isinstance(node, ast.ImportFrom):
+            if _forbidden_import(node.module or "", node.level, ("sql",)):
+                hits.append(node.module or ".")
+            elif node.level > 0 and not node.module:
+                hits.extend(a.name for a in node.names if a.name == "sql")
+        elif isinstance(node, ast.Import):
+            hits.extend(
+                a.name for a in node.names
+                if _forbidden_import(a.name, 0, ("sql",))
+            )
+        for hit in hits:
+            problems.append(
+                f"{cost_path.relative_to(root)}:{node.lineno}: [cost-model] "
+                f"plan/cost.py must not import {hit!r} (costing sees "
+                f"sketches, never AST)"
+            )
+    counters, _ = _declared_metrics(root)
+    for path in sorted((root / "src/repro").rglob("*.py")):
+        if path.name == "metrics.py" and path.parent.name == "obs":
+            continue
+        for node in ast.walk(_parse(path)):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "inc"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                continue
+            name = node.args[0].value
+            if not name.startswith(("stats.", "plan.")):
+                continue
+            if name not in counters:
+                problems.append(
+                    f"{path.relative_to(root)}:{node.lineno}: [cost-model] "
+                    f"optimizer counter {name!r} is incremented but not "
+                    f"declared in repro.engine.obs.metrics.COUNTERS"
+                )
+    return problems
+
+
 ALL_CHECKS = (
     check_operator_guards,
     check_no_wallclock,
@@ -408,6 +471,7 @@ ALL_CHECKS = (
     check_profiles,
     check_metric_names,
     check_span_catalogue,
+    check_cost_model,
 )
 
 
