@@ -33,6 +33,7 @@ Entry points: :func:`analyze_sql` / :func:`analyze_select`; surfaced as
 
 from __future__ import annotations
 
+import datetime
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -52,13 +53,23 @@ from .plan.rewrite import conjunct_bindings, rewrite_logical
 from .sql import ast
 from .sql.lexer import line_col
 from .sql.parser import parse_statement
-from .types import SqlType
+from .types import SqlType, date_to_day
 
 SEVERITIES = ("info", "warning", "error")
 _SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
 
 _COMPARISONS = ("=", "<>", "<", "<=", ">", ">=")
 _FRAGMENT_LIMIT = 48
+
+#: plausible day-number window for TQ013 (years 1900..2199).  Dates are
+#: integers counting days from the 1992 epoch, so a numeric literal far
+#: outside this window — most often a ``yyyymmdd`` integer like 20200101
+#: — can never match a date column.  System-time columns are exempt:
+#: they hold small logical commit ticks, not day numbers.
+_DAY_DOMAIN = (
+    date_to_day(datetime.date(1900, 1, 1)),
+    date_to_day(datetime.date(2199, 12, 31)),
+)
 
 #: coarse comparability classes for TQ011 — types in the same category
 #: compare meaningfully, types across categories do not.
@@ -198,6 +209,17 @@ _RULE_LIST = (
         "compare application periods with application periods and system "
         "periods with system periods",
     ),
+    Rule(
+        "TQ013",
+        "temporal-literal-domain",
+        "warning",
+        "date/period column compared against a literal outside the date domain",
+        "§4: application time counts days since the epoch; a bare numeric "
+        "literal outside the day-number window (e.g. a yyyymmdd integer) "
+        "matches nothing — the predicate silently selects an empty range",
+        "write the bound as DATE '...' so the literal lives in the column's "
+        "day-number domain",
+    ),
 )
 
 RULES: Dict[str, Rule] = {rule.code: rule for rule in _RULE_LIST}
@@ -333,6 +355,7 @@ class _Analysis:
         self._check_left_join_filters(relation, path)
         self._check_connectivity(relation, path)
         self._check_join_predicates(relation, path)
+        self._check_literal_domains(relation, path)
         self._check_projection(select, relation, path)
         for derived in _derived_in(relation):
             self.check_select(derived.select, f"{path}/derived:{derived.alias}")
@@ -612,6 +635,43 @@ class _Analysis:
                     where,
                 )
 
+    # -- literal domains (TQ013) -------------------------------------------
+
+    def _check_literal_domains(self, relation: LogicalNode, path: str):
+        """Date/period columns compared against numeric literals that can
+        never be day numbers (TQ013) — the classic ``yyyymmdd`` integer
+        bug.  System-period columns are skipped: they count commit ticks,
+        where small integers are exactly the right domain."""
+        scans = _scans_in(relation)
+        if not scans:
+            return
+        by_binding = {scan.binding: scan for scan in scans}
+        for conjunct, where in _predicate_conjuncts(relation, path):
+            for ref, literal in _column_literal_pairs(conjunct):
+                resolved = self._resolve_ref(ref, by_binding, scans)
+                if resolved is None:
+                    continue
+                scan, ref = resolved
+                kind = _period_kind(scan.schema, ref.name)
+                if kind == "system":
+                    continue
+                if kind != "application" and (
+                    scan.schema.column(ref.name).type is not SqlType.DATE
+                ):
+                    continue
+                value = literal.value
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                if _DAY_DOMAIN[0] <= value <= _DAY_DOMAIN[1]:
+                    continue
+                self.emit(
+                    "TQ013",
+                    f"{_qualified(scan, ref)} holds day numbers but is "
+                    f"compared against {value!r}, outside the date domain",
+                    conjunct,
+                    where,
+                )
+
     def _resolve_ref(self, ref: ast.ColumnRef, by_binding, scans):
         """The (scan, ref) a column reference resolves to, or None when the
         binding is unknown/ambiguous or the column is not a base column."""
@@ -717,6 +777,22 @@ def _period_kind(schema, column_name: str) -> Optional[str]:
 
 def _qualified(scan: LogicalScan, ref: ast.ColumnRef) -> str:
     return f"{scan.binding}.{ref.name}"
+
+
+def _column_literal_pairs(conjunct):
+    """(column ref, literal) pairs of a comparison or BETWEEN conjunct."""
+    if isinstance(conjunct, ast.Binary) and conjunct.op in _COMPARISONS:
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal):
+            yield left, right
+        elif isinstance(right, ast.ColumnRef) and isinstance(left, ast.Literal):
+            yield right, left
+    elif isinstance(conjunct, ast.Between) and isinstance(
+        conjunct.operand, ast.ColumnRef
+    ):
+        for bound in (conjunct.low, conjunct.high):
+            if isinstance(bound, ast.Literal):
+                yield conjunct.operand, bound
 
 
 def _comparison_sides(conjunct):

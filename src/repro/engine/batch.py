@@ -1,0 +1,190 @@
+"""Chunked row-batches: the unit of data flow through the execution engine.
+
+Every physical operator consumes and produces :class:`Batch` objects
+instead of bare row lists.  A batch is a fixed-capacity chunk of rows in
+one of two layouts:
+
+* **row-major** — a list of tuples, the natural shape for join outputs
+  and anything that re-arranges whole rows;
+* **column-major** — a list of per-column value lists, the natural shape
+  straight out of the column store, where handing over array slices
+  avoids per-row tuple construction entirely.
+
+Both layouts answer the same protocol (``column(slot)``, ``to_rows()``,
+``take(indices)``) so operators never branch on layout; conversion is
+lazy and cached.  The materialization boundary — where batches become
+the ``list[tuple]`` the DBAPI surface promises — is
+:func:`rows_from_batches`, which always builds a *fresh* list so cached
+subplan results are aliasing-safe.
+
+Module-level knobs (`batch size`, `vectorized on/off`) exist for the
+equivalence test-suite: forcing batch size 1 with vectorization off
+reproduces the historical row-at-a-time engine exactly, which is the
+reference oracle the batch path is checked against byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+DEFAULT_BATCH_SIZE = 1024
+
+_CONFIG = {"size": DEFAULT_BATCH_SIZE, "vectorized": True}
+
+
+def batch_size() -> int:
+    """The configured rows-per-batch for operators that chunk output."""
+    return _CONFIG["size"]
+
+
+def set_batch_size(size: int) -> None:
+    if size < 1:
+        raise ValueError("batch size must be >= 1")
+    _CONFIG["size"] = int(size)
+
+
+def vectorized_enabled() -> bool:
+    """Whether chunk-wise expression evaluation is in use.
+
+    When off, every operator falls back to its per-row evaluation path —
+    the reference semantics the vectorized path must match exactly.
+    """
+    return _CONFIG["vectorized"]
+
+
+def set_vectorized(enabled: bool) -> None:
+    _CONFIG["vectorized"] = bool(enabled)
+
+
+@contextmanager
+def execution_config(size: Optional[int] = None,
+                     vectorized: Optional[bool] = None):
+    """Temporarily override the batch size and/or vectorization flag."""
+    saved = dict(_CONFIG)
+    try:
+        if size is not None:
+            set_batch_size(size)
+        if vectorized is not None:
+            set_vectorized(vectorized)
+        yield
+    finally:
+        _CONFIG.update(saved)
+
+
+class Batch:
+    """A chunk of rows in row-major or column-major layout.
+
+    ``to_rows()`` may return an internal list; callers must treat it as
+    read-only (materialization points copy via :func:`rows_from_batches`).
+    """
+
+    __slots__ = ("_rows", "_columns", "length", "width")
+
+    def __init__(self, rows=None, columns=None, length=0, width=0):
+        self._rows = rows
+        self._columns = columns
+        self.length = length
+        self.width = width
+
+    @classmethod
+    def from_rows(cls, rows: List[tuple], width: Optional[int] = None) -> "Batch":
+        if width is None:
+            width = len(rows[0]) if rows else 0
+        return cls(rows=rows, length=len(rows), width=width)
+
+    @classmethod
+    def from_columns(cls, columns: List[list],
+                     length: Optional[int] = None) -> "Batch":
+        if length is None:
+            length = len(columns[0]) if columns else 0
+        return cls(columns=columns, length=length, width=len(columns))
+
+    def column(self, slot: int) -> list:
+        """The values of one column across the batch (zero-copy when
+        column-major)."""
+        if self._columns is not None:
+            return self._columns[slot]
+        return [row[slot] for row in self._rows]
+
+    def to_rows(self) -> List[tuple]:
+        """The batch as a list of tuples (cached for column-major)."""
+        if self._rows is None:
+            if self._columns:
+                self._rows = list(zip(*self._columns))
+            else:
+                self._rows = [()] * self.length
+        return self._rows
+
+    def take(self, indices: Sequence[int]) -> "Batch":
+        """A new batch holding the rows at *indices* (in that order),
+        preserving layout.  Also used for reordering, so no identity
+        shortcut — callers skip the call when taking everything."""
+        if self._rows is not None:
+            rows = self._rows
+            return Batch.from_rows([rows[i] for i in indices], self.width)
+        columns = [[col[i] for i in indices] for col in self._columns]
+        return Batch(columns=columns, length=len(indices), width=self.width)
+
+    def __len__(self) -> int:
+        return self.length
+
+
+def rows_from_batches(batches: Iterable[Batch]) -> List[tuple]:
+    """Materialize batches into one fresh list of tuples.
+
+    This is the row-level boundary: PlannedQuery results, cached subplan
+    rows and the DBAPI surface all pass through here, and the returned
+    list is always newly built so in-place consumer mutation can never
+    leak back into a batch.
+    """
+    out: List[tuple] = []
+    for batch in batches:
+        out.extend(batch.to_rows())
+    return out
+
+
+def batches_from_rows(rows: Sequence[tuple],
+                      size: Optional[int] = None) -> List[Batch]:
+    """Chunk a row list into row-major batches (slices are fresh lists,
+    so the source list is never aliased by any batch)."""
+    if size is None:
+        size = _CONFIG["size"]
+    if not rows:
+        return []
+    width = len(rows[0])
+    if len(rows) <= size:
+        return [Batch.from_rows(list(rows), width)]
+    return [
+        Batch.from_rows(list(rows[start:start + size]), width)
+        for start in range(0, len(rows), size)
+    ]
+
+
+def iter_batches_from_rows(rows: Iterable[tuple],
+                           size: Optional[int] = None) -> Iterator[Batch]:
+    """Chunk an arbitrary row iterable into row-major batches lazily."""
+    if size is None:
+        size = _CONFIG["size"]
+    chunk: List[tuple] = []
+    for row in rows:
+        chunk.append(row)
+        if len(chunk) >= size:
+            yield Batch.from_rows(chunk)
+            chunk = []
+    if chunk:
+        yield Batch.from_rows(chunk)
+
+
+__all__ = [
+    "Batch",
+    "DEFAULT_BATCH_SIZE",
+    "batch_size",
+    "batches_from_rows",
+    "execution_config",
+    "iter_batches_from_rows",
+    "rows_from_batches",
+    "set_batch_size",
+    "set_vectorized",
+    "vectorized_enabled",
+]

@@ -80,6 +80,9 @@ class Database:
         self._tables: Dict[str, VersionedTable] = {}
         self._views: Dict[str, object] = {}  # name -> Select AST
         self._sql_engine = None  # created on first execute()
+        #: when set, a table is re-ANALYZEd automatically once this many
+        #: mutations accumulate since its last snapshot (None = manual only)
+        self.auto_analyze_threshold: Optional[int] = None
 
     # -- DDL -------------------------------------------------------------
 
@@ -168,8 +171,11 @@ class Database:
         for column, value in values_by_column.items():
             row[schema.position(column)] = schema.column(column).type.validate(value)
         if table.is_versioned:
-            return temporal.temporal_insert(table, row, self._tick())
-        return table.insert_version(row, sys_begin=None)
+            rid = temporal.temporal_insert(table, row, self._tick())
+        else:
+            rid = table.insert_version(row, sys_begin=None)
+        self._maybe_auto_analyze(table_name)
+        return rid
 
     def insert_row_explicit(
         self, table_name, values_by_column: Dict[str, object], sys_begin, sys_end
@@ -197,12 +203,17 @@ class Database:
                 table.invalidate(rid, sys_end)
         if sys_begin is not None:
             self.txns.set_clock(max(self.txns.clock, sys_begin + 1))
+        self._maybe_auto_analyze(table_name)
         return rid
 
     def update_by_key(self, table_name, key, changes: Dict[str, object]) -> int:
         table = self.table(table_name)
         if table.is_versioned:
-            return temporal.nontemporal_update(table, tuple(key), changes, self._tick())
+            count = temporal.nontemporal_update(
+                table, tuple(key), changes, self._tick()
+            )
+            self._maybe_auto_analyze(table_name)
+            return count
         count = 0
         schema = table.schema
         for rid, row in temporal.current_versions_for_key(table, tuple(key)):
@@ -211,33 +222,63 @@ class Database:
                 new_row[schema.position(column)] = value
             table.plain_update(rid, new_row)
             count += 1
+        self._maybe_auto_analyze(table_name)
         return count
 
     def sequenced_update_by_key(
         self, table_name, key, changes, period_name, begin, end
     ) -> int:
         table = self.table(table_name)
-        return temporal.sequenced_update(
+        count = temporal.sequenced_update(
             table, tuple(key), changes, period_name, Period(begin, end), self._tick()
         )
+        self._maybe_auto_analyze(table_name)
+        return count
 
     def sequenced_delete_by_key(self, table_name, key, period_name, begin, end) -> int:
         table = self.table(table_name)
-        return temporal.sequenced_delete(
+        count = temporal.sequenced_delete(
             table, tuple(key), period_name, Period(begin, end), self._tick()
         )
+        self._maybe_auto_analyze(table_name)
+        return count
 
     def delete_by_key(self, table_name, key) -> int:
         table = self.table(table_name)
         if table.is_versioned:
-            return temporal.temporal_delete(table, tuple(key), self._tick())
-        count = 0
-        for rid, _row in temporal.current_versions_for_key(table, tuple(key)):
-            table.plain_delete(rid)
-            count += 1
+            count = temporal.temporal_delete(table, tuple(key), self._tick())
+        else:
+            count = 0
+            for rid, _row in temporal.current_versions_for_key(table, tuple(key)):
+                table.plain_delete(rid)
+                count += 1
+        self._maybe_auto_analyze(table_name)
         return count
 
     # -- statistics -----------------------------------------------------------
+
+    def _maybe_auto_analyze(self, table_name) -> None:
+        """Re-ANALYZE *table_name* when its mutation count since the last
+        snapshot crosses ``auto_analyze_threshold`` (a table never analyzed
+        counts every mutation it has ever seen).
+
+        Called after every row-level DML entry point; a disabled threshold
+        (None) keeps statistics strictly manual, which is the default so
+        benchmark runs never pay a surprise ANALYZE mid-measurement.
+        """
+        threshold = self.auto_analyze_threshold
+        if threshold is None:
+            return
+        from . import stats as stats_mod
+
+        table = self._tables.get(table_name.lower())
+        if table is None:
+            return
+        snapshot = self.catalog.stats_of(table_name)
+        baseline = snapshot.mutation_marker if snapshot is not None else 0
+        if stats_mod.mutation_marker(table) - baseline >= threshold:
+            self.analyze(table_name)
+            self.metrics.inc("stats.auto_analyze_runs")
 
     def analyze(self, table_name: Optional[str] = None) -> List["stats_mod.TableStats"]:
         """Collect per-column statistics (the ``ANALYZE [TABLE]`` statement).

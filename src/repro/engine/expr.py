@@ -489,6 +489,178 @@ def _compile_subquery_expr(expr, scope, subquery_compiler):
     return run_scalar
 
 
+# ---------------------------------------------------------------------------
+# chunk-wise (batch) compilation
+# ---------------------------------------------------------------------------
+
+#: Signature of a compiled batch expression: (batch, env) -> list of values,
+#: one per row of the batch, in row order.
+BatchFn = Callable[[object, Env], list]
+
+
+class _NotVectorizable(Exception):
+    """Raised during batch compilation when an expression needs per-row
+    evaluation (subqueries re-enter the executor per outer row; CASE
+    guarantees untaken branches are never evaluated)."""
+
+
+def compile_batch_expr(
+    expr: ast.Expr,
+    scope: Scope,
+    subquery_compiler: Optional[SubqueryCompiler] = None,
+) -> Optional[BatchFn]:
+    """Compile *expr* into ``fn(batch, env) -> list`` of per-row values.
+
+    Returns ``None`` when the expression is not vectorizable (contains a
+    subquery or CASE); callers then fall back to the per-row closure from
+    :func:`compile_expr`.  The two paths are semantically identical: the
+    row compiler evaluates both sides of AND/OR unconditionally, so the
+    elementwise translation here preserves evaluation behavior exactly.
+    """
+    try:
+        return _compile_batch(expr, scope)
+    except _NotVectorizable:
+        return None
+
+
+def _compile_batch(expr: ast.Expr, scope: Scope) -> BatchFn:
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda batch, env: [value] * batch.length
+    if isinstance(expr, ast.ColumnRef):
+        depth, slot = scope.resolve(expr)
+        if depth == 0:
+            return lambda batch, env: batch.column(slot)
+
+        def outer_ref(batch, env, depth=depth - 1, slot=slot):
+            return [env.outer_rows[depth][slot]] * batch.length
+
+        return outer_ref
+    if isinstance(expr, ast.Param):
+        index, name = expr.index, expr.name
+        return lambda batch, env: [env.param(index=index, name=name)] * batch.length
+    if isinstance(expr, ast.IntervalLiteral):
+        if expr.unit == "day":
+            value = Interval(days=expr.value)
+        elif expr.unit == "month":
+            value = Interval(months=expr.value)
+        else:
+            value = Interval(months=12 * expr.value)
+        return lambda batch, env: [value] * batch.length
+    if isinstance(expr, ast.Unary):
+        inner = _compile_batch(expr.operand, scope)
+        if expr.op == "-":
+            return lambda batch, env: [_negate(v) for v in inner(batch, env)]
+        if expr.op == "+":
+            return inner
+        if expr.op == "not":
+            return lambda batch, env: [_not(v) for v in inner(batch, env)]
+        raise ProgrammingError(f"unknown unary {expr.op!r}")
+    if isinstance(expr, ast.Binary):
+        left = _compile_batch(expr.left, scope)
+        right = _compile_batch(expr.right, scope)
+        op = expr.op
+        if op == "and":
+            return lambda batch, env: [
+                _and(_truth(a), _truth(b))
+                for a, b in zip(left(batch, env), right(batch, env))
+            ]
+        if op == "or":
+            return lambda batch, env: [
+                _or(_truth(a), _truth(b))
+                for a, b in zip(left(batch, env), right(batch, env))
+            ]
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return lambda batch, env: [
+                _compare(op, a, b)
+                for a, b in zip(left(batch, env), right(batch, env))
+            ]
+        return lambda batch, env: [
+            _arith(op, a, b)
+            for a, b in zip(left(batch, env), right(batch, env))
+        ]
+    if isinstance(expr, ast.FuncCall):
+        fn = FUNCTIONS.get(expr.name)
+        if fn is None:
+            raise ProgrammingError(f"unknown function {expr.name!r}")
+        args = [_compile_batch(a, scope) for a in expr.args]
+        if not args:
+            return lambda batch, env: [fn() for _ in range(batch.length)]
+
+        def run_func(batch, env):
+            return [fn(*vals) for vals in zip(*[a(batch, env) for a in args])]
+
+        return run_func
+    if isinstance(expr, ast.Between):
+        operand = _compile_batch(expr.operand, scope)
+        low = _compile_batch(expr.low, scope)
+        high = _compile_batch(expr.high, scope)
+        negated = expr.negated
+
+        def run_between(batch, env):
+            out = [
+                _and(_compare("<=", lo, value), _compare("<=", value, hi))
+                for value, lo, hi in zip(
+                    operand(batch, env), low(batch, env), high(batch, env)
+                )
+            ]
+            return [_not(v) for v in out] if negated else out
+
+        return run_between
+    if isinstance(expr, ast.Like):
+        operand = _compile_batch(expr.operand, scope)
+        pattern = _compile_batch(expr.pattern, scope)
+        negated = expr.negated
+
+        def run_like(batch, env):
+            out = [
+                like_match(value, pat)
+                for value, pat in zip(operand(batch, env), pattern(batch, env))
+            ]
+            return [_not(v) for v in out] if negated else out
+
+        return run_like
+    if isinstance(expr, ast.IsNull):
+        operand = _compile_batch(expr.operand, scope)
+        negated = expr.negated
+        return lambda batch, env: [
+            (value is not None) == negated for value in operand(batch, env)
+        ]
+    if isinstance(expr, ast.InList):
+        operand = _compile_batch(expr.operand, scope)
+        items = [_compile_batch(i, scope) for i in expr.items]
+        negated = expr.negated
+
+        def run_in(batch, env):
+            candidate_lists = [item(batch, env) for item in items]
+            out = []
+            for pos, value in enumerate(operand(batch, env)):
+                if value is None:
+                    out.append(None)
+                    continue
+                found = False
+                saw_null = False
+                for candidates in candidate_lists:
+                    candidate = candidates[pos]
+                    if candidate is None:
+                        saw_null = True
+                    elif candidate == value:
+                        found = True
+                        break
+                if found:
+                    out.append(not negated)
+                elif saw_null:
+                    out.append(None)
+                else:
+                    out.append(negated)
+            return out
+
+        return run_in
+    # Case keeps its untaken branches unevaluated; subqueries re-enter
+    # the executor once per outer row — both stay on the per-row path.
+    raise _NotVectorizable(type(expr).__name__)
+
+
 def _truth(value):
     """Coerce an evaluation result into SQL boolean (True/False/None)."""
     if value is None:

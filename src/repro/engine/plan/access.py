@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..batch import Batch, batch_size, batches_from_rows, vectorized_enabled
 from ..storage.versioned import CURRENT, HISTORY, SINGLE, VersionedTable
 from ..types import END_OF_TIME
 
@@ -75,6 +76,43 @@ class TemporalBounds:
 
         return overlap
 
+    def batch_filter(self, schema):
+        """Chunk-wise variant of :meth:`row_filter`: a selection mask
+        (list of bools) over a whole batch, evaluating the bound once."""
+        begin_pos = schema.position(self.begin_column)
+        end_pos = schema.position(self.end_column)
+        if self.mode == "all":
+            return None
+        if self.mode == "as_of":
+            low = self.low
+
+            def as_of(batch, env):
+                tick = low(env)
+                return [
+                    begin is not None
+                    and begin <= tick < (end if end is not None else END_OF_TIME)
+                    for begin, end in zip(
+                        batch.column(begin_pos), batch.column(end_pos)
+                    )
+                ]
+
+            return as_of
+        low, high = self.low, self.high
+
+        def overlap(batch, env):
+            lo = low(env)
+            hi = high(env)
+            return [
+                begin is not None
+                and begin < hi
+                and (end if end is not None else END_OF_TIME) > lo
+                for begin, end in zip(
+                    batch.column(begin_pos), batch.column(end_pos)
+                )
+            ]
+
+        return overlap
+
 
 @dataclass
 class AccessDecision:
@@ -108,6 +146,11 @@ class TableAccessPlan:
         self._row_filters = [
             f
             for f in (tb.row_filter(table.schema) for tb in temporal_filters)
+            if f is not None
+        ]
+        self._batch_filters = [
+            f
+            for f in (tb.batch_filter(table.schema) for tb in temporal_filters)
             if f is not None
         ]
         self._pk_values = self._match_primary_key()
@@ -156,6 +199,88 @@ class TableAccessPlan:
         self.decisions = []
         for partition in self.partitions:
             out.extend(self._partition_rows(partition, env))
+        return out
+
+    def batches(self, env) -> List[Batch]:
+        """Batch variant of :meth:`rows`: the same rows in the same order,
+        chunked.  Scans stream batches straight from storage with the
+        temporal filters applied as per-batch selection masks."""
+        out: List[Batch] = []
+        self.decisions = []
+        for partition in self.partitions:
+            out.extend(self._partition_batches(partition, env))
+        return out
+
+    def _partition_batches(self, partition, env) -> List[Batch]:
+        table = self.table
+        timeline = getattr(table, "timeline", None)
+        if timeline is not None:
+            snapshot = self._timeline_snapshot(timeline, partition, env)
+            if snapshot is not None:
+                self.decisions.append(
+                    AccessDecision(partition, "timeline", detail="snapshot")
+                )
+                return batches_from_rows(snapshot)
+        if (
+            self._pk_values is not None
+            and partition in (CURRENT, SINGLE)
+            and table.schema.primary_key
+        ):
+            key = tuple(fn(env) for fn in self._pk_values)
+            rids = table.current_rids_for_key(key)
+            pairs = table.reconstruct_for_rids(rids) if self.need_temporal else [
+                (rid, table.fetch(table.current_partition_name(), rid)) for rid in rids
+            ]
+            rows = [tuple(row) for _rid, row in pairs if row is not None]
+            if partition == SINGLE and self._wants_closed_versions():
+                self.decisions.append(AccessDecision(partition, "scan", detail="pk map insufficient for closed versions"))
+                return self._scan_batches(partition, env)
+            self.decisions.append(AccessDecision(partition, "pk-probe"))
+            return batches_from_rows(self._apply_filters(rows, env))
+        chosen = self._choose_index(partition, env)
+        if chosen is not None:
+            index_def, rows = chosen
+            self.decisions.append(
+                AccessDecision(partition, index_def.kind if index_def.kind == "rtree" else "index", index_def.name)
+            )
+            return batches_from_rows(self._apply_filters(rows, env))
+        self.decisions.append(AccessDecision(partition, "scan"))
+        return self._scan_batches(partition, env)
+
+    def _scan_batches(self, partition, env) -> List[Batch]:
+        source = self.table.scan_partition_batches(
+            partition, need_temporal=self.need_temporal, size=batch_size()
+        )
+        # the deadline is polled once per batch, not per row
+        check = getattr(env, "check", None)
+        out: List[Batch] = []
+        if vectorized_enabled():
+            batch_filters = self._batch_filters
+            for batch in source:
+                if check is not None:
+                    check()
+                for batch_filter in batch_filters:
+                    mask = batch_filter(batch, env)
+                    selected = [i for i, keep in enumerate(mask) if keep]
+                    if len(selected) != batch.length:
+                        batch = batch.take(selected)
+                    if batch.length == 0:
+                        break
+                if batch.length:
+                    out.append(batch)
+            return out
+        row_filters = self._row_filters
+        for batch in source:
+            if check is not None:
+                check()
+            if not row_filters:
+                out.append(batch)
+                continue
+            rows = batch.to_rows()
+            for row_filter in row_filters:
+                rows = [row for row in rows if row_filter(row, env)]
+            if rows:
+                out.append(Batch.from_rows(rows, batch.width))
         return out
 
     def _partition_rows(self, partition, env) -> List[tuple]:

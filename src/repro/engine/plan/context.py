@@ -139,27 +139,30 @@ class ExecutionContext(Env):
     def run_operator(self, op):
         """Execute one operator, enforcing the deadline and recording metrics.
 
-        Times are *inclusive* of children (Postgres EXPLAIN ANALYZE style);
-        repeated invocations (e.g. a subplan under a correlated subquery)
-        accumulate and surface as ``loops``.
+        Operators return batches; row counts are accumulated per batch
+        (``sum`` of batch lengths), never per row.  Times are *inclusive*
+        of children (Postgres EXPLAIN ANALYZE style); repeated invocations
+        (e.g. a subplan under a correlated subquery) accumulate and
+        surface as ``loops``.
         """
         if self.deadline is not None or self.cancel_check is not None:
             self.check()
         metrics = self.metrics
         tracer = self.tracer
         if metrics is None and tracer is None:
-            return op.execute(self)
+            return op.execute_batches(self)
         span = tracer.start("operator", op=op.label()) if tracer is not None else None
         started = time.perf_counter()
         try:
-            out = op.execute(self)
+            out = op.execute_batches(self)
         except BaseException:
             if tracer is not None:
                 tracer.finish(span, aborted=True)
             raise
         elapsed = time.perf_counter() - started
+        row_count = sum(batch.length for batch in out)
         if span is not None:
-            span.set(rows=len(out))
+            span.set(rows=row_count)
             tracer.finish(span)
         if metrics is None:
             return out
@@ -168,7 +171,7 @@ class ExecutionContext(Env):
             node = NodeMetrics()
             metrics[id(op)] = node
         node.calls += 1
-        node.rows += len(out)
+        node.rows += row_count
         node.time_s += elapsed
         detail = op.metrics_detail()
         if detail:

@@ -1,23 +1,42 @@
-"""Physical operators.
+"""Physical operators over chunked row-batches.
 
-Every operator is a node with ``rows(env) -> list[tuple]`` and an
-``explain(indent)`` rendering.  Operators materialise their outputs — the
-engine is an analytics engine over in-memory partitions, and materialising
-keeps hash joins and sorts simple while preserving the *relative* costs the
-benchmark needs (scans linear in partition size, index probes logarithmic,
-extra joins visibly expensive).
+Every operator is a node with ``execute_batches(env) -> list[Batch]`` and
+an ``explain(indent)`` rendering.  Batches flow through the whole tree:
+scans hand over column-store slices without per-row tuple construction,
+filters apply chunk-wise selection masks, and projections build output
+columns vectorized — with a per-row fallback wherever an expression is
+not vectorizable (correlated subqueries, CASE).  Operators still
+materialise their full outputs — the engine is an analytics engine over
+in-memory partitions, and materialising keeps hash joins and sorts
+simple while preserving the *relative* costs the benchmark needs (scans
+linear in partition size, index probes logarithmic, extra joins visibly
+expensive).
 
-``rows`` is a thin dispatcher: subclasses implement ``execute(env)``, and
-when the env is an :class:`~repro.engine.plan.context.ExecutionContext` the
-call routes through it, which enforces the cooperative deadline and records
+``batches`` is a thin dispatcher: subclasses implement
+``execute_batches(env)``, and when the env is an
+:class:`~repro.engine.plan.context.ExecutionContext` the call routes
+through it, which enforces the cooperative deadline and records
 per-operator counters for ``EXPLAIN ANALYZE``.  With a plain ``Env`` the
-dispatcher adds one ``getattr`` and nothing else.
+dispatcher adds one ``getattr`` and nothing else.  ``rows(env)`` /
+``execute(env)`` are the row-level boundary: they materialise the
+batches into one fresh ``list[tuple]`` for the session/DBAPI surface
+(and for tests that predate the batch protocol).
+
+Deadline polling happens at batch granularity inside batch loops, and
+per-row (``guard_iter``) only on the row-at-a-time fallback paths.
 """
 
 from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..batch import (
+    Batch,
+    batch_size,
+    batches_from_rows,
+    rows_from_batches,
+    vectorized_enabled,
+)
 from ..expr import Env
 from ..types import compare_values
 
@@ -32,14 +51,23 @@ class Operator:
     #: EXPLAIN renders it next to actuals so mis-estimates stay visible
     est_rows: Optional[int] = None
 
-    def rows(self, env: Env) -> List[tuple]:
+    def batches(self, env: Env) -> List[Batch]:
         # ExecutionContext exposes run_operator; a plain Env does not.
         runner = getattr(env, "run_operator", None)
         if runner is not None:
             return runner(self)
-        return self.execute(env)
+        return self.execute_batches(env)
+
+    def rows(self, env: Env) -> List[tuple]:
+        """Row-level boundary: the operator's output as one fresh list."""
+        return rows_from_batches(self.batches(env))
 
     def execute(self, env: Env) -> List[tuple]:
+        """Row-level execution without context dispatch (always a fresh
+        list, so callers may mutate the result freely)."""
+        return rows_from_batches(self.execute_batches(env))
+
+    def execute_batches(self, env: Env) -> List[Batch]:
         raise NotImplementedError
 
     def label(self) -> str:
@@ -64,8 +92,8 @@ class TableAccess(Operator):
     """Scan or index access over one table (built by plan.access).
 
     Accepts either a :class:`~repro.engine.plan.access.TableAccessPlan`
-    (preferred — its run-time decisions feed EXPLAIN ANALYZE) or a bare
-    producer callable.
+    (preferred — its run-time decisions feed EXPLAIN ANALYZE and it
+    yields column-store batches directly) or a bare producer callable.
     """
 
     def __init__(self, access, description: str):
@@ -77,8 +105,10 @@ class TableAccess(Operator):
             self._producer = access.rows
         self._description = description
 
-    def execute(self, env):
-        return self._producer(env)
+    def execute_batches(self, env):
+        if self.access_plan is not None:
+            return self.access_plan.batches(env)
+        return batches_from_rows(self._producer(env))
 
     def label(self):
         return self._description
@@ -103,10 +133,11 @@ class Materialized(Operator):
         self._rows = rows_value
         self._description = description
 
-    def execute(self, env):
-        # a copy: consumers sort/extend result lists in place, and handing
-        # out the backing list would corrupt every later reuse
-        return list(self._rows)
+    def execute_batches(self, env):
+        # the chunks are fresh lists: consumers sort/extend result lists
+        # in place, and handing out the backing list would corrupt every
+        # later reuse
+        return batches_from_rows(self._rows)
 
     def label(self):
         return f"{self._description} ({len(self._rows)} rows)"
@@ -119,44 +150,91 @@ class Subplan(Operator):
         self._producer = producer
         self._description = description
 
-    def execute(self, env):
-        return self._producer(env)
+    def execute_batches(self, env):
+        return batches_from_rows(self._producer(env))
 
     def label(self):
         return self._description
 
 
 class Filter(Operator):
-    def __init__(self, child: Operator, predicate, description="Filter"):
+    def __init__(self, child: Operator, predicate, description="Filter",
+                 batch_predicate=None):
         self.children = (child,)
         self._predicate = predicate
+        self._batch_predicate = batch_predicate
         self._description = description
 
-    def execute(self, env):
+    def execute_batches(self, env):
+        out: List[Batch] = []
+        batch_predicate = (
+            self._batch_predicate if vectorized_enabled() else None
+        )
+        if batch_predicate is not None:
+            check = getattr(env, "check", None)
+            for batch in self.children[0].batches(env):
+                if check is not None:
+                    check()
+                values = batch_predicate(batch, env)
+                selected = [i for i, value in enumerate(values) if value is True]
+                if len(selected) == batch.length:
+                    out.append(batch)
+                elif selected:
+                    out.append(batch.take(selected))
+            return out
         predicate = self._predicate
-        rows = self.children[0].rows(env)
         guard = getattr(env, "guard_iter", None)
-        if guard is not None:
-            rows = guard(rows)
-        return [row for row in rows if predicate(row, env) is True]
+        for batch in self.children[0].batches(env):
+            rows = batch.to_rows()
+            if guard is not None:
+                rows = guard(rows)
+            kept = [row for row in rows if predicate(row, env) is True]
+            if kept:
+                out.append(Batch.from_rows(kept, batch.width))
+        return out
 
     def label(self):
         return self._description
 
 
 class Project(Operator):
-    def __init__(self, child: Operator, exprs, description="Project"):
+    def __init__(self, child: Operator, exprs, description="Project",
+                 batch_exprs=None):
         self.children = (child,)
         self._exprs = exprs
+        self._batch_exprs = batch_exprs
         self._description = description
 
-    def execute(self, env):
+    def execute_batches(self, env):
+        out: List[Batch] = []
+        batch_exprs = self._batch_exprs if vectorized_enabled() else None
+        if batch_exprs is not None:
+            check = getattr(env, "check", None)
+            exprs = self._exprs
+            for batch in self.children[0].batches(env):
+                if check is not None:
+                    check()
+                columns = []
+                rows = None
+                for batch_fn, row_fn in zip(batch_exprs, exprs):
+                    if batch_fn is not None:
+                        columns.append(batch_fn(batch, env))
+                    else:  # per-row fallback for this output column only
+                        if rows is None:
+                            rows = batch.to_rows()
+                        columns.append([row_fn(row, env) for row in rows])
+                out.append(Batch.from_columns(columns, batch.length))
+            return out
         exprs = self._exprs
-        rows = self.children[0].rows(env)
         guard = getattr(env, "guard_iter", None)
-        if guard is not None:
-            rows = guard(rows)
-        return [tuple(e(row, env) for e in exprs) for row in rows]
+        for batch in self.children[0].batches(env):
+            rows = batch.to_rows()
+            if guard is not None:
+                rows = guard(rows)
+            projected = [tuple(e(row, env) for e in exprs) for row in rows]
+            if projected:
+                out.append(Batch.from_rows(projected, len(exprs)))
+        return out
 
     def label(self):
         return self._description
@@ -166,14 +244,24 @@ class CrossJoin(Operator):
     def __init__(self, left: Operator, right: Operator):
         self.children = (left, right)
 
-    def execute(self, env):
+    def execute_batches(self, env):
         left_rows = self.children[0].rows(env)
         right_rows = self.children[1].rows(env)
         guard = getattr(env, "guard_iter", None)
         if guard is not None:
             # poll often on the outer side: each step emits len(right) rows
             left_rows = guard(left_rows, 256)
-        return [lrow + rrow for lrow in left_rows for rrow in right_rows]
+        size = batch_size()
+        out: List[Batch] = []
+        chunk: List[tuple] = []
+        for lrow in left_rows:
+            chunk.extend(lrow + rrow for rrow in right_rows)
+            if len(chunk) >= size:
+                out.append(Batch.from_rows(chunk))
+                chunk = []
+        if chunk:
+            out.append(Batch.from_rows(chunk))
+        return out
 
     def label(self):
         return "CrossJoin"
@@ -188,7 +276,7 @@ class NestedLoopJoin(Operator):
         self._kind = kind
         self._right_width = right_width
 
-    def execute(self, env):
+    def execute_batches(self, env):
         left_rows = self.children[0].rows(env)
         right_rows = self.children[1].rows(env)
         guard = getattr(env, "guard_iter", None)
@@ -196,28 +284,62 @@ class NestedLoopJoin(Operator):
             # poll often on the outer side: each step scans the inner input
             left_rows = guard(left_rows, 256)
         predicate = self._predicate
-        out = []
+        size = batch_size()
+        out: List[Batch] = []
+        chunk: List[tuple] = []
         pad = (None,) * self._right_width
         for lrow in left_rows:
             matched = False
             for rrow in right_rows:
                 combined = lrow + rrow
                 if predicate is None or predicate(combined, env) is True:
-                    out.append(combined)
+                    chunk.append(combined)
                     matched = True
             if self._kind == "left" and not matched:
-                out.append(lrow + pad)
+                chunk.append(lrow + pad)
+            if len(chunk) >= size:
+                out.append(Batch.from_rows(chunk))
+                chunk = []
+        if chunk:
+            out.append(Batch.from_rows(chunk))
         return out
 
     def label(self):
         return f"NestedLoopJoin({self._kind})"
 
 
+def _batch_join_keys(batch, env, batch_fns, row_fns):
+    """Per-row key tuples for one input batch of a hash join.
+
+    ``batch_fns`` (when supplied by the planner) computes each key part
+    over the whole batch; any part that is not vectorizable falls back
+    to its per-row closure.
+    """
+    if batch_fns is not None:
+        columns = []
+        rows = None
+        for batch_fn, row_fn in zip(batch_fns, row_fns):
+            if batch_fn is not None:
+                columns.append(batch_fn(batch, env))
+            else:
+                if rows is None:
+                    rows = batch.to_rows()
+                columns.append([row_fn(row, env) for row in rows])
+        if columns:
+            return list(zip(*columns))
+        return [()] * batch.length
+    return [
+        tuple(k(row, env) for k in row_fns) for row in batch.to_rows()
+    ]
+
+
 class HashJoin(Operator):
     """Equi-join.  Builds the hash table on the right input by default;
     cost-based planning may request ``build_side="left"`` for inner joins
     when the left input is estimated cheaper (left joins always probe
-    from the left so every left row can surface)."""
+    from the left so every left row can surface).  Both build and probe
+    consume input batch-at-a-time, extracting key columns chunk-wise
+    when the planner supplied batch key expressions."""
 
     def __init__(
         self,
@@ -229,59 +351,85 @@ class HashJoin(Operator):
         kind="inner",
         right_width=0,
         build_side="right",
+        batch_left_keys=None,
+        batch_right_keys=None,
     ):
         self.children = (left, right)
         self._left_keys = left_keys
         self._right_keys = right_keys
+        self._batch_left_keys = batch_left_keys
+        self._batch_right_keys = batch_right_keys
         self._residual = residual
         self._kind = kind
         self._right_width = right_width
         self._build_side = build_side if kind == "inner" else "right"
 
-    def execute(self, env):
-        left_rows = self.children[0].rows(env)
-        right_rows = self.children[1].rows(env)
-        out = []
+    def execute_batches(self, env):
+        vec = vectorized_enabled()
+        batch_left_keys = self._batch_left_keys if vec else None
+        batch_right_keys = self._batch_right_keys if vec else None
         residual = self._residual
-        guard = getattr(env, "guard_iter", None)
+        check = getattr(env, "check", None)
+        size = batch_size()
+        out: List[Batch] = []
+        chunk: List[tuple] = []
         if self._build_side == "left":
             table = {}
-            for lrow in left_rows:
-                key = tuple(k(lrow, env) for k in self._left_keys)
-                if any(part is None for part in key):
-                    continue
-                table.setdefault(key, []).append(lrow)
-            if guard is not None:
-                right_rows = guard(right_rows)
-            for rrow in right_rows:
-                key = tuple(k(rrow, env) for k in self._right_keys)
-                if any(part is None for part in key):
-                    continue
-                for lrow in table.get(key, ()):
-                    combined = lrow + rrow
-                    if residual is None or residual(combined, env) is True:
-                        out.append(combined)
+            for batch in self.children[0].batches(env):
+                if check is not None:
+                    check()
+                keys = _batch_join_keys(batch, env, batch_left_keys, self._left_keys)
+                for lrow, key in zip(batch.to_rows(), keys):
+                    if any(part is None for part in key):
+                        continue
+                    table.setdefault(key, []).append(lrow)
+            for batch in self.children[1].batches(env):
+                if check is not None:
+                    check()
+                keys = _batch_join_keys(batch, env, batch_right_keys, self._right_keys)
+                for rrow, key in zip(batch.to_rows(), keys):
+                    if any(part is None for part in key):
+                        continue
+                    for lrow in table.get(key, ()):
+                        combined = lrow + rrow
+                        if residual is None or residual(combined, env) is True:
+                            chunk.append(combined)
+                if len(chunk) >= size:
+                    out.append(Batch.from_rows(chunk))
+                    chunk = []
+            if chunk:
+                out.append(Batch.from_rows(chunk))
             return out
         table = {}
-        for rrow in right_rows:
-            key = tuple(k(rrow, env) for k in self._right_keys)
-            if any(part is None for part in key):
-                continue
-            table.setdefault(key, []).append(rrow)
+        for batch in self.children[1].batches(env):
+            if check is not None:
+                check()
+            keys = _batch_join_keys(batch, env, batch_right_keys, self._right_keys)
+            for rrow, key in zip(batch.to_rows(), keys):
+                if any(part is None for part in key):
+                    continue
+                table.setdefault(key, []).append(rrow)
         pad = (None,) * self._right_width
-        if guard is not None:
-            left_rows = guard(left_rows)
-        for lrow in left_rows:
-            key = tuple(k(lrow, env) for k in self._left_keys)
-            matched = False
-            if not any(part is None for part in key):
-                for rrow in table.get(key, ()):
-                    combined = lrow + rrow
-                    if residual is None or residual(combined, env) is True:
-                        out.append(combined)
-                        matched = True
-            if self._kind == "left" and not matched:
-                out.append(lrow + pad)
+        left_join = self._kind == "left"
+        for batch in self.children[0].batches(env):
+            if check is not None:
+                check()
+            keys = _batch_join_keys(batch, env, batch_left_keys, self._left_keys)
+            for lrow, key in zip(batch.to_rows(), keys):
+                matched = False
+                if not any(part is None for part in key):
+                    for rrow in table.get(key, ()):
+                        combined = lrow + rrow
+                        if residual is None or residual(combined, env) is True:
+                            chunk.append(combined)
+                            matched = True
+                if left_join and not matched:
+                    chunk.append(lrow + pad)
+            if len(chunk) >= size:
+                out.append(Batch.from_rows(chunk))
+                chunk = []
+        if chunk:
+            out.append(Batch.from_rows(chunk))
         return out
 
     def label(self):
@@ -291,55 +439,80 @@ class HashJoin(Operator):
         return base
 
 
+def _normalize_merge_key(key):
+    """Join key with SQL NULL semantics: a NULL (or a composite key with
+    a NULL part) matches nothing, so it normalises to None — which also
+    keeps composite keys with NULL parts sortable.  NaN gets the same
+    treatment: compare_values ranks it "equal" to everything, so letting
+    it into a merge run would glue unrelated keys together."""
+    if key is None:
+        return None
+    if isinstance(key, tuple):
+        if any(part is None or part != part for part in key):
+            return None
+    elif key != key:  # NaN
+        return None
+    return key
+
+
 class MergeJoin(Operator):
     """Sort-merge equi-join on a single key pair (System B's vertical
     partition reconstruction uses the storage-level variant; this one backs
-    SQL joins when both inputs are pre-sorted or small)."""
+    SQL joins when both inputs are pre-sorted or small).
 
-    def __init__(self, left, right, left_key, right_key, residual=None):
+    Keys are extracted once per input — chunk-wise when a batch key
+    expression is available — and the merge advances over the
+    precomputed key arrays run-at-a-time."""
+
+    def __init__(self, left, right, left_key, right_key, residual=None,
+                 batch_left_key=None, batch_right_key=None):
         self.children = (left, right)
         self._left_key = left_key
         self._right_key = right_key
+        self._batch_left_key = batch_left_key
+        self._batch_right_key = batch_right_key
         self._residual = residual
 
-    def _merge_key(self, fn, row, env):
-        """Join key with SQL NULL semantics: a NULL (or a composite key
-        with a NULL part) matches nothing, so it normalises to None —
-        which also keeps composite keys with NULL parts sortable.  NaN
-        gets the same treatment: compare_values ranks it "equal" to
-        everything, so letting it into a merge run would glue unrelated
-        keys together."""
-        key = fn(row, env)
-        if key is None:
-            return None
-        if isinstance(key, tuple):
-            if any(part is None or part != part for part in key):
-                return None
-        elif key != key:  # NaN
-            return None
-        return key
+    def _sorted_side(self, child, key_fn, batch_key_fn, env):
+        """(rows, normalized keys) for one input, sorted by key (stable,
+        NULLs last — identical order to sorting rows by the key fn)."""
+        rows: List[tuple] = []
+        keys: List[object] = []
+        for batch in child.batches(env):
+            batch_rows = batch.to_rows()
+            if batch_key_fn is not None:
+                raw = batch_key_fn(batch, env)
+            else:
+                raw = [key_fn(row, env) for row in batch_rows]
+            keys.extend(_normalize_merge_key(key) for key in raw)
+            rows.extend(batch_rows)
+        order = sorted(range(len(rows)), key=lambda i: _SortToken(keys[i]))
+        return [rows[i] for i in order], [keys[i] for i in order]
 
-    def execute(self, env):
-        left_key, right_key = self._left_key, self._right_key
-        left_rows = sorted(
-            self.children[0].rows(env),
-            key=lambda r: _sort_token(self._merge_key(left_key, r, env)),
+    def execute_batches(self, env):
+        vec = vectorized_enabled()
+        left_rows, left_keys = self._sorted_side(
+            self.children[0], self._left_key,
+            self._batch_left_key if vec else None, env,
         )
-        right_rows = sorted(
-            self.children[1].rows(env),
-            key=lambda r: _sort_token(self._merge_key(right_key, r, env)),
+        right_rows, right_keys = self._sorted_side(
+            self.children[1], self._right_key,
+            self._batch_right_key if vec else None, env,
         )
-        out = []
         residual = self._residual
         check = getattr(env, "check", None)
+        size = batch_size()
+        out: List[Batch] = []
+        chunk: List[tuple] = []
         steps = 0
         i = j = 0
-        while i < len(left_rows) and j < len(right_rows):
+        left_n, right_n = len(left_rows), len(right_rows)
+        while i < left_n and j < right_n:
             steps += 1
             if check is not None and steps % 4096 == 0:
                 check()
-            lkey = self._merge_key(left_key, left_rows[i], env)
-            rkey = self._merge_key(right_key, right_rows[j], env)
+            lkey = left_keys[i]
+            rkey = right_keys[j]
             # NULL keys join nothing; skip their runs on BOTH inputs
             # (NULLs sort last, so these rows tail each side)
             if lkey is None:
@@ -358,23 +531,29 @@ class MergeJoin(Operator):
                 # guarantees progress even for keys (NaN) that compare
                 # "equal" to everything but unequal to themselves
                 i_end = i + 1
-                while i_end < len(left_rows):
-                    key = self._merge_key(left_key, left_rows[i_end], env)
+                while i_end < left_n:
+                    key = left_keys[i_end]
                     if key is None or compare_values(key, lkey) != 0:
                         break
                     i_end += 1
                 j_end = j + 1
-                while j_end < len(right_rows):
-                    key = self._merge_key(right_key, right_rows[j_end], env)
+                while j_end < right_n:
+                    key = right_keys[j_end]
                     if key is None or compare_values(key, rkey) != 0:
                         break
                     j_end += 1
                 for li in range(i, i_end):
+                    lrow = left_rows[li]
                     for rj in range(j, j_end):
-                        combined = left_rows[li] + right_rows[rj]
+                        combined = lrow + right_rows[rj]
                         if residual is None or residual(combined, env) is True:
-                            out.append(combined)
+                            chunk.append(combined)
+                if len(chunk) >= size:
+                    out.append(Batch.from_rows(chunk))
+                    chunk = []
                 i, j = i_end, j_end
+        if chunk:
+            out.append(Batch.from_rows(chunk))
         return out
 
     def label(self):
@@ -386,38 +565,90 @@ class Aggregate(Operator):
 
     ``key_exprs`` run on input rows; ``accumulators`` is a list of
     (function_name, argument_expr, distinct).  Output rows are
-    ``group_key_values + aggregate_values``.
-    """
+    ``group_key_values + aggregate_values``.  With planner-supplied
+    batch expressions, group keys and aggregate arguments are computed
+    chunk-wise; the group-state update itself stays per-row."""
 
-    def __init__(self, child, key_exprs, accumulators, global_agg=False):
+    def __init__(self, child, key_exprs, accumulators, global_agg=False,
+                 batch_keys=None, batch_args=None):
         self.children = (child,)
         self._key_exprs = key_exprs
         self._accumulators = accumulators
+        self._batch_keys = batch_keys
+        self._batch_args = batch_args
         self._global_agg = global_agg
 
-    def execute(self, env):
+    def execute_batches(self, env):
         groups = {}
         key_exprs = self._key_exprs
         specs = self._accumulators
-        rows = self.children[0].rows(env)
-        guard = getattr(env, "guard_iter", None)
-        if guard is not None:
-            rows = guard(rows)
-        for row in rows:
-            key = tuple(k(row, env) for k in key_exprs)
-            state = groups.get(key)
-            if state is None:
-                state = [_AggState(func, distinct) for func, _arg, distinct in specs]
-                groups[key] = state
-            for acc, (func, arg, _distinct) in zip(state, specs):
-                acc.add(arg(row, env) if arg is not None else 1)
+        vec = vectorized_enabled() and self._batch_keys is not None
+        if vec:
+            check = getattr(env, "check", None)
+            batch_args = self._batch_args or [None] * len(specs)
+            for batch in self.children[0].batches(env):
+                if check is not None:
+                    check()
+                rows = None
+                key_columns = []
+                for batch_fn, row_fn in zip(self._batch_keys, key_exprs):
+                    if batch_fn is not None:
+                        key_columns.append(batch_fn(batch, env))
+                    else:
+                        if rows is None:
+                            rows = batch.to_rows()
+                        key_columns.append([row_fn(row, env) for row in rows])
+                arg_columns = []
+                for batch_fn, (_func, arg, _distinct) in zip(batch_args, specs):
+                    if arg is None:
+                        arg_columns.append(None)
+                    elif batch_fn is not None:
+                        arg_columns.append(batch_fn(batch, env))
+                    else:
+                        if rows is None:
+                            rows = batch.to_rows()
+                        arg_columns.append([arg(row, env) for row in rows])
+                length = batch.length
+                if key_columns:
+                    keys = list(zip(*key_columns))
+                else:
+                    keys = [()] * length
+                for pos in range(length):
+                    key = keys[pos]
+                    state = groups.get(key)
+                    if state is None:
+                        state = [
+                            _AggState(func, distinct)
+                            for func, _arg, distinct in specs
+                        ]
+                        groups[key] = state
+                    for acc, column in zip(state, arg_columns):
+                        acc.add(column[pos] if column is not None else 1)
+        else:
+            guard = getattr(env, "guard_iter", None)
+            for batch in self.children[0].batches(env):
+                rows = batch.to_rows()
+                if guard is not None:
+                    rows = guard(rows)
+                for row in rows:
+                    key = tuple(k(row, env) for k in key_exprs)
+                    state = groups.get(key)
+                    if state is None:
+                        state = [
+                            _AggState(func, distinct)
+                            for func, _arg, distinct in specs
+                        ]
+                        groups[key] = state
+                    for acc, (func, arg, _distinct) in zip(state, specs):
+                        acc.add(arg(row, env) if arg is not None else 1)
         if not groups and self._global_agg:
             state = [_AggState(func, distinct) for func, _arg, distinct in specs]
             groups[()] = state
-        out = []
-        for key, state in groups.items():
-            out.append(key + tuple(acc.result() for acc in state))
-        return out
+        out = [
+            key + tuple(acc.result() for acc in state)
+            for key, state in groups.items()
+        ]
+        return [Batch.from_rows(out)] if out else []
 
     def label(self):
         funcs = ",".join(func for func, _a, _d in self._accumulators)
@@ -461,21 +692,40 @@ class _AggState:
 
 
 class Sort(Operator):
-    def __init__(self, child, key_fns, descending_flags):
+    def __init__(self, child, key_fns, descending_flags, batch_keys=None):
         self.children = (child,)
         self._key_fns = key_fns
         self._descending = descending_flags
+        self._batch_keys = batch_keys
 
-    def execute(self, env):
-        out = list(self.children[0].rows(env))
+    def execute_batches(self, env):
+        out = rows_from_batches(self.children[0].batches(env))
+        if not out:
+            return []
         # stable multi-key sort: apply keys right-to-left; key extraction is
         # the long part, so poll the context once per key pass
         check = getattr(env, "check", None)
+        batch_keys = self._batch_keys if vectorized_enabled() else None
+        if batch_keys is not None and all(k is not None for k in batch_keys):
+            holder = Batch.from_rows(out)
+            for batch_fn, descending in reversed(
+                list(zip(batch_keys, self._descending))
+            ):
+                if check is not None:
+                    check()
+                keys = batch_fn(holder, env)
+                order = sorted(
+                    range(holder.length),
+                    key=lambda i: _SortToken(keys[i]),
+                    reverse=descending,
+                )
+                holder = holder.take(order)
+            return [holder]
         for key_fn, descending in reversed(list(zip(self._key_fns, self._descending))):
             if check is not None:
                 check()
             out.sort(key=lambda r: _sort_token(key_fn(r, env)), reverse=descending)
-        return out
+        return [Batch.from_rows(out)]
 
     def label(self):
         return f"Sort(keys={len(self._key_fns)})"
@@ -487,11 +737,28 @@ class Limit(Operator):
         self._limit_fn = limit_fn
         self._offset_fn = offset_fn
 
-    def execute(self, env):
-        out = self.children[0].rows(env)
+    def execute_batches(self, env):
         start = int(self._offset_fn((), env)) if self._offset_fn else 0
         count = int(self._limit_fn((), env))
-        return out[start:start + count]
+        end = start + count
+        check = getattr(env, "check", None)
+        out: List[Batch] = []
+        seen = 0
+        for batch in self.children[0].batches(env):
+            if check is not None:
+                check()
+            if seen >= end:
+                break
+            lo = max(start - seen, 0)
+            hi = min(end - seen, batch.length)
+            seen += batch.length
+            if lo >= hi:
+                continue
+            if lo == 0 and hi == batch.length:
+                out.append(batch)
+            else:
+                out.append(batch.take(range(lo, hi)))
+        return out
 
     def label(self):
         return "Limit"
@@ -501,18 +768,18 @@ class Distinct(Operator):
     def __init__(self, child):
         self.children = (child,)
 
-    def execute(self, env):
+    def execute_batches(self, env):
         seen = set()
-        out = []
-        rows = self.children[0].rows(env)
-        guard = getattr(env, "guard_iter", None)
-        if guard is not None:
-            rows = guard(rows)
-        for row in rows:
-            if row not in seen:
-                seen.add(row)
-                out.append(row)
-        return out
+        out: List[tuple] = []
+        check = getattr(env, "check", None)
+        for batch in self.children[0].batches(env):
+            if check is not None:
+                check()
+            for row in batch.to_rows():
+                if row not in seen:
+                    seen.add(row)
+                    out.append(row)
+        return [Batch.from_rows(out)] if out else []
 
 
 class Union(Operator):
@@ -520,21 +787,22 @@ class Union(Operator):
         self.children = (left, right)
         self._all = all_rows
 
-    def execute(self, env):
-        out = list(self.children[0].rows(env)) + list(self.children[1].rows(env))
+    def execute_batches(self, env):
+        combined = list(self.children[0].batches(env))
+        combined.extend(self.children[1].batches(env))
         if self._all:
-            return out
+            return combined
         seen = set()
-        deduped = []
-        rows = out
-        guard = getattr(env, "guard_iter", None)
-        if guard is not None:
-            rows = guard(rows)
-        for row in rows:
-            if row not in seen:
-                seen.add(row)
-                deduped.append(row)
-        return deduped
+        deduped: List[tuple] = []
+        check = getattr(env, "check", None)
+        for batch in combined:
+            if check is not None:
+                check()
+            for row in batch.to_rows():
+                if row not in seen:
+                    seen.add(row)
+                    deduped.append(row)
+        return [Batch.from_rows(deduped)] if deduped else []
 
     def label(self):
         return "UnionAll" if self._all else "Union"

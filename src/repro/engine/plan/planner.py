@@ -27,9 +27,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..batch import batches_from_rows, vectorized_enabled
 from ..catalog import TableSchema
 from ..errors import NotSupportedError, PlanError, ProgrammingError
-from ..expr import Env, Scope, compile_expr, expr_to_string
+from ..expr import Env, Scope, compile_batch_expr, compile_expr, expr_to_string
 from ..sql import ast
 from ..types import END_OF_TIME
 from . import cost
@@ -313,7 +314,12 @@ class Planner:
             pre_op.est_rows = agg_est
             if rewritten_having is not None:
                 predicate = self._compile(rewritten_having, pre_scope)
-                pre_op = ops.Filter(pre_op, predicate, "Filter(having)")
+                pre_op = ops.Filter(
+                    pre_op,
+                    predicate,
+                    "Filter(having)",
+                    batch_predicate=self._compile_batch(rewritten_having, pre_scope),
+                )
                 pre_op.est_rows = agg_est
             items = rewritten_items
             order_rewrite = rewrite
@@ -322,7 +328,12 @@ class Planner:
             order_rewrite = None
             if select.having is not None:
                 predicate = self._compile(select.having, pre_scope)
-                pre_op = ops.Filter(pre_op, predicate, "Filter(having)")
+                pre_op = ops.Filter(
+                    pre_op,
+                    predicate,
+                    "Filter(having)",
+                    batch_predicate=self._compile_batch(select.having, pre_scope),
+                )
 
         # projection / distinct / order / limit ------------------------------
         out_names = self._output_names(original_items)
@@ -330,6 +341,9 @@ class Planner:
         final = _Finalize(
             pre_op,
             item_fns,
+            batch_item_fns=[
+                self._compile_batch(item.expr, pre_scope) for item in items
+            ],
             distinct=select.distinct,
             sort_specs=self._sort_specs(
                 select.order_by, items, out_names, pre_scope, order_rewrite
@@ -369,7 +383,12 @@ class Planner:
             relation = self._lower_relation(node.child, outer_scope, referenced)
             scope = Scope(relation.layout, outer=outer_scope)
             predicate = self._compile(node.predicate, scope)
-            filter_op = ops.Filter(relation.op, predicate, f"Filter({node.label})")
+            filter_op = ops.Filter(
+                relation.op,
+                predicate,
+                f"Filter({node.label})",
+                batch_predicate=self._compile_batch(node.predicate, scope),
+            )
             filter_op.est_rows = relation.est_rows
             return _Relation(
                 filter_op,
@@ -473,8 +492,14 @@ class Planner:
         if pushed:
             # the access node shows the pre-filter partition estimate
             op.est_rows = max(1, raw_est)
-            predicate = self._compile(conjoin(pushed), scope)
-            op = ops.Filter(op, predicate, f"Filter({binding})")
+            pushed_expr = conjoin(pushed)
+            predicate = self._compile(pushed_expr, scope)
+            op = ops.Filter(
+                op,
+                predicate,
+                f"Filter({binding})",
+                batch_predicate=self._compile_batch(pushed_expr, scope),
+            )
         op.est_rows = est
         return _Relation(op, layout, {binding}, est, stats_backed=stats_backed)
 
@@ -492,11 +517,14 @@ class Planner:
         combined_scope = Scope(combined_layout, outer=outer_scope)
 
         left_keys, right_keys, residual = [], [], []
+        batch_left_keys, batch_right_keys = [], []
         for conjunct in conjuncts:
             pair = self._equi_key(conjunct, left_scope, right_scope)
             if pair is not None:
                 left_keys.append(pair[0])
                 right_keys.append(pair[1])
+                batch_left_keys.append(pair[2])
+                batch_right_keys.append(pair[3])
             else:
                 residual.append(conjunct)
         residual_fn = (
@@ -520,6 +548,8 @@ class Planner:
                 kind=kind,
                 right_width=len(right.layout),
                 build_side=build_side,
+                batch_left_keys=batch_left_keys,
+                batch_right_keys=batch_right_keys,
             )
         elif residual_fn is not None or kind == "left":
             op = ops.NestedLoopJoin(
@@ -538,7 +568,9 @@ class Planner:
 
     def _equi_key(self, conjunct, left_scope, right_scope):
         """If *conjunct* is ``left_col = right_col`` across the two sides,
-        return compiled key extractors (left_fn, right_fn)."""
+        return compiled key extractors (left_fn, right_fn, batch_left_fn,
+        batch_right_fn) — the batch variants are None when the key
+        expression is not vectorizable."""
         if not (isinstance(conjunct, ast.Binary) and conjunct.op == "="):
             return None
         for first, second in ((conjunct.left, conjunct.right), (conjunct.right, conjunct.left)):
@@ -550,7 +582,12 @@ class Planner:
                 right_fn = compile_expr(second, Scope(right_scope.layout))
             except ProgrammingError:
                 continue
-            return (left_fn, right_fn)
+            return (
+                left_fn,
+                right_fn,
+                compile_batch_expr(first, Scope(left_scope.layout)),
+                compile_batch_expr(second, Scope(right_scope.layout)),
+            )
         return None
 
     # -- temporal resolution ----------------------------------------------------
@@ -713,14 +750,23 @@ class Planner:
         rewritten_having = rewrite(select.having) if select.having is not None else None
 
         accumulators = []
+        batch_args = []
         for agg in aggregates:
             arg_fn = (
                 self._compile(agg.arg, scope) if agg.arg is not None else None
             )
             accumulators.append((agg.func, arg_fn, agg.distinct))
+            batch_args.append(
+                self._compile_batch(agg.arg, scope) if agg.arg is not None else None
+            )
 
         agg_op = ops.Aggregate(
-            source_op, key_fns, accumulators, global_agg=not group_keys
+            source_op,
+            key_fns,
+            accumulators,
+            global_agg=not group_keys,
+            batch_keys=[self._compile_batch(expr, scope) for expr in group_keys],
+            batch_args=batch_args,
         )
         post_layout = [("__agg", f"__g{i}") for i in range(len(group_keys))] + [
             ("__agg", f"__a{i}") for i in range(len(aggregates))
@@ -778,6 +824,7 @@ class Planner:
 
     def _order_on_output(self, op, order_by, out_names, outer_scope):
         key_fns = []
+        batch_keys = []
         descending = []
         for order_item in order_by:
             expr = order_item.expr
@@ -790,8 +837,9 @@ class Planner:
                     "ORDER BY after UNION must reference output columns"
                 )
             key_fns.append(lambda row, env, s=slot: row[s])
+            batch_keys.append(lambda batch, env, s=slot: batch.column(s))
             descending.append(not order_item.ascending)
-        return ops.Sort(op, key_fns, descending)
+        return ops.Sort(op, key_fns, descending, batch_keys=batch_keys)
 
     def _apply_limit(self, op, select, outer_scope):
         if select.limit is None:
@@ -810,6 +858,14 @@ class Planner:
         if expr is None:
             return None
         return compile_expr(expr, scope, self._subquery_compiler)
+
+    def _compile_batch(self, expr, scope):
+        """Chunk-wise variant of :meth:`_compile`; None when *expr* is
+        not vectorizable (subqueries, CASE) — callers then keep the
+        per-row closure as the fallback path."""
+        if expr is None:
+            return None
+        return compile_batch_expr(expr, scope, self._subquery_compiler)
 
     def _subquery_compiler(self, select: ast.Select, scope: Scope):
         planned = self.plan_select(select, outer_scope=scope)
@@ -845,52 +901,87 @@ class Planner:
 class _Finalize(ops.Operator):
     """Projection + distinct + order + limit in one node.
 
-    Keeps (pre_row, out_row) pairs so ORDER BY can reference either the
+    Keeps pre-projection rows alongside the projected output (only when
+    a sort spec needs them) so ORDER BY can reference either the
     projected output (aliases, positions) or the pre-projection row
-    (arbitrary expressions), as SQL requires.
+    (arbitrary expressions), as SQL requires.  Projection runs
+    chunk-wise per output column when the planner could vectorize the
+    item expression, per-row otherwise.
     """
 
-    def __init__(self, child, item_fns, distinct, sort_specs, limit_fn, offset_fn):
+    def __init__(self, child, item_fns, distinct, sort_specs, limit_fn, offset_fn,
+                 batch_item_fns=None):
         self.children = (child,)
         self._item_fns = item_fns
+        self._batch_item_fns = batch_item_fns
         self._distinct = distinct
         self._sort_specs = sort_specs
         self._limit_fn = limit_fn
         self._offset_fn = offset_fn
 
-    def execute(self, env):
+    def execute_batches(self, env):
         item_fns = self._item_fns
-        pairs = []
-        rows = self.children[0].rows(env)
-        guard = getattr(env, "guard_iter", None)
-        if guard is not None:
-            rows = guard(rows)
-        for pre_row in rows:
-            out_row = tuple(fn(pre_row, env) for fn in item_fns)
-            pairs.append((pre_row, out_row))
+        check = getattr(env, "check", None)
+        need_pre = any(spec[0] == "pre" for spec in self._sort_specs)
+        pre_rows: List[tuple] = []
+        out_rows: List[tuple] = []
+        if vectorized_enabled() and self._batch_item_fns is not None:
+            for batch in self.children[0].batches(env):
+                if check is not None:
+                    check()
+                columns = []
+                rows = None
+                for batch_fn, row_fn in zip(self._batch_item_fns, item_fns):
+                    if batch_fn is not None:
+                        columns.append(batch_fn(batch, env))
+                    else:  # per-row fallback for this output column only
+                        if rows is None:
+                            rows = batch.to_rows()
+                        columns.append([row_fn(row, env) for row in rows])
+                out_rows.extend(zip(*columns))
+                if need_pre:
+                    pre_rows.extend(batch.to_rows())
+        else:
+            guard = getattr(env, "guard_iter", None)
+            for batch in self.children[0].batches(env):
+                rows = batch.to_rows()
+                if guard is not None:
+                    rows = guard(rows)
+                for pre_row in rows:
+                    out_rows.append(tuple(fn(pre_row, env) for fn in item_fns))
+                    if need_pre:
+                        pre_rows.append(pre_row)
         if self._distinct:
             seen = set()
-            deduped = []
-            for pair in pairs:
-                if pair[1] not in seen:
-                    seen.add(pair[1])
-                    deduped.append(pair)
-            pairs = deduped
+            keep = []
+            for index, out_row in enumerate(out_rows):
+                if out_row not in seen:
+                    seen.add(out_row)
+                    keep.append(index)
+            if len(keep) != len(out_rows):
+                out_rows = [out_rows[i] for i in keep]
+                if need_pre:
+                    pre_rows = [pre_rows[i] for i in keep]
         for spec in reversed(self._sort_specs):
             kind, key, desc = spec
+            if check is not None:
+                check()
             if kind == "out":
-                pairs.sort(
-                    key=lambda pair: ops._sort_token(pair[1][key]), reverse=desc
-                )
+                keys = [row[key] for row in out_rows]
             else:
-                pairs.sort(
-                    key=lambda pair: ops._sort_token(key(pair[0], env)), reverse=desc
-                )
-        out = [pair[1] for pair in pairs]
+                keys = [key(row, env) for row in pre_rows]
+            order = sorted(
+                range(len(out_rows)),
+                key=lambda i: ops._sort_token(keys[i]),
+                reverse=desc,
+            )
+            out_rows = [out_rows[i] for i in order]
+            if need_pre:
+                pre_rows = [pre_rows[i] for i in order]
         if self._limit_fn is not None:
             start = int(self._offset_fn((), env)) if self._offset_fn else 0
-            out = out[start:start + int(self._limit_fn((), env))]
-        return out
+            out_rows = out_rows[start:start + int(self._limit_fn((), env))]
+        return batches_from_rows(out_rows)
 
     def label(self):
         bits = [f"Project({len(self._item_fns)})"]

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from ..batch import Batch
+
 
 class _Dictionary:
     """Per-column dictionary encoding (value <-> code)."""
@@ -146,6 +148,42 @@ class ColumnStore:
         for offset, row in enumerate(self._delta):
             if row is not None:
                 yield base + offset, list(row)
+
+    def scan_batches(self, size: int) -> Iterator[Batch]:
+        """Scan as column-major batches: main vectors are decoded a slice
+        at a time (no per-row tuple construction), the delta is replayed
+        as row-major chunks.  Row order matches :meth:`scan` exactly."""
+        decode = [d.decode for d in self._dictionaries]
+        cols = self._main
+        deleted = self._main_deleted
+        main_size = self.main_size
+        for start in range(0, main_size, size):
+            stop = min(start + size, main_size)
+            if any(deleted[start:stop]):
+                live = [rid for rid in range(start, stop) if not deleted[rid]]
+                if not live:
+                    continue
+                columns = [
+                    [dec(vector[rid]) for rid in live]
+                    for dec, vector in zip(decode, cols)
+                ]
+                yield Batch.from_columns(columns, len(live))
+            else:
+                columns = [
+                    list(map(dec, vector[start:stop]))
+                    for dec, vector in zip(decode, cols)
+                ]
+                yield Batch.from_columns(columns, stop - start)
+        chunk: List[tuple] = []
+        for row in self._delta:
+            if row is None:
+                continue
+            chunk.append(tuple(row))
+            if len(chunk) >= size:
+                yield Batch.from_rows(chunk)
+                chunk = []
+        if chunk:
+            yield Batch.from_rows(chunk)
 
     def scan_column(self, col) -> Iterator[Tuple[int, Any]]:
         """Single-column scan — the column store's natural access path."""

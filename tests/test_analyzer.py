@@ -25,8 +25,8 @@ def only(db, sql, code):
 
 
 class TestRuleCatalog:
-    def test_twelve_stable_codes(self):
-        assert sorted(RULES) == [f"TQ{n:03d}" for n in range(1, 13)]
+    def test_thirteen_stable_codes(self):
+        assert sorted(RULES) == [f"TQ{n:03d}" for n in range(1, 14)]
 
     def test_every_rule_is_complete(self):
         for rule in RULES.values():
@@ -279,6 +279,44 @@ class TestTQ012CrossPeriodJoin:
         assert "TQ012" not in codes(
             db, "SELECT a.id FROM item a, item b WHERE a.sb = b.se AND a.id = b.id"
         )
+
+
+class TestTQ013TemporalLiteralDomain:
+    def test_positive_yyyymmdd_integer(self, db):
+        d = only(db, "SELECT id FROM item WHERE ab >= 20200101", "TQ013")
+        assert d.severity == "warning"
+        assert "ab" in d.message and "20200101" in d.message
+
+    def test_positive_literal_on_the_left(self, db):
+        assert "TQ013" in codes(db, "SELECT id FROM item WHERE 20200101 < ae")
+
+    def test_positive_between_bounds(self, db):
+        assert "TQ013" in codes(
+            db, "SELECT id FROM item WHERE ab BETWEEN 20200101 AND 20201231"
+        )
+
+    def test_negative_date_literal(self, db):
+        assert "TQ013" not in codes(
+            db, "SELECT id FROM item WHERE ab >= date '2020-01-01'"
+        )
+
+    def test_negative_plausible_day_number(self, db):
+        # day 10000 from the 1992 epoch is a perfectly ordinary date
+        assert "TQ013" not in codes(db, "SELECT id FROM item WHERE ab > 10000")
+
+    def test_negative_system_period_ticks(self, db):
+        # system time counts commit ticks; large integers are legal there
+        assert "TQ013" not in codes(
+            db, "SELECT id FROM item WHERE sb <= 20200101"
+        )
+
+    def test_negative_non_temporal_column(self, db):
+        assert "TQ013" not in codes(
+            db, "SELECT id FROM item WHERE price > 20200101"
+        )
+
+    def test_negative_parameter(self, db):
+        assert "TQ013" not in codes(db, "SELECT id FROM item WHERE ab >= ?")
 
 
 class TestAnchoring:

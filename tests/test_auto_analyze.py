@@ -1,0 +1,100 @@
+"""Auto-ANALYZE: statistics refresh driven by a mutation-count threshold.
+
+``Database.auto_analyze_threshold`` (default None = manual-only) arms a
+trigger checked after every row-level DML entry point: once a table has
+accumulated that many mutations since its last snapshot (or ever, when
+never analyzed), the database re-runs ANALYZE on that table and bumps
+the ``stats.auto_analyze_runs`` counter.
+"""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine import stats as stats_mod
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE t (a integer NOT NULL, b integer,"
+        " sb timestamp, se timestamp,"
+        " PRIMARY KEY (a), PERIOD FOR system_time (sb, se))"
+    )
+    return database
+
+
+def _insert(db, lo, hi):
+    for i in range(lo, hi):
+        db.execute("INSERT INTO t (a, b) VALUES (?, ?)", [i, i * 10])
+
+
+class TestDisabledByDefault:
+    def test_threshold_defaults_to_none(self, db):
+        assert db.auto_analyze_threshold is None
+
+    def test_no_snapshot_appears_without_opt_in(self, db):
+        _insert(db, 0, 50)
+        assert db.catalog.stats_of("t") is None
+        assert db.metrics.counter("stats.auto_analyze_runs") == 0
+
+
+class TestTrigger:
+    def test_fires_once_mutations_cross_threshold(self, db):
+        db.auto_analyze_threshold = 10
+        _insert(db, 0, 9)
+        assert db.catalog.stats_of("t") is None
+        _insert(db, 9, 10)
+        snap = db.catalog.stats_of("t")
+        assert snap is not None
+        assert snap.row_count == 10
+        assert db.metrics.counter("stats.auto_analyze_runs") == 1
+
+    def test_snapshot_is_fresh_for_the_planner(self, db):
+        db.auto_analyze_threshold = 5
+        _insert(db, 0, 5)
+        # the auto snapshot was taken after the triggering mutation, so
+        # stats_for must accept it (marker and catalog version match)
+        assert db.stats_for("t") is not None
+
+    def test_counts_mutations_since_last_snapshot(self, db):
+        db.auto_analyze_threshold = 10
+        _insert(db, 0, 10)
+        assert db.metrics.counter("stats.auto_analyze_runs") == 1
+        _insert(db, 10, 19)  # 9 mutations: below threshold
+        assert db.metrics.counter("stats.auto_analyze_runs") == 1
+        _insert(db, 19, 20)  # 10th since the auto snapshot
+        assert db.metrics.counter("stats.auto_analyze_runs") == 2
+        assert db.catalog.stats_of("t").row_count == 20
+
+    def test_manual_analyze_resets_the_baseline(self, db):
+        db.auto_analyze_threshold = 10
+        _insert(db, 0, 8)
+        db.analyze("t")
+        _insert(db, 8, 12)  # only 4 since the manual snapshot
+        assert db.metrics.counter("stats.auto_analyze_runs") == 0
+        _insert(db, 12, 18)  # 10th since the manual snapshot
+        assert db.metrics.counter("stats.auto_analyze_runs") == 1
+
+    def test_updates_and_deletes_count_as_mutations(self, db):
+        db.auto_analyze_threshold = 4
+        _insert(db, 0, 3)
+        assert db.metrics.counter("stats.auto_analyze_runs") == 0
+        # a versioned UPDATE invalidates + inserts: crosses the threshold
+        db.execute("UPDATE t SET b = 99 WHERE a = 1")
+        assert db.metrics.counter("stats.auto_analyze_runs") == 1
+        marker = stats_mod.mutation_marker(db.table("t"))
+        assert marker == db.catalog.stats_of("t").mutation_marker
+
+    def test_threshold_is_per_table(self, db):
+        db.execute(
+            "CREATE TABLE u (k integer NOT NULL, PRIMARY KEY (k))"
+        )
+        db.auto_analyze_threshold = 3
+        _insert(db, 0, 3)
+        assert db.catalog.stats_of("t") is not None
+        assert db.catalog.stats_of("u") is None
+        for k in range(3):
+            db.execute("INSERT INTO u (k) VALUES (?)", [k])
+        assert db.catalog.stats_of("u") is not None
+        assert db.metrics.counter("stats.auto_analyze_runs") == 2

@@ -311,6 +311,96 @@ class TestSpanCatalogue:
         assert engine_lint.check_span_catalogue(fake_repo) == []
 
 
+class TestBatchProtocol:
+    _BASE = (
+        "class Operator:\n"
+        "    def execute_batches(self, env):\n"
+        "        raise NotImplementedError\n"
+    )
+
+    def test_no_operator_base_means_clean(self, fake_repo):
+        # the baseline fake tree has no Operator hierarchy at all
+        assert engine_lint.check_batch_protocol(fake_repo) == []
+
+    def test_compliant_subclass_passes(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/plan/operators.py", (
+            self._BASE
+            + "class Filter(Operator):\n"
+            "    def execute_batches(self, env):\n"
+            '        check = getattr(env, "check", None)\n'
+            "        out = []\n"
+            "        for batch in self.children[0].batches(env):\n"
+            "            if check is not None:\n"
+            "                check()\n"
+            "            out.append(batch)\n"
+            "        return out\n"
+        ))
+        assert engine_lint.check_batch_protocol(fake_repo) == []
+
+    def test_stray_execute_override_is_flagged(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/plan/operators.py", (
+            self._BASE
+            + "class Legacy(Operator):\n"
+            "    def execute_batches(self, env):\n"
+            "        return []\n"
+            "    def execute(self, env):\n"
+            '        guard = getattr(env, "guard_iter", None)\n'
+            "        return list(self._rows)\n"
+        ))
+        problems = engine_lint.check_batch_protocol(fake_repo)
+        assert len(problems) == 1
+        assert "batch-protocol" in problems[0]
+        assert "Legacy" in problems[0]
+
+    def test_missing_entrypoint_is_flagged(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/plan/operators.py", (
+            self._BASE
+            + "class Hollow(Operator):\n"
+            "    def label(self):\n"
+            '        return "Hollow"\n'
+        ))
+        problems = engine_lint.check_batch_protocol(fake_repo)
+        assert any("Hollow" in p and "neither implements" in p for p in problems)
+
+    def test_entrypoint_inherited_through_intermediate_passes(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/plan/operators.py", (
+            self._BASE
+            + "class Mid(Operator):\n"
+            "    def execute_batches(self, env):\n"
+            "        return []\n"
+            "class Leaf(Mid):\n"
+            "    def label(self):\n"
+            '        return "Leaf"\n'
+        ))
+        assert engine_lint.check_batch_protocol(fake_repo) == []
+
+    def test_unpolled_batch_loop_is_flagged(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/plan/operators.py", (
+            self._BASE
+            + "class Busy(Operator):\n"
+            "    def execute_batches(self, env):\n"
+            "        out = []\n"
+            "        for batch in self.children[0].batches(env):\n"
+            "            out.append(batch)\n"
+            "        return out\n"
+        ))
+        problems = engine_lint.check_batch_protocol(fake_repo)
+        assert len(problems) == 1
+        assert "loops without" in problems[0]
+
+    def test_ops_attribute_base_is_recognized(self, fake_repo):
+        # planner.py spells the base as ops.Operator
+        _write(fake_repo, "src/repro/engine/plan/operators.py", self._BASE)
+        _write(fake_repo, "src/repro/engine/plan/planner.py", (
+            "from . import operators as ops\n"
+            "class _Finalize(ops.Operator):\n"
+            "    def label(self):\n"
+            '        return "Finalize"\n'
+        ))
+        problems = engine_lint.check_batch_protocol(fake_repo)
+        assert any("_Finalize" in p for p in problems)
+
+
 class TestCostModel:
     def test_missing_cost_module_is_flagged(self, fake_repo):
         (fake_repo / "src/repro/engine/plan/cost.py").unlink()

@@ -45,6 +45,15 @@ has been broken (or nearly broken) by an innocent-looking edit before:
   stricter than **metric-names** (no receiver filter), because the optimizer
   counters back the cost-model acceptance numbers and a silently dropped
   increment would fake a plan-choice regression.
+* **batch-protocol** — every ``Operator`` subclass under ``engine/plan``
+  must speak the chunked batch protocol: it implements (or inherits)
+  ``execute_batches`` and must not override the row-level ``execute``
+  shim — a stray list-returning override would silently bypass batch
+  dispatch, per-operator metrics and the materialization-boundary copy.
+  Loop-bearing ``execute_batches`` bodies must poll the
+  ``ExecutionContext`` (``check()`` at batch granularity, or
+  ``guard_iter`` on a row-at-a-time fallback), mirroring
+  **operator-guards** for the batch entrypoint.
 
 Run as ``python tools/engine_lint.py`` (exit 0 = clean); every check is also
 importable for the test suite.  Standard library only.
@@ -94,6 +103,24 @@ def _dotted(node: ast.AST) -> str:
 
 # -- check 1: operator loops must poll the ExecutionContext ----------------
 
+def _polls_context(node: ast.FunctionDef) -> bool:
+    """True when the method names a context hook (guard_iter/check).
+
+    Both guard styles name the hook as a string or an attribute:
+        guard = getattr(env, "guard_iter", None)
+        check = getattr(env, "check", None)
+    """
+    mentioned: Set[str] = set()
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Constant) and isinstance(inner.value, str):
+            mentioned.add(inner.value)
+        elif isinstance(inner, ast.Name):
+            mentioned.add(inner.id)
+        elif isinstance(inner, ast.Attribute):
+            mentioned.add(inner.attr)
+    return bool(mentioned & {"guard_iter", "check"})
+
+
 def check_operator_guards(root: Path = REPO_ROOT) -> List[str]:
     problems = []
     for path in sorted((root / ENGINE / "plan").glob("*.py")):
@@ -106,18 +133,7 @@ def check_operator_guards(root: Path = REPO_ROOT) -> List[str]:
             )
             if not has_loop:
                 continue
-            # both guard styles name the context hook as a string:
-            #   guard = getattr(env, "guard_iter", None)
-            #   check = getattr(env, "check", None)
-            mentioned: Set[str] = set()
-            for inner in ast.walk(node):
-                if isinstance(inner, ast.Constant) and isinstance(inner.value, str):
-                    mentioned.add(inner.value)
-                elif isinstance(inner, ast.Name):
-                    mentioned.add(inner.id)
-                elif isinstance(inner, ast.Attribute):
-                    mentioned.add(inner.attr)
-            if not mentioned & {"guard_iter", "check"}:
+            if not _polls_context(node):
                 problems.append(
                     f"{path.relative_to(root)}:{node.lineno}: "
                     f"[operator-guards] execute() loops over rows without "
@@ -463,6 +479,102 @@ def check_cost_model(root: Path = REPO_ROOT) -> List[str]:
     return problems
 
 
+# -- check 9: operators speak the chunked batch protocol -------------------
+
+def _class_bases(node: ast.ClassDef) -> List[str]:
+    """Base-class names of one ClassDef (``Operator`` / ``ops.Operator``)."""
+    names: List[str] = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def check_batch_protocol(root: Path = REPO_ROOT) -> List[str]:
+    # collect every module-level class under engine/plan (subclasses in
+    # planner.py spell the base as ops.Operator, so match by last segment)
+    classes: Dict[str, Tuple[Path, ast.ClassDef]] = {}
+    for path in sorted((root / ENGINE / "plan").glob("*.py")):
+        tree = _parse(path)
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                classes[node.name] = (path, node)
+    if "Operator" not in classes:
+        return []  # no operator base, nothing to enforce
+    # transitive closure of Operator subclasses
+    operator_like: Set[str] = {"Operator"}
+    changed = True
+    while changed:
+        changed = False
+        for name, (_path, node) in classes.items():
+            if name in operator_like:
+                continue
+            if any(base in operator_like for base in _class_bases(node)):
+                operator_like.add(name)
+                changed = True
+    # classes that implement the batch entrypoint themselves (the root's
+    # NotImplementedError stub does not count as an implementation)
+    implementers = {
+        name for name, (_path, node) in classes.items()
+        if name != "Operator" and any(
+            isinstance(inner, ast.FunctionDef)
+            and inner.name == "execute_batches"
+            for inner in node.body
+        )
+    }
+
+    def inherits_entrypoint(name: str, seen: Set[str]) -> bool:
+        if name in implementers:
+            return True
+        if name in seen or name not in classes:
+            return False
+        seen.add(name)
+        return any(
+            inherits_entrypoint(base, seen)
+            for base in _class_bases(classes[name][1])
+        )
+
+    problems = []
+    for name in sorted(operator_like - {"Operator"}):
+        path, node = classes[name]
+        for inner in node.body:
+            if isinstance(inner, ast.FunctionDef) and inner.name == "execute":
+                problems.append(
+                    f"{path.relative_to(root)}:{inner.lineno}: "
+                    f"[batch-protocol] {name} overrides the row-level "
+                    f"execute() shim; implement execute_batches() so batch "
+                    f"dispatch and the materialization boundary stay intact"
+                )
+        if not inherits_entrypoint(name, set()):
+            problems.append(
+                f"{path.relative_to(root)}:{node.lineno}: "
+                f"[batch-protocol] {name} neither implements nor inherits "
+                f"execute_batches()"
+            )
+    # loop-bearing batch entrypoints must poll the context per batch
+    for path in sorted((root / ENGINE / "plan").glob("*.py")):
+        tree = _parse(path)
+        for node in ast.walk(tree):
+            if (
+                not isinstance(node, ast.FunctionDef)
+                or node.name != "execute_batches"
+            ):
+                continue
+            has_loop = any(
+                isinstance(inner, _LOOPS) for inner in ast.walk(node)
+            )
+            if has_loop and not _polls_context(node):
+                problems.append(
+                    f"{path.relative_to(root)}:{node.lineno}: "
+                    f"[batch-protocol] execute_batches() loops without "
+                    f"polling the ExecutionContext (check per batch or "
+                    f"guard_iter on the row fallback)"
+                )
+    return problems
+
+
 ALL_CHECKS = (
     check_operator_guards,
     check_no_wallclock,
@@ -472,6 +584,7 @@ ALL_CHECKS = (
     check_metric_names,
     check_span_catalogue,
     check_cost_model,
+    check_batch_protocol,
 )
 
 
