@@ -9,7 +9,6 @@ wrappers over these functions; examples reuse them too.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -25,9 +24,8 @@ from .report import (
     format_latency_table,
     format_ratio_table,
     format_series,
-    geometric_mean,
 )
-from .service import BenchmarkService, Measurement
+from .service import Measurement
 
 WORKLOAD = Workload()
 

@@ -32,7 +32,6 @@ from typing import Dict, List, Optional
 
 from .artifact import ArtifactError, find_artifacts, load_artifact
 from .compare import artifact_cells, diff_artifacts
-from .report import geometric_mean
 
 TREND_SCHEMA = "repro-trend/v1"
 

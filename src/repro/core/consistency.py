@@ -24,9 +24,8 @@ and the CLI use it, and it doubles as a debugging aid for new archetypes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from ..engine.types import END_OF_TIME
 from .schema import APP_PERIODS, VERSIONED_TABLES, benchmark_schemas
 
 

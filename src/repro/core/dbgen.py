@@ -12,7 +12,7 @@ based on the existing time attributes such as shipdate or receiptdate"*).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List
+from typing import Dict, List
 
 from ..engine.types import END_OF_TIME, date_to_day
 from .rng import DEFAULT_SEED, Rng

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..engine.types import END_OF_TIME
-from .dbgen import END_DAY, InitialData, generate_initial, scaled, SUPPLIER_BASE, PART_BASE
+from .dbgen import END_DAY, InitialData, generate_initial
 from .history import GeneratorStore
 from .rng import DEFAULT_SEED, Rng
 from .scenarios import ScenarioContext, pick_scenario

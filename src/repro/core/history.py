@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from ..engine.types import END_OF_TIME, Period
+from ..engine.types import Period
 
 
 class VersionNode:

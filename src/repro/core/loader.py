@@ -15,11 +15,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..engine.database import Database
 from ..engine.errors import NotSupportedError
-from .generator import GeneratedWorkload, INITIAL_TICK
+from .generator import GeneratedWorkload
 from .schema import benchmark_schemas, create_benchmark_tables
 
 

@@ -11,7 +11,7 @@ keys) and report the spread rather than a single point.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List
 
 from ..generator import WorkloadMetadata
 from ..rng import Rng

@@ -23,7 +23,7 @@ Operation tuples (the archive format):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from ..engine.types import END_OF_TIME, Period
 from .dbgen import (

@@ -37,6 +37,7 @@ import datetime
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from .analyze_domains import scan_domain_map
 from .errors import CatalogError, PlanError, ProgrammingError
 from .plan.logical import (
     LogicalDerived,
@@ -220,6 +221,36 @@ _RULE_LIST = (
         "write the bound as DATE '...' so the literal lives in the column's "
         "day-number domain",
     ),
+    Rule(
+        "TQ014",
+        "subsumed-temporal-constraint",
+        "warning",
+        "temporal predicate is implied by the other constraints on its column",
+        "§5.5: every redundant period predicate is another chance to fall "
+        "off the history-access cliff; the interval domain proves this one "
+        "adds nothing",
+        "drop the wider predicate — the remaining constraints already imply it",
+    ),
+    Rule(
+        "TQ015",
+        "contradictory-constraints",
+        "error",
+        "temporal constraints are contradictory: the query provably returns "
+        "no rows",
+        "interval-domain analysis: the intersection of the clause and "
+        "predicate intervals on one period column is empty",
+        "widen or fix the bounds; as written the scan can never match a "
+        "version",
+    ),
+    Rule(
+        "TQ016",
+        "tautological-temporal-clause",
+        "warning",
+        "temporal constraint spans the column's whole recorded domain",
+        "§5.5: a clause wider than the stats min/max selects everything "
+        "anyway — it only forces the history partition to be read",
+        "drop the constraint, or narrow it to the range actually needed",
+    ),
 )
 
 RULES: Dict[str, Rule] = {rule.code: rule for rule in _RULE_LIST}
@@ -343,7 +374,11 @@ class _Analysis:
     def check_core(self, select: ast.Select, path: str):
         try:
             query = build_logical(select, self.db)
-            query = rewrite_logical(query, self.db, self.profile)
+            # lint the pre-pruning plan: constraint pruning would delete
+            # exactly the evidence TQ014/TQ015/TQ016 report on
+            query = rewrite_logical(
+                query, self.db, self.profile, exclude=("constraint-pruning",)
+            )
         except (CatalogError, PlanError, ProgrammingError):
             # lowering/execution reports these as hard errors; there is no
             # plan shape to lint
@@ -356,6 +391,7 @@ class _Analysis:
         self._check_connectivity(relation, path)
         self._check_join_predicates(relation, path)
         self._check_literal_domains(relation, path)
+        self._check_domains(relation, path)
         self._check_projection(select, relation, path)
         for derived in _derived_in(relation):
             self.check_select(derived.select, f"{path}/derived:{derived.alias}")
@@ -670,6 +706,79 @@ class _Analysis:
                     f"compared against {value!r}, outside the date domain",
                     conjunct,
                     where,
+                )
+
+    # -- interval domains (TQ014/TQ015/TQ016) ------------------------------
+
+    def _check_domains(self, relation: LogicalNode, path: str):
+        """Per-scan interval-domain analysis over temporal constraints.
+
+        The shared constraint engine (:mod:`..analyze_domains`) folds every
+        temporal clause and pushed predicate into per-column intervals;
+        an empty intersection means the scan provably matches nothing
+        (TQ015), a predicate containing the intersection of the others is
+        dead weight (TQ014), and a constraint containing the stats
+        min/max of every column it touches selects everything anyway
+        (TQ016 — only with a valid ANALYZE snapshot)."""
+        for scan in _scans_in(relation):
+            scan_path = f"{path}/scan:{scan.binding}"
+            domains = scan_domain_map(scan)
+            if not domains.contributions:
+                continue
+            empty_keys = set()
+            for (binding, column), contributions in domains.empty_columns():
+                empty_keys.add((binding, column))
+                node = next(
+                    (c.source for c in contributions if ast.span_of(c.source)),
+                    contributions[-1].source,
+                )
+                self.emit(
+                    "TQ015",
+                    f"constraints on {binding}.{column} intersect to the "
+                    f"empty interval; the scan can never match a version",
+                    node,
+                    scan_path,
+                )
+            for contribution in domains.redundant_predicates():
+                if (contribution.binding, contribution.column) in empty_keys:
+                    continue  # TQ015 already explains this column
+                self.emit(
+                    "TQ014",
+                    f"predicate on {contribution.binding}.{contribution.column} "
+                    f"(interval {contribution.interval.describe()}) is implied "
+                    f"by the other temporal constraints",
+                    contribution.source,
+                    scan_path,
+                )
+            stats_getter = getattr(self.db, "stats_for", None)
+            if stats_getter is None:
+                continue
+            snapshot = stats_getter(scan.schema.name)
+            if snapshot is None:
+                continue  # no (valid) ANALYZE snapshot: TQ016 stays quiet
+
+            def stats_of(_binding, column, _snapshot=snapshot):
+                return _snapshot.merged_column(column)
+
+            for source, contributions in domains.tautological_sources(stats_of):
+                if any(
+                    (c.binding, c.column) in empty_keys for c in contributions
+                ):
+                    continue
+                what = (
+                    "temporal clause"
+                    if isinstance(source, ast.TemporalClause)
+                    else "predicate"
+                )
+                columns = ", ".join(
+                    sorted({f"{c.binding}.{c.column}" for c in contributions})
+                )
+                self.emit(
+                    "TQ016",
+                    f"{what} on {columns} spans the whole recorded domain "
+                    f"(stats min/max): it filters nothing",
+                    source,
+                    scan_path,
                 )
 
     def _resolve_ref(self, ref: ast.ColumnRef, by_binding, scans):

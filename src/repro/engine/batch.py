@@ -26,7 +26,7 @@ reference oracle the batch path is checked against byte-for-byte.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 DEFAULT_BATCH_SIZE = 1024
 

@@ -9,12 +9,12 @@ the planner.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from . import temporal
 from .catalog import Catalog, IndexDef, TableSchema
-from .errors import CatalogError, IntegrityError, ProgrammingError
+from .errors import CatalogError, IntegrityError
 from .obs import MetricsRegistry, SlowQueryLog, Tracer
 from .storage.versioned import StorageOptions, VersionedTable
 from .txn import TransactionManager
@@ -53,6 +53,7 @@ class ArchitectureProfile:
         "constant-folding",
         "predicate-pushdown",
         "join-reorder",
+        "constraint-pruning",
     )
     #: analyzer diagnostic codes (see repro.engine.analyze) that do not
     #: apply to this archetype — e.g. System D's implicit time travel

@@ -16,7 +16,7 @@ append-ordered history data overlap heavily, forcing multi-path descents.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Tuple
 
 
 class _Entry:

@@ -21,7 +21,7 @@ expressed in SQL:2011 (paper §5.6).
 from __future__ import annotations
 
 import bisect
-from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+from typing import Callable, Iterator, List, Set, Tuple
 
 ACTIVATE = 1
 INVALIDATE = -1

@@ -16,11 +16,11 @@ that plans flip between scans and index use as selectivity changes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from ..batch import Batch, batch_size, batches_from_rows, vectorized_enabled
-from ..storage.versioned import CURRENT, HISTORY, SINGLE, VersionedTable
+from ..storage.versioned import CURRENT, SINGLE, VersionedTable
 from ..types import END_OF_TIME
 
 ValueFn = Callable[[object], object]  # fn(env) -> runtime constant
@@ -382,7 +382,6 @@ class TableAccessPlan:
         return rows
 
     def _choose_index(self, partition, env):
-        schema = self.table.schema
         constraints = self._constraints_with_temporal()
         by_column: Dict[str, List[ColumnConstraint]] = {}
         for c in constraints:

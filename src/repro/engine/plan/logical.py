@@ -238,14 +238,14 @@ class LogicalJoin(LogicalNode):
     def est_rows(self) -> int:
         if self.est_hint is not None:
             return self.est_hint
-        l, r = self.left.est_rows, self.right.est_rows
+        lhs, rhs = self.left.est_rows, self.right.est_rows
         if self.conjuncts:
             if any(_looks_equi(c, self.left.bindings, self.right.bindings) for c in self.conjuncts):
-                return max(1, (l * r) // max(l, r, 1))
-            return max(l, r)
+                return max(1, (lhs * rhs) // max(lhs, rhs, 1))
+            return max(lhs, rhs)
         if self.kind == "left":
-            return max(l, r)
-        return l * max(r, 1)
+            return max(lhs, rhs)
+        return lhs * max(rhs, 1)
 
     def children(self):
         return (self.left, self.right)
@@ -304,6 +304,30 @@ class LogicalFilter(LogicalNode):
 
     def describe(self):
         return f"Filter({self.label}, conjuncts={len(split_conjuncts(self.predicate))})"
+
+
+@dataclass
+class LogicalEmpty(LogicalNode):
+    """A subtree proven to return no rows (contradictory constraints).
+
+    The original subtree stays attached as ``child`` — it still carries
+    the layout (bindings and columns) the surrounding plan resolves
+    names against; only execution is replaced, by an ``EmptyScan``.
+    """
+
+    child: LogicalNode
+    reason: str = "contradictory constraints"
+    est_rows: int = 0
+
+    @property
+    def bindings(self) -> Set[str]:
+        return self.child.bindings
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self):
+        return f"Empty({self.reason})"
 
 
 @dataclass
@@ -491,6 +515,8 @@ def unit_layout(unit: LogicalNode) -> List[Tuple[str, str]]:
     if isinstance(unit, LogicalJoin):
         return unit_layout(unit.left) + unit_layout(unit.right)
     if isinstance(unit, LogicalFilter):
+        return unit_layout(unit.child)
+    if isinstance(unit, LogicalEmpty):
         return unit_layout(unit.child)
     return []
 

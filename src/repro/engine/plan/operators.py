@@ -28,7 +28,7 @@ per-row (``guard_iter``) only on the row-at-a-time fallback paths.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence
 
 from ..batch import (
     Batch,
@@ -141,6 +141,24 @@ class Materialized(Operator):
 
     def label(self):
         return f"{self._description} ({len(self._rows)} rows)"
+
+
+class EmptyScan(Operator):
+    """A relation the rewrite proved empty (contradictory constraints).
+
+    Never touches storage: the constraint-pruning rule replaced the
+    original access path after the interval domain showed its constraint
+    intersection is empty, so execution is a constant no-op.
+    """
+
+    def __init__(self, description="EmptyScan"):
+        self._description = description
+
+    def execute_batches(self, env):
+        return []
+
+    def label(self):
+        return self._description
 
 
 class Subplan(Operator):

@@ -25,7 +25,7 @@ cache uses for targeted invalidation.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..batch import batches_from_rows, vectorized_enabled
 from ..catalog import TableSchema
@@ -38,6 +38,7 @@ from . import operators as ops
 from .access import ColumnConstraint, TableAccessPlan, TemporalBounds
 from .logical import (  # noqa: F401 - split_conjuncts/conjoin re-exported
     LogicalDerived,
+    LogicalEmpty,
     LogicalFilter,
     LogicalJoin,
     LogicalNode,
@@ -48,7 +49,9 @@ from .logical import (  # noqa: F401 - split_conjuncts/conjoin re-exported
     build_logical,
     conjoin,
     rebuild_expr,
+    scans_in_order,
     split_conjuncts,
+    unit_layout,
 )
 from .rewrite import rewrite_logical
 
@@ -397,9 +400,21 @@ class Planner:
                 relation.est_rows,
                 stats_backed=relation.stats_backed,
             )
+        if isinstance(node, LogicalEmpty):
+            return self._lower_empty(node)
         if isinstance(node, LogicalProduct):
             raise PlanError("join-order selection left a Product node unlowered")
         raise PlanError(f"cannot lower logical node {node!r}")
+
+    def _lower_empty(self, node: LogicalEmpty) -> _Relation:
+        """A subtree the rewrite proved empty: a zero-row operator with the
+        original subtree's layout.  The plan still depends on every table
+        the pruned subtree would have read — DDL must invalidate it."""
+        for scan in scans_in_order(node.child):
+            self._note_dependency(scan.ref.name)
+        op = ops.EmptyScan(f"EmptyScan({node.reason})")
+        op.est_rows = 0
+        return _Relation(op, unit_layout(node.child), set(node.bindings), 0)
 
     def _lower_derived(self, node: LogicalDerived) -> _Relation:
         if node.view_name is not None:

@@ -34,14 +34,15 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..errors import CatalogError, PlanError, ProgrammingError
+from ..analyze_domains import scan_domain_map
+from ..errors import CatalogError, ProgrammingError
 from ..expr import Env, Interval, Scope, compile_expr
 from ..sql import ast
 from ..types import END_OF_TIME
 from . import cost
 from .logical import (
     _has_system_clause,
-    LogicalDerived,
+    LogicalEmpty,
     LogicalFilter,
     LogicalJoin,
     LogicalNode,
@@ -62,6 +63,7 @@ ALL_RULES: Tuple[str, ...] = (
     "constant-folding",
     "predicate-pushdown",
     "join-reorder",
+    "constraint-pruning",
 )
 
 # Every rule must state the invariants it preserves; tools/engine_lint.py
@@ -82,14 +84,32 @@ RULE_INVARIANTS: Dict[str, Tuple[str, ...]] = {
         "inner-joins-only",
         "left-deep-shape",
     ),
+    "constraint-pruning": (
+        "result-equivalence",
+        "source-spans",
+        "temporal-clause-modes",
+    ),
 }
 
 
 def rewrite_logical(
-    query: LogicalQuery, db, profile, outer_scope: Optional[Scope] = None
+    query: LogicalQuery,
+    db,
+    profile,
+    outer_scope: Optional[Scope] = None,
+    exclude: Tuple[str, ...] = (),
 ) -> LogicalQuery:
-    """Apply the profile's enabled rules; always normalise products to joins."""
-    rules = getattr(profile, "rewrite_rules", ALL_RULES)
+    """Apply the profile's enabled rules; always normalise products to joins.
+
+    *exclude* masks individual rules for this invocation — the analyzer
+    uses it to lint the pre-pruning plan, where the evidence for its
+    interval-domain rules is still visible.
+    """
+    rules = [
+        rule
+        for rule in getattr(profile, "rewrite_rules", ALL_RULES)
+        if rule not in exclude
+    ]
     applied: List[str] = list(query.applied_rules)
     select = query.select
     relation = query.relation
@@ -111,6 +131,11 @@ def rewrite_logical(
     )
     if reordered:
         applied.append("join-reorder")
+
+    if "constraint-pruning" in rules:
+        relation, changed = _prune_constraints(relation)
+        if changed:
+            applied.append("constraint-pruning")
 
     return LogicalQuery(select, relation, query.referenced, applied)
 
@@ -691,6 +716,174 @@ def _cost_based_order(product: LogicalProduct, db):
     ]
     result = cost.order_joins(sketches, edges)
     return [units[i] for i in result.order], result.prefix_rows
+
+
+# ---------------------------------------------------------------------------
+# constraint pruning (interval-domain abstract interpretation)
+# ---------------------------------------------------------------------------
+
+
+def _prune_constraints(relation: LogicalNode):
+    """Prune provably-redundant temporal constraints per scan.
+
+    Runs last, on the join-ordered tree, using the shared interval-domain
+    engine (:mod:`..analyze_domains`).  Three actions, each justified by
+    the lattice:
+
+    * a scan whose constraint intersection is *empty* on some column is
+      replaced by :class:`LogicalEmpty` (lowered to an ``EmptyScan``);
+    * a pushed predicate whose interval contains the intersection of the
+      remaining constraints is dropped (only exact, non-equality atoms —
+      equalities drive primary-key and hash-index probes);
+    * ``FROM..TO`` / ``BETWEEN`` clause literals are tightened to the
+      predicate-implied bounds, shrinking what access paths must read.
+
+    Emptiness then propagates upward (filter of empty, inner join with an
+    empty side) so EXPLAIN shows the collapse at the highest sound node.
+    """
+    mapping = {}
+    changed = False
+    for scan in scans_in_order(relation):
+        domains = scan_domain_map(scan)
+        if not domains.contributions:
+            continue
+        empties = domains.empty_columns()
+        if empties:
+            (binding, column), _contributions = empties[0]
+            mapping[id(scan)] = LogicalEmpty(
+                scan, f"contradictory constraints on {binding}.{column}"
+            )
+            changed = True
+            continue
+        new_scan = scan
+        drop = {id(c.source) for c in domains.redundant_predicates()}
+        if drop:
+            new_scan = replace(
+                new_scan,
+                pushed=tuple(c for c in new_scan.pushed if id(c) not in drop),
+            )
+        new_scan = _tighten_clauses(new_scan, domains)
+        if new_scan is not scan:
+            mapping[id(scan)] = new_scan
+            changed = True
+    if not changed:
+        return relation, False
+    relation = replace_scans(relation, mapping)
+    return _lift_empty(relation), True
+
+
+def _tighten_clauses(scan: LogicalScan, domains) -> LogicalScan:
+    """Narrow range-clause literals to the predicate-implied bounds.
+
+    Sound as a conjunction: the scan's predicates stay in place, so
+    ``clause' = clause AND (bounds the predicates imply)`` selects the
+    same rows — including NULL period ends, which the predicates that
+    justified the tightening reject themselves.
+    """
+    clauses = []
+    any_changed = False
+    for clause in scan.ref.temporal:
+        if clause.mode not in ("from_to", "between"):
+            clauses.append(clause)
+            continue
+        period = _period_for(scan.schema, clause.period)
+        low = _clause_literal(clause.low)
+        high = _clause_literal(clause.high)
+        if period is None or low is None or high is None:
+            clauses.append(clause)
+            continue
+        begin = domains.predicate_domain((scan.binding, period.begin_column))
+        end = domains.predicate_domain((scan.binding, period.end_column))
+        new_low, new_high = low, high
+        if begin.high is not None:
+            # the clause constrains begin < high (from_to) / <= high (between)
+            limit = begin.high + 1 if clause.mode == "from_to" else begin.high
+            if limit < new_high:
+                new_high = limit
+        if end.low is not None:
+            # both modes constrain end > low, i.e. end >= low + 1
+            if end.low - 1 > new_low:
+                new_low = end.low - 1
+        if (new_low, new_high) == (low, high):
+            clauses.append(clause)
+            continue
+        any_changed = True
+        clauses.append(
+            ast.copy_span(
+                clause,
+                replace(
+                    clause,
+                    low=ast.copy_span(clause.low, ast.Literal(new_low)),
+                    high=ast.copy_span(clause.high, ast.Literal(new_high)),
+                ),
+            )
+        )
+    if not any_changed:
+        return scan
+    ref = ast.copy_span(scan.ref, replace(scan.ref, temporal=tuple(clauses)))
+    return replace(scan, ref=ref)
+
+
+def _clause_literal(expr):
+    if isinstance(expr, ast.Literal) and isinstance(expr.value, int) and not isinstance(
+        expr.value, bool
+    ):
+        return expr.value
+    return None
+
+
+def _lift_empty(node: LogicalNode) -> LogicalNode:
+    """Propagate emptiness upward where it is sound to do so.
+
+    Lifting wraps the rebuilt node, so the original subtree stays
+    attached for layout resolution.  It only happens over subtrees whose
+    layout is exact (scans all the way down) — derived tables expose
+    best-effort column lists that must not decide an EmptyScan's width.
+    """
+    if isinstance(node, LogicalFilter):
+        child = _lift_empty(node.child)
+        out = node if child is node.child else replace(node, child=child)
+        if isinstance(child, LogicalEmpty) and _exact_layout(out):
+            return LogicalEmpty(out, child.reason)
+        return out
+    if isinstance(node, LogicalJoin):
+        left = _lift_empty(node.left)
+        right = _lift_empty(node.right)
+        out = node
+        if left is not node.left or right is not node.right:
+            out = replace(node, left=left, right=right)
+        reason = None
+        if isinstance(left, LogicalEmpty):
+            reason = left.reason
+        elif node.kind != "left" and isinstance(right, LogicalEmpty):
+            # a LEFT JOIN's empty right side still pads — never lifted
+            reason = right.reason
+        if reason is not None and _exact_layout(out):
+            return LogicalEmpty(out, reason)
+        return out
+    if isinstance(node, LogicalProduct):
+        units = tuple(_lift_empty(u) for u in node.units)
+        out = node
+        if any(a is not b for a, b in zip(units, node.units)):
+            out = replace(node, units=units)
+        for unit in units:
+            if isinstance(unit, LogicalEmpty) and _exact_layout(out):
+                return LogicalEmpty(out, unit.reason)
+        return out
+    return node
+
+
+def _exact_layout(node: LogicalNode) -> bool:
+    """True when ``unit_layout`` is exact for the whole subtree."""
+    if isinstance(node, LogicalScan):
+        return True
+    if isinstance(node, (LogicalEmpty, LogicalFilter)):
+        return _exact_layout(node.child)
+    if isinstance(node, LogicalJoin):
+        return _exact_layout(node.left) and _exact_layout(node.right)
+    if isinstance(node, LogicalProduct):
+        return all(_exact_layout(u) for u in node.units)
+    return False
 
 
 def _equi_edge_keys(conjunct, units):

@@ -20,7 +20,7 @@ from .expr import Env, Scope, compile_expr
 from .plan.context import ExecutionContext
 from .plan.planner import Planner, PlannedQuery
 from .sql import ast, parse_statement
-from .types import Period, SqlType
+from .types import SqlType
 
 
 @dataclass

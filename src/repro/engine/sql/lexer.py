@@ -14,7 +14,7 @@ analyzer and error messages can point at the offending SQL text.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from ..errors import SqlSyntaxError
 

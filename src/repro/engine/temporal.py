@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .catalog import TableSchema
-from .errors import IntegrityError, ProgrammingError
+from .errors import IntegrityError
 from .storage.versioned import VersionedTable
 from .types import END_OF_TIME, Period
 

@@ -41,6 +41,7 @@ class SystemA(TemporalSystem):
             index_selectivity_threshold=0.15,
             rewrite_rules=(
                 "constant-folding", "predicate-pushdown", "join-reorder",
+                "constraint-pruning",
             ),
             # every analyzer rule applies to the row-store reference system
             lint_suppressions=(),

@@ -46,6 +46,7 @@ class SystemB(TemporalSystem):
             index_selectivity_threshold=0.15,
             rewrite_rules=(
                 "constant-folding", "predicate-pushdown", "join-reorder",
+                "constraint-pruning",
             ),
             lint_suppressions=(),
         )

@@ -48,6 +48,7 @@ class SystemC(TemporalSystem):
             index_selectivity_threshold=0.0,
             rewrite_rules=(
                 "constant-folding", "predicate-pushdown", "join-reorder",
+                "constraint-pruning",
             ),
             # the column store has no secondary indexes, so the unindexed
             # history-probe diagnostic is noise here

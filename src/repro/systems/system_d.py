@@ -46,6 +46,7 @@ class SystemD(TemporalSystem):
             index_selectivity_threshold=0.15,
             rewrite_rules=(
                 "constant-folding", "predicate-pushdown", "join-reorder",
+                "constraint-pruning",
             ),
             # implicit time travel over a single interleaved table (§5.8):
             # history is not a separate partition, so full-history-scan,

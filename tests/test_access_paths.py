@@ -1,7 +1,5 @@
 """Access-path selection: PK probes, index choice, partition pruning."""
 
-import pytest
-
 from repro.engine import Database, IndexDef
 from repro.engine.database import ArchitectureProfile
 from repro.engine.storage.versioned import StorageOptions

@@ -1,6 +1,6 @@
 """Golden tests for the static analyzer (repro.engine.analyze).
 
-One positive and one negative case per rule TQ001..TQ010, span/path
+One positive and one negative case per rule TQ001..TQ016, span/path
 anchoring, severity ordering, per-profile suppression, the EXPLAIN (LINT)
 surface, and the no-false-positives sweep over the full benchmark workload
 on every architecture archetype.
@@ -25,8 +25,8 @@ def only(db, sql, code):
 
 
 class TestRuleCatalog:
-    def test_thirteen_stable_codes(self):
-        assert sorted(RULES) == [f"TQ{n:03d}" for n in range(1, 14)]
+    def test_sixteen_stable_codes(self):
+        assert sorted(RULES) == [f"TQ{n:03d}" for n in range(1, 17)]
 
     def test_every_rule_is_complete(self):
         for rule in RULES.values():
@@ -317,6 +317,110 @@ class TestTQ013TemporalLiteralDomain:
 
     def test_negative_parameter(self, db):
         assert "TQ013" not in codes(db, "SELECT id FROM item WHERE ab >= ?")
+
+
+class TestTQ014SubsumedTemporalConstraint:
+    def test_positive_wider_predicate(self, db):
+        d = only(db, "SELECT id FROM item WHERE sb >= 2 AND sb >= 1", "TQ014")
+        assert d.severity == "warning"
+        assert "sb" in d.message
+
+    def test_positive_clause_subsumes_predicate(self, db):
+        # AS OF 5 already implies sb <= 5; the wider sb <= 9 adds nothing
+        assert "TQ014" in codes(
+            db, "SELECT id FROM item FOR SYSTEM_TIME AS OF 5 WHERE sb <= 9"
+        )
+
+    def test_negative_single_predicate(self, db):
+        assert "TQ014" not in codes(db, "SELECT id FROM item WHERE sb >= 2")
+
+    def test_negative_equality_never_flagged(self, db):
+        # an implied equality still drives pk/hash-index probes: keep it
+        assert "TQ014" not in codes(
+            db, "SELECT id FROM item FOR SYSTEM_TIME AS OF 9 WHERE sb = 5"
+        )
+
+    def test_negative_clause_never_flagged(self, db):
+        # a clause wider than the predicates still gates partition choice
+        assert "TQ014" not in codes(
+            db,
+            "SELECT id FROM item FOR SYSTEM_TIME BETWEEN 1 AND 9 WHERE sb <= 2",
+        )
+
+
+class TestTQ015ContradictoryConstraints:
+    def test_positive_contradictory_predicates(self, db):
+        d = only(db, "SELECT id FROM item WHERE sb > 10 AND sb < 5", "TQ015")
+        assert d.severity == "error"
+        assert "sb" in d.message
+
+    def test_positive_clause_vs_predicate(self, db):
+        assert "TQ015" in codes(
+            db, "SELECT id FROM item FOR SYSTEM_TIME AS OF 5 WHERE sb > 10"
+        )
+
+    def test_negative_satisfiable_range(self, db):
+        assert "TQ015" not in codes(
+            db, "SELECT id FROM item WHERE sb > 5 AND sb < 10"
+        )
+
+    def test_negative_empty_period_can_still_overlap(self, db):
+        # FROM 5 TO 5 is an empty *period* (TQ004's business), but the
+        # engine's overlap test is begin < 5 AND end > 5, which a long
+        # version satisfies — the per-column intervals stay satisfiable
+        assert "TQ015" not in codes(
+            db, "SELECT id FROM item FOR SYSTEM_TIME FROM 5 TO 5"
+        )
+
+
+class TestTQ016TautologicalClause:
+    def _load_and_analyze(self, db):
+        db.execute(
+            "INSERT INTO item (id, name, price, ab, ae) VALUES"
+            " (1, 'a', 1, DATE '1995-01-01', DATE '1996-01-01')"
+        )
+        db.execute(
+            "INSERT INTO item (id, name, price, ab, ae) VALUES"
+            " (2, 'b', 2, DATE '1995-06-01', DATE '1997-01-01')"
+        )
+        db.execute("ANALYZE item")
+
+    WIDE = (
+        "SELECT id FROM item WHERE ab BETWEEN DATE '1900-01-01'"
+        " AND DATE '2100-01-01'"
+    )
+
+    def test_positive_predicate_spanning_domain(self, db):
+        self._load_and_analyze(db)
+        d = only(db, self.WIDE, "TQ016")
+        assert d.severity == "warning"
+        assert "ab" in d.message
+
+    def test_positive_clause_spanning_domain(self, db):
+        self._load_and_analyze(db)
+        assert "TQ016" in codes(
+            db,
+            "SELECT id FROM item FOR business_time BETWEEN"
+            " DATE '1900-01-01' AND DATE '2100-01-01'",
+        )
+
+    def test_negative_without_statistics(self, db):
+        # no ANALYZE snapshot: the recorded domain is unknown
+        assert "TQ016" not in codes(db, self.WIDE)
+
+    def test_negative_narrow_predicate(self, db):
+        self._load_and_analyze(db)
+        assert "TQ016" not in codes(
+            db,
+            "SELECT id FROM item WHERE ab BETWEEN DATE '1995-02-01'"
+            " AND DATE '1995-03-01'",
+        )
+
+    def test_negative_as_of_keeps_snapshot_semantics(self, db):
+        self._load_and_analyze(db)
+        assert "TQ016" not in codes(
+            db, "SELECT id FROM item FOR business_time AS OF DATE '2100-01-01'"
+        )
 
 
 class TestAnchoring:

@@ -41,7 +41,7 @@ def test_rids_stable_across_merge():
 def test_delete_in_delta_and_main():
     store = ColumnStore(1, merge_threshold=100)
     a = store.append([1])
-    b = store.append([2])
+    store.append([2])
     store.merge()
     c = store.append([3])
     assert store.delete(a)

@@ -1,7 +1,6 @@
 """Initial population generator tests (dbgen equivalent)."""
 
 from repro.core.dbgen import (
-    END_DAY,
     ORDER_MAX_DAY,
     InitialData,
     generate_initial,

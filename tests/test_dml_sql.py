@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine.errors import NotSupportedError, ProgrammingError
+from repro.engine.errors import ProgrammingError
 from repro.engine.types import END_OF_TIME
 
 

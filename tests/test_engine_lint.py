@@ -49,6 +49,15 @@ def fake_repo(tmp_path):
         '    lint_suppressions=("TQ001",),\n'
         ")\n"
     ))
+    _write(tmp_path, "docs/ANALYZER.md",
+           "| TQ001 | full-history scan |\n")
+    _write(tmp_path, "tests/test_analyzer.py", (
+        "class TestTQ001FullHistoryScan:\n"
+        "    def test_positive(self):\n"
+        "        assert analyze('FOR SYSTEM_TIME ALL') == ['TQ001']\n"
+        "    def test_negative(self):\n"
+        "        assert analyze('AS OF 5') == []\n"
+    ))
     _write(tmp_path, "src/repro/engine/obs/metrics.py", (
         'COUNTERS = {"txn.commits": "doc"}\n'
         'HISTOGRAMS = {"query.execute_s": "doc"}\n'
@@ -273,7 +282,7 @@ class TestSpanCatalogue:
         ))
 
     def test_no_span_calls_means_clean(self, fake_repo):
-        # the baseline fake repo has no tracer calls and no docs/ at all
+        # the baseline fake repo has no tracer calls (and no OBSERVABILITY.md)
         assert engine_lint.check_span_catalogue(fake_repo) == []
 
     def test_documented_span_passes(self, fake_repo):
@@ -399,6 +408,65 @@ class TestBatchProtocol:
         ))
         problems = engine_lint.check_batch_protocol(fake_repo)
         assert any("_Finalize" in p for p in problems)
+
+
+class TestRuleCatalogue:
+    def test_no_rules_means_clean(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/analyze.py", "RULES = ()\n")
+        assert engine_lint.check_rule_catalogue(fake_repo) == []
+
+    def test_undocumented_rule_is_flagged(self, fake_repo):
+        _write(fake_repo, "docs/ANALYZER.md", "nothing about the rule\n")
+        problems = engine_lint.check_rule_catalogue(fake_repo)
+        assert len(problems) == 1
+        assert "rule-catalogue" in problems[0]
+        assert "TQ001" in problems[0] and "ANALYZER.md" in problems[0]
+
+    def test_missing_doc_file_is_flagged_once(self, fake_repo):
+        (fake_repo / "docs/ANALYZER.md").unlink()
+        problems = engine_lint.check_rule_catalogue(fake_repo)
+        assert len(problems) == 1
+        assert "missing" in problems[0]
+
+    def test_missing_positive_test_is_flagged(self, fake_repo):
+        _write(fake_repo, "tests/test_analyzer.py", (
+            "class TestTQ001FullHistoryScan:\n"
+            "    def test_negative(self):\n"
+            "        assert analyze('AS OF 5') == []\n"
+        ))
+        problems = engine_lint.check_rule_catalogue(fake_repo)
+        assert len(problems) == 1
+        assert "positive" in problems[0]
+
+    def test_missing_negative_test_is_flagged(self, fake_repo):
+        _write(fake_repo, "tests/test_analyzer.py", (
+            "class TestTQ001FullHistoryScan:\n"
+            "    def test_positive(self):\n"
+            "        assert analyze('ALL') == ['TQ001']\n"
+        ))
+        problems = engine_lint.check_rule_catalogue(fake_repo)
+        assert len(problems) == 1
+        assert "negative" in problems[0]
+
+    def test_code_in_method_literal_counts_without_class_name(self, fake_repo):
+        # evidence can live in a shared class when the method names the code
+        _write(fake_repo, "tests/test_analyzer.py", (
+            "class TestAssorted:\n"
+            "    def test_positive_history(self):\n"
+            "        assert fire() == ['TQ001']\n"
+            "    def test_negative_history(self):\n"
+            "        assert 'TQ001' not in fire()\n"
+        ))
+        assert engine_lint.check_rule_catalogue(fake_repo) == []
+
+    def test_non_golden_methods_are_not_evidence(self, fake_repo):
+        _write(fake_repo, "tests/test_analyzer.py", (
+            "class TestTQ001FullHistoryScan:\n"
+            "    def test_render(self):\n"
+            "        assert 'TQ001' in render()\n"
+        ))
+        problems = engine_lint.check_rule_catalogue(fake_repo)
+        assert len(problems) == 2  # neither positive nor negative evidence
 
 
 class TestCostModel:

@@ -1,7 +1,5 @@
 """Error hierarchy and Result object tests."""
 
-import pytest
-
 from repro.engine import errors
 from repro.engine.session import Result
 

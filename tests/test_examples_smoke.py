@@ -1,10 +1,7 @@
 """Keep the examples runnable: import and execute the fast ones."""
 
 import importlib.util
-import sys
 from pathlib import Path
-
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 

@@ -4,8 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.history import GeneratorStore, GeneratorTable, VersionChain, VersionNode
-from repro.engine.types import END_OF_TIME, Period
+from repro.core.history import GeneratorStore, VersionChain, VersionNode
+from repro.engine.types import Period
 
 SPEC = [("t", ("id",), {"app": ("ab", "ae")})]
 

@@ -11,7 +11,6 @@ from repro.engine.plan import (
     LogicalScan,
     LogicalValues,
     build_logical,
-    rewrite_logical,
 )
 from repro.engine.sql import ast, parse_statement
 

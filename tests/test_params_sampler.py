@@ -1,10 +1,8 @@
 """Parameter sampler tests."""
 
 from repro.bench.service import BenchmarkService
-from repro.core.loader import Loader
 from repro.core.queries import Workload
 from repro.core.queries.params import ParameterSampler, spread_measure
-from repro.systems import make_system
 
 WORKLOAD = Workload()
 

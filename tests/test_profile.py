@@ -11,7 +11,6 @@ from repro.engine.obs.profile import (
     format_folded,
     format_operator_table,
     load_jsonl,
-    node_from_dict,
     nodes_from_flat,
     operator_table,
     render_flamegraph_svg,

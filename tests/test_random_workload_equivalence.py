@@ -2,7 +2,6 @@
 workload, applied through SQL to every archetype, leaves all of them with
 identical logical content at every probed point in both time dimensions."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -53,7 +53,7 @@ def test_property_contains_matches_bruteforce(items, point):
     for index, (start, length) in enumerate(items):
         tree.insert((start, start + length), index)
     expected = sorted(
-        i for i, (s, l) in enumerate(items) if s <= point < s + l
+        i for i, (s, n) in enumerate(items) if s <= point < s + n
     )
     assert sorted(tree.search_contains(point)) == expected
 
@@ -66,7 +66,7 @@ def test_property_overlap_matches_bruteforce(items, low, width):
     for index, (start, length) in enumerate(items):
         tree.insert((start, start + length), index)
     expected = sorted(
-        i for i, (s, l) in enumerate(items) if s < high and low < s + l
+        i for i, (s, n) in enumerate(items) if s < high and low < s + n
     )
     assert sorted(tree.search_overlap(low, high)) == expected
 

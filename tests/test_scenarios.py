@@ -1,6 +1,5 @@
 """Unit tests for the nine update scenarios."""
 
-import pytest
 
 from repro.core.dbgen import generate_initial
 from repro.core.generator import TABLE_SPECS

@@ -1,6 +1,5 @@
 """TPC-BiH schema structure (paper Fig 1)."""
 
-import pytest
 
 from repro.core.schema import (
     APP_PERIODS,

@@ -7,7 +7,6 @@ for each documented feature group against a fresh database.
 import pytest
 
 from repro.engine import Database
-from repro.engine.types import END_OF_TIME
 
 
 @pytest.fixture

@@ -14,7 +14,7 @@ from repro.engine import temporal
 from repro.engine.catalog import Column, PeriodDef, TableSchema
 from repro.engine.errors import IntegrityError
 from repro.engine.storage.versioned import StorageOptions, VersionedTable
-from repro.engine.types import END_OF_TIME, Period, SqlType
+from repro.engine.types import Period, SqlType
 
 
 def _schema():

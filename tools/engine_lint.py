@@ -45,6 +45,12 @@ has been broken (or nearly broken) by an innocent-looking edit before:
   stricter than **metric-names** (no receiver filter), because the optimizer
   counters back the cost-model acceptance numbers and a silently dropped
   increment would fake a plan-choice regression.
+* **rule-catalogue** — every analyzer rule code registered in
+  ``repro.engine.analyze`` must have an entry in ``docs/ANALYZER.md`` and
+  at least one positive and one negative golden test in
+  ``tests/test_analyzer.py`` (``test_positive*`` / ``test_negative*``
+  methods that mention the code).  An undocumented or untested rule is a
+  diagnostic nobody can trust.
 * **batch-protocol** — every ``Operator`` subclass under ``engine/plan``
   must speak the chunked batch protocol: it implements (or inherits)
   ``execute_batches`` and must not override the row-level ``execute``
@@ -575,6 +581,65 @@ def check_batch_protocol(root: Path = REPO_ROOT) -> List[str]:
     return problems
 
 
+# -- check 10: analyzer rules are documented and golden-tested -------------
+
+def check_rule_catalogue(root: Path = REPO_ROOT) -> List[str]:
+    codes = sorted(_analyzer_codes(root))
+    if not codes:
+        return []
+    problems: List[str] = []
+    doc_rel = Path("docs") / "ANALYZER.md"
+    doc_path = root / doc_rel
+    doc_text = doc_path.read_text() if doc_path.is_file() else None
+    tests_rel = Path("tests") / "test_analyzer.py"
+    tests_path = root / tests_rel
+    positive: Set[str] = set()
+    negative: Set[str] = set()
+    if tests_path.is_file():
+        for node in _parse(tests_path).body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            class_codes = {c for c in codes if c in node.name}
+            for inner in node.body:
+                if not isinstance(inner, ast.FunctionDef):
+                    continue
+                if inner.name.startswith("test_positive"):
+                    bucket = positive
+                elif inner.name.startswith("test_negative"):
+                    bucket = negative
+                else:
+                    continue
+                referenced = set(class_codes)
+                for leaf in ast.walk(inner):
+                    if isinstance(leaf, ast.Constant) and isinstance(leaf.value, str):
+                        referenced.update(c for c in codes if c in leaf.value)
+                bucket.update(referenced)
+    if doc_text is None:
+        problems.append(
+            f"{doc_rel}: [rule-catalogue] missing, but {len(codes)} analyzer "
+            f"rule(s) are registered in analyze.py and need documenting"
+        )
+    for code in codes:
+        if doc_text is not None and code not in doc_text:
+            problems.append(
+                f"{doc_rel}: [rule-catalogue] analyzer rule {code} is "
+                f"registered in analyze.py but has no entry here"
+            )
+        if code not in positive:
+            problems.append(
+                f"{tests_rel}: [rule-catalogue] analyzer rule {code} has no "
+                f"positive golden test (a test_positive* method that "
+                f"mentions it)"
+            )
+        if code not in negative:
+            problems.append(
+                f"{tests_rel}: [rule-catalogue] analyzer rule {code} has no "
+                f"negative golden test (a test_negative* method that "
+                f"mentions it)"
+            )
+    return problems
+
+
 ALL_CHECKS = (
     check_operator_guards,
     check_no_wallclock,
@@ -585,6 +650,7 @@ ALL_CHECKS = (
     check_span_catalogue,
     check_cost_model,
     check_batch_protocol,
+    check_rule_catalogue,
 )
 
 
