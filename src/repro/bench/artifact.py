@@ -1,9 +1,12 @@
 """Machine-readable benchmark artifacts (``repro bench --json``).
 
-Schema ``repro-bench/v1``::
+Schema ``repro-bench/v2`` (v1 plus per-measurement ``statements``:
+per-fingerprint workload-telemetry rows captured when the system's
+statement store is enabled; the loader still reads v1 artifacts, which
+simply lack the key)::
 
     {
-      "schema": "repro-bench/v1",
+      "schema": "repro-bench/v2",
       "generator": {"tool": "repro bench"},
       "config": {...},                  # scale factors, experiments, service knobs
       "experiments": [
@@ -18,7 +21,8 @@ Schema ``repro-bench/v1``::
               "times_s": [...],           # kept (post-discard) samples
               "rows": ..., "timed_out": false, "timeout_s": null,
               "diagnostics": ["TQ001", ...],
-              "metrics": {"storage.current_rows_scanned": 1234, ...}
+              "metrics": {"storage.current_rows_scanned": 1234, ...},
+              "statements": [{"fingerprint": "...", "calls": 8, ...}, ...]
             }, ...
           ],
           "series": {...},              # figure line data, when the experiment has any
@@ -47,7 +51,11 @@ import math
 from pathlib import Path
 from typing import Dict, List, Optional
 
-SCHEMA = "repro-bench/v1"
+SCHEMA = "repro-bench/v2"
+
+#: schema strings load_artifact accepts; older versions are forward-read
+#: (missing keys are treated as absent values by every consumer)
+SUPPORTED_SCHEMAS = ("repro-bench/v1", SCHEMA)
 
 
 def _jsonable(value):
@@ -64,7 +72,7 @@ def _jsonable(value):
 
 
 def measurement_record(measurement) -> Dict:
-    """One Measurement as a schema v1 record."""
+    """One Measurement as a schema v2 record."""
     try:
         p95 = measurement.percentile(95)
     except ValueError:
@@ -85,11 +93,12 @@ def measurement_record(measurement) -> Dict:
         "timeout_s": _jsonable(measurement.timeout_s),
         "diagnostics": [d.code for d in measurement.diagnostics],
         "metrics": dict(measurement.metrics),
+        "statements": _jsonable(getattr(measurement, "statements", [])),
     }
 
 
 def experiment_record(result) -> Dict:
-    """One ExperimentResult as a schema v1 record (text is dropped — the
+    """One ExperimentResult as a schema v2 record (text is dropped — the
     artifact is for machines; humans read the printed tables)."""
     return {
         "name": result.name,
@@ -161,7 +170,7 @@ def write_artifact(path, artifact: Dict, experiment: str = "bench") -> Path:
 
 
 class ArtifactError(ValueError):
-    """A file is not a readable ``repro-bench/v1`` artifact."""
+    """A file is not a readable ``repro-bench`` artifact."""
 
 
 def load_artifact(path) -> Dict:
@@ -179,10 +188,14 @@ def load_artifact(path) -> Dict:
         raise ArtifactError(f"cannot read artifact {source}: {exc}") from exc
     except json.JSONDecodeError as exc:
         raise ArtifactError(f"{source} is not valid JSON: {exc}") from exc
-    if not isinstance(artifact, dict) or artifact.get("schema") != SCHEMA:
+    if (
+        not isinstance(artifact, dict)
+        or artifact.get("schema") not in SUPPORTED_SCHEMAS
+    ):
         raise ArtifactError(
-            f"{source} is not a {SCHEMA} artifact "
-            f"(schema={artifact.get('schema') if isinstance(artifact, dict) else '?'!r})"
+            f"{source} is not a repro-bench artifact "
+            f"(schema={artifact.get('schema') if isinstance(artifact, dict) else '?'!r}; "
+            f"supported: {', '.join(SUPPORTED_SCHEMAS)})"
         )
     if not isinstance(artifact.get("experiments"), list):
         raise ArtifactError(f"{source}: 'experiments' must be a list")

@@ -35,6 +35,9 @@ class Measurement:
     #: engine metric-counter delta for this cell (nonzero counters only);
     #: captured by measure_sql when the target exposes a MetricsRegistry
     metrics: Dict[str, int] = field(default_factory=dict)
+    #: per-fingerprint statement statistics for this cell (telemetry store
+    #: delta); captured by measure_sql when the target's store is enabled
+    statements: List[Dict] = field(default_factory=list)
 
     @property
     def median(self) -> float:
@@ -74,6 +77,13 @@ def _metrics_registry(system) -> Optional[MetricsRegistry]:
     owner = getattr(system, "db", system)
     registry = getattr(owner, "metrics", None)
     return registry if isinstance(registry, MetricsRegistry) else None
+
+
+def _telemetry_store(system):
+    """The enabled statement-statistics store behind *system*, or None."""
+    owner = getattr(system, "db", system)
+    store = getattr(owner, "telemetry", None)
+    return store if store is not None and getattr(store, "enabled", False) else None
 
 
 class BenchmarkService:
@@ -162,6 +172,9 @@ class BenchmarkService:
             # per-cell metric deltas: each measurement carries exactly the
             # counters its own repetitions (incl. warm-up) produced
             registry.reset()
+        store = _telemetry_store(system)
+        if store is not None:
+            store.reset()
         measurement = self.measure_callable(
             lambda: system.execute(sql, params, timeout_s=self.timeout_s),
             qid=qid,
@@ -177,6 +190,9 @@ class BenchmarkService:
             except Exception:
                 # lint is advisory: analyzer failures never fail a benchmark
                 measurement.diagnostics = []
+        if store is not None:
+            store.note_diagnostics(sql, len(measurement.diagnostics))
+            measurement.statements = store.snapshot()
         return measurement
 
     def measure_query(self, system, query, meta, setting="no index") -> Measurement:

@@ -20,11 +20,17 @@ Commands mirror the benchmark pipeline of the paper's §4:
 * ``flamegraph`` — folded stacks / SVG flamegraph / per-operator table
   from tracer spans (live run or a recorded JSONL file).
 
+* ``stat-statements`` — pg_stat_statements-style per-fingerprint workload
+  statistics after driving the benchmark queries;
+* ``top`` — one-shot workload summary (hottest statements, key counters).
+
 ``bench --json PATH`` additionally writes a machine-readable
-``BENCH_<experiment>.json`` artifact (schema ``repro-bench/v1``, see
+``BENCH_<experiment>.json`` artifact (schema ``repro-bench/v2``, see
 :mod:`repro.bench.artifact`) so the repo accumulates a perf trajectory;
 ``bench --compare-to BASELINE.json`` prints the delta table against a
-prior artifact inline after the run.
+prior artifact inline after the run.  ``metrics --format openmetrics``
+emits the registry plus top-K statement stats as a Prometheus-scrapable
+text exposition.
 """
 
 from __future__ import annotations
@@ -102,13 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default=None, help="also write report file(s) here")
     bench.add_argument(
         "--json", dest="json_path", default=None, metavar="PATH",
-        help="write a machine-readable artifact (schema repro-bench/v1); "
+        help="write a machine-readable artifact (schema repro-bench/v2); "
         "a directory gets BENCH_<experiment>.json",
     )
     bench.add_argument(
         "--compare-to", dest="compare_to", default=None, metavar="BASELINE",
-        help="print the delta table against this repro-bench/v1 artifact "
-        "after the run",
+        help="print the delta table against this repro-bench artifact "
+        "after the run (v1 and v2 both load)",
     )
     bench.add_argument(
         "--threshold", type=float, default=1.15,
@@ -119,6 +125,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-stats", dest="no_stats", action="store_true",
         help="skip the post-load ANALYZE so multi-join cells run the "
         "statistics-free greedy join order (cost-model A/B baseline)",
+    )
+    bench.add_argument(
+        "--slowlog-threshold", dest="slowlog_threshold", type=float,
+        default=None, metavar="SECONDS",
+        help="enable the slow-query log on every system at this threshold "
+        "(falls back to $REPRO_SLOWLOG_THRESHOLD when unset)",
+    )
+    bench.add_argument(
+        "--slowlog-path", dest="slowlog_path", default=None, metavar="PATH",
+        help="also append slow-query entries as JSONL here "
+        "(falls back to $REPRO_SLOWLOG_PATH)",
+    )
+    bench.add_argument(
+        "--no-telemetry", dest="no_telemetry", action="store_true",
+        help="skip the per-cell statement-statistics capture "
+        "(artifacts then carry empty 'statements' lists)",
     )
 
     verify = sub.add_parser("verify", help="run temporal consistency checks")
@@ -206,6 +228,55 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--m", type=float, default=0.0003)
     metrics.add_argument(
         "--runs", type=int, default=1, help="workload passes to drive"
+    )
+    metrics.add_argument(
+        "--format", dest="format", choices=("text", "json", "openmetrics"),
+        default="text",
+        help="output format: human text, JSON snapshot, or an "
+        "OpenMetrics/Prometheus exposition",
+    )
+    metrics.add_argument(
+        "--top", type=int, default=10,
+        help="statement-stats entries in the openmetrics exposition "
+        "(default %(default)s)",
+    )
+
+    stat = sub.add_parser(
+        "stat-statements",
+        help="pg_stat_statements-style per-fingerprint workload statistics",
+    )
+    stat.add_argument("--system", default="A", help="archetype A..E")
+    stat.add_argument("--h", type=float, default=0.001)
+    stat.add_argument("--m", type=float, default=0.0003)
+    stat.add_argument(
+        "--runs", type=int, default=1, help="workload passes to drive"
+    )
+    stat.add_argument(
+        "--top", type=int, default=None,
+        help="only the N most expensive statements (default: all)",
+    )
+    stat.add_argument(
+        "--sort", choices=("time", "calls", "rows"), default="time",
+        help="ranking key (default %(default)s)",
+    )
+    stat.add_argument(
+        "--json", dest="as_json", action="store_true",
+        help="emit the statement rows as JSON instead of a table",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="one-shot workload summary: hottest statements + key counters",
+    )
+    top.add_argument("--system", default="A", help="archetype A..E")
+    top.add_argument("--h", type=float, default=0.001)
+    top.add_argument("--m", type=float, default=0.0003)
+    top.add_argument(
+        "--runs", type=int, default=1, help="workload passes to drive"
+    )
+    top.add_argument(
+        "--top", dest="top_n", type=int, default=5,
+        help="statements to show (default %(default)s)",
     )
 
     diff = sub.add_parser(
@@ -326,6 +397,29 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _slowlog_config(args):
+    """(threshold_s, path) for the bench slow-query log: CLI flags first,
+    $REPRO_SLOWLOG_THRESHOLD / $REPRO_SLOWLOG_PATH as the fallback."""
+    import os
+
+    threshold = getattr(args, "slowlog_threshold", None)
+    if threshold is None:
+        raw = os.environ.get("REPRO_SLOWLOG_THRESHOLD")
+        if raw:
+            try:
+                threshold = float(raw)
+            except ValueError:
+                print(
+                    f"bench: ignoring non-numeric "
+                    f"REPRO_SLOWLOG_THRESHOLD={raw!r}",
+                    file=sys.stderr,
+                )
+    path = getattr(args, "slowlog_path", None) or os.environ.get(
+        "REPRO_SLOWLOG_PATH"
+    )
+    return threshold, path
+
+
 def _cmd_bench(args) -> int:
     service = BenchmarkService(repetitions=3, discard=1)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -337,6 +431,12 @@ def _cmd_bench(args) -> int:
             context["workload"], "ABCD",
             analyze=not getattr(args, "no_stats", False),
         )
+        slowlog_threshold, slowlog_path = _slowlog_config(args)
+        for system in context["systems"].values():
+            if not getattr(args, "no_telemetry", False):
+                system.enable_telemetry()
+            if slowlog_threshold is not None:
+                system.set_slow_query_log(slowlog_threshold, path=slowlog_path)
     measurements = []
     results = []
     for name in names:
@@ -681,7 +781,13 @@ def _cmd_trace(args) -> int:
     return 0
 
 
-def _cmd_metrics(args) -> int:
+def _drive_workload(args, telemetry: bool = True):
+    """Load a tiny workload into one system, run the benchmark queries
+    ``args.runs`` times, and return ``(system, runs, query_count)``.
+
+    Shared by the ``metrics``, ``stat-statements`` and ``top`` commands so
+    they all observe the same A–E workload shape.
+    """
     from .core.queries import Workload
 
     workload = BitemporalDataGenerator(
@@ -689,16 +795,31 @@ def _cmd_metrics(args) -> int:
     ).generate()
     system = make_system(args.system)
     Loader(system, workload).load()
+    if telemetry:
+        system.enable_telemetry()
     system.reset_metrics()
     runs = max(1, args.runs)
     queries = list(Workload())
     for _ in range(runs):
         for query in queries:
             system.execute(query.sql, query.params(workload.meta))
+    return system, runs, len(queries)
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    system, runs, query_count = _drive_workload(args)
+    if args.format == "openmetrics":
+        sys.stdout.write(system.openmetrics(top=args.top))
+        return 0
     snapshot = system.metrics()
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
     print(
         format_metrics(
-            f"Engine metrics after {runs}x{len(queries)} queries "
+            f"Engine metrics after {runs}x{query_count} queries "
             f"(system {args.system})",
             {args.system: snapshot["counters"]},
         )
@@ -713,6 +834,80 @@ def _cmd_metrics(args) -> int:
             f"p95={summary['p95'] * 1000:.3f}ms "
             f"max={summary['max'] * 1000:.3f}ms"
         )
+        previous = 0
+        for bucket in summary["buckets"]:
+            count = bucket["count"]
+            if count == previous:
+                continue  # only buckets that gained samples
+            le = bucket["le"]
+            label = "+Inf" if le == "+Inf" else f"{float(le) * 1000:g}ms"
+            print(f"  le={label:>8}  {count}")
+            previous = count
+    return 0
+
+
+def _cmd_stat_statements(args) -> int:
+    import json
+
+    from .bench.report import format_statements
+
+    system, runs, query_count = _drive_workload(args)
+    rows = system.stat_statements(top=args.top, sort=args.sort)
+    if args.as_json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    print(
+        format_statements(
+            f"Statement statistics after {runs}x{query_count} queries "
+            f"(system {args.system}, sorted by {args.sort})",
+            rows,
+        )
+    )
+    store = system.db.telemetry
+    print(
+        f"({len(store)} fingerprints tracked, {store.evicted} evicted, "
+        f"capacity {store.capacity})"
+    )
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from .bench.report import format_statements
+
+    system, runs, query_count = _drive_workload(args)
+    snapshot = system.telemetry_snapshot(top=args.top_n, sort="time")
+    counters = snapshot["counters"]
+    hist = snapshot["histograms"].get("query.execute_s", {})
+    executed = hist.get("count", 0)
+    mean = hist.get("mean")
+    p95 = hist.get("p95")
+    cache_lookups = counters.get("plan.cache_hit", 0) + counters.get(
+        "plan.cache_miss", 0
+    )
+    hit_rate = (
+        counters.get("plan.cache_hit", 0) / cache_lookups if cache_lookups else 0.0
+    )
+    print(f"workload summary (system {args.system}, {runs}x{query_count} queries)")
+    print(
+        f"  executed: {executed} statements, "
+        f"mean {0.0 if mean is None else mean * 1000:.2f}ms, "
+        f"p95 {0.0 if p95 is None else p95 * 1000:.2f}ms"
+    )
+    print(
+        f"  plan cache: {hit_rate:.0%} hit rate over {cache_lookups} lookups; "
+        f"statements tracked: {snapshot['statements_tracked']}"
+    )
+    print(
+        f"  rows scanned: current="
+        f"{counters.get('storage.current_rows_scanned', 0)} "
+        f"history={counters.get('storage.history_rows_scanned', 0)}"
+    )
+    print()
+    print(
+        format_statements(
+            f"Top {args.top_n} statements by total time", snapshot["statements"]
+        )
+    )
     return 0
 
 
@@ -839,6 +1034,8 @@ def main(argv=None) -> int:
         "analyze-stats": _cmd_analyze_stats,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
+        "stat-statements": _cmd_stat_statements,
+        "top": _cmd_top,
         "bench-diff": _cmd_bench_diff,
         "trend": _cmd_trend,
         "flamegraph": _cmd_flamegraph,

@@ -26,6 +26,7 @@ reference oracle the batch path is checked against byte-for-byte.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from sys import getsizeof
 from typing import Iterable, Iterator, List, Optional, Sequence
 
 DEFAULT_BATCH_SIZE = 1024
@@ -125,6 +126,30 @@ class Batch:
             return Batch.from_rows([rows[i] for i in indices], self.width)
         columns = [[col[i] for i in indices] for col in self._columns]
         return Batch(columns=columns, length=len(indices), width=self.width)
+
+    def estimated_bytes(self) -> int:
+        """Rough in-memory size of the batch's payload, for working-set
+        accounting.
+
+        Sampling-based, not exact: the first row (or the head of each
+        column) is measured with ``sys.getsizeof`` and scaled by the batch
+        length, assuming rows are shape-homogeneous — which the fixed-width
+        operator protocol guarantees.  Container overhead of the backing
+        lists is included; per-value object sharing (interned ints,
+        repeated strings) is not discounted, so this is an upper-ish
+        estimate that is cheap enough to compute per operator call.
+        """
+        if self.length == 0:
+            return 0
+        if self._columns is not None:
+            per_row = sum(
+                getsizeof(col[0]) if col else 0 for col in self._columns
+            )
+            container = sum(getsizeof(col) for col in self._columns)
+            return container + per_row * self.length
+        first = self._rows[0]
+        per_row = getsizeof(first) + sum(getsizeof(v) for v in first)
+        return getsizeof(self._rows) + per_row * self.length
 
     def __len__(self) -> int:
         return self.length

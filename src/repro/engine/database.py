@@ -15,7 +15,8 @@ from typing import Dict, List, Optional, Tuple
 from . import temporal
 from .catalog import Catalog, IndexDef, TableSchema
 from .errors import CatalogError, IntegrityError
-from .obs import MetricsRegistry, SlowQueryLog, Tracer
+from .obs import MetricsRegistry, SlowQueryLog, StatementStatsStore, Tracer
+from .obs.telemetry import render_openmetrics
 from .storage.versioned import StorageOptions, VersionedTable
 from .txn import TransactionManager
 from .types import END_OF_TIME, Period
@@ -77,6 +78,9 @@ class Database:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer()
         self.slow_query_log: Optional[SlowQueryLog] = None
+        #: pg_stat_statements-style workload telemetry; disabled by default
+        #: so the execute hot path stays unobserved until someone asks
+        self.telemetry = StatementStatsStore()
         self.txns = TransactionManager(metrics=self.metrics)
         self._tables: Dict[str, VersionedTable] = {}
         self._views: Dict[str, object] = {}  # name -> Select AST
@@ -368,6 +372,27 @@ class Database:
 
     def reset_metrics(self):
         self.metrics.reset()
+
+    def enable_telemetry(self, enabled: bool = True) -> StatementStatsStore:
+        """Switch the statement-statistics store on (or off).  Entries
+        survive toggling; call ``telemetry.reset()`` to drop them."""
+        self.telemetry.enabled = enabled
+        return self.telemetry
+
+    def telemetry_snapshot(
+        self, top: Optional[int] = None, sort: str = "time"
+    ) -> Dict[str, object]:
+        """Workload-level view: registry snapshot + statement statistics."""
+        snapshot = self.metrics.snapshot()
+        snapshot["statements"] = self.telemetry.snapshot(top=top, sort=sort)
+        snapshot["statements_tracked"] = len(self.telemetry)
+        snapshot["statements_evicted"] = self.telemetry.evicted
+        return snapshot
+
+    def openmetrics(self, top: int = 10) -> str:
+        """This database's registry + top-K statement stats as an
+        OpenMetrics text exposition."""
+        return render_openmetrics(self.metrics, self.telemetry, top=top)
 
     def set_slow_query_log(
         self, threshold_s: Optional[float], path: Optional[str] = None,

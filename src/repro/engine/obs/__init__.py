@@ -18,6 +18,16 @@ from .profile import (
 )
 from .sinks import JsonlSink, RingBufferSink
 from .slowlog import SlowQueryLog
+from .telemetry import (
+    STATEMENT_FIELDS,
+    STATEMENT_METRICS,
+    StatementStats,
+    StatementStatsStore,
+    fingerprint,
+    normalize_statement,
+    render_openmetrics,
+    validate_openmetrics,
+)
 from .tracer import Span, Tracer, render_span_tree
 
 __all__ = [
@@ -27,10 +37,18 @@ __all__ = [
     "JsonlSink",
     "MetricsRegistry",
     "RingBufferSink",
+    "STATEMENT_FIELDS",
+    "STATEMENT_METRICS",
     "SlowQueryLog",
     "Span",
     "SpanNode",
+    "StatementStats",
+    "StatementStatsStore",
     "Tracer",
+    "fingerprint",
+    "normalize_statement",
+    "render_openmetrics",
+    "validate_openmetrics",
     "folded_stacks",
     "format_folded",
     "format_operator_table",

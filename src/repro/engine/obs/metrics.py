@@ -17,8 +17,9 @@ keep holding transitively.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 #: counter name -> description.  Names are ``layer.event`` dotted pairs.
 COUNTERS: Dict[str, str] = {
@@ -63,16 +64,30 @@ HISTOGRAMS: Dict[str, str] = {
 }
 
 
+#: default histogram bucket upper bounds (seconds, log-spaced 100 µs–10 s).
+#: Bucket counts are exact over *all* observations — unlike the percentile
+#: reservoir they never forget — and render as cumulative ``le`` series in
+#: the OpenMetrics exposition.
+BUCKET_BOUNDS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
 class Histogram:
-    """Summary statistics plus a bounded reservoir of recent samples."""
+    """Summary statistics, fixed log-scale buckets, and a bounded
+    reservoir of recent samples for percentile estimates."""
 
-    __slots__ = ("count", "total", "min", "max", "_samples")
+    __slots__ = ("count", "total", "min", "max", "bounds", "_buckets", "_samples")
 
-    def __init__(self, reservoir: int = 512):
+    def __init__(self, reservoir: int = 512, bounds: Tuple[float, ...] = BUCKET_BOUNDS):
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.bounds = bounds
+        #: per-bucket (non-cumulative) counts; index len(bounds) is +Inf
+        self._buckets: List[int] = [0] * (len(bounds) + 1)
         self._samples: deque = deque(maxlen=reservoir)
 
     def observe(self, value: float):
@@ -82,7 +97,19 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        self._buckets[bisect_left(self.bounds, value)] += 1
         self._samples.append(value)
+
+    def buckets(self) -> List[Tuple[Optional[float], int]]:
+        """Cumulative ``(upper bound, count)`` pairs; the final bound is
+        ``None`` (+Inf) and its count equals :attr:`count`."""
+        out: List[Tuple[Optional[float], int]] = []
+        running = 0
+        for bound, bucket in zip(self.bounds, self._buckets):
+            running += bucket
+            out.append((bound, running))
+        out.append((None, running + self._buckets[-1]))
+        return out
 
     def percentile(self, pct: float) -> Optional[float]:
         """Linear-interpolated percentile over the retained samples."""
@@ -95,7 +122,7 @@ class Histogram:
         frac = rank - low
         return ordered[low] * (1 - frac) + ordered[high] * frac
 
-    def summary(self) -> Dict[str, Optional[float]]:
+    def summary(self) -> Dict[str, object]:
         mean = self.total / self.count if self.count else None
         return {
             "count": self.count,
@@ -104,6 +131,10 @@ class Histogram:
             "max": self.max,
             "mean": mean,
             "p95": self.percentile(95),
+            "buckets": [
+                {"le": bound if bound is not None else "+Inf", "count": cumulative}
+                for bound, cumulative in self.buckets()
+            ],
         }
 
     def reset(self):
@@ -111,6 +142,7 @@ class Histogram:
         self.total = 0.0
         self.min = None
         self.max = None
+        self._buckets = [0] * (len(self.bounds) + 1)
         self._samples.clear()
 
 

@@ -28,13 +28,33 @@ from ..expr import Env
 class NodeMetrics:
     """Counters for one physical operator within one execution."""
 
-    __slots__ = ("calls", "rows", "time_s", "detail")
+    __slots__ = ("calls", "rows", "batches", "ws_bytes", "time_s", "detail")
 
     def __init__(self):
         self.calls = 0
         self.rows = 0
+        self.batches = 0
+        self.ws_bytes = 0  # peak estimated output bytes of one invocation
         self.time_s = 0.0
         self.detail = ""
+
+
+class ResourceCounters:
+    """Whole-statement resource totals, folded into the telemetry store.
+
+    ``rows_scanned`` counts rows produced by *leaf* operators (table and
+    materialized scans) — the data actually pulled off storage, as opposed
+    to rows surviving to the result.  ``peak_ws_bytes`` is the largest
+    estimated output (working set) any single operator invocation
+    produced, per :meth:`~repro.engine.batch.Batch.estimated_bytes`.
+    """
+
+    __slots__ = ("rows_scanned", "batches", "peak_ws_bytes")
+
+    def __init__(self):
+        self.rows_scanned = 0
+        self.batches = 0
+        self.peak_ws_bytes = 0
 
 
 class ExecutionContext(Env):
@@ -47,7 +67,10 @@ class ExecutionContext(Env):
     zero-argument callable polled alongside the deadline.
     """
 
-    __slots__ = ("metrics", "deadline", "cancel_check", "timeout_s", "tracer")
+    __slots__ = (
+        "metrics", "deadline", "cancel_check", "timeout_s", "tracer",
+        "resources",
+    )
 
     def __init__(
         self,
@@ -59,6 +82,7 @@ class ExecutionContext(Env):
         cancel_check: Optional[Callable[[], bool]] = None,
         timeout_s: Optional[float] = None,
         tracer=None,
+        resources: Optional[ResourceCounters] = None,
     ):
         super().__init__(params, outer_rows, cache)
         self.metrics = metrics
@@ -66,6 +90,7 @@ class ExecutionContext(Env):
         self.cancel_check = cancel_check
         self.timeout_s = timeout_s
         self.tracer = tracer  # optional obs.Tracer for per-operator spans
+        self.resources = resources  # optional whole-statement totals
 
     @classmethod
     def begin(
@@ -75,6 +100,7 @@ class ExecutionContext(Env):
         collect_metrics: bool = False,
         cancel_check: Optional[Callable[[], bool]] = None,
         tracer=None,
+        resources: Optional[ResourceCounters] = None,
     ) -> "ExecutionContext":
         """Start a fresh context for one statement execution."""
         deadline = (
@@ -87,6 +113,7 @@ class ExecutionContext(Env):
             cancel_check=cancel_check,
             timeout_s=timeout_s,
             tracer=tracer,
+            resources=resources,
         )
 
     def nested(self, outer_row) -> "ExecutionContext":
@@ -100,6 +127,7 @@ class ExecutionContext(Env):
             cancel_check=self.cancel_check,
             timeout_s=self.timeout_s,
             tracer=self.tracer,
+            resources=self.resources,
         )
 
     # -- cooperative control ------------------------------------------------
@@ -149,7 +177,8 @@ class ExecutionContext(Env):
             self.check()
         metrics = self.metrics
         tracer = self.tracer
-        if metrics is None and tracer is None:
+        resources = self.resources
+        if metrics is None and tracer is None and resources is None:
             return op.execute_batches(self)
         span = tracer.start("operator", op=op.label()) if tracer is not None else None
         started = time.perf_counter()
@@ -161,6 +190,15 @@ class ExecutionContext(Env):
             raise
         elapsed = time.perf_counter() - started
         row_count = sum(batch.length for batch in out)
+        ws_bytes = 0
+        if metrics is not None or resources is not None:
+            ws_bytes = sum(batch.estimated_bytes() for batch in out)
+        if resources is not None:
+            resources.batches += len(out)
+            if not op.children:  # leaf: rows pulled off storage
+                resources.rows_scanned += row_count
+            if ws_bytes > resources.peak_ws_bytes:
+                resources.peak_ws_bytes = ws_bytes
         if span is not None:
             span.set(rows=row_count)
             tracer.finish(span)
@@ -172,6 +210,9 @@ class ExecutionContext(Env):
             metrics[id(op)] = node
         node.calls += 1
         node.rows += row_count
+        node.batches += len(out)
+        if ws_bytes > node.ws_bytes:
+            node.ws_bytes = ws_bytes
         node.time_s += elapsed
         detail = op.metrics_detail()
         if detail:

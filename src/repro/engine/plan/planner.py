@@ -123,6 +123,18 @@ class _Relation:
         self.stats_backed = stats_backed
 
 
+def _format_bytes(value: int) -> str:
+    """Human-readable byte count for EXPLAIN ANALYZE (``ws≈12.3KB``)."""
+    size = float(value)
+    for unit in ("B", "KB", "MB", "GB"):
+        if size < 1024.0 or unit == "GB":
+            if unit == "B":
+                return f"{int(size)}B"
+            return f"{size:.1f}{unit}"
+        size /= 1024.0
+    return f"{int(value)}B"
+
+
 class PlannedQuery:
     """Executable plan: call :meth:`rows` with an Env or ExecutionContext."""
 
@@ -176,7 +188,9 @@ class PlannedQuery:
         else:
             line = (
                 f"{prefix}{op.label()} ({est_note}actual rows={node.rows} "
-                f"loops={node.calls} time={node.time_s * 1000.0:.3f} ms)"
+                f"loops={node.calls} batches={node.batches} "
+                f"ws≈{_format_bytes(node.ws_bytes)} "
+                f"time={node.time_s * 1000.0:.3f} ms)"
             )
             if node.detail:
                 line += f" [{node.detail}]"

@@ -15,9 +15,9 @@ from typing import Dict, List, Optional
 
 from . import temporal
 from .catalog import Column, IndexDef, TableSchema, PeriodDef
-from .errors import NotSupportedError, ProgrammingError
+from .errors import NotSupportedError, ProgrammingError, QueryCancelled, QueryTimeout
 from .expr import Env, Scope, compile_expr
-from .plan.context import ExecutionContext
+from .plan.context import ExecutionContext, ResourceCounters
 from .plan.planner import Planner, PlannedQuery
 from .sql import ast, parse_statement
 from .types import SqlType
@@ -71,6 +71,13 @@ class SqlEngine:
         self.cache_invalidations = 0
         #: plan of the most recent SELECT, for the slow-query log snapshot
         self._last_planned: Optional[PlannedQuery] = None
+        #: plan-cache outcome of the most recent statement (True hit /
+        #: False miss / None not applicable), for the telemetry store
+        self._cache_outcome: Optional[bool] = None
+        #: whether _run_planned should collect whole-statement resource
+        #: totals, and where it left them
+        self._collect_resources = False
+        self._last_resources: Optional[ResourceCounters] = None
 
     # -- plan cache ----------------------------------------------------------
 
@@ -118,21 +125,49 @@ class SqlEngine:
 
     def execute(self, sql, params=None, timeout_s=None) -> Result:
         tracer = self.db.tracer
-        if not tracer.active:
-            # hot path: no sinks, no slow-query log — zero tracing overhead
+        telemetry = self.db.telemetry
+        tracking = telemetry.enabled and isinstance(sql, str)
+        self._collect_resources = tracking
+        if not tracer.active and not tracking:
+            # hot path: no sinks, no slow-query log, no statement stats —
+            # zero observability overhead
             return self._dispatch(sql, params, timeout_s)
         self._last_planned = None
+        self._cache_outcome = None
+        self._last_resources = None
         sql_text = sql if isinstance(sql, str) else type(sql).__name__
-        root = tracer.start("query", sql=sql_text)
+        root = tracer.start("query", sql=sql_text) if tracer.active else None
+        started = time.perf_counter()
         try:
             result = self._dispatch(sql, params, timeout_s)
         except BaseException as exc:
-            tracer.finish(root, aborted=True)
-            self._record_slow_query(root, sql, error=type(exc).__name__)
+            if root is not None:
+                tracer.finish(root, aborted=True)
+                self._record_slow_query(root, sql, error=type(exc).__name__)
+            if tracking:
+                timed_out = isinstance(exc, (QueryTimeout, QueryCancelled))
+                telemetry.record(
+                    sql,
+                    time.perf_counter() - started,
+                    cache_hit=self._cache_outcome,
+                    timed_out=timed_out,
+                    aborted=not timed_out,
+                    resources=self._last_resources,
+                )
             raise
-        root.set(rows=result.rowcount)
-        tracer.finish(root)
-        self._record_slow_query(root, sql)
+        elapsed = time.perf_counter() - started
+        if root is not None:
+            root.set(rows=result.rowcount)
+            tracer.finish(root)
+            self._record_slow_query(root, sql)
+        if tracking:
+            telemetry.record(
+                sql,
+                elapsed,
+                rows=max(result.rowcount, 0),
+                cache_hit=self._cache_outcome,
+                resources=self._last_resources,
+            )
         return result
 
     def _dispatch(self, sql, params, timeout_s) -> Result:
@@ -143,6 +178,7 @@ class SqlEngine:
                 cached = self._cached_plan(sql)
                 span.set(outcome="hit" if cached is not None else "miss")
             if cached is not None:
+                self._cache_outcome = True
                 self._last_planned = cached
                 return self._run_planned(cached, params, timeout_s)
             with tracer.span("parse"):
@@ -153,6 +189,7 @@ class SqlEngine:
             planned = self.planner.plan_select(stmt)
             if isinstance(sql, str):
                 self._store_plan(sql, planned)
+                self._cache_outcome = False
             self._last_planned = planned
             return self._run_planned(planned, params, timeout_s)
         if isinstance(stmt, ast.Explain):
@@ -188,13 +225,16 @@ class SqlEngine:
     def _run_planned(self, planned: PlannedQuery, params, timeout_s) -> Result:
         tracer = self.db.tracer
         tracing = tracer.active
-        if timeout_s is None and not tracing:
+        resources = ResourceCounters() if self._collect_resources else None
+        self._last_resources = resources
+        if timeout_s is None and not tracing and resources is None:
             env = Env(_normalize_params(params))
         else:
             env = ExecutionContext.begin(
                 _normalize_params(params),
                 timeout_s=timeout_s,
                 tracer=tracer if tracing else None,
+                resources=resources,
             )
         started = time.perf_counter()
         with tracer.span("execute") as span:
@@ -222,6 +262,7 @@ class SqlEngine:
             except Exception:
                 diagnostics = []  # advisory: never let lint mask the query
         log.record({
+            "database": self.db.name,
             "sql": sql if isinstance(sql, str) else type(sql).__name__,
             "duration_s": root.duration,
             "threshold_s": log.threshold_s,

@@ -70,6 +70,22 @@ class TemporalSystem:
         """Zero the metric registry (between benchmark measurements)."""
         self.db.metrics.reset()
 
+    def enable_telemetry(self, enabled: bool = True):
+        """Switch the pg_stat_statements-style statement store on/off."""
+        return self.db.enable_telemetry(enabled)
+
+    def stat_statements(self, top: Optional[int] = None, sort: str = "time"):
+        """Cumulative per-fingerprint statement statistics."""
+        return self.db.telemetry.snapshot(top=top, sort=sort)
+
+    def telemetry_snapshot(self, top: Optional[int] = None, sort: str = "time"):
+        """Registry snapshot + statement statistics, JSON-serialisable."""
+        return self.db.telemetry_snapshot(top=top, sort=sort)
+
+    def openmetrics(self, top: int = 10) -> str:
+        """OpenMetrics text exposition of this system's telemetry."""
+        return self.db.openmetrics(top=top)
+
     @property
     def tracer(self):
         """The engine's span tracer (install sinks here to trace queries)."""

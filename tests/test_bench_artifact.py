@@ -1,4 +1,4 @@
-"""Machine-readable bench artifacts (repro.bench.artifact, schema v1)."""
+"""Machine-readable bench artifacts (repro.bench.artifact, schema v2)."""
 
 import json
 import math
@@ -54,6 +54,30 @@ class TestMeasurementRecord:
         m = _measurement([0.1])
         m.diagnostics = [SimpleNamespace(code="TQ001", severity="info")]
         assert measurement_record(m)["diagnostics"] == ["TQ001"]
+
+    def test_statement_telemetry_rows_serialise(self):
+        m = _measurement([0.1])
+        m.statements = [{
+            "fingerprint": "abc123def456", "query": "select v from n",
+            "calls": 3, "time_total_s": 0.3, "time_p95_s": float("inf"),
+            "cache_hit_ratio": None, "peak_ws_bytes": 4096,
+        }]
+        record = measurement_record(m)
+        (row,) = record["statements"]
+        assert row["calls"] == 3
+        assert row["time_p95_s"] is None  # non-finite -> null
+        json.dumps(record)  # strict JSON
+
+    def test_measurement_without_statements_attribute(self):
+        # pre-v2 Measurement objects (or foreign duck types) lack the field
+        bare = SimpleNamespace(
+            qid="T1", system="A", setting="no index", times=[0.1],
+            discarded=[], rows=0, timed_out=False, timeout_s=None,
+            diagnostics=[], metrics={},
+            median=0.1, mean=0.1, best=0.1,
+            percentile=lambda pct: 0.1,
+        )
+        assert measurement_record(bare)["statements"] == []
 
 
 class TestBuildArtifact:

@@ -199,6 +199,15 @@ class TestFilesAndReports:
         with pytest.raises(ArtifactError):
             load_artifact(broken)
 
+    def test_load_accepts_both_schema_versions(self, tmp_path):
+        # v1 artifacts (pre-statement-telemetry) must keep loading
+        for schema in ("repro-bench/v1", "repro-bench/v2"):
+            path = tmp_path / f"{schema.split('/')[-1]}.json"
+            path.write_text(
+                f'{{"schema": "{schema}", "experiments": []}}'
+            )
+            assert load_artifact(path)["schema"] == schema
+
     def test_markdown_report_shape(self):
         base = make_artifact([("T1", "A", "s", {"median_s": 0.100})])
         new = make_artifact([("T1", "A", "s", {"median_s": 0.200,

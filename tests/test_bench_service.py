@@ -159,6 +159,42 @@ class TestService:
         again = service.measure_sql(db, "SELECT a FROM t", qid="probe")
         assert again.metrics.get("storage.current_scans") == 2
 
+    def test_measure_sql_captures_statement_telemetry(self):
+        from repro.systems import make_system
+
+        system = make_system("A")
+        system.db.execute(
+            "CREATE TABLE t (a integer, sb timestamp, se timestamp,"
+            " PERIOD FOR system_time (sb, se))"
+        )
+        system.db.execute("INSERT INTO t (a) VALUES (1)")
+        system.enable_telemetry()
+        # disable fluctuation adaptation: the call count must be exact
+        service = BenchmarkService(
+            repetitions=3, discard=1, fluctuation_threshold=float("inf")
+        )
+        sql = "SELECT a FROM t FOR SYSTEM_TIME ALL"
+        measurement = service.measure_sql(system, sql, qid="probe")
+        (row,) = measurement.statements
+        # per-cell delta: exactly this cell's repetitions, incl. warm-up
+        assert row["calls"] == 3
+        assert row["cache_misses"] == 1 and row["cache_hits"] == 2
+        assert row["rows_scanned"] >= 3
+        # the analyzer finding (TQ001) is attributed to the statement
+        assert row["diagnostics"] == len(measurement.diagnostics) == 1
+        # a second cell starts from a fresh store
+        again = service.measure_sql(system, sql, qid="probe")
+        assert again.statements[0]["calls"] == 3
+
+    def test_measure_sql_without_telemetry_store(self):
+        from repro.engine import Database
+
+        db = Database()  # telemetry disabled by default
+        db.execute("CREATE TABLE t (a integer)")
+        service = BenchmarkService(repetitions=2, discard=1)
+        measurement = service.measure_sql(db, "SELECT a FROM t")
+        assert measurement.statements == []
+
     def test_measure_sql_without_lint_surface(self):
         from repro.engine import Database
 

@@ -157,7 +157,7 @@ def test_bench_json_artifact(tmp_path, capsys):
     assert code == 0
     assert "wrote artifact" in capsys.readouterr().out
     artifact = json.loads(target.read_text())
-    assert artifact["schema"] == "repro-bench/v1"
+    assert artifact["schema"] == "repro-bench/v2"
     assert artifact["config"]["experiments"] == ["table2"]
     assert "created_unix" in artifact["generator"]
     assert [e["name"] for e in artifact["experiments"]] == ["table2"]

@@ -67,6 +67,14 @@ def fake_repo(tmp_path):
         "    def done(self):\n"
         '        self._metrics.inc("txn.commits")\n'
     ))
+    _write(tmp_path, "src/repro/engine/obs/telemetry.py", (
+        'STATEMENT_METRICS = {"repro_statements_tracked": ("gauge", "d")}\n'
+        'STATEMENT_FIELDS = {"calls": "d"}\n'
+    ))
+    _write(tmp_path, "docs/OBSERVABILITY.md", (
+        "`repro_statements_tracked` `repro_txn_commits` "
+        "`repro_query_execute_seconds` `calls`\n"
+    ))
     return tmp_path
 
 
@@ -408,6 +416,40 @@ class TestBatchProtocol:
         ))
         problems = engine_lint.check_batch_protocol(fake_repo)
         assert any("_Finalize" in p for p in problems)
+
+
+class TestTelemetryDocs:
+    def test_undocumented_family_is_flagged(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/obs/telemetry.py", (
+            'STATEMENT_METRICS = {\n'
+            '    "repro_statements_tracked": ("gauge", "d"),\n'
+            '    "repro_statement_calls": ("counter", "d"),\n'
+            '}\n'
+            'STATEMENT_FIELDS = {"calls": "d"}\n'
+        ))
+        problems = engine_lint.check_telemetry_docs(fake_repo)
+        assert any("repro_statement_calls" in p for p in problems)
+
+    def test_undocumented_field_is_flagged(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/obs/telemetry.py", (
+            'STATEMENT_METRICS = {"repro_statements_tracked": ("gauge", "d")}\n'
+            'STATEMENT_FIELDS = {"calls": "d", "rows_scanned": "d"}\n'
+        ))
+        problems = engine_lint.check_telemetry_docs(fake_repo)
+        assert any("rows_scanned" in p for p in problems)
+
+    def test_undocumented_counter_family_is_flagged(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/obs/metrics.py", (
+            'COUNTERS = {"txn.commits": "doc", "plan.cache_hit": "doc"}\n'
+            'HISTOGRAMS = {"query.execute_s": "doc"}\n'
+        ))
+        problems = engine_lint.check_telemetry_docs(fake_repo)
+        assert any("repro_plan_cache_hit" in p for p in problems)
+
+    def test_missing_telemetry_module_is_flagged(self, fake_repo):
+        (fake_repo / "src/repro/engine/obs/telemetry.py").unlink()
+        problems = engine_lint.check_telemetry_docs(fake_repo)
+        assert any("telemetry" in p for p in problems)
 
 
 class TestRuleCatalogue:

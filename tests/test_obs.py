@@ -547,3 +547,49 @@ class TestEngineMetrics:
         snapshot = system.metrics()
         assert snapshot["counters"]["storage.current_scans"] == 1
         assert system.tracer is system.db.tracer
+
+
+class TestCacheHitPathDeltas:
+    """Satellite pin: a plan-cache hit must still update the statement
+    store and the query.execute_s histogram, while the span tree keeps
+    skipping parse/plan.* work."""
+
+    def test_cache_hit_still_updates_telemetry_and_histogram(self, db):
+        db.enable_telemetry()
+        ring = db.tracer.add_sink(RingBufferSink())
+        sql = "SELECT v FROM n WHERE v < 5"
+        db.execute(sql)  # miss: parse + plan + execute
+        db.metrics.reset()
+        ring.clear()
+        before = {r["fingerprint"]: dict(r) for r in db.telemetry.snapshot()}
+        db.execute(sql)  # hit
+        # the span tree proves the hit skipped parse/rewrite work...
+        (root,) = ring.roots()
+        names = [c.name for c in root.children]
+        assert names == ["plan_cache.lookup", "execute"]
+        assert root.children[0].attrs["outcome"] == "hit"
+        # ...yet the histogram observed the execute phase anyway...
+        assert db.metrics.histogram("query.execute_s").count == 1
+        assert db.metrics.counter("plan.cache_hit") == 1
+        # ...and the statement entry advanced by exactly one hit call
+        (after,) = db.telemetry.snapshot()
+        prior = before[after["fingerprint"]]
+        assert after["calls"] == prior["calls"] + 1
+        assert after["cache_hits"] == prior["cache_hits"] + 1
+        assert after["cache_misses"] == prior["cache_misses"]
+        assert after["time_total_s"] > prior["time_total_s"]
+        assert after["rows_scanned"] > prior["rows_scanned"]
+
+    def test_telemetry_without_tracing_keeps_histogram_updates(self, db):
+        db.enable_telemetry()
+        assert db.tracer.active is False
+        sql = "SELECT count(*) FROM n"
+        db.execute(sql)
+        db.metrics.reset()
+        db.execute(sql)  # cache hit, no tracer
+        assert db.metrics.histogram("query.execute_s").count == 1
+        (row,) = [
+            r for r in db.telemetry.snapshot() if "count" in r["query"]
+        ]
+        assert row["calls"] == 2
+        assert row["cache_hits"] == 1

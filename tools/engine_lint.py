@@ -45,6 +45,13 @@ has been broken (or nearly broken) by an innocent-looking edit before:
   stricter than **metric-names** (no receiver filter), because the optimizer
   counters back the cost-model acceptance numbers and a silently dropped
   increment would fake a plan-choice regression.
+* **telemetry-docs** — every OpenMetrics metric family the telemetry
+  exposition can emit (registry counters/histograms mapped through the
+  ``repro_``-prefix name mapping, plus the ``STATEMENT_METRICS`` statement
+  families) and every ``STATEMENT_FIELDS`` statement-statistics column must
+  be documented in ``docs/OBSERVABILITY.md``.  Same rationale as
+  **span-catalogue**: these names are scraped by dashboards verbatim, so an
+  undocumented one is a time series nobody can interpret.
 * **rule-catalogue** — every analyzer rule code registered in
   ``repro.engine.analyze`` must have an entry in ``docs/ANALYZER.md`` and
   at least one positive and one negative golden test in
@@ -581,7 +588,91 @@ def check_batch_protocol(root: Path = REPO_ROOT) -> List[str]:
     return problems
 
 
-# -- check 10: analyzer rules are documented and golden-tested -------------
+# -- check 10: telemetry metric families and columns are documented --------
+
+def _telemetry_declarations(root: Path) -> Tuple[Set[str], Set[str]]:
+    """(statement metric families, statement field names) declared in the
+    ``STATEMENT_METRICS`` / ``STATEMENT_FIELDS`` literal dicts of
+    repro.engine.obs.telemetry."""
+    tree = _parse(root / ENGINE / "obs" / "telemetry.py")
+    families: Set[str] = set()
+    fields: Set[str] = set()
+    for node in tree.body:
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+        if not isinstance(target, ast.Name):
+            continue
+        if target.id in ("STATEMENT_METRICS", "STATEMENT_FIELDS") and isinstance(
+            node.value, ast.Dict
+        ):
+            bucket = families if target.id == "STATEMENT_METRICS" else fields
+            bucket.update(
+                key.value for key in node.value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            )
+    return families, fields
+
+
+def _openmetrics_family(name: str, histogram: bool = False) -> str:
+    """The exposition family name of a registry metric — mirrors
+    ``repro.engine.obs.telemetry.counter_family``/``histogram_family``
+    (a unit test cross-checks the two against a rendered exposition so
+    this static copy cannot drift)."""
+    flat = name.replace(".", "_")
+    if histogram and flat.endswith("_s"):
+        flat = flat[:-2] + "_seconds"
+    return "repro_" + flat
+
+
+def check_telemetry_docs(root: Path = REPO_ROOT) -> List[str]:
+    telemetry_rel = ENGINE / "obs" / "telemetry.py"
+    if not (root / telemetry_rel).is_file():
+        return [
+            f"{telemetry_rel}: [telemetry-docs] missing — workload telemetry "
+            f"is a declared subsystem"
+        ]
+    families, fields = _telemetry_declarations(root)
+    if not families or not fields:
+        return [
+            f"{telemetry_rel}: [telemetry-docs] could not locate the "
+            f"STATEMENT_METRICS / STATEMENT_FIELDS literal dicts"
+        ]
+    counters, histograms = _declared_metrics(root)
+    expected = dict.fromkeys(sorted(families), "statement metric family")
+    for name in sorted(counters):
+        expected[_openmetrics_family(name)] = f"counter family (for {name!r})"
+    for name in sorted(histograms):
+        expected[_openmetrics_family(name, histogram=True)] = (
+            f"histogram family (for {name!r})"
+        )
+    doc_rel = Path("docs") / "OBSERVABILITY.md"
+    doc_path = root / doc_rel
+    if not doc_path.is_file():
+        return [
+            f"{doc_rel}: [telemetry-docs] missing, but the telemetry "
+            f"exposition emits {len(expected)} metric families"
+        ]
+    doc_text = doc_path.read_text()
+    problems = []
+    for family, kind in expected.items():
+        if f"`{family}`" not in doc_text:
+            problems.append(
+                f"{doc_rel}: [telemetry-docs] OpenMetrics {kind} "
+                f"{family!r} is exposed but not documented here"
+            )
+    for field in sorted(fields):
+        if f"`{field}`" not in doc_text:
+            problems.append(
+                f"{doc_rel}: [telemetry-docs] statement-statistics column "
+                f"{field!r} is exposed but not documented here"
+            )
+    return problems
+
+
+# -- check 11: analyzer rules are documented and golden-tested -------------
 
 def check_rule_catalogue(root: Path = REPO_ROOT) -> List[str]:
     codes = sorted(_analyzer_codes(root))
@@ -650,6 +741,7 @@ ALL_CHECKS = (
     check_span_catalogue,
     check_cost_model,
     check_batch_protocol,
+    check_telemetry_docs,
     check_rule_catalogue,
 )
 
