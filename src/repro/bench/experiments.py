@@ -61,13 +61,21 @@ def prepare_systems(
     real system would ANALYZE after bulk load), so multi-table cells run
     under cost-based join ordering; pass ``analyze=False`` to benchmark
     the statistics-free greedy planner instead.
+
+    Databases built here are long-lived workload hosts, so the default
+    auto-ANALYZE threshold is armed *after* loading — bulk-load mutations
+    never trigger it, later DML churn re-freshens statistics
+    automatically (``repro_stat_tables.last_analyze`` shows it firing).
     """
+    from ..engine.database import DEFAULT_AUTO_ANALYZE_THRESHOLD
+
     systems = {}
     for name in names:
         system = make_system(name)
         Loader(system, workload).load(batch_size=batch_size)
         if analyze:
             system.analyze()
+        system.db.auto_analyze_threshold = DEFAULT_AUTO_ANALYZE_THRESHOLD
         systems[name] = system
     return systems
 

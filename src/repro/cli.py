@@ -23,6 +23,9 @@ Commands mirror the benchmark pipeline of the paper's §4:
 * ``stat-statements`` — pg_stat_statements-style per-fingerprint workload
   statistics after driving the benchmark queries;
 * ``top`` — one-shot workload summary (hottest statements, key counters).
+* ``health`` — markdown temporal-health report assembled by querying the
+  ``repro_stat_*`` system views across archetypes (``--json`` writes a
+  ``repro-health/v1`` artifact).
 
 ``bench --json PATH`` additionally writes a machine-readable
 ``BENCH_<experiment>.json`` artifact (schema ``repro-bench/v2``, see
@@ -277,6 +280,27 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument(
         "--top", dest="top_n", type=int, default=5,
         help="statements to show (default %(default)s)",
+    )
+
+    health = sub.add_parser(
+        "health",
+        help="temporal-health report from the repro_stat_* system views",
+    )
+    health.add_argument(
+        "--systems", default="ABCDE", help="archetypes to drive (default %(default)s)"
+    )
+    health.add_argument("--h", type=float, default=0.001)
+    health.add_argument("--m", type=float, default=0.0003)
+    health.add_argument(
+        "--runs", type=int, default=1, help="workload passes to drive"
+    )
+    health.add_argument(
+        "--top", dest="top_n", type=int, default=5,
+        help="hottest partitions to show per archetype (default %(default)s)",
+    )
+    health.add_argument(
+        "--json", dest="json_path", default=None, metavar="PATH",
+        help="also write the report as a repro-health/v1 JSON artifact",
     )
 
     diff = sub.add_parser(
@@ -790,11 +814,16 @@ def _drive_workload(args, telemetry: bool = True):
     """
     from .core.queries import Workload
 
+    from .engine.database import DEFAULT_AUTO_ANALYZE_THRESHOLD
+
     workload = BitemporalDataGenerator(
         GeneratorConfig(h=args.h, m=args.m)
     ).generate()
     system = make_system(args.system)
     Loader(system, workload).load()
+    # long-lived CLI database: arm the default auto-ANALYZE threshold after
+    # the bulk load so later DML churn re-freshens statistics automatically
+    system.db.auto_analyze_threshold = DEFAULT_AUTO_ANALYZE_THRESHOLD
     if telemetry:
         system.enable_telemetry()
     system.reset_metrics()
@@ -908,6 +937,123 @@ def _cmd_top(args) -> int:
             f"Top {args.top_n} statements by total time", snapshot["statements"]
         )
     )
+    return 0
+
+
+def _system_health(system, top_n: int):
+    """One archetype's health facts, queried through its own system views
+    (the introspection subsystem eating its own dog food)."""
+    def rows(sql):
+        return system.execute(sql).rows
+
+    hottest = [
+        {
+            "table": table, "partition": partition,
+            "scans": scans, "rows_read": rows_read,
+        }
+        for table, partition, scans, rows_read in rows(
+            "SELECT table_name, partition, scans, rows_read "
+            "FROM repro_stat_tables ORDER BY rows_read DESC "
+            f"LIMIT {top_n}"
+        )
+    ]
+    split = {"current": 0, "history": 0, "single": 0}
+    for partition, scans in rows(
+        "SELECT partition, scans FROM repro_stat_tables"
+    ):
+        split[partition] = split.get(partition, 0) + scans
+    current = split["current"] + split["single"]
+    total = current + split["history"]
+    outliers = [
+        {
+            "table": table, "partition": partition,
+            "chain_depth": depth, "chains": chains,
+        }
+        for table, partition, depth, chains in rows(
+            "SELECT table_name, partition, chain_depth, chains "
+            "FROM repro_stat_history ORDER BY chain_depth DESC LIMIT 3"
+        )
+    ]
+    stale = [
+        table for (table,) in rows(
+            "SELECT table_name FROM repro_stat_tables "
+            "WHERE stats_stale = 1 GROUP BY table_name"
+        )
+    ]
+    auto_runs = next(
+        iter(rows(
+            "SELECT value FROM repro_stat_metrics "
+            "WHERE name = 'stats.auto_analyze_runs'"
+        )),
+        (0,),
+    )[0]
+    return {
+        "hottest_partitions": hottest,
+        "scan_split": {
+            "current": current,
+            "history": split["history"],
+            "history_share": (split["history"] / total) if total else None,
+        },
+        "chain_depth_outliers": outliers,
+        "stale_stats_tables": stale,
+        "auto_analyze_runs": auto_runs,
+    }
+
+
+def _cmd_health(args) -> int:
+    import argparse
+    import json
+
+    names = [n for n in args.systems.upper() if not n.isspace()]
+    report = {"schema": "repro-health/v1", "config": {
+        "h": args.h, "m": args.m, "runs": args.runs, "systems": "".join(names),
+    }, "systems": {}}
+    lines = ["# Temporal health report", ""]
+    for name in names:
+        forwarded = argparse.Namespace(**{**vars(args), "system": name})
+        system, runs, query_count = _drive_workload(forwarded)
+        health = _system_health(system, args.top_n)
+        report["systems"][name] = health
+        split = health["scan_split"]
+        share = split["history_share"]
+        lines.append(f"## System {name} ({runs}x{query_count} queries)")
+        lines.append("")
+        lines.append(
+            f"- partition scans: {split['current']} current/single, "
+            f"{split['history']} history"
+            + (f" ({share:.0%} history)" if share is not None else "")
+        )
+        if health["hottest_partitions"]:
+            lines.append("- hottest partitions (by rows read):")
+            for hot in health["hottest_partitions"]:
+                lines.append(
+                    f"    - {hot['table']}.{hot['partition']}: "
+                    f"{hot['rows_read']} rows over {hot['scans']} scans"
+                )
+        if health["chain_depth_outliers"]:
+            deepest = health["chain_depth_outliers"][0]
+            lines.append(
+                f"- deepest version chains: {deepest['chain_depth']} versions "
+                f"({deepest['chains']} keys in "
+                f"{deepest['table']}.{deepest['partition']})"
+            )
+        if health["stale_stats_tables"]:
+            lines.append(
+                "- WARNING stale statistics: "
+                + ", ".join(health["stale_stats_tables"])
+            )
+        else:
+            lines.append("- statistics fresh on every analyzed table")
+        lines.append(
+            f"- auto-ANALYZE runs this session: {health['auto_analyze_runs']}"
+        )
+        lines.append("")
+    print("\n".join(lines).rstrip())
+    if args.json_path:
+        Path(args.json_path).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"\nwrote artifact {args.json_path}")
     return 0
 
 
@@ -1036,6 +1182,7 @@ def main(argv=None) -> int:
         "metrics": _cmd_metrics,
         "stat-statements": _cmd_stat_statements,
         "top": _cmd_top,
+        "health": _cmd_health,
         "bench-diff": _cmd_bench_diff,
         "trend": _cmd_trend,
         "flamegraph": _cmd_flamegraph,

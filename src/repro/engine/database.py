@@ -16,10 +16,17 @@ from . import temporal
 from .catalog import Catalog, IndexDef, TableSchema
 from .errors import CatalogError, IntegrityError
 from .obs import MetricsRegistry, SlowQueryLog, StatementStatsStore, Tracer
+from .obs import introspect
 from .obs.telemetry import render_openmetrics
 from .storage.versioned import StorageOptions, VersionedTable
 from .txn import TransactionManager
 from .types import END_OF_TIME, Period
+
+#: auto-ANALYZE mutation threshold armed by the CLI/bench entry points for
+#: long-lived databases (ROADMAP, PR 6 leftover).  Not the Database default:
+#: direct engine instantiations (tests, libraries) keep statistics strictly
+#: manual so no measurement pays a surprise ANALYZE mid-run.
+DEFAULT_AUTO_ANALYZE_THRESHOLD = 256
 
 
 @dataclass
@@ -91,9 +98,18 @@ class Database:
 
     # -- DDL -------------------------------------------------------------
 
+    @staticmethod
+    def _check_reserved(name: str):
+        if name.lower().startswith(introspect.SYSTEM_VIEW_PREFIX):
+            raise CatalogError(
+                f"the {introspect.SYSTEM_VIEW_PREFIX!r} prefix is reserved "
+                f"for system views (cannot create {name!r})"
+            )
+
     def create_table(
         self, schema: TableSchema, options: Optional[StorageOptions] = None
     ) -> VersionedTable:
+        self._check_reserved(schema.name)
         self.catalog.add_table(schema)
         table = VersionedTable(
             schema, options or self.default_options, metrics=self.metrics
@@ -122,6 +138,7 @@ class Database:
 
     def create_view(self, name, select_ast):
         name = name.lower()
+        self._check_reserved(name)
         if self.catalog.has_table(name) or name in self._views:
             raise CatalogError(f"name {name!r} already in use")
         self._views[name] = select_ast
@@ -145,6 +162,18 @@ class Database:
 
     def tables(self) -> List[VersionedTable]:
         return list(self._tables.values())
+
+    # -- system views (introspection) ----------------------------------------
+
+    def system_view_columns(self, name) -> Optional[Tuple[str, ...]]:
+        """Column layout of a ``repro_stat_*`` system view, or ``None``
+        when *name* is not a system view (the SQL layer then falls through
+        to ordinary view/table resolution)."""
+        return introspect.view_columns(name)
+
+    def system_view_rows(self, name) -> List[tuple]:
+        """Materialise one system view over this database's live state."""
+        return introspect.view_rows(self, name)
 
     # -- transactions -------------------------------------------------------
 
@@ -390,25 +419,32 @@ class Database:
         return snapshot
 
     def openmetrics(self, top: int = 10) -> str:
-        """This database's registry + top-K statement stats as an
-        OpenMetrics text exposition."""
-        return render_openmetrics(self.metrics, self.telemetry, top=top)
+        """This database's registry + top-K statement stats + per-partition
+        and per-index access counters as an OpenMetrics text exposition."""
+        return render_openmetrics(
+            self.metrics,
+            self.telemetry,
+            top=top,
+            extra=introspect.introspection_openmetrics(self),
+        )
 
     def set_slow_query_log(
         self, threshold_s: Optional[float], path: Optional[str] = None,
-        capacity: int = 256,
+        capacity: int = 256, max_bytes: Optional[int] = None,
     ) -> Optional[SlowQueryLog]:
         """Enable (or, with ``None``, disable) the slow-query log.
 
         Enabling forces span collection on so every threshold breach has a
         complete tree to record; disabling releases that again.
+        ``max_bytes`` (or ``$REPRO_SLOWLOG_MAX_BYTES``) bounds the JSONL
+        file, truncating oldest entries first.
         """
         if threshold_s is None:
             self.slow_query_log = None
             self.tracer.force_tracing = False
             return None
         self.slow_query_log = SlowQueryLog(
-            threshold_s, path=path, capacity=capacity
+            threshold_s, path=path, capacity=capacity, max_bytes=max_bytes
         )
         self.tracer.force_tracing = True
         return self.slow_query_log

@@ -1,10 +1,17 @@
 """Secondary index implementations: B+-Tree, R-Tree (GiST stand-in), hash."""
 
 from .btree import BPlusTree
+from .counters import IndexAccessCounters
 from .hashindex import HashIndex
 from .rtree import RTree
 
-__all__ = ["BPlusTree", "HashIndex", "RTree", "create_index_structure"]
+__all__ = [
+    "BPlusTree",
+    "HashIndex",
+    "IndexAccessCounters",
+    "RTree",
+    "create_index_structure",
+]
 
 
 def create_index_structure(kind, order=64, metrics=None):

@@ -13,6 +13,8 @@ from __future__ import annotations
 import bisect
 from typing import Any, Iterator, List, Optional, Tuple
 
+from .counters import IndexAccessCounters
+
 
 class _Node:
     __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
@@ -37,6 +39,7 @@ class BPlusTree:
         self._root = _Node(is_leaf=True)
         self._size = 0  # number of (key, value) pairs
         self._metrics = metrics  # optional obs.MetricsRegistry
+        self.access = IndexAccessCounters()
 
     def __len__(self):
         return self._size
@@ -133,10 +136,13 @@ class BPlusTree:
         """All row ids stored under *key* (empty list when absent)."""
         if self._metrics is not None:
             self._metrics.inc("index.btree_probes")
+        self.access.probes += 1
         leaf, idx = self._find_leaf(key)
         if idx is None:
             return []
-        return list(leaf.values[idx])
+        out = list(leaf.values[idx])
+        self.access.rows_returned += len(out)
+        return out
 
     def __contains__(self, key):
         return bool(self.search(key))
@@ -155,6 +161,8 @@ class BPlusTree:
         """
         if self._metrics is not None:
             self._metrics.inc("index.btree_probes")
+        access = self.access
+        access.range_scans += 1
         node = self._root
         probe = low if low is not None else _MINUS_INF
         while not node.is_leaf:
@@ -177,6 +185,7 @@ class BPlusTree:
                     if not high_inclusive and key >= high:
                         return
                 for value in node.values[idx]:
+                    access.rows_returned += 1
                     yield key, value
                 idx += 1
             node = node.next_leaf

@@ -1,0 +1,44 @@
+"""Per-structure access counters backing ``repro_stat_indexes``.
+
+Every index structure owns one :class:`IndexAccessCounters` instance and
+bumps it with plain attribute increments on its lookup paths — no registry
+indirection, no labels, no branches — so the accounting stays at measured
+parity with the un-instrumented engine.  The introspection layer
+(:mod:`repro.engine.obs.introspect`) reads the counters when a system view
+is scanned; reads never reset or perturb them.
+
+Kept in its own module (not ``index/__init__``) so the structure modules
+can import it without a circular import through the package initialiser.
+"""
+
+from __future__ import annotations
+
+
+class IndexAccessCounters:
+    """Cheap monotonic access counters for one index structure.
+
+    * ``probes`` — point lookups (equality probe, snapshot lookup);
+    * ``range_scans`` — ordered/interval scans and sweeps;
+    * ``rows_returned`` — row ids handed back across both shapes.
+    """
+
+    __slots__ = ("probes", "range_scans", "rows_returned")
+
+    def __init__(self):
+        self.probes = 0
+        self.range_scans = 0
+        self.rows_returned = 0
+
+    def as_dict(self):
+        return {
+            "probes": self.probes,
+            "range_scans": self.range_scans,
+            "rows_returned": self.rows_returned,
+        }
+
+    def __repr__(self):
+        return (
+            f"IndexAccessCounters(probes={self.probes}, "
+            f"range_scans={self.range_scans}, "
+            f"rows_returned={self.rows_returned})"
+        )

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
+from .counters import IndexAccessCounters
+
 
 class HashIndex:
     """Unordered multimap from key to row ids.
@@ -18,6 +20,7 @@ class HashIndex:
         self._buckets: Dict[Any, List[Any]] = {}
         self._size = 0
         self._metrics = metrics  # optional obs.MetricsRegistry
+        self.access = IndexAccessCounters()
 
     def __len__(self):
         return self._size
@@ -42,7 +45,10 @@ class HashIndex:
     def search(self, key) -> List[Any]:
         if self._metrics is not None:
             self._metrics.inc("index.hash_probes")
-        return list(self._buckets.get(key, ()))
+        self.access.probes += 1
+        out = list(self._buckets.get(key, ()))
+        self.access.rows_returned += len(out)
+        return out
 
     def __contains__(self, key):
         return key in self._buckets

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Any, List, Tuple
 
+from .counters import IndexAccessCounters
+
 
 class _Entry:
     __slots__ = ("lo", "hi", "child", "value")
@@ -55,6 +57,7 @@ class RTree:
         self._root = _RNode(is_leaf=True)
         self._size = 0
         self._metrics = metrics  # optional obs.MetricsRegistry
+        self.access = IndexAccessCounters()
 
     def __len__(self):
         return self._size
@@ -132,13 +135,21 @@ class RTree:
         """Row ids whose interval intersects the half-open [lo, hi)."""
         if self._metrics is not None:
             self._metrics.inc("index.rtree_searches")
+        self.access.range_scans += 1
         out: List[Any] = []
         self._search(self._root, lo, hi, out)
+        self.access.rows_returned += len(out)
         return out
 
     def search_contains(self, point) -> List[Any]:
         """Row ids whose interval contains *point*."""
-        return self.search_overlap(point, point + 1)
+        if self._metrics is not None:
+            self._metrics.inc("index.rtree_searches")
+        self.access.probes += 1
+        out: List[Any] = []
+        self._search(self._root, point, point + 1, out)
+        self.access.rows_returned += len(out)
+        return out
 
     def _search(self, node, lo, hi, out):
         for entry in node.entries:

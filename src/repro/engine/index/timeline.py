@@ -23,6 +23,8 @@ from __future__ import annotations
 import bisect
 from typing import Callable, Iterator, List, Set, Tuple
 
+from .counters import IndexAccessCounters
+
 ACTIVATE = 1
 INVALIDATE = -1
 
@@ -35,6 +37,7 @@ class TimelineIndex:
             raise ValueError("checkpoint_interval must be >= 1")
         self.checkpoint_interval = checkpoint_interval
         self._metrics = metrics  # optional obs.MetricsRegistry
+        self.access = IndexAccessCounters()
         #: events sorted by (tick, order-of-arrival): (tick, kind, rid)
         self._events: List[Tuple[int, int, int]] = []
         self._event_ticks: List[int] = []
@@ -112,6 +115,7 @@ class TimelineIndex:
         """
         if self._metrics is not None:
             self._metrics.inc("index.timeline_lookups")
+        self.access.probes += 1
         end = bisect.bisect_right(self._event_ticks, tick)
         visible, offset = self._base_at_offset(end)
         for index in range(offset, end):
@@ -120,6 +124,7 @@ class TimelineIndex:
                 visible.add(rid)
             else:
                 visible.discard(rid)
+        self.access.rows_returned += len(visible)
         return visible
 
     def boundaries(self) -> List[int]:
@@ -139,6 +144,7 @@ class TimelineIndex:
         """
         if self._metrics is not None:
             self._metrics.inc("index.timeline_sweeps")
+        self.access.range_scans += 1
         visible: Set[int] = set()
         index = 0
         events = self._events
@@ -171,6 +177,7 @@ class TimelineIndex:
                 raise ValueError(f"unsupported temporal aggregate {function!r}")
         if self._metrics is not None:
             self._metrics.inc("index.timeline_sweeps")
+        self.access.range_scans += 1
         out = []
         count = 0
         total = 0.0
@@ -211,6 +218,7 @@ class TimelineIndex:
         """
         if self._metrics is not None:
             self._metrics.inc("index.timeline_sweeps")
+        self.access.range_scans += 1
         events = sorted(
             [(t, k, r, 0) for t, k, r in self._events]
             + [(t, k, r, 1) for t, k, r in other._events],

@@ -6,6 +6,15 @@ every engine layer (storage, index, txn, plan, session) may import it
 without violating the layering invariants in ``tools/engine_lint.py``.
 """
 
+from .introspect import (
+    INTROSPECTION_METRICS,
+    SYSTEM_VIEWS,
+    SYSTEM_VIEW_PREFIX,
+    introspection_openmetrics,
+    is_system_view,
+    view_columns,
+    view_rows,
+)
 from .metrics import COUNTERS, HISTOGRAMS, Histogram, MetricsRegistry
 from .profile import (
     SpanNode,
@@ -34,11 +43,14 @@ __all__ = [
     "COUNTERS",
     "HISTOGRAMS",
     "Histogram",
+    "INTROSPECTION_METRICS",
     "JsonlSink",
     "MetricsRegistry",
     "RingBufferSink",
     "STATEMENT_FIELDS",
     "STATEMENT_METRICS",
+    "SYSTEM_VIEWS",
+    "SYSTEM_VIEW_PREFIX",
     "SlowQueryLog",
     "Span",
     "SpanNode",
@@ -46,9 +58,13 @@ __all__ = [
     "StatementStatsStore",
     "Tracer",
     "fingerprint",
+    "introspection_openmetrics",
+    "is_system_view",
     "normalize_statement",
     "render_openmetrics",
     "validate_openmetrics",
+    "view_columns",
+    "view_rows",
     "folded_stacks",
     "format_folded",
     "format_operator_table",

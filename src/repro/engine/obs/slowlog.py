@@ -5,11 +5,16 @@ enabling it turns on ``Tracer.force_tracing`` so every statement builds a
 span tree even with no sink installed — a breach must always have a
 complete tree to record.  Entries keep the most recent *capacity* records
 in memory and, when a path is given, are also appended as JSONL.
+
+``max_bytes`` (default ``$REPRO_SLOWLOG_MAX_BYTES``) bounds the JSONL
+file for long bench sweeps: when an append pushes the file past the
+limit, the oldest lines are dropped until it fits again.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from collections import deque
 from typing import Dict, List, Optional
 
@@ -18,11 +23,23 @@ class SlowQueryLog:
     """Bounded in-memory record of threshold-exceeding queries."""
 
     def __init__(self, threshold_s: float, path: Optional[str] = None,
-                 capacity: int = 256):
+                 capacity: int = 256, max_bytes: Optional[int] = None):
         if threshold_s < 0:
             raise ValueError("threshold_s must be >= 0")
+        if max_bytes is None:
+            raw = os.environ.get("REPRO_SLOWLOG_MAX_BYTES")
+            if raw:
+                try:
+                    max_bytes = int(raw)
+                except ValueError:
+                    max_bytes = None
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
         self.threshold_s = threshold_s
         self.path = path
+        self.max_bytes = max_bytes
+        #: JSONL lines dropped by the size guard (cumulative)
+        self.truncated = 0
         self._entries: deque = deque(maxlen=capacity)
 
     def record(self, entry: Dict):
@@ -31,6 +48,28 @@ class SlowQueryLog:
             with open(self.path, "a", encoding="utf-8") as fh:
                 json.dump(entry, fh, default=str)
                 fh.write("\n")
+            if self.max_bytes is not None:
+                self._enforce_max_bytes()
+
+    def _enforce_max_bytes(self):
+        """Drop oldest JSONL lines until the file fits ``max_bytes``.
+
+        The newest line always survives, even when it alone exceeds the
+        limit — a breach record must never silently vanish.
+        """
+        if os.path.getsize(self.path) <= self.max_bytes:
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+        total = sum(len(line.encode("utf-8")) for line in lines)
+        dropped = 0
+        while len(lines) > 1 and total > self.max_bytes:
+            total -= len(lines[0].encode("utf-8"))
+            lines.pop(0)
+            dropped += 1
+        with open(self.path, "w", encoding="utf-8") as fh:
+            fh.writelines(lines)
+        self.truncated += dropped
 
     def entries(self) -> List[Dict]:
         return list(self._entries)

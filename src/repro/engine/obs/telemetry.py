@@ -390,13 +390,15 @@ def render_openmetrics(
     registry: MetricsRegistry,
     statements: Optional[StatementStatsStore] = None,
     top: int = 10,
+    extra: Optional[List[str]] = None,
 ) -> str:
     """The registry (and optionally the statement store) as one OpenMetrics
     text exposition: ``# HELP``/``# TYPE`` per family, counter samples with
     the ``_total`` suffix, histogram ``_bucket``/``_sum``/``_count``
     series, top-K statement families labelled by ``fingerprint`` (plus a
     truncated ``query`` label for dashboards), and the ``# EOF``
-    terminator the spec requires.
+    terminator the spec requires.  ``extra`` appends pre-rendered family
+    lines (the introspection counters) before the terminator.
     """
     lines: List[str] = []
     for name in COUNTERS:
@@ -418,6 +420,8 @@ def render_openmetrics(
         lines.append(_sample(f"{family}_count", None, hist.count))
     if statements is not None:
         lines.extend(_statement_lines(statements, top))
+    if extra:
+        lines.extend(extra)
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
 

@@ -218,6 +218,24 @@ class LogicalDerived(LogicalNode):
 
 
 @dataclass
+class LogicalVirtualScan(LogicalNode):
+    """A ``repro_stat_*`` system view: a virtual relation materialised from
+    engine state at execution time (no storage, no temporal clauses)."""
+
+    view_name: str
+    alias: str
+    columns: Tuple[str, ...] = ()
+    est_rows: int = 64
+
+    @property
+    def bindings(self) -> Set[str]:
+        return {self.alias}
+
+    def describe(self):
+        return f"VirtualScan({self.view_name} as {self.alias})"
+
+
+@dataclass
 class LogicalJoin(LogicalNode):
     """A join with its conjuncts still in AST form (equi-key split happens
     at lowering, where compiled scopes exist)."""
@@ -415,6 +433,18 @@ def _build_from_item(item, db) -> LogicalNode:
                 view_name=item.name,
                 columns=tuple(output_columns_of(view, db)),
             )
+        system_columns = getattr(
+            db, "system_view_columns", lambda _n: None
+        )(item.name)
+        if system_columns is not None:
+            if item.temporal:
+                raise ProgrammingError(
+                    f"temporal clauses are not supported on system view "
+                    f"{item.name!r}"
+                )
+            return LogicalVirtualScan(
+                item.name.lower(), item.binding, columns=system_columns
+            )
         table = db.table(item.name)
         schema = table.schema
         return LogicalScan(
@@ -495,6 +525,11 @@ def _from_item_columns(item, wanted, db) -> List[str]:
         view = getattr(db, "view", lambda _n: None)(item.name)
         if view is not None:
             return output_columns_of(view, db)
+        system_columns = getattr(
+            db, "system_view_columns", lambda _n: None
+        )(item.name)
+        if system_columns is not None:
+            return list(system_columns)
         try:
             return db.table(item.name).schema.column_names()
         except CatalogError:
@@ -511,6 +546,8 @@ def unit_layout(unit: LogicalNode) -> List[Tuple[str, str]]:
     if isinstance(unit, LogicalScan):
         return [(unit.binding, c) for c in unit.schema.column_names()]
     if isinstance(unit, LogicalDerived):
+        return [(unit.alias, c) for c in unit.columns]
+    if isinstance(unit, LogicalVirtualScan):
         return [(unit.alias, c) for c in unit.columns]
     if isinstance(unit, LogicalJoin):
         return unit_layout(unit.left) + unit_layout(unit.right)

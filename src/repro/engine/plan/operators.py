@@ -175,6 +175,25 @@ class Subplan(Operator):
         return self._description
 
 
+class VirtualScan(Operator):
+    """A ``repro_stat_*`` system view materialised from live engine state.
+
+    The producer snapshots the introspection counters at execution time —
+    every execution (cached plan or not) sees the current state, like a
+    ``pg_stat_*`` relation.
+    """
+
+    def __init__(self, producer: Callable[[], List[tuple]], description: str):
+        self._producer = producer
+        self._description = description
+
+    def execute_batches(self, env):
+        return batches_from_rows(self._producer())
+
+    def label(self):
+        return self._description
+
+
 class Filter(Operator):
     def __init__(self, child: Operator, predicate, description="Filter",
                  batch_predicate=None):

@@ -46,6 +46,7 @@ from .logical import (  # noqa: F401 - split_conjuncts/conjoin re-exported
     LogicalQuery,
     LogicalScan,
     LogicalValues,
+    LogicalVirtualScan,
     build_logical,
     conjoin,
     rebuild_expr,
@@ -385,6 +386,8 @@ class Planner:
             return self._lower_scan(node, outer_scope, referenced)
         if isinstance(node, LogicalDerived):
             return self._lower_derived(node)
+        if isinstance(node, LogicalVirtualScan):
+            return self._lower_virtual_scan(node)
         if isinstance(node, LogicalJoin):
             left = self._lower_relation(node.left, outer_scope, referenced)
             right = self._lower_relation(node.right, outer_scope, referenced)
@@ -447,6 +450,25 @@ class Planner:
         op = ops.Subplan(produce, f"Derived({node.alias})")
         op.children = (sub_op,)
         return _Relation(op, layout, {node.alias}, 1000)
+
+    def _lower_virtual_scan(self, node: LogicalVirtualScan) -> _Relation:
+        """Lower a ``repro_stat_*`` system view to a VirtualScan operator.
+
+        The dependency note is recorded for uniformity; system views have
+        no catalog version (``version_of`` stays 0), so cached plans over
+        them never invalidate — correct, since the *rows* are assembled
+        fresh on every execution."""
+        self._note_dependency(node.view_name)
+        db = self.db
+        view_name = node.view_name
+
+        def produce(_db=db, _name=view_name):
+            return _db.system_view_rows(_name)
+
+        op = ops.VirtualScan(produce, f"VirtualScan({view_name})")
+        op.est_rows = node.est_rows
+        layout = [(node.alias, column) for column in node.columns]
+        return _Relation(op, layout, {node.alias}, node.est_rows)
 
     def _lower_scan(self, node: LogicalScan, outer_scope, referenced) -> _Relation:
         ref = node.ref

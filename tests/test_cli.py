@@ -148,6 +148,27 @@ def test_metrics_command(capsys):
     assert "query.execute_s" in out  # histogram summary line
 
 
+def test_health_command(tmp_path, capsys):
+    import json
+
+    target = tmp_path / "health.json"
+    code = main(["health", "--systems", "AD",
+                 "--h", "0.0003", "--m", "0.00005",
+                 "--json", str(target)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "# Temporal health report" in out
+    assert "## System A" in out and "## System D" in out
+    assert "partition scans:" in out
+    assert "hottest partitions" in out
+    report = json.loads(target.read_text())
+    assert report["schema"] == "repro-health/v1"
+    assert set(report["systems"]) == {"A", "D"}
+    split = report["systems"]["A"]["scan_split"]
+    assert split["current"] + split["history"] > 0
+    assert report["systems"]["A"]["hottest_partitions"]
+
+
 def test_bench_json_artifact(tmp_path, capsys):
     import json
 

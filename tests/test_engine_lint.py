@@ -71,9 +71,14 @@ def fake_repo(tmp_path):
         'STATEMENT_METRICS = {"repro_statements_tracked": ("gauge", "d")}\n'
         'STATEMENT_FIELDS = {"calls": "d"}\n'
     ))
+    _write(tmp_path, "src/repro/engine/obs/introspect.py", (
+        'SYSTEM_VIEWS = {"repro_stat_tables": {"table_name": "d"}}\n'
+        'INTROSPECTION_METRICS = {"repro_partition_scans": ("counter", "d")}\n'
+    ))
     _write(tmp_path, "docs/OBSERVABILITY.md", (
         "`repro_statements_tracked` `repro_txn_commits` "
         "`repro_query_execute_seconds` `calls`\n"
+        "`repro_stat_tables` `table_name` `repro_partition_scans`\n"
     ))
     return tmp_path
 
@@ -450,6 +455,53 @@ class TestTelemetryDocs:
         (fake_repo / "src/repro/engine/obs/telemetry.py").unlink()
         problems = engine_lint.check_telemetry_docs(fake_repo)
         assert any("telemetry" in p for p in problems)
+
+
+class TestViewCatalogue:
+    def test_undocumented_view_is_flagged(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/obs/introspect.py", (
+            'SYSTEM_VIEWS = {\n'
+            '    "repro_stat_tables": {"table_name": "d"},\n'
+            '    "repro_stat_history": {"table_name": "d"},\n'
+            '}\n'
+            'INTROSPECTION_METRICS = {"repro_partition_scans": ("counter", "d")}\n'
+        ))
+        problems = engine_lint.check_view_catalogue(fake_repo)
+        assert any("repro_stat_history" in p for p in problems)
+
+    def test_undocumented_column_is_flagged(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/obs/introspect.py", (
+            'SYSTEM_VIEWS = {"repro_stat_tables": {\n'
+            '    "table_name": "d", "scan_share": "d",\n'
+            '}}\n'
+            'INTROSPECTION_METRICS = {"repro_partition_scans": ("counter", "d")}\n'
+        ))
+        problems = engine_lint.check_view_catalogue(fake_repo)
+        assert any(
+            "scan_share" in p and "repro_stat_tables" in p for p in problems
+        )
+
+    def test_undocumented_family_is_flagged(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/obs/introspect.py", (
+            'SYSTEM_VIEWS = {"repro_stat_tables": {"table_name": "d"}}\n'
+            'INTROSPECTION_METRICS = {\n'
+            '    "repro_partition_scans": ("counter", "d"),\n'
+            '    "repro_index_probes": ("counter", "d"),\n'
+            '}\n'
+        ))
+        problems = engine_lint.check_view_catalogue(fake_repo)
+        assert any("repro_index_probes" in p for p in problems)
+
+    def test_missing_introspect_module_is_flagged(self, fake_repo):
+        (fake_repo / "src/repro/engine/obs/introspect.py").unlink()
+        problems = engine_lint.check_view_catalogue(fake_repo)
+        assert any("view-catalogue" in p and "missing" in p for p in problems)
+
+    def test_missing_literals_are_reported(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/obs/introspect.py",
+               "SYSTEM_VIEWS = build()\n")
+        problems = engine_lint.check_view_catalogue(fake_repo)
+        assert any("could not locate" in p for p in problems)
 
 
 class TestRuleCatalogue:

@@ -112,6 +112,24 @@ class TestPlanCacheLine:
         db.execute(sql)
         assert db.metrics.counter("plan.cache_hit") == 1
 
+    def test_cache_hit_still_reports_working_set(self, db):
+        """Regression: a cached plan re-runs under a fresh metrics-collecting
+        ExecutionContext, so the per-operator ``ws≈`` bytes must not vanish
+        (or zero out) just because planning was skipped."""
+        sql = "SELECT id FROM item WHERE price > 100"
+        db.execute(sql)  # populates the cache
+        text = db.explain_analyze(sql)
+        assert text.endswith("plan cache: hit")
+        ws = [
+            m.group(1)
+            for m in re.finditer(r"ws≈(\S+?B)", text)
+        ]
+        plan_lines = [
+            line for line in text.splitlines() if "actual rows=" in line
+        ]
+        assert len(ws) == len(plan_lines)  # every operator reports a ws
+        assert any(value not in ("0B", "0.0B") for value in ws)
+
     def test_statement_form_bypasses(self, db):
         result = db.execute("EXPLAIN ANALYZE SELECT id FROM item")
         text = "\n".join(row[0] for row in result.rows)

@@ -329,6 +329,54 @@ class TestSlowQueryLog:
         db.execute("SELECT v FROM n WHERE v < 3")
         assert db.slow_query_log.entries() == []
 
+    def test_max_bytes_rotates_oldest_entries(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(0.0, path=str(path), max_bytes=120)
+        for i in range(10):
+            log.record({"i": i, "pad": "x" * 30})
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) < 10  # oldest entries were dropped
+        assert lines[-1]["i"] == 9  # newest always survives
+        assert [e["i"] for e in lines] == list(
+            range(10 - len(lines), 10)
+        )  # contiguous newest suffix: truncation eats from the front
+        assert log.truncated == 10 - len(lines)
+        assert path.stat().st_size <= 120
+
+    def test_max_bytes_keeps_newest_even_when_oversized(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(0.0, path=str(path), max_bytes=10)
+        log.record({"sql": "a" * 50})
+        log.record({"sql": "b" * 50})
+        (line,) = path.read_text().splitlines()
+        assert json.loads(line)["sql"] == "b" * 50
+
+    def test_max_bytes_rejects_non_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            SlowQueryLog(0.0, path=str(tmp_path / "s.jsonl"), max_bytes=0)
+
+    def test_max_bytes_env_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SLOWLOG_MAX_BYTES", "120")
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(0.0, path=str(path))
+        assert log.max_bytes == 120
+        for i in range(10):
+            log.record({"i": i, "pad": "x" * 30})
+        assert path.stat().st_size <= 120
+        assert log.truncated > 0
+
+    def test_max_bytes_env_non_numeric_ignored(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SLOWLOG_MAX_BYTES", "lots")
+        log = SlowQueryLog(0.0, path=str(tmp_path / "s.jsonl"))
+        assert log.max_bytes is None
+
+    def test_in_memory_log_ignores_max_bytes(self):
+        log = SlowQueryLog(0.0, max_bytes=10)  # no path: nothing to rotate
+        for i in range(5):
+            log.record({"i": i})
+        assert len(log.entries()) == 5
+        assert log.truncated == 0
+
     def test_aborted_query_is_recorded_with_error(self, db):
         db.set_slow_query_log(0.0)
         with pytest.raises(QueryTimeout):

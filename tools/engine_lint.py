@@ -58,6 +58,12 @@ has been broken (or nearly broken) by an innocent-looking edit before:
   ``tests/test_analyzer.py`` (``test_positive*`` / ``test_negative*``
   methods that mention the code).  An undocumented or untested rule is a
   diagnostic nobody can trust.
+* **view-catalogue** — every system view in the ``SYSTEM_VIEWS`` literal of
+  ``repro.engine.obs.introspect``, every column of every view, and every
+  OpenMetrics family in ``INTROSPECTION_METRICS`` must be documented in
+  ``docs/OBSERVABILITY.md``.  System views are the engine's SQL-facing
+  introspection surface; an undocumented view column is a field users must
+  reverse-engineer from the assembler code.
 * **batch-protocol** — every ``Operator`` subclass under ``engine/plan``
   must speak the chunked batch protocol: it implements (or inherits)
   ``execute_batches`` and must not override the row-level ``execute``
@@ -672,7 +678,92 @@ def check_telemetry_docs(root: Path = REPO_ROOT) -> List[str]:
     return problems
 
 
-# -- check 11: analyzer rules are documented and golden-tested -------------
+# -- check 11: system views and their columns are documented ---------------
+
+def _introspect_declarations(
+    root: Path,
+) -> Tuple[Dict[str, Set[str]], Set[str]]:
+    """(view name -> column names, OpenMetrics family names) declared in the
+    ``SYSTEM_VIEWS`` / ``INTROSPECTION_METRICS`` literal dicts of
+    repro.engine.obs.introspect."""
+    tree = _parse(root / ENGINE / "obs" / "introspect.py")
+    views: Dict[str, Set[str]] = {}
+    families: Set[str] = set()
+    for node in tree.body:
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+        if not isinstance(target, ast.Name):
+            continue
+        if not isinstance(node.value, ast.Dict):
+            continue
+        if target.id == "SYSTEM_VIEWS":
+            for key, value in zip(node.value.keys, node.value.values):
+                if not (isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)):
+                    continue
+                columns: Set[str] = set()
+                if isinstance(value, ast.Dict):
+                    columns = {
+                        c.value for c in value.keys
+                        if isinstance(c, ast.Constant)
+                        and isinstance(c.value, str)
+                    }
+                views[key.value] = columns
+        elif target.id == "INTROSPECTION_METRICS":
+            families.update(
+                key.value for key in node.value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            )
+    return views, families
+
+
+def check_view_catalogue(root: Path = REPO_ROOT) -> List[str]:
+    introspect_rel = ENGINE / "obs" / "introspect.py"
+    if not (root / introspect_rel).is_file():
+        return [
+            f"{introspect_rel}: [view-catalogue] missing — system-view "
+            f"introspection is a declared subsystem"
+        ]
+    views, families = _introspect_declarations(root)
+    if not views or not families:
+        return [
+            f"{introspect_rel}: [view-catalogue] could not locate the "
+            f"SYSTEM_VIEWS / INTROSPECTION_METRICS literal dicts"
+        ]
+    doc_rel = Path("docs") / "OBSERVABILITY.md"
+    doc_path = root / doc_rel
+    if not doc_path.is_file():
+        return [
+            f"{doc_rel}: [view-catalogue] missing, but the engine exposes "
+            f"{len(views)} system views"
+        ]
+    doc_text = doc_path.read_text()
+    problems: List[str] = []
+    for view in sorted(views):
+        if f"`{view}`" not in doc_text:
+            problems.append(
+                f"{doc_rel}: [view-catalogue] system view {view!r} is "
+                f"queryable but not documented here"
+            )
+        for column in sorted(views[view]):
+            if f"`{column}`" not in doc_text:
+                problems.append(
+                    f"{doc_rel}: [view-catalogue] column {column!r} of "
+                    f"system view {view!r} is exposed but not documented here"
+                )
+    for family in sorted(families):
+        if f"`{family}`" not in doc_text:
+            problems.append(
+                f"{doc_rel}: [view-catalogue] introspection OpenMetrics "
+                f"family {family!r} is exposed but not documented here"
+            )
+    return problems
+
+
+# -- check 12: analyzer rules are documented and golden-tested -------------
 
 def check_rule_catalogue(root: Path = REPO_ROOT) -> List[str]:
     codes = sorted(_analyzer_codes(root))
@@ -742,6 +833,7 @@ ALL_CHECKS = (
     check_cost_model,
     check_batch_protocol,
     check_telemetry_docs,
+    check_view_catalogue,
     check_rule_catalogue,
 )
 
