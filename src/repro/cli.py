@@ -73,6 +73,7 @@ EXPERIMENTS = {
     "fig15": lambda ctx: x.fig15_bitemporal(ctx["systems"], ctx["workload"], ctx["service"]),
     "fig16": lambda ctx: x.fig16_loading(ctx["workload"]),
     "joins": lambda ctx: x.join_ordering(ctx["systems"], ctx["workload"], ctx["service"]),
+    "temporal-ops": lambda ctx: x.temporal_ops(ctx["systems"], ctx["workload"], ctx["service"]),
 }
 
 

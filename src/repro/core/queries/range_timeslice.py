@@ -10,6 +10,7 @@ formulations the paper had to use.
 
 from __future__ import annotations
 
+from ...engine.types import END_OF_TIME
 from . import BenchmarkQuery
 
 
@@ -18,6 +19,7 @@ def _bind(meta):
         "app_point": meta.mid_day(),
         "sys_point": meta.mid_tick(),
         "sys_end": meta.last_tick,
+        "sys_sentinel": END_OF_TIME,
         "price": 400000.0,
         "balance": 5000.0,
     }
@@ -41,7 +43,15 @@ QUERIES = [
     BenchmarkQuery(
         "R2",
         "state durations: how long orders stay in each status (system time)",
-        "SELECT o_orderstatus, count(*), avg(sys_end - sys_begin)"
+        # The duration average must ignore still-open versions: their
+        # ``sys_end`` is the END_OF_TIME sentinel, and ``sys_end - sys_begin``
+        # would count them as astronomically long states.  The default bind
+        # (``sys_end < :sys_end`` at last_tick) happens to exclude them, but a
+        # current-inclusive bind would silently corrupt the average without
+        # the CASE clamp.
+        "SELECT o_orderstatus, count(*),"
+        "       avg(CASE WHEN sys_end < :sys_sentinel"
+        "                THEN sys_end - sys_begin ELSE NULL END)"
         " FROM orders FOR SYSTEM_TIME ALL"
         " WHERE sys_end < :sys_end"
         " GROUP BY o_orderstatus",
@@ -52,9 +62,17 @@ QUERIES = [
     BenchmarkQuery(
         "R3a",
         "temporal aggregation (count) — one result row per version boundary",
+        # The boundary list must union *both* interval endpoints: a version
+        # that ends without a successor still changes the aggregate at its
+        # ``sys_end``, and begins-only misses that boundary entirely.  (The
+        # begins-only variant also undercounts whenever a deletion is the
+        # only event at a tick.)  This both-endpoints UNION shape is what the
+        # ``temporal-fusion`` rewrite recognises and replaces with the native
+        # sweep operator.
         "SELECT b.t, count(*)"
-        " FROM (SELECT DISTINCT sys_begin AS t"
-        "       FROM orders FOR SYSTEM_TIME ALL) b,"
+        " FROM (SELECT sys_begin AS t FROM orders FOR SYSTEM_TIME ALL"
+        "       UNION"
+        "       SELECT sys_end AS t FROM orders FOR SYSTEM_TIME ALL) b,"
         "      orders FOR SYSTEM_TIME ALL o"
         " WHERE o.sys_begin <= b.t AND o.sys_end > b.t"
         " GROUP BY b.t",
@@ -65,8 +83,9 @@ QUERIES = [
         "R3b",
         "temporal aggregation (sum of open order value) per boundary",
         "SELECT b.t, sum(o.o_totalprice)"
-        " FROM (SELECT DISTINCT sys_begin AS t"
-        "       FROM orders FOR SYSTEM_TIME ALL) b,"
+        " FROM (SELECT sys_begin AS t FROM orders FOR SYSTEM_TIME ALL"
+        "       UNION"
+        "       SELECT sys_end AS t FROM orders FOR SYSTEM_TIME ALL) b,"
         "      orders FOR SYSTEM_TIME ALL o"
         " WHERE o.sys_begin <= b.t AND o.sys_end > b.t"
         " GROUP BY b.t",

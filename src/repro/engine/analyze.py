@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from .analyze_domains import scan_domain_map
 from .errors import CatalogError, PlanError, ProgrammingError
 from .plan.logical import (
+    LogicalAlignJoin,
     LogicalDerived,
     LogicalFilter,
     LogicalJoin,
@@ -50,7 +51,12 @@ from .plan.logical import (
     collect_column_refs,
     split_conjuncts,
 )
-from .plan.rewrite import conjunct_bindings, rewrite_logical
+from .plan.rewrite import (
+    conjunct_bindings,
+    match_align_join_rewrite,
+    match_temporal_aggregate_rewrite,
+    rewrite_logical,
+)
 from .sql import ast
 from .sql.lexer import line_col
 from .sql.parser import parse_statement
@@ -251,6 +257,17 @@ _RULE_LIST = (
         "anyway — it only forces the history partition to be read",
         "drop the constraint, or narrow it to the range actually needed",
     ),
+    Rule(
+        "TQ017",
+        "rewrite-shaped-temporal-operator",
+        "info",
+        "query spells a native temporal operator as its SQL:2011 rewrite",
+        "§5.6/§5.7: the boundaries-self-join aggregation and the "
+        "inequality-pair overlap join cost orders of magnitude more than "
+        "the native sweep operators this engine provides",
+        "use GROUP BY TEMPORAL(<period>) or TEMPORAL JOIN, or run on a "
+        "profile with the 'temporal-fusion' rewrite enabled",
+    ),
 )
 
 RULES: Dict[str, Rule] = {rule.code: rule for rule in _RULE_LIST}
@@ -385,6 +402,7 @@ class _Analysis:
             self._recurse_subqueries(select, path)
             return
         relation = query.relation
+        self._check_native_operators(query.select, relation, path)
         self._check_scans(relation, path)
         self._check_sargability(relation, path)
         self._check_left_join_filters(relation, path)
@@ -404,6 +422,33 @@ class _Analysis:
                 if isinstance(node, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)):
                     self.check_select(node.subquery, f"{path}/subquery[{count}]")
                     count += 1
+
+    # -- native temporal operators (TQ017) --------------------------------
+
+    def _check_native_operators(self, select: ast.Select, relation, path: str):
+        """Flag rewrite shapes the native operators replace.
+
+        Runs on the *post*-rewrite plan: on a profile with the
+        ``temporal-fusion`` rule the shape has already been fused into
+        :class:`LogicalTemporalAggregate` / :class:`LogicalAlignJoin`, the
+        matchers see nothing, and the rule is automatically silent.
+        """
+        if match_temporal_aggregate_rewrite(select, relation) is not None:
+            self.emit(
+                "TQ017",
+                "boundaries-self-join temporal aggregation could use the "
+                "native sweep operator (GROUP BY TEMPORAL(...))",
+                select,
+                path,
+            )
+        elif match_align_join_rewrite(select, relation) is not None:
+            self.emit(
+                "TQ017",
+                "inequality-pair overlap join could use the native "
+                "period-align operator (TEMPORAL JOIN)",
+                select,
+                path,
+            )
 
     # -- per-scan rules (TQ001/TQ002/TQ004/TQ007/TQ008/TQ009) -------------
 
@@ -608,6 +653,19 @@ class _Analysis:
             keys = sorted({by_binding[b] for b in bindings if b in by_binding})
             for other in keys[1:]:
                 union(keys[0], other)
+        # an align join's implicit overlap predicate connects its sides
+        # even when it carries no equality conjuncts
+        for node in _nodes_in(relation):
+            if isinstance(node, LogicalAlignJoin):
+                keys = sorted(
+                    {
+                        by_binding[b]
+                        for b in (node.left.bindings | node.right.bindings)
+                        if b in by_binding
+                    }
+                )
+                for other in keys[1:]:
+                    union(keys[0], other)
         components = {find(id(leaf)) for leaf in leaves}
         if len(components) > 1:
             names = ", ".join(sorted(b for leaf in leaves for b in leaf.bindings))
@@ -857,6 +915,9 @@ def _predicate_conjuncts(relation: LogicalNode, path: str):
                 yield conjunct, f"{path}/join"
         elif isinstance(node, LogicalProduct):
             for _bindings, conjunct in node.edges:
+                yield conjunct, f"{path}/join"
+        elif isinstance(node, LogicalAlignJoin):
+            for conjunct in node.conjuncts:
                 yield conjunct, f"{path}/join"
         elif isinstance(node, LogicalScan):
             for conjunct in node.pushed:

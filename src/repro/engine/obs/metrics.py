@@ -29,6 +29,7 @@ COUNTERS: Dict[str, str] = {
     "plan.cache_invalidate": "cached plans dropped because DDL touched a dependency",
     "plan.cost_based_joins": "join products ordered by the statistics-backed cost model",
     "plan.greedy_joins": "join products ordered by the greedy size heuristic (no usable stats)",
+    "plan.temporal_fusions": "rewrite-shaped plans fused into native temporal operators",
     "stats.analyze_runs": "ANALYZE statements / Database.analyze() invocations",
     "stats.tables_analyzed": "per-table statistics snapshots collected by ANALYZE",
     "stats.lookups": "planner requests for a table's statistics snapshot",

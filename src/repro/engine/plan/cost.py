@@ -227,6 +227,35 @@ def estimate_scan_rows(
     return total
 
 
+def estimate_temporal_aggregate_rows(input_rows: float) -> float:
+    """Output rows of a sweep-line temporal aggregation.
+
+    Each input version contributes at most two interval boundaries
+    (begin and end), and the sweep emits at most one row per distinct
+    boundary — so ``2 × input`` is a tight upper bound.
+    """
+    return max(1.0, 2.0 * float(input_rows))
+
+
+def estimate_align_join_rows(
+    left_rows: float, right_rows: float, equi_keys: int
+) -> float:
+    """Output rows of a period-align temporal join.
+
+    With equi keys the estimate follows the classic
+    ``|L|·|R| / max(|L|, |R|)`` shape; the temporal overlap predicate
+    then keeps roughly a third of the key-matched pairs (the default
+    range selectivity).  Without keys every overlapping pair survives.
+    """
+    lhs = max(1.0, float(left_rows))
+    rhs = max(1.0, float(right_rows))
+    if equi_keys > 0:
+        matched = (lhs * rhs) / max(lhs, rhs)
+    else:
+        matched = lhs * rhs
+    return max(1.0, matched * DEFAULT_RANGE_SELECTIVITY)
+
+
 def _edge_selectivity(
     edge: EdgeSketch,
     ndv: Dict[Tuple[str, str], int],

@@ -273,6 +273,78 @@ class LogicalJoin(LogicalNode):
 
 
 @dataclass
+class LogicalAlignJoin(LogicalNode):
+    """A period-align temporal join (dialect ``TEMPORAL JOIN`` or the
+    temporal-fusion rewrite): equality conjuncts between the two sides
+    plus an implicit overlap of one period per side.  The layout is
+    ``left + right`` with ``__align.overlap_begin``/``overlap_end``
+    (the intersected period) appended."""
+
+    left: LogicalNode
+    right: LogicalNode
+    conjuncts: Tuple[ast.Expr, ...] = ()
+    left_period: Tuple[ast.Expr, ast.Expr] = ()
+    right_period: Tuple[ast.Expr, ast.Expr] = ()
+    period: str = "system_time"
+    #: cardinality stamped at fusion time from the join it replaced
+    est_hint: Optional[int] = None
+
+    @property
+    def bindings(self) -> Set[str]:
+        return self.left.bindings | self.right.bindings
+
+    @property
+    def est_rows(self) -> int:
+        if self.est_hint is not None:
+            return self.est_hint
+        lhs, rhs = self.left.est_rows, self.right.est_rows
+        if self.conjuncts:
+            return max(1, (lhs * rhs) // max(lhs, rhs, 1))
+        return max(lhs, rhs)
+
+    def children(self):
+        return (self.left, self.right)
+
+    def describe(self):
+        return f"AlignJoin({self.period}, conjuncts={len(self.conjuncts)})"
+
+
+@dataclass
+class LogicalTemporalAggregate(LogicalNode):
+    """Sweep-line temporal aggregation over one relation: group by the
+    constant intervals of *period*, aggregating the versions active in
+    each.  Exposes ``__tagg.t`` (the interval start) plus one
+    ``__tagg.__a<i>`` column per aggregate."""
+
+    child: LogicalNode
+    begin: ast.Expr
+    end: ast.Expr
+    aggregates: Tuple[ast.Aggregate, ...] = ()
+    period: str = "system_time"
+    est_hint: Optional[int] = None
+
+    @property
+    def bindings(self) -> Set[str]:
+        return {"__tagg"}
+
+    @property
+    def est_rows(self) -> int:
+        if self.est_hint is not None:
+            return self.est_hint
+        # at most one boundary per version endpoint
+        return max(1, 2 * self.child.est_rows)
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self):
+        return (
+            f"TemporalAggregate({self.period}, "
+            f"aggregates={len(self.aggregates)})"
+        )
+
+
+@dataclass
 class LogicalProduct(LogicalNode):
     """An unordered FROM list plus the join-edge pool, before join-order
     selection replaces it with a left-deep :class:`LogicalJoin` chain."""
@@ -459,9 +531,59 @@ def _build_from_item(item, db) -> LogicalNode:
     if isinstance(item, ast.Join):
         left = _build_from_item(item.left, db)
         right = _build_from_item(item.right, db)
+        if item.kind == "temporal":
+            return _build_align_join(item, left, right)
         kind = item.kind if item.kind != "cross" else "inner"
         return LogicalJoin(kind, left, right, tuple(split_conjuncts(item.on)))
     raise PlanError(f"cannot build logical plan for FROM item {item!r}")
+
+
+def _build_align_join(item: "ast.Join", left, right) -> LogicalAlignJoin:
+    period = item.period or "system_time"
+    conjuncts = tuple(split_conjuncts(item.on))
+    for conjunct in conjuncts:
+        if not (isinstance(conjunct, ast.Binary) and conjunct.op == "="):
+            raise ProgrammingError(
+                "TEMPORAL JOIN accepts only equality conditions in ON"
+            )
+    return LogicalAlignJoin(
+        left,
+        right,
+        conjuncts,
+        left_period=_align_period_refs(left, period),
+        right_period=_align_period_refs(right, period),
+        period=period,
+    )
+
+
+def _align_period_refs(side: LogicalNode, period_name: str):
+    scans = scans_in_order(side)
+    if len(scans) != 1:
+        raise ProgrammingError(
+            "each side of a TEMPORAL JOIN must be a single table reference"
+        )
+    scan = scans[0]
+    schema = scan.schema
+    period = None
+    if period_name == "system_time":
+        period = schema.system_period
+    elif period_name == "business_time":
+        periods = schema.application_periods
+        period = periods[0] if periods else None
+    else:
+        try:
+            period = schema.period(period_name)
+        except CatalogError:
+            period = None
+    if period is None:
+        raise ProgrammingError(
+            f"table {schema.name!r} has no period {period_name!r} "
+            f"for TEMPORAL JOIN"
+        )
+    return (
+        ast.ColumnRef(period.begin_column, scan.binding),
+        ast.ColumnRef(period.end_column, scan.binding),
+    )
 
 
 def _estimate_scan_rows(table, schema, ref: ast.TableRef) -> int:
@@ -551,6 +673,16 @@ def unit_layout(unit: LogicalNode) -> List[Tuple[str, str]]:
         return [(unit.alias, c) for c in unit.columns]
     if isinstance(unit, LogicalJoin):
         return unit_layout(unit.left) + unit_layout(unit.right)
+    if isinstance(unit, LogicalAlignJoin):
+        return (
+            unit_layout(unit.left)
+            + unit_layout(unit.right)
+            + [("__align", "overlap_begin"), ("__align", "overlap_end")]
+        )
+    if isinstance(unit, LogicalTemporalAggregate):
+        return [("__tagg", "t")] + [
+            ("__tagg", f"__a{i}") for i in range(len(unit.aggregates))
+        ]
     if isinstance(unit, LogicalFilter):
         return unit_layout(unit.child)
     if isinstance(unit, LogicalEmpty):
@@ -578,7 +710,18 @@ def replace_scans(node: LogicalNode, mapping) -> LogicalNode:
         if left is node.left and right is node.right:
             return node
         return replace(node, left=left, right=right)
+    if isinstance(node, LogicalAlignJoin):
+        left = replace_scans(node.left, mapping)
+        right = replace_scans(node.right, mapping)
+        if left is node.left and right is node.right:
+            return node
+        return replace(node, left=left, right=right)
     if isinstance(node, LogicalFilter):
+        child = replace_scans(node.child, mapping)
+        if child is node.child:
+            return node
+        return replace(node, child=child)
+    if isinstance(node, LogicalTemporalAggregate):
         child = replace_scans(node.child, mapping)
         if child is node.child:
             return node

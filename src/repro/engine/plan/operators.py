@@ -845,6 +845,286 @@ class Union(Operator):
         return "UnionAll" if self._all else "Union"
 
 
+class TemporalAggregate(Operator):
+    """Sweep-line temporal aggregation — SQL:2011's missing operator.
+
+    One pass collects every version's period endpoints plus the
+    pre-computed aggregate arguments; a single sweep over the sorted
+    endpoint set then emits one row per constant interval: the boundary
+    instant followed by the aggregate values over the versions active
+    there (``begin <= t < end``).  Semantics match the self-join rewrite
+    (UNION of both endpoints as the derived boundary table) byte for
+    byte: boundaries come from *every* version's endpoints, only
+    well-formed intervals enter the active set, and sum/avg re-accumulate
+    per boundary in scan order so float results equal the rewrite's
+    exactly.  Count-only aggregations skip the re-accumulation and
+    maintain exact running counters, making the sweep linear in events.
+    """
+
+    def __init__(self, child, begin_fn, end_fn, accumulators,
+                 batch_begin=None, batch_end=None, batch_args=None,
+                 period="system_time"):
+        self.children = (child,)
+        self._begin_fn = begin_fn
+        self._end_fn = end_fn
+        self._accumulators = accumulators
+        self._batch_begin = batch_begin
+        self._batch_end = batch_end
+        self._batch_args = batch_args
+        self._period = period
+
+    def _collect(self, env):
+        """(begins, ends, per-accumulator argument columns) over the input."""
+        check = getattr(env, "check", None)
+        vec = vectorized_enabled()
+        specs = self._accumulators
+        batch_args = self._batch_args or [None] * len(specs)
+        begins: List[object] = []
+        ends: List[object] = []
+        values: List[list] = [[] for _ in specs]
+        for batch in self.children[0].batches(env):
+            if check is not None:
+                check()
+            rows = None
+            if vec and self._batch_begin is not None:
+                begins.extend(self._batch_begin(batch, env))
+            else:
+                rows = batch.to_rows()
+                begins.extend(self._begin_fn(row, env) for row in rows)
+            if vec and self._batch_end is not None:
+                ends.extend(self._batch_end(batch, env))
+            else:
+                if rows is None:
+                    rows = batch.to_rows()
+                ends.extend(self._end_fn(row, env) for row in rows)
+            for slot, batch_fn, (_func, arg, _distinct) in zip(
+                values, batch_args, specs
+            ):
+                if arg is None:
+                    slot.extend([1] * batch.length)
+                elif vec and batch_fn is not None:
+                    slot.extend(batch_fn(batch, env))
+                else:
+                    if rows is None:
+                        rows = batch.to_rows()
+                    slot.extend(arg(row, env) for row in rows)
+        return begins, ends, values
+
+    def execute_batches(self, env):
+        check = getattr(env, "check", None)
+        begins, ends, values = self._collect(env)
+        specs = self._accumulators
+        # boundary set: every non-NULL/non-NaN endpoint of every version,
+        # well-formed interval or not — the rewrite's derived table unions
+        # both endpoint columns of the whole input
+        boundaries = {v for v in begins if v is not None and v == v}
+        boundaries.update(v for v in ends if v is not None and v == v)
+        ordered = sorted(boundaries, key=_sort_token)
+        # events: only well-formed intervals (begin < end, both non-NULL)
+        # can satisfy begin <= t < end, so only they enter the active set
+        starts = []
+        stops = []
+        for idx in range(len(begins)):
+            b, e = begins[idx], ends[idx]
+            if b is None or b != b or e is None or e != e:
+                continue
+            try:
+                well_formed = b < e
+            except TypeError:
+                continue
+            if not well_formed:
+                continue
+            starts.append((b, idx))
+            stops.append((e, idx))
+        starts.sort(key=lambda pair: _SortToken(pair[0]))
+        stops.sort(key=lambda pair: _SortToken(pair[0]))
+        fast_counts = None
+        if specs and all(
+            func == "count" and not distinct for func, _arg, distinct in specs
+        ):
+            fast_counts = [0] * len(specs)
+        size = batch_size()
+        out: List[Batch] = []
+        chunk: List[tuple] = []
+        active: dict = {}
+        si = ei = 0
+        n_starts, n_stops = len(starts), len(stops)
+        steps = 0
+        for t in ordered:
+            steps += 1
+            if check is not None and steps % 1024 == 0:
+                check()
+            while si < n_starts and starts[si][0] <= t:
+                idx = starts[si][1]
+                active[idx] = True
+                if fast_counts is not None:
+                    for i, column in enumerate(values):
+                        if column[idx] is not None:
+                            fast_counts[i] += 1
+                si += 1
+            while ei < n_stops and stops[ei][0] <= t:
+                idx = stops[ei][1]
+                if active.pop(idx, None) is not None and fast_counts is not None:
+                    for i, column in enumerate(values):
+                        if column[idx] is not None:
+                            fast_counts[i] -= 1
+                ei += 1
+            if not active:
+                continue  # inner-join rewrite emits no empty groups
+            if fast_counts is not None:
+                chunk.append((t,) + tuple(fast_counts))
+            else:
+                # re-accumulate in scan order: float sums then equal the
+                # rewrite's per-group accumulation bit for bit
+                states = [
+                    _AggState(func, distinct) for func, _arg, distinct in specs
+                ]
+                for idx in sorted(active):
+                    for acc, column in zip(states, values):
+                        acc.add(column[idx])
+                chunk.append((t,) + tuple(acc.result() for acc in states))
+            if len(chunk) >= size:
+                out.append(Batch.from_rows(chunk))
+                chunk = []
+        if chunk:
+            out.append(Batch.from_rows(chunk))
+        return out
+
+    def label(self):
+        funcs = ",".join(func for func, _a, _d in self._accumulators)
+        return f"TemporalAggregate({self._period}, [{funcs}])"
+
+
+class TemporalAlignJoin(Operator):
+    """Period-align temporal join: equal-key runs merged by period start.
+
+    Replaces the inequality-pair rewrite ``a.begin < b.end AND b.begin <
+    a.end`` (a nested-loop shape) with a sort-merge: both inputs are
+    grouped by their equality keys, each run is sorted by period begin,
+    and a single interleaved pass keeps per-side active lists — an
+    arriving interval pairs with every opposite-side interval that is
+    still open, then joins the active list itself.  Output rows are
+    ``left + right + (overlap_begin, overlap_end)`` with the intersected
+    period appended.
+
+    NULL/NaN handling mirrors :func:`_normalize_merge_key` (the PR 5
+    MergeJoin NaN fix): a NULL or NaN equality key matches nothing, and a
+    NULL/NaN period bound fails every overlap comparison, so such rows
+    are dropped during collection instead of poisoning run detection.
+    """
+
+    def __init__(self, left, right, left_keys, right_keys,
+                 left_begin, left_end, right_begin, right_end,
+                 period="system_time"):
+        self.children = (left, right)
+        self._left_keys = left_keys
+        self._right_keys = right_keys
+        self._left_begin = left_begin
+        self._left_end = left_end
+        self._right_begin = right_begin
+        self._right_end = right_end
+        self._period = period
+
+    def _collect(self, child, key_fns, begin_fn, end_fn, env):
+        """(key, begin, end, row) entries, dropping rows that can never
+        join (NULL/NaN key part or period bound)."""
+        check = getattr(env, "check", None)
+        entries = []
+        for batch in child.batches(env):
+            if check is not None:
+                check()
+            for row in batch.to_rows():
+                key = _normalize_merge_key(
+                    tuple(fn(row, env) for fn in key_fns)
+                )
+                if key is None:
+                    continue
+                b = begin_fn(row, env)
+                e = end_fn(row, env)
+                if b is None or b != b or e is None or e != e:
+                    continue
+                entries.append((key, b, e, row))
+        return entries
+
+    def execute_batches(self, env):
+        check = getattr(env, "check", None)
+        left = self._collect(
+            self.children[0], self._left_keys,
+            self._left_begin, self._left_end, env,
+        )
+        right = self._collect(
+            self.children[1], self._right_keys,
+            self._right_begin, self._right_end, env,
+        )
+        left_groups: dict = {}
+        for entry in left:
+            left_groups.setdefault(entry[0], []).append(entry)
+        right_groups: dict = {}
+        for entry in right:
+            right_groups.setdefault(entry[0], []).append(entry)
+        size = batch_size()
+        out: List[Batch] = []
+        chunk: List[tuple] = []
+        steps = 0
+        for key, lrun in left_groups.items():
+            rrun = right_groups.get(key)
+            if rrun is None:
+                continue
+            lrun = sorted(lrun, key=lambda entry: _SortToken(entry[1]))
+            rrun = sorted(rrun, key=lambda entry: _SortToken(entry[1]))
+            ln, rn = len(lrun), len(rrun)
+            li = ri = 0
+            active_left: List[tuple] = []   # (begin, end, row), begin asc
+            active_right: List[tuple] = []
+            while li < ln or ri < rn:
+                steps += 1
+                if check is not None and steps % 4096 == 0:
+                    check()
+                from_left = ri >= rn or (
+                    li < ln
+                    and compare_values(lrun[li][1], rrun[ri][1]) <= 0
+                )
+                if from_left:
+                    _key, b, e, row = lrun[li]
+                    li += 1
+                    kept = []
+                    for yb, ye, yrow in active_right:
+                        if ye <= b:
+                            continue  # closed before this arrival: purge
+                        kept.append((yb, ye, yrow))
+                        if yb < e:
+                            chunk.append(
+                                row + yrow + (max(b, yb), min(e, ye))
+                            )
+                    active_right = kept
+                    active_left.append((b, e, row))
+                else:
+                    _key, b, e, row = rrun[ri]
+                    ri += 1
+                    kept = []
+                    for yb, ye, yrow in active_left:
+                        if ye <= b:
+                            continue
+                        kept.append((yb, ye, yrow))
+                        if yb < e:
+                            chunk.append(
+                                yrow + row + (max(b, yb), min(e, ye))
+                            )
+                    active_left = kept
+                    active_right.append((b, e, row))
+                if len(chunk) >= size:
+                    out.append(Batch.from_rows(chunk))
+                    chunk = []
+        if chunk:
+            out.append(Batch.from_rows(chunk))
+        return out
+
+    def label(self):
+        return (
+            f"TemporalAlignJoin({self._period}, keys={len(self._left_keys)})"
+        )
+
+
 class _SortToken:
     """Wrap values so None sorts last and mixed runs don't TypeError."""
 

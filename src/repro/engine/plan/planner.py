@@ -37,6 +37,7 @@ from . import cost
 from . import operators as ops
 from .access import ColumnConstraint, TableAccessPlan, TemporalBounds
 from .logical import (  # noqa: F401 - split_conjuncts/conjoin re-exported
+    LogicalAlignJoin,
     LogicalDerived,
     LogicalEmpty,
     LogicalFilter,
@@ -45,6 +46,7 @@ from .logical import (  # noqa: F401 - split_conjuncts/conjoin re-exported
     LogicalProduct,
     LogicalQuery,
     LogicalScan,
+    LogicalTemporalAggregate,
     LogicalValues,
     LogicalVirtualScan,
     build_logical,
@@ -399,6 +401,10 @@ class Planner:
                 outer_scope,
                 est_hint=node.est_hint,
             )
+        if isinstance(node, LogicalAlignJoin):
+            return self._lower_align_join(node, outer_scope, referenced)
+        if isinstance(node, LogicalTemporalAggregate):
+            return self._lower_temporal_aggregate(node, outer_scope, referenced)
         if isinstance(node, LogicalFilter):
             relation = self._lower_relation(node.child, outer_scope, referenced)
             scope = Scope(relation.layout, outer=outer_scope)
@@ -615,6 +621,92 @@ class Planner:
         op.est_rows = est
         return _Relation(
             op, combined_layout, combined_bindings, est, stats_backed=stats_backed
+        )
+
+    def _lower_temporal_aggregate(
+        self, node: LogicalTemporalAggregate, outer_scope, referenced
+    ) -> _Relation:
+        child = self._lower_relation(node.child, outer_scope, referenced)
+        scope = Scope(child.layout, outer=outer_scope)
+        accumulators = []
+        batch_args = []
+        for agg in node.aggregates:
+            arg_fn = self._compile(agg.arg, scope) if agg.arg is not None else None
+            accumulators.append((agg.func, arg_fn, agg.distinct))
+            batch_args.append(
+                self._compile_batch(agg.arg, scope)
+                if agg.arg is not None
+                else None
+            )
+        op = ops.TemporalAggregate(
+            child.op,
+            self._compile(node.begin, scope),
+            self._compile(node.end, scope),
+            accumulators,
+            batch_begin=self._compile_batch(node.begin, scope),
+            batch_end=self._compile_batch(node.end, scope),
+            batch_args=batch_args,
+            period=node.period,
+        )
+        est = node.est_hint or int(
+            cost.estimate_temporal_aggregate_rows(child.est_rows)
+        )
+        op.est_rows = max(1, est)
+        layout = [("__tagg", "t")] + [
+            ("__tagg", f"__a{i}") for i in range(len(node.aggregates))
+        ]
+        return _Relation(
+            op, layout, {"__tagg"}, op.est_rows, stats_backed=child.stats_backed
+        )
+
+    def _lower_align_join(
+        self, node: LogicalAlignJoin, outer_scope, referenced
+    ) -> _Relation:
+        left = self._lower_relation(node.left, outer_scope, referenced)
+        right = self._lower_relation(node.right, outer_scope, referenced)
+        left_scope = Scope(left.layout, outer=outer_scope)
+        right_scope = Scope(right.layout, outer=outer_scope)
+        left_keys, right_keys = [], []
+        for conjunct in node.conjuncts:
+            pair = self._equi_key(conjunct, left_scope, right_scope)
+            if pair is None:
+                raise ProgrammingError(
+                    "TEMPORAL JOIN condition must equate a column of each "
+                    f"side, got {expr_to_string(conjunct)!r}"
+                )
+            left_keys.append(pair[0])
+            right_keys.append(pair[1])
+        left_begin, left_end = node.left_period
+        right_begin, right_end = node.right_period
+        op = ops.TemporalAlignJoin(
+            left.op,
+            right.op,
+            left_keys,
+            right_keys,
+            self._compile(left_begin, left_scope),
+            self._compile(left_end, left_scope),
+            self._compile(right_begin, right_scope),
+            self._compile(right_end, right_scope),
+            period=node.period,
+        )
+        est = node.est_hint or int(
+            cost.estimate_align_join_rows(
+                left.est_rows, right.est_rows, len(left_keys)
+            )
+        )
+        op.est_rows = max(1, est)
+        layout = (
+            left.layout
+            + right.layout
+            + [("__align", "overlap_begin"), ("__align", "overlap_end")]
+        )
+        bindings = left.bindings | right.bindings | {"__align"}
+        return _Relation(
+            op,
+            layout,
+            bindings,
+            op.est_rows,
+            stats_backed=left.stats_backed or right.stats_backed,
         )
 
     def _equi_key(self, conjunct, left_scope, right_scope):

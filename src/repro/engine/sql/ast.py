@@ -107,6 +107,17 @@ class Aggregate(Expr):
 
 
 @dataclass(frozen=True)
+class TemporalGroup(Expr):
+    """``TEMPORAL(period)`` in GROUP BY / select list — the constant
+    intervals of *period* as grouping unit (native temporal aggregation)."""
+
+    period: str
+
+    def __str__(self):
+        return f"TEMPORAL({self.period})"
+
+
+@dataclass(frozen=True)
 class Case(Expr):
     branches: Tuple[Tuple[Expr, Expr], ...]  # (condition, result)
     default: Optional[Expr] = None
@@ -213,10 +224,11 @@ class DerivedTable:
 
 @dataclass(frozen=True)
 class Join:
-    kind: str  # "inner" | "left" | "cross"
+    kind: str  # "inner" | "left" | "cross" | "temporal"
     left: "FromItem"
     right: "FromItem"
     on: Optional[Expr] = None
+    period: Optional[str] = None  # TEMPORAL JOIN ... OVERLAPS (period)
 
 
 FromItem = Union[TableRef, DerivedTable, Join]

@@ -303,8 +303,36 @@ class Parser:
                 self.expect_keyword("join")
                 right = self._parse_table_primary()
                 item = ast.Join("cross", item, right, None)
+            elif self._check_temporal_join():
+                self.advance()  # TEMPORAL (lexes as an identifier)
+                self.expect_keyword("join")
+                right = self._parse_table_primary()
+                self.expect_keyword("on")
+                on = self.parse_expr()
+                period = None
+                if self.check("ident", "overlaps"):
+                    self.advance()
+                    self.expect("op", "(")
+                    period = self._parse_period_name()
+                    self.expect("op", ")")
+                item = ast.Join("temporal", item, right, on, period)
             else:
                 return item
+
+    def _check_temporal_join(self) -> bool:
+        return (
+            self.check("ident", "temporal")
+            and self.peek(1).kind == "keyword"
+            and self.peek(1).value == "join"
+        )
+
+    def _parse_period_name(self) -> str:
+        token = self.peek()
+        if token.kind == "keyword" and token.value in (
+            "system_time", "business_time",
+        ):
+            return self.advance().value
+        return self.expect_name()
 
     def _parse_table_primary(self) -> ast.FromItem:
         if self.accept("op", "("):
@@ -328,7 +356,8 @@ class Parser:
         alias = None
         if self.accept_keyword("as"):
             alias = self.expect_name()
-        elif self.check("ident"):
+        elif self.check("ident") and not self._check_temporal_join():
+            # a bare TEMPORAL before JOIN is the join keyword, not an alias
             alias = self.advance().value
         # temporal clauses may also follow the alias (Teradata style)
         while self.check_keyword("for"):
@@ -768,6 +797,14 @@ class Parser:
         name = self.expect_name()
         # function call?
         if self.check("op", "("):
+            if name == "temporal":
+                # TEMPORAL(period) — native temporal grouping unit; the
+                # period names lex as keywords, so the generic arg parse
+                # below would reject them.
+                self.advance()
+                period = self._parse_period_name()
+                self.expect("op", ")")
+                return ast.TemporalGroup(period)
             self.advance()
             args = []
             if not self.check("op", ")"):

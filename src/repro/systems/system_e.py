@@ -104,7 +104,7 @@ class SystemE(TemporalSystem):
             index_selectivity_threshold=0.15,
             rewrite_rules=(
                 "constant-folding", "predicate-pushdown", "join-reorder",
-                "constraint-pruning",
+                "constraint-pruning", "temporal-fusion",
             ),
             lint_suppressions=(),
         )

@@ -1,6 +1,6 @@
 """Golden tests for the static analyzer (repro.engine.analyze).
 
-One positive and one negative case per rule TQ001..TQ016, span/path
+One positive and one negative case per rule TQ001..TQ017, span/path
 anchoring, severity ordering, per-profile suppression, the EXPLAIN (LINT)
 surface, and the no-false-positives sweep over the full benchmark workload
 on every architecture archetype.
@@ -25,8 +25,8 @@ def only(db, sql, code):
 
 
 class TestRuleCatalog:
-    def test_sixteen_stable_codes(self):
-        assert sorted(RULES) == [f"TQ{n:03d}" for n in range(1, 17)]
+    def test_seventeen_stable_codes(self):
+        assert sorted(RULES) == [f"TQ{n:03d}" for n in range(1, 18)]
 
     def test_every_rule_is_complete(self):
         for rule in RULES.values():
@@ -420,6 +420,71 @@ class TestTQ016TautologicalClause:
         self._load_and_analyze(db)
         assert "TQ016" not in codes(
             db, "SELECT id FROM item FOR business_time AS OF DATE '2100-01-01'"
+        )
+
+
+class TestTQ017RewriteShapedTemporalOperator:
+    AGG_REWRITE = (
+        "SELECT b.t, count(*)"
+        " FROM (SELECT sb AS t FROM item FOR SYSTEM_TIME ALL"
+        "       UNION SELECT se AS t FROM item FOR SYSTEM_TIME ALL) b,"
+        "      item FOR SYSTEM_TIME ALL o"
+        " WHERE o.sb <= b.t AND o.se > b.t"
+        " GROUP BY b.t"
+    )
+    JOIN_REWRITE = (
+        "SELECT count(*)"
+        " FROM item FOR SYSTEM_TIME ALL l, item FOR SYSTEM_TIME ALL r"
+        " WHERE l.id = r.id AND l.sb < r.se AND r.sb < l.se"
+    )
+
+    def test_positive_boundary_self_join_aggregation(self, db):
+        d = only(db, self.AGG_REWRITE, "TQ017")
+        assert d.severity == "info"
+        assert "GROUP BY TEMPORAL" in d.message
+
+    def test_positive_inequality_pair_overlap_join(self, db):
+        d = only(db, self.JOIN_REWRITE, "TQ017")
+        assert "TEMPORAL JOIN" in d.message
+
+    def test_negative_native_dialect_syntax(self, db):
+        assert "TQ017" not in codes(
+            db,
+            "SELECT TEMPORAL(system_time) AS t, count(*)"
+            " FROM item FOR SYSTEM_TIME ALL"
+            " GROUP BY TEMPORAL(system_time)",
+        )
+        assert "TQ017" not in codes(
+            db,
+            "SELECT count(*)"
+            " FROM item FOR SYSTEM_TIME ALL l"
+            " TEMPORAL JOIN item FOR SYSTEM_TIME ALL r ON l.id = r.id",
+        )
+
+    def test_negative_silent_when_fusion_rewrites_it(self, db):
+        # a profile with the temporal-fusion rule replaces the shape with
+        # the native operator before the analyzer looks at the plan
+        fusing = SimpleNamespace(
+            rewrite_rules=(
+                "constant-folding", "predicate-pushdown", "join-reorder",
+                "temporal-fusion",
+            ),
+            lint_suppressions=(),
+        )
+        assert "TQ017" not in codes(db, self.AGG_REWRITE, profile=fusing)
+        assert "TQ017" not in codes(db, self.JOIN_REWRITE, profile=fusing)
+
+    def test_negative_begins_only_boundary_list(self, db):
+        # the legacy begins-only DISTINCT shape is *not* equivalent to the
+        # native sweep (it misses pure-deletion boundaries), so the
+        # analyzer must not claim the native operator can replace it
+        assert "TQ017" not in codes(
+            db,
+            "SELECT b.t, count(*)"
+            " FROM (SELECT DISTINCT sb AS t FROM item FOR SYSTEM_TIME ALL) b,"
+            "      item FOR SYSTEM_TIME ALL o"
+            " WHERE o.sb <= b.t AND o.se > b.t"
+            " GROUP BY b.t",
         )
 
 

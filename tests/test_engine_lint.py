@@ -563,6 +563,56 @@ class TestRuleCatalogue:
         assert len(problems) == 2  # neither positive nor negative evidence
 
 
+class TestTemporalOpsCatalogue:
+    OPERATORS = (
+        "class TemporalAggregate:\n"
+        "    pass\n"
+        "class TemporalAlignJoin:\n"
+        "    pass\n"
+    )
+    DOC = (
+        "# Native temporal operators\n"
+        "TemporalAggregate and TemporalAlignJoin; reached via\n"
+        "GROUP BY TEMPORAL and TEMPORAL JOIN, the temporal-fusion rule\n"
+        "(TQ017 suggests them), counted by plan.temporal_fusions.\n"
+    )
+
+    def test_no_operators_means_clean(self, fake_repo):
+        # the fixture tree ships no native temporal operators
+        assert engine_lint.check_temporal_ops_catalogue(fake_repo) == []
+
+    def test_missing_doc_is_flagged_once(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/plan/operators.py", self.OPERATORS)
+        problems = engine_lint.check_temporal_ops_catalogue(fake_repo)
+        assert len(problems) == 1
+        assert "temporal-ops-catalogue" in problems[0]
+        assert "missing" in problems[0]
+
+    def test_complete_doc_passes(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/plan/operators.py", self.OPERATORS)
+        _write(fake_repo, "docs/TEMPORAL_OPS.md", self.DOC)
+        assert engine_lint.check_temporal_ops_catalogue(fake_repo) == []
+
+    def test_undocumented_surface_token_is_flagged(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/plan/operators.py", self.OPERATORS)
+        _write(fake_repo, "docs/TEMPORAL_OPS.md",
+               self.DOC.replace("TQ017", "TQ0__"))
+        problems = engine_lint.check_temporal_ops_catalogue(fake_repo)
+        assert len(problems) == 1
+        assert "TQ017" in problems[0]
+
+    def test_unlinked_architecture_doc_is_flagged(self, fake_repo):
+        _write(fake_repo, "src/repro/engine/plan/operators.py", self.OPERATORS)
+        _write(fake_repo, "docs/TEMPORAL_OPS.md", self.DOC)
+        _write(fake_repo, "docs/ARCHITECTURE.md", "no link here\n")
+        problems = engine_lint.check_temporal_ops_catalogue(fake_repo)
+        assert len(problems) == 1
+        assert "ARCHITECTURE.md" in problems[0]
+        _write(fake_repo, "docs/ARCHITECTURE.md",
+               "see TEMPORAL_OPS.md for the native operators\n")
+        assert engine_lint.check_temporal_ops_catalogue(fake_repo) == []
+
+
 class TestCostModel:
     def test_missing_cost_module_is_flagged(self, fake_repo):
         (fake_repo / "src/repro/engine/plan/cost.py").unlink()

@@ -73,6 +73,15 @@ has been broken (or nearly broken) by an innocent-looking edit before:
   ``ExecutionContext`` (``check()`` at batch granularity, or
   ``guard_iter`` on a row-at-a-time fallback), mirroring
   **operator-guards** for the batch entrypoint.
+* **temporal-ops-catalogue** — while the engine ships the native temporal
+  operators (``TemporalAggregate`` / ``TemporalAlignJoin`` under
+  ``engine/plan``), ``docs/TEMPORAL_OPS.md`` must exist and document both
+  operators, the explicit dialect syntax (``GROUP BY TEMPORAL`` and
+  ``TEMPORAL JOIN``), the ``temporal-fusion`` rewrite rule, the ``TQ017``
+  analyzer rule and the ``plan.temporal_fusions`` counter — and
+  ``docs/ARCHITECTURE.md`` / ``docs/SQL_DIALECT.md`` must link to it.  The
+  operators replace rewrites the paper measured as two orders of magnitude
+  slow; an undocumented operator is a speedup nobody will reach.
 
 Run as ``python tools/engine_lint.py`` (exit 0 = clean); every check is also
 importable for the test suite.  Standard library only.
@@ -822,6 +831,57 @@ def check_rule_catalogue(root: Path = REPO_ROOT) -> List[str]:
     return problems
 
 
+def check_temporal_ops_catalogue(root: Path = REPO_ROOT) -> List[str]:
+    operators_rel = ENGINE / "plan" / "operators.py"
+    operators_path = root / operators_rel
+    if not operators_path.is_file():
+        return []
+    operators_text = operators_path.read_text()
+    shipped = [
+        name
+        for name in ("TemporalAggregate", "TemporalAlignJoin")
+        if f"class {name}" in operators_text
+    ]
+    if not shipped:
+        return []
+    doc_rel = Path("docs") / "TEMPORAL_OPS.md"
+    doc_path = root / doc_rel
+    if not doc_path.is_file():
+        return [
+            f"{doc_rel}: [temporal-ops-catalogue] missing, but the engine "
+            f"ships the native temporal operators ({', '.join(shipped)})"
+        ]
+    doc_text = doc_path.read_text()
+    problems: List[str] = []
+    required = list(shipped) + [
+        # the dialect surface, the fusion rule and its observability
+        "GROUP BY TEMPORAL",
+        "TEMPORAL JOIN",
+        "temporal-fusion",
+        "TQ017",
+        "plan.temporal_fusions",
+    ]
+    for token in required:
+        if token not in doc_text:
+            problems.append(
+                f"{doc_rel}: [temporal-ops-catalogue] must document "
+                f"{token!r} — it is part of the native temporal-operator "
+                f"surface"
+            )
+    for linking_doc in ("ARCHITECTURE.md", "SQL_DIALECT.md"):
+        linking_rel = Path("docs") / linking_doc
+        linking_path = root / linking_rel
+        if not linking_path.is_file():
+            continue
+        if "TEMPORAL_OPS.md" not in linking_path.read_text():
+            problems.append(
+                f"{linking_rel}: [temporal-ops-catalogue] must link to "
+                f"TEMPORAL_OPS.md — the native operators hook into the "
+                f"surface this page documents"
+            )
+    return problems
+
+
 ALL_CHECKS = (
     check_operator_guards,
     check_no_wallclock,
@@ -835,6 +895,7 @@ ALL_CHECKS = (
     check_telemetry_docs,
     check_view_catalogue,
     check_rule_catalogue,
+    check_temporal_ops_catalogue,
 )
 
 
